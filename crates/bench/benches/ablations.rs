@@ -1,0 +1,213 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * cooling schedule of the annealer (geometric — the paper's choice — vs. linear vs.
+//!   logarithmic),
+//! * choice of meta-heuristic (simulated annealing vs. hill climbing, tabu search,
+//!   genetic algorithm and random search at an equal evaluation budget),
+//! * choice of regression model (boosted trees — the paper's choice — vs. linear and
+//!   Poisson regression).
+//!
+//! Each group prints a one-line quality summary (how close each variant gets to the EM
+//! optimum / how accurate each model is) before measuring runtime, so the bench output
+//! doubles as the ablation table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_analysis::Genome;
+use hetero_autotune::features::host_feature_names;
+use hetero_autotune::{
+    ConfigEvaluator, ConfigurationSpace, EnergyObjective, MeasurementEvaluator, TrainingCampaign,
+};
+use hetero_platform::HeterogeneousPlatform;
+use wd_ml::{
+    metrics, BoostedTreesRegressor, BoostingParams, Dataset, LinearRegressor, PoissonRegressor,
+    Regressor,
+};
+use wd_opt::{
+    CoolingSchedule, Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch,
+    SimulatedAnnealing, TabuSearch,
+};
+
+const BUDGET: usize = 1000;
+
+fn setup() -> (HeterogeneousPlatform, MeasurementEvaluator) {
+    let platform = HeterogeneousPlatform::emil();
+    let evaluator = MeasurementEvaluator::new(platform.clone());
+    (platform, evaluator)
+}
+
+fn ablation_cooling_schedules(c: &mut Criterion) {
+    let (_, evaluator) = setup();
+    let workload = Genome::Human.workload();
+    let objective = EnergyObjective::new(&evaluator, &workload);
+    let space = ConfigurationSpace::paper();
+
+    // quality summary
+    let em = Enumeration::parallel().run(&ConfigurationSpace::enumeration_grid(), &objective);
+    for (name, schedule) in [
+        ("geometric (paper)", CoolingSchedule::geometric_for_budget(BUDGET, 2.0, 0.02)),
+        ("linear", CoolingSchedule::Linear { decrement: (2.0 - 0.02) / BUDGET as f64 }),
+        ("logarithmic", CoolingSchedule::Logarithmic),
+    ] {
+        let mut sa = SimulatedAnnealing::with_budget_and_range(BUDGET, 2.0, 0.02, 9);
+        sa = sa.with_schedule(schedule);
+        sa.max_iterations = BUDGET;
+        let outcome = sa.run(&space, &objective);
+        println!(
+            "cooling {name:<18}: best {:.3} s ({:+.1} % vs EM optimum, {} evaluations)",
+            outcome.best_energy,
+            100.0 * (outcome.best_energy - em.best_energy) / em.best_energy,
+            outcome.evaluations
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_cooling");
+    group.sample_size(10);
+    group.bench_function("geometric", |b| {
+        b.iter(|| {
+            SimulatedAnnealing::with_budget_and_range(BUDGET, 2.0, 0.02, 9).run(&space, &objective)
+        });
+    });
+    group.bench_function("logarithmic", |b| {
+        let mut sa = SimulatedAnnealing::with_budget_and_range(BUDGET, 2.0, 0.02, 9)
+            .with_schedule(CoolingSchedule::Logarithmic);
+        sa.max_iterations = BUDGET;
+        b.iter(|| sa.run(&space, &objective));
+    });
+    group.finish();
+}
+
+fn ablation_heuristics(c: &mut Criterion) {
+    let (_, evaluator) = setup();
+    let workload = Genome::Mouse.workload();
+    let objective = EnergyObjective::new(&evaluator, &workload);
+    let space = ConfigurationSpace::paper();
+    let em = Enumeration::parallel().run(&ConfigurationSpace::enumeration_grid(), &objective);
+
+    let sa = SimulatedAnnealing::with_budget_and_range(BUDGET, 2.0, 0.02, 5);
+    let hill = HillClimbing::with_budget(BUDGET, 5);
+    let tabu = TabuSearch::with_budget(BUDGET / 8, 5); // 8 candidates per iteration
+    let genetic = GeneticAlgorithm::with_budget(BUDGET, 5);
+    let random = RandomSearch::new(BUDGET, 5);
+
+    let results = [
+        ("simulated annealing (paper)", sa.run(&space, &objective)),
+        ("hill climbing", hill.run(&space, &objective)),
+        ("tabu search", tabu.run(&space, &objective)),
+        ("genetic algorithm", genetic.run(&space, &objective)),
+        ("random search", random.run(&space, &objective)),
+    ];
+    for (name, outcome) in &results {
+        println!(
+            "heuristic {name:<28}: best {:.3} s ({:+.1} % vs EM, {} evaluations)",
+            outcome.best_energy,
+            100.0 * (outcome.best_energy - em.best_energy) / em.best_energy,
+            outcome.evaluations
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_heuristics");
+    group.sample_size(10);
+    group.bench_function("simulated_annealing", |b| b.iter(|| sa.run(&space, &objective)));
+    group.bench_function("hill_climbing", |b| b.iter(|| hill.run(&space, &objective)));
+    group.bench_function("random_search", |b| b.iter(|| random.run(&space, &objective)));
+    group.finish();
+}
+
+fn ablation_regressors(c: &mut Criterion) {
+    // Compare the three candidate models the paper mentions on the host training data.
+    let platform = HeterogeneousPlatform::emil();
+    let campaign = TrainingCampaign::reduced();
+    let models = campaign.run(&platform, BoostingParams::fast());
+
+    // rebuild a dataset from the accuracy rows (features reconstructed from metadata)
+    let mut data = Dataset::new(host_feature_names());
+    for row in &models.host_accuracy.rows {
+        data.push(
+            hetero_autotune::features::host_features(
+                row.threads,
+                row.affinity,
+                (row.input_megabytes * 1e6) as u64,
+            ),
+            row.measured,
+        )
+        .unwrap();
+    }
+    let (train, test) = data.train_test_split(0.5, 3);
+
+    let mut summaries = Vec::new();
+    let mut boosted = BoostedTreesRegressor::new(BoostingParams::fast());
+    boosted.fit(&train).unwrap();
+    summaries.push(("boosted trees (paper)", &boosted as &dyn Regressor));
+    let mut linear = LinearRegressor::new();
+    linear.fit(&train).unwrap();
+    summaries.push(("linear regression", &linear as &dyn Regressor));
+    let mut poisson = PoissonRegressor::new();
+    poisson.fit(&train).unwrap();
+    summaries.push(("poisson regression", &poisson as &dyn Regressor));
+
+    for (name, model) in &summaries {
+        let predictions = model.predict_batch(test.feature_rows());
+        println!(
+            "regressor {name:<24}: MAPE {:.2} %, RMSE {:.3} s",
+            metrics::mean_absolute_percent_error(test.targets(), &predictions),
+            metrics::root_mean_squared_error(test.targets(), &predictions),
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_regressor_fit");
+    group.sample_size(10);
+    group.bench_function("boosted_trees", |b| {
+        b.iter(|| {
+            let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+            model.fit(&train).unwrap();
+            model
+        });
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut model = LinearRegressor::new();
+            model.fit(&train).unwrap();
+            model
+        });
+    });
+    group.bench_function("poisson", |b| {
+        b.iter(|| {
+            let mut model = PoissonRegressor::new();
+            model.fit(&train).unwrap();
+            model
+        });
+    });
+    group.finish();
+}
+
+fn ablation_noise(c: &mut Criterion) {
+    // How much does measurement noise change the evaluated energy surface?
+    let noisy = MeasurementEvaluator::new(HeterogeneousPlatform::emil());
+    let clean = MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise());
+    let workload = Genome::Dog.workload();
+    let config = hetero_autotune::SystemConfiguration::with_host_percent(
+        48,
+        hetero_platform::Affinity::Scatter,
+        240,
+        hetero_platform::Affinity::Balanced,
+        60,
+    );
+    println!(
+        "noise ablation: noisy energy {:.4} s vs noiseless {:.4} s",
+        noisy.energy(&config, &workload),
+        clean.energy(&config, &workload)
+    );
+    let mut group = c.benchmark_group("ablation_noise");
+    group.bench_function("noisy_evaluation", |b| b.iter(|| noisy.energy(&config, &workload)));
+    group.bench_function("noiseless_evaluation", |b| b.iter(|| clean.energy(&config, &workload)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_cooling_schedules,
+    ablation_heuristics,
+    ablation_regressors,
+    ablation_noise
+);
+criterion_main!(benches);

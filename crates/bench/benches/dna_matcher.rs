@@ -1,0 +1,70 @@
+//! Benches for the DNA sequence analysis application itself: DFA compilation and
+//! sequential vs. parallel scanning throughput.
+//!
+//! The paper's workload is a finite-automata scan over gigabytes of DNA; these benches
+//! measure our real (non-simulated) implementation on scaled-down synthetic genomes so
+//! the thread-scaling behaviour that motivates the work-distribution problem is
+//! observable on the build machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dna_analysis::{DfaMatcher, Genome, MotifSet, ParallelScanner};
+
+fn bench_compile(c: &mut Criterion) {
+    let motifs = MotifSet::reference();
+    c.bench_function("dfa_compile_reference_motifs", |b| {
+        b.iter(|| DfaMatcher::compile(&motifs));
+    });
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let matcher = DfaMatcher::compile(&MotifSet::reference());
+    // ~32 MB synthetic slice of the human genome (scale 1:100)
+    let sequence = Genome::Human.synthesize(100);
+    let bytes = sequence.bases();
+
+    let mut group = c.benchmark_group("dna_scan");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+
+    group.bench_function("sequential", |b| {
+        b.iter(|| matcher.count_matches(bytes));
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                let scanner = ParallelScanner::new(threads);
+                b.iter(|| scanner.count_matches(&matcher, bytes));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_split_scan(c: &mut Criterion) {
+    // the host/device split semantics used by the work-distribution examples
+    let matcher = DfaMatcher::compile(&MotifSet::reference());
+    let sequence = Genome::Cat.synthesize(200);
+    let bytes = sequence.bases();
+    let scanner = ParallelScanner::new(4);
+
+    let mut group = c.benchmark_group("dna_split_scan");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.sample_size(10);
+    for host_percent in [100u32, 70, 50, 0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(host_percent),
+            &host_percent,
+            |b, &host_percent| {
+                b.iter(|| {
+                    scanner.count_matches_split(&matcher, bytes, host_percent as f64 / 100.0)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_scan, bench_split_scan);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench for the motivational experiment (paper Fig. 2a–c).
+//!
+//! Measures how long the simulator takes to evaluate the eleven work-distribution
+//! ratios of each sub-figure and, once per run, prints the regenerated series so the
+//! bench doubles as a figure generator (`cargo bench -p wd-bench --bench fig2_motivation`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetero_autotune::experiments::motivation_experiment;
+use hetero_platform::HeterogeneousPlatform;
+
+fn print_series_once(platform: &HeterogeneousPlatform) {
+    for (name, megabytes, threads) in [
+        ("fig2a", 190u64, 48u32),
+        ("fig2b", 3250, 48),
+        ("fig2c", 3250, 4),
+    ] {
+        let points = motivation_experiment(platform, megabytes, threads);
+        let best = points
+            .iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("eleven points");
+        let series: Vec<String> = points
+            .iter()
+            .map(|p| format!("{}={:.2}", p.label, p.normalized))
+            .collect();
+        println!("{name} ({megabytes} MB, {threads} threads): best={} | {}", best.label, series.join(" "));
+    }
+}
+
+fn bench_motivation(c: &mut Criterion) {
+    let platform = HeterogeneousPlatform::emil();
+    print_series_once(&platform);
+
+    let mut group = c.benchmark_group("fig2_motivation");
+    for (name, megabytes, threads) in [
+        ("fig2a_190MB_48thr", 190u64, 48u32),
+        ("fig2b_3250MB_48thr", 3250, 48),
+        ("fig2c_3250MB_4thr", 3250, 4),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(megabytes, threads),
+            |b, &(megabytes, threads)| {
+                b.iter(|| motivation_experiment(&platform, megabytes, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motivation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benches for the four optimization methods (paper Fig. 9, Tables VI–IX).
+//!
+//! Measures the wall-clock cost of EM/EML enumeration over the 19 926-point grid and of
+//! SAM/SAML annealing runs at the paper's iteration budgets, and prints the regenerated
+//! Table VI (percent difference to the EM optimum) once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dna_analysis::Genome;
+use hetero_autotune::{MethodKind, MethodRunner, TrainingCampaign};
+use hetero_platform::HeterogeneousPlatform;
+use wd_bench::{render_budget_table, PaperStudy, Scale};
+use wd_ml::BoostingParams;
+
+fn print_convergence_once() {
+    let study = PaperStudy::run(Scale::Paper, 11);
+    println!(
+        "{}",
+        render_budget_table(
+            "Table VI (regenerated): percent difference [%] of SAML vs. the EM optimum",
+            &study.convergence.budgets,
+            &study.convergence.percent_difference_rows(),
+        )
+    );
+}
+
+fn bench_methods(c: &mut Criterion) {
+    print_convergence_once();
+
+    let platform = HeterogeneousPlatform::emil();
+    let workload = Genome::Human.workload();
+    let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+    let runner = MethodRunner::new(&platform, &workload, Some(&models), 3);
+
+    let mut group = c.benchmark_group("optimization_methods");
+    group.sample_size(10);
+
+    group.bench_function("EM_full_grid_19926", |b| {
+        b.iter(|| runner.run(MethodKind::Em, 0).unwrap());
+    });
+    group.bench_function("EML_full_grid_19926", |b| {
+        b.iter(|| runner.run(MethodKind::Eml, 0).unwrap());
+    });
+    for budget in [250usize, 1000, 2000] {
+        group.bench_with_input(BenchmarkId::new("SAM", budget), &budget, |b, &budget| {
+            b.iter(|| runner.run(MethodKind::Sam, budget).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("SAML", budget), &budget, |b, &budget| {
+            b.iter(|| runner.run(MethodKind::Saml, budget).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Benches for the performance-prediction pipeline (paper Figs. 5–8, Tables IV–V).
+//!
+//! Measures the cost of (a) generating the training data on the simulator, (b) fitting
+//! the boosted-tree models and (c) predicting one configuration — the quantity that
+//! makes EML/SAML cheap compared to measurement-based evaluation.  Also prints the
+//! regenerated Table IV/V accuracy summary once per run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetero_autotune::features::host_features;
+use hetero_autotune::{ConfigEvaluator, MeasurementEvaluator, SystemConfiguration, TrainingCampaign};
+use hetero_platform::{Affinity, HeterogeneousPlatform};
+use wd_bench::{PaperStudy, Scale};
+use wd_ml::{BoostingParams, Regressor};
+
+fn print_accuracy_once() {
+    let (_, models) = PaperStudy::run_training_only(Scale::Paper, 7);
+    println!(
+        "host  model: mean absolute error {:.3} s, mean percent error {:.2} % ({} experiments)",
+        models.host_accuracy.mean_absolute_error(),
+        models.host_accuracy.mean_percent_error(),
+        models.host_experiments,
+    );
+    println!(
+        "device model: mean absolute error {:.3} s, mean percent error {:.2} % ({} experiments)",
+        models.device_accuracy.mean_absolute_error(),
+        models.device_accuracy.mean_percent_error(),
+        models.device_experiments,
+    );
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    print_accuracy_once();
+
+    let platform = HeterogeneousPlatform::emil();
+    let campaign = TrainingCampaign::reduced();
+
+    c.bench_function("training_campaign_reduced", |b| {
+        b.iter(|| campaign.run(&platform, BoostingParams::fast()));
+    });
+
+    let models = campaign.run(&platform, BoostingParams::fast());
+    let features = host_features(48, Affinity::Scatter, 3_170_000_000);
+    c.bench_function("boosted_tree_predict_one", |b| {
+        b.iter(|| models.host_model.predict_one(&features));
+    });
+
+    // prediction-based vs measurement-based evaluation of one system configuration
+    let config = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 60);
+    let workload = dna_analysis::Genome::Human.workload();
+    let prediction = models.prediction_evaluator();
+    let measurement = MeasurementEvaluator::new(platform.clone());
+    c.bench_function("evaluate_config_prediction", |b| {
+        b.iter(|| prediction.energy(&config, &workload));
+    });
+    c.bench_function("evaluate_config_measurement", |b| {
+        b.iter(|| measurement.energy(&config, &workload));
+    });
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! # wd-bench
+//!
+//! Shared plumbing for the reproduction harness: the [`repro`](../repro/index.html)
+//! binary regenerates every table and figure of the paper's evaluation section, and the
+//! Criterion benches measure the cost of the individual components (DFA scanning, model
+//! training/prediction, the optimization methods themselves).
+//!
+//! The heavy lifting lives in [`hetero_autotune`]; this crate only decides which
+//! experiments to run at which scale and formats the results the way the paper's tables
+//! present them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use dna_analysis::Genome;
+use hetero_autotune::experiments::{paper_iteration_budgets, ConvergenceStudy};
+use hetero_autotune::report::{fmt2, fmt3, format_table};
+use hetero_autotune::{TrainedModels, TrainingCampaign};
+use hetero_platform::HeterogeneousPlatform;
+use wd_ml::BoostingParams;
+
+/// At which scale to run the reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full campaign: 7 200 training experiments, the 19 926-point
+    /// enumeration grid and iteration budgets 250..=2000.
+    Paper,
+    /// A scaled-down run (reduced campaign, smaller budgets) for smoke tests.
+    Quick,
+}
+
+impl Scale {
+    /// Training campaign for this scale.
+    pub fn campaign(&self) -> TrainingCampaign {
+        match self {
+            Scale::Paper => TrainingCampaign::paper(),
+            Scale::Quick => TrainingCampaign::reduced(),
+        }
+    }
+
+    /// Boosting hyper-parameters for this scale.
+    pub fn boosting(&self) -> BoostingParams {
+        match self {
+            Scale::Paper => BoostingParams::default(),
+            Scale::Quick => BoostingParams::fast(),
+        }
+    }
+
+    /// Simulated-annealing iteration budgets for this scale.
+    pub fn budgets(&self) -> Vec<usize> {
+        match self {
+            Scale::Paper => paper_iteration_budgets(),
+            Scale::Quick => vec![100, 250, 500],
+        }
+    }
+
+    /// Genomes examined at this scale.
+    pub fn genomes(&self) -> Vec<Genome> {
+        match self {
+            Scale::Paper => Genome::ALL.to_vec(),
+            Scale::Quick => vec![Genome::Human, Genome::Cat],
+        }
+    }
+}
+
+/// Everything the tables/figures of the evaluation section need, computed once.
+pub struct PaperStudy {
+    /// The simulated platform.
+    pub platform: HeterogeneousPlatform,
+    /// Scale the study was run at.
+    pub scale: Scale,
+    /// Trained prediction models and their accuracy reports (Figs. 5-8, Tables IV-V).
+    pub models: TrainedModels,
+    /// Convergence study (Fig. 9, Tables VI-IX).
+    pub convergence: ConvergenceStudy,
+}
+
+impl PaperStudy {
+    /// Run the training campaign and the convergence study at the given scale.
+    pub fn run(scale: Scale, seed: u64) -> Self {
+        let platform = HeterogeneousPlatform::emil_with_seed(seed);
+        let models = scale.campaign().run(&platform, scale.boosting());
+        let convergence = ConvergenceStudy::run(
+            &platform,
+            &models,
+            &scale.genomes(),
+            &scale.budgets(),
+            seed,
+        );
+        PaperStudy {
+            platform,
+            scale,
+            models,
+            convergence,
+        }
+    }
+
+    /// Run only the training part (enough for Figs. 5-8 and Tables IV-V).
+    pub fn run_training_only(scale: Scale, seed: u64) -> (HeterogeneousPlatform, TrainedModels) {
+        let platform = HeterogeneousPlatform::emil_with_seed(seed);
+        let models = scale.campaign().run(&platform, scale.boosting());
+        (platform, models)
+    }
+}
+
+/// Render a `(label, values-per-budget)` table with one column per iteration budget,
+/// as used by Tables VI and VII.
+pub fn render_budget_table(
+    caption: &str,
+    budgets: &[usize],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    let mut headers = vec!["DNA".to_string()];
+    headers.extend(budgets.iter().map(|b| b.to_string()));
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, values)| {
+            let mut row = vec![label.clone()];
+            row.extend(values.iter().map(|v| fmt3(*v)));
+            row
+        })
+        .collect();
+    format!("{caption}\n{}", format_table(&headers, &body))
+}
+
+/// Render a speedup table (Tables VIII and IX): one column per budget plus the EM column.
+pub fn render_speedup_table(
+    caption: &str,
+    budgets: &[usize],
+    rows: &[(String, Vec<f64>, f64)],
+) -> String {
+    let mut headers = vec!["DNA".to_string()];
+    headers.extend(budgets.iter().map(|b| b.to_string()));
+    headers.push("EM".to_string());
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(label, values, em)| {
+            let mut row = vec![label.clone()];
+            row.extend(values.iter().map(|v| fmt2(*v)));
+            row.push(fmt2(*em));
+            row
+        })
+        .collect();
+    format!("{caption}\n{}", format_table(&headers, &body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ml::Regressor as _;
+
+    #[test]
+    fn quick_scale_is_small() {
+        assert!(Scale::Quick.campaign().total_experiment_count() < 1000);
+        assert!(Scale::Quick.budgets().len() < Scale::Paper.budgets().len());
+        assert_eq!(Scale::Paper.campaign().total_experiment_count(), 7200);
+        assert_eq!(Scale::Paper.genomes().len(), 4);
+    }
+
+    #[test]
+    fn budget_table_renders_all_rows_and_columns() {
+        let budgets = vec![250, 500];
+        let rows = vec![
+            ("human".to_string(), vec![22.15, 16.17]),
+            ("average".to_string(), vec![19.68, 14.07]),
+        ];
+        let table = render_budget_table("Table VI", &budgets, &rows);
+        assert!(table.contains("Table VI"));
+        assert!(table.contains("human"));
+        assert!(table.contains("average"));
+        assert!(table.contains("250") && table.contains("500"));
+        assert!(table.contains("22.150"));
+    }
+
+    #[test]
+    fn speedup_table_has_an_em_column() {
+        let budgets = vec![1000];
+        let rows = vec![("dog".to_string(), vec![1.56], 1.69)];
+        let table = render_speedup_table("Table VIII", &budgets, &rows);
+        assert!(table.contains("EM"));
+        assert!(table.contains("1.56"));
+        assert!(table.contains("1.69"));
+    }
+
+    #[test]
+    fn quick_study_end_to_end() {
+        let study = PaperStudy::run(Scale::Quick, 1);
+        assert_eq!(study.scale, Scale::Quick);
+        assert!(study.models.host_model.is_fitted());
+        assert_eq!(study.convergence.genomes.len(), 2);
+        let table = study.convergence.percent_difference_rows();
+        // two genomes + the average row
+        assert_eq!(table.len(), 3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Adaptive workload-aware refinement of the host/device split.
+//!
+//! The paper closes with "Future work will study adaptive workload-aware approaches."
+//! This module provides such an approach as an extension: starting from any system
+//! configuration (for example the one SAML suggests), it repeatedly *runs* the
+//! configuration, observes the imbalance between `T_host` and `T_device`, and shifts
+//! the workload fraction towards the side that finished early — a proportional
+//! controller on the split ratio.  Because every step is an actual (simulated)
+//! execution, the refinement also corrects residual errors of the prediction model.
+
+use hetero_platform::WorkloadProfile;
+
+use crate::config::SystemConfiguration;
+use crate::evaluator::ConfigEvaluator;
+
+/// One refinement step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefinementStep {
+    /// The configuration that was executed.
+    pub config: SystemConfiguration,
+    /// Host time observed for this configuration.
+    pub t_host: f64,
+    /// Device time observed for this configuration.
+    pub t_device: f64,
+    /// Total (max) time observed.
+    pub t_total: f64,
+}
+
+/// Result of an adaptive refinement run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RefinementOutcome {
+    /// The best configuration observed during refinement.
+    pub best_config: SystemConfiguration,
+    /// Its total execution time.
+    pub best_time: f64,
+    /// Every step taken, in order.
+    pub steps: Vec<RefinementStep>,
+}
+
+impl RefinementOutcome {
+    /// Number of executions performed.
+    pub fn executions(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Relative imbalance `|T_host − T_device| / T_total` of the final step
+    /// (0 when either side is idle).
+    pub fn final_imbalance(&self) -> f64 {
+        match self.steps.last() {
+            Some(step) if step.t_total > 0.0 && step.t_host > 0.0 && step.t_device > 0.0 => {
+                (step.t_host - step.t_device).abs() / step.t_total
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Proportional controller that refines the workload fraction of a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveRefinement {
+    /// Maximum number of refinement executions.
+    pub max_steps: usize,
+    /// Stop once the relative imbalance between host and device drops below this value.
+    pub imbalance_tolerance: f64,
+    /// Gain of the proportional controller (fraction of the observed imbalance that is
+    /// shifted per step); values in (0, 1].
+    pub gain: f64,
+}
+
+impl Default for AdaptiveRefinement {
+    fn default() -> Self {
+        AdaptiveRefinement {
+            max_steps: 12,
+            imbalance_tolerance: 0.02,
+            gain: 0.85,
+        }
+    }
+}
+
+impl AdaptiveRefinement {
+    /// Refine `start` for `workload`, evaluating with `evaluator` (normally the
+    /// measurement evaluator).
+    pub fn refine<E: ConfigEvaluator + ?Sized>(
+        &self,
+        evaluator: &E,
+        workload: &WorkloadProfile,
+        start: SystemConfiguration,
+    ) -> RefinementOutcome {
+        let mut config = start;
+        let mut steps = Vec::with_capacity(self.max_steps);
+        let mut best_config = start;
+        let mut best_time = f64::INFINITY;
+
+        for _ in 0..self.max_steps.max(1) {
+            let (t_host, t_device) = evaluator.evaluate_times(&config, workload);
+            let t_total = t_host.max(t_device);
+            steps.push(RefinementStep {
+                config,
+                t_host,
+                t_device,
+                t_total,
+            });
+            if t_total < best_time {
+                best_time = t_total;
+                best_config = config;
+            }
+
+            // One-sided configurations cannot be rebalanced by moving the fraction;
+            // stop immediately (the caller picked a host-only or device-only start).
+            if t_host == 0.0 || t_device == 0.0 {
+                break;
+            }
+            let imbalance = (t_host - t_device).abs() / t_total;
+            if imbalance <= self.imbalance_tolerance {
+                break;
+            }
+
+            // Shift work away from the slower side proportionally to the imbalance.
+            // If the host is slower, its share shrinks by `gain * imbalance` of itself.
+            let host_fraction = config.host_fraction();
+            let adjustment = self.gain.clamp(0.0, 1.0) * imbalance;
+            let new_fraction = if t_host > t_device {
+                host_fraction * (1.0 - adjustment)
+            } else {
+                host_fraction + (1.0 - host_fraction) * adjustment
+            };
+            let new_permille = (new_fraction * 1000.0).round().clamp(0.0, 1000.0) as u32;
+            if new_permille == config.host_permille {
+                break; // converged to the granularity of the fraction parameter
+            }
+            config.host_permille = new_permille;
+        }
+
+        RefinementOutcome {
+            best_config,
+            best_time,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::MeasurementEvaluator;
+    use dna_analysis::Genome;
+    use hetero_platform::{Affinity, HeterogeneousPlatform};
+
+    fn evaluator() -> MeasurementEvaluator {
+        MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise())
+    }
+
+    fn start_config(host_percent: u32) -> SystemConfiguration {
+        SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            host_percent,
+        )
+    }
+
+    #[test]
+    fn refinement_balances_a_skewed_split() {
+        let evaluator = evaluator();
+        let workload = Genome::Human.workload();
+        let refinement = AdaptiveRefinement::default();
+        let outcome = refinement.refine(&evaluator, &workload, start_config(95));
+
+        // the refined configuration is clearly better than the skewed start
+        let start_time = outcome.steps.first().unwrap().t_total;
+        assert!(
+            outcome.best_time < start_time * 0.8,
+            "refinement should improve a 95/5 split: {} -> {}",
+            start_time,
+            outcome.best_time
+        );
+        // and the final step is nearly balanced
+        assert!(outcome.final_imbalance() < 0.1, "imbalance {}", outcome.final_imbalance());
+        // the refined split lands in the regime the paper's enumeration finds optimal
+        let percent = outcome.best_config.host_percent();
+        assert!((50.0..=80.0).contains(&percent), "refined host share {percent}%");
+    }
+
+    #[test]
+    fn refinement_approaches_the_enumerated_optimum() {
+        let evaluator = evaluator();
+        let workload = Genome::Cat.workload();
+        // brute-force the best fraction for this thread/affinity choice
+        let best_enumerated = (0..=100u32)
+            .map(|pct| {
+                use crate::evaluator::ConfigEvaluator as _;
+                evaluator.energy(&start_config(pct), &workload)
+            })
+            .fold(f64::INFINITY, f64::min);
+
+        let outcome = AdaptiveRefinement::default().refine(&evaluator, &workload, start_config(20));
+        assert!(
+            outcome.best_time <= best_enumerated * 1.05,
+            "adaptive refinement ({}) should come within 5% of the best fraction ({})",
+            outcome.best_time,
+            best_enumerated
+        );
+        // and it needs only a handful of executions, not 101
+        assert!(outcome.executions() <= AdaptiveRefinement::default().max_steps);
+    }
+
+    #[test]
+    fn one_sided_configurations_terminate_immediately() {
+        let evaluator = evaluator();
+        let workload = Genome::Dog.workload();
+        let outcome =
+            AdaptiveRefinement::default().refine(&evaluator, &workload, start_config(100));
+        assert_eq!(outcome.executions(), 1);
+        assert_eq!(outcome.best_config.host_permille, 1000);
+        assert_eq!(outcome.final_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn step_budget_is_respected() {
+        let evaluator = evaluator();
+        let workload = Genome::Mouse.workload();
+        let refinement = AdaptiveRefinement {
+            max_steps: 3,
+            imbalance_tolerance: 0.0,
+            gain: 0.3,
+        };
+        let outcome = refinement.refine(&evaluator, &workload, start_config(90));
+        assert!(outcome.executions() <= 3);
+    }
+}

@@ -1,0 +1,464 @@
+//! System configurations and the discrete configuration space (the paper's Table I).
+
+use std::fmt;
+
+use hetero_platform::{Affinity, ExecutionConfig, Partition};
+use rand::rngs::StdRng;
+use rand::Rng;
+use wd_opt::SearchSpace;
+
+/// One *system configuration*: the tuning knobs the paper optimizes.
+///
+/// The workload fraction is stored in permille (0..=1000) so that both the paper's
+/// 1 %-granularity search space and its 2.5 %-granularity enumeration grid can be
+/// represented exactly with integer (hashable) configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemConfiguration {
+    /// Number of threads on the host CPUs.
+    pub host_threads: u32,
+    /// Thread affinity on the host (`none` / `scatter` / `compact`).
+    pub host_affinity: Affinity,
+    /// Number of threads on the accelerator.
+    pub device_threads: u32,
+    /// Thread affinity on the accelerator (`balanced` / `scatter` / `compact`).
+    pub device_affinity: Affinity,
+    /// Share of the workload processed by the host, in permille (0..=1000).
+    /// The accelerator receives the remaining `1000 - host_permille`.
+    pub host_permille: u32,
+}
+
+impl SystemConfiguration {
+    /// Create a configuration from a host percentage (0..=100).
+    pub fn with_host_percent(
+        host_threads: u32,
+        host_affinity: Affinity,
+        device_threads: u32,
+        device_affinity: Affinity,
+        host_percent: u32,
+    ) -> Self {
+        SystemConfiguration {
+            host_threads,
+            host_affinity,
+            device_threads,
+            device_affinity,
+            host_permille: host_percent.min(100) * 10,
+        }
+    }
+
+    /// Host share as a fraction in `[0, 1]`.
+    pub fn host_fraction(&self) -> f64 {
+        f64::from(self.host_permille.min(1000)) / 1000.0
+    }
+
+    /// Host share as a percentage in `[0, 100]`.
+    pub fn host_percent(&self) -> f64 {
+        self.host_fraction() * 100.0
+    }
+
+    /// Device share as a fraction in `[0, 1]`.
+    pub fn device_fraction(&self) -> f64 {
+        1.0 - self.host_fraction()
+    }
+
+    /// Does the host receive any work?
+    pub fn uses_host(&self) -> bool {
+        self.host_permille > 0
+    }
+
+    /// Does the accelerator receive any work?
+    pub fn uses_device(&self) -> bool {
+        self.host_permille < 1000
+    }
+
+    /// The two-way workload partition this configuration describes.
+    pub fn partition(&self) -> Partition {
+        Partition::two_way(self.host_fraction())
+    }
+
+    /// Host execution configuration (threads + affinity).
+    pub fn host_execution(&self) -> ExecutionConfig {
+        ExecutionConfig::new(self.host_threads, self.host_affinity)
+    }
+
+    /// Device execution configuration (threads + affinity).
+    pub fn device_execution(&self) -> ExecutionConfig {
+        ExecutionConfig::new(self.device_threads, self.device_affinity)
+    }
+
+    /// The CPU-only baseline configuration used by the paper's Table VIII
+    /// (48 host threads, everything on the host).
+    pub fn host_only_baseline() -> Self {
+        SystemConfiguration {
+            host_threads: 48,
+            host_affinity: Affinity::Scatter,
+            device_threads: 2,
+            device_affinity: Affinity::Balanced,
+            host_permille: 1000,
+        }
+    }
+
+    /// The accelerator-only baseline of the paper's Table IX (all 240 usable device
+    /// threads, everything on the device).
+    pub fn device_only_baseline() -> Self {
+        SystemConfiguration {
+            host_threads: 2,
+            host_affinity: Affinity::Scatter,
+            device_threads: 240,
+            device_affinity: Affinity::Balanced,
+            host_permille: 0,
+        }
+    }
+}
+
+impl fmt::Display for SystemConfiguration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "host {{threads: {}, affinity: {}}}, device {{threads: {}, affinity: {}}}, split {:.1}/{:.1}",
+            self.host_threads,
+            self.host_affinity,
+            self.device_threads,
+            self.device_affinity,
+            self.host_percent(),
+            100.0 - self.host_percent(),
+        )
+    }
+}
+
+/// The discrete space of system configurations (the paper's Table I), which also serves
+/// as the [`SearchSpace`] explored by simulated annealing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigurationSpace {
+    /// Candidate host thread counts.
+    pub host_threads: Vec<u32>,
+    /// Candidate host affinities.
+    pub host_affinities: Vec<Affinity>,
+    /// Candidate device thread counts.
+    pub device_threads: Vec<u32>,
+    /// Candidate device affinities.
+    pub device_affinities: Vec<Affinity>,
+    /// Candidate host shares in permille (0..=1000).
+    pub host_permilles: Vec<u32>,
+}
+
+impl ConfigurationSpace {
+    /// The search space of the paper's Table I: host threads {2, 4, 6, 12, 24, 36, 48},
+    /// device threads {2, 4, 8, 16, 30, 60, 120, 180, 240}, three affinities per side
+    /// and a workload fraction with 1 % granularity (0..=100).
+    pub fn paper() -> Self {
+        ConfigurationSpace {
+            host_threads: vec![2, 4, 6, 12, 24, 36, 48],
+            host_affinities: Affinity::HOST.to_vec(),
+            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            device_affinities: Affinity::DEVICE.to_vec(),
+            host_permilles: (0..=100).map(|p| p * 10).collect(),
+        }
+    }
+
+    /// The enumeration grid used by the paper's EM/EML reference methods
+    /// (Section IV-C): host threads {2, 6, 12, 24, 36, 48}, the same device threads and
+    /// affinities, and the workload fraction in 2.5 % steps, for a total of
+    /// 6 × 3 × 9 × 3 × 41 = 19 926 configurations.
+    pub fn enumeration_grid() -> Self {
+        ConfigurationSpace {
+            host_threads: vec![2, 6, 12, 24, 36, 48],
+            host_affinities: Affinity::HOST.to_vec(),
+            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            device_affinities: Affinity::DEVICE.to_vec(),
+            host_permilles: (0..=40).map(|s| s * 25).collect(),
+        }
+    }
+
+    /// A deliberately small space for unit tests and quick examples.
+    pub fn tiny() -> Self {
+        ConfigurationSpace {
+            host_threads: vec![4, 24, 48],
+            host_affinities: vec![Affinity::Scatter, Affinity::Compact],
+            device_threads: vec![30, 120, 240],
+            device_affinities: vec![Affinity::Balanced, Affinity::Compact],
+            host_permilles: (0..=10).map(|p| p * 100).collect(),
+        }
+    }
+
+    /// Number of configurations in the space (the paper's Eq. 1: the product of the
+    /// parameter value-range sizes).
+    pub fn total_configurations(&self) -> u128 {
+        self.host_threads.len() as u128
+            * self.host_affinities.len() as u128
+            * self.device_threads.len() as u128
+            * self.device_affinities.len() as u128
+            * self.host_permilles.len() as u128
+    }
+
+    fn sample_index<T>(values: &[T], rng: &mut StdRng) -> usize {
+        debug_assert!(!values.is_empty());
+        rng.gen_range(0..values.len())
+    }
+
+    fn nudge_index<T>(values: &[T], current: usize, max_step: usize, rng: &mut StdRng) -> usize {
+        if values.len() <= 1 {
+            return 0;
+        }
+        // Mostly local moves, with an occasional uniform jump so the walk can escape
+        // corner optima (e.g. "everything on the host") that local moves reach slowly.
+        if rng.gen_bool(0.1) {
+            return rng.gen_range(0..values.len());
+        }
+        let step = rng.gen_range(1..=max_step.max(1)) as i64;
+        let direction = if rng.gen_bool(0.5) { 1 } else { -1 };
+        (current as i64 + direction * step).clamp(0, values.len() as i64 - 1) as usize
+    }
+
+    fn index_of<T: PartialEq>(values: &[T], value: &T) -> usize {
+        values.iter().position(|v| v == value).unwrap_or(0)
+    }
+}
+
+impl SearchSpace for ConfigurationSpace {
+    type Config = SystemConfiguration;
+
+    fn random(&self, rng: &mut StdRng) -> SystemConfiguration {
+        SystemConfiguration {
+            host_threads: self.host_threads[Self::sample_index(&self.host_threads, rng)],
+            host_affinity: self.host_affinities[Self::sample_index(&self.host_affinities, rng)],
+            device_threads: self.device_threads[Self::sample_index(&self.device_threads, rng)],
+            device_affinity: self.device_affinities
+                [Self::sample_index(&self.device_affinities, rng)],
+            host_permille: self.host_permilles[Self::sample_index(&self.host_permilles, rng)],
+        }
+    }
+
+    fn neighbor(&self, config: &SystemConfiguration, rng: &mut StdRng) -> SystemConfiguration {
+        let mut next = *config;
+        // perturb one parameter most of the time, occasionally two, so the walk can
+        // escape ridges that require coordinated changes
+        let changes = if rng.gen_bool(0.2) { 2 } else { 1 };
+        for _ in 0..changes {
+            match rng.gen_range(0..5u8) {
+                0 => {
+                    let i = Self::index_of(&self.host_threads, &next.host_threads);
+                    next.host_threads = self.host_threads[Self::nudge_index(&self.host_threads, i, 2, rng)];
+                }
+                1 => {
+                    next.host_affinity =
+                        self.host_affinities[Self::sample_index(&self.host_affinities, rng)];
+                }
+                2 => {
+                    let i = Self::index_of(&self.device_threads, &next.device_threads);
+                    next.device_threads =
+                        self.device_threads[Self::nudge_index(&self.device_threads, i, 2, rng)];
+                }
+                3 => {
+                    next.device_affinity =
+                        self.device_affinities[Self::sample_index(&self.device_affinities, rng)];
+                }
+                _ => {
+                    let i = Self::index_of(&self.host_permilles, &next.host_permille);
+                    next.host_permille =
+                        self.host_permilles[Self::nudge_index(&self.host_permilles, i, 8, rng)];
+                }
+            }
+        }
+        next
+    }
+
+    fn cardinality(&self) -> Option<u128> {
+        Some(self.total_configurations())
+    }
+
+    fn enumerate(&self) -> Option<Vec<SystemConfiguration>> {
+        let mut all = Vec::with_capacity(self.total_configurations().min(1 << 24) as usize);
+        for &host_threads in &self.host_threads {
+            for &host_affinity in &self.host_affinities {
+                for &device_threads in &self.device_threads {
+                    for &device_affinity in &self.device_affinities {
+                        for &host_permille in &self.host_permilles {
+                            all.push(SystemConfiguration {
+                                host_threads,
+                                host_affinity,
+                                device_threads,
+                                device_affinity,
+                                host_permille,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Some(all)
+    }
+
+    fn crossover(
+        &self,
+        parent_a: &SystemConfiguration,
+        parent_b: &SystemConfiguration,
+        rng: &mut StdRng,
+    ) -> SystemConfiguration {
+        SystemConfiguration {
+            host_threads: if rng.gen_bool(0.5) {
+                parent_a.host_threads
+            } else {
+                parent_b.host_threads
+            },
+            host_affinity: if rng.gen_bool(0.5) {
+                parent_a.host_affinity
+            } else {
+                parent_b.host_affinity
+            },
+            device_threads: if rng.gen_bool(0.5) {
+                parent_a.device_threads
+            } else {
+                parent_b.device_threads
+            },
+            device_affinity: if rng.gen_bool(0.5) {
+                parent_a.device_affinity
+            } else {
+                parent_b.device_affinity
+            },
+            host_permille: if rng.gen_bool(0.5) {
+                parent_a.host_permille
+            } else {
+                parent_b.host_permille
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fraction_accessors_are_consistent() {
+        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 120, Affinity::Balanced, 60);
+        assert_eq!(cfg.host_permille, 600);
+        assert!((cfg.host_fraction() - 0.6).abs() < 1e-12);
+        assert!((cfg.device_fraction() - 0.4).abs() < 1e-12);
+        assert!(cfg.uses_host() && cfg.uses_device());
+        assert!((cfg.partition().host_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(cfg.host_execution().threads, 24);
+        assert_eq!(cfg.device_execution().threads, 120);
+    }
+
+    #[test]
+    fn baselines_are_exclusive() {
+        let host_only = SystemConfiguration::host_only_baseline();
+        assert!(host_only.uses_host() && !host_only.uses_device());
+        assert_eq!(host_only.host_threads, 48);
+        let device_only = SystemConfiguration::device_only_baseline();
+        assert!(!device_only.uses_host() && device_only.uses_device());
+        assert_eq!(device_only.device_threads, 240);
+    }
+
+    #[test]
+    fn display_mentions_the_split() {
+        let cfg = SystemConfiguration::with_host_percent(48, Affinity::None, 240, Affinity::Compact, 70);
+        let text = cfg.to_string();
+        assert!(text.contains("70.0/30.0"));
+        assert!(text.contains("none"));
+        assert!(text.contains("compact"));
+    }
+
+    #[test]
+    fn paper_space_cardinality_matches_eq_1() {
+        let space = ConfigurationSpace::paper();
+        assert_eq!(
+            space.total_configurations(),
+            7 * 3 * 9 * 3 * 101,
+            "product of the Table I value-range sizes"
+        );
+    }
+
+    #[test]
+    fn enumeration_grid_has_19926_configurations() {
+        let grid = ConfigurationSpace::enumeration_grid();
+        assert_eq!(grid.total_configurations(), 19_926);
+        let all = grid.enumerate().unwrap();
+        assert_eq!(all.len(), 19_926);
+        // no duplicates
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn random_configurations_stay_within_the_space() {
+        let space = ConfigurationSpace::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let cfg = space.random(&mut rng);
+            assert!(space.host_threads.contains(&cfg.host_threads));
+            assert!(space.host_affinities.contains(&cfg.host_affinity));
+            assert!(space.device_threads.contains(&cfg.device_threads));
+            assert!(space.device_affinities.contains(&cfg.device_affinity));
+            assert!(space.host_permilles.contains(&cfg.host_permille));
+        }
+    }
+
+    #[test]
+    fn neighbors_stay_within_the_space_and_differ_slightly() {
+        let space = ConfigurationSpace::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut cfg = space.random(&mut rng);
+        for _ in 0..1000 {
+            let next = space.neighbor(&cfg, &mut rng);
+            assert!(space.host_threads.contains(&next.host_threads));
+            assert!(space.host_affinities.contains(&next.host_affinity));
+            assert!(space.device_threads.contains(&next.device_threads));
+            assert!(space.device_affinities.contains(&next.device_affinity));
+            assert!(space.host_permilles.contains(&next.host_permille));
+            // at most three of the five parameters change per move
+            let changed = usize::from(next.host_threads != cfg.host_threads)
+                + usize::from(next.host_affinity != cfg.host_affinity)
+                + usize::from(next.device_threads != cfg.device_threads)
+                + usize::from(next.device_affinity != cfg.device_affinity)
+                + usize::from(next.host_permille != cfg.host_permille);
+            assert!(changed <= 3);
+            cfg = next;
+        }
+    }
+
+    #[test]
+    fn neighbor_fraction_moves_are_mostly_local() {
+        let space = ConfigurationSpace::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 60, Affinity::Balanced, 50);
+        let mut large_moves = 0usize;
+        let samples = 1000;
+        for _ in 0..samples {
+            let next = space.neighbor(&cfg, &mut rng);
+            let delta = (next.host_permille as i64 - cfg.host_permille as i64).abs();
+            if delta > 160 {
+                large_moves += 1;
+            }
+        }
+        // local nudges dominate; the occasional uniform jump (~10 % of fraction moves,
+        // i.e. a few percent of all moves) keeps the walk ergodic
+        assert!(
+            large_moves < samples / 10,
+            "{large_moves}/{samples} moves were long-range jumps"
+        );
+    }
+
+    #[test]
+    fn crossover_only_mixes_parent_values() {
+        let space = ConfigurationSpace::paper();
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = SystemConfiguration::with_host_percent(2, Affinity::None, 2, Affinity::Compact, 0);
+        let b = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 100);
+        for _ in 0..100 {
+            let child = space.crossover(&a, &b, &mut rng);
+            assert!(child.host_threads == 2 || child.host_threads == 48);
+            assert!(child.device_threads == 2 || child.device_threads == 240);
+            assert!(child.host_permille == 0 || child.host_permille == 1000);
+        }
+    }
+
+    #[test]
+    fn tiny_space_is_enumerable_quickly() {
+        let space = ConfigurationSpace::tiny();
+        let all = space.enumerate().unwrap();
+        assert_eq!(all.len() as u128, space.total_configurations());
+        assert!(all.len() < 1000);
+    }
+}

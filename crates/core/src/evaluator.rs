@@ -1,0 +1,257 @@
+//! Performance evaluation of system configurations.
+//!
+//! A [`ConfigEvaluator`] maps a [`SystemConfiguration`] plus a workload to the pair
+//! `(T_host, T_device)`; the optimization energy is their maximum (the paper's Eq. 2).
+//! Two evaluators are provided, matching the paper's two evaluation modes:
+//!
+//! * [`MeasurementEvaluator`] — "runs" the configuration on the simulated platform
+//!   (stands in for executing the real application on the Emil machine);
+//! * [`PredictionEvaluator`] — queries the trained host/device regression models, the
+//!   fast evaluation mode that makes EML and SAML possible.
+
+use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
+use wd_ml::Regressor;
+use wd_opt::Objective;
+
+use crate::config::SystemConfiguration;
+use crate::features::{device_features, host_features};
+
+/// Maps configurations to host/device execution times.
+pub trait ConfigEvaluator {
+    /// Predicted or measured `(T_host, T_device)` for running `workload` under `config`.
+    /// A device that receives no work reports 0.
+    fn evaluate_times(&self, config: &SystemConfiguration, workload: &WorkloadProfile)
+        -> (f64, f64);
+
+    /// The optimization energy `E = max(T_host, T_device)` (Eq. 2).
+    fn energy(&self, config: &SystemConfiguration, workload: &WorkloadProfile) -> f64 {
+        let (host, device) = self.evaluate_times(config, workload);
+        host.max(device)
+    }
+}
+
+/// Evaluation by "measurement": one simulated execution per query.
+#[derive(Debug, Clone)]
+pub struct MeasurementEvaluator {
+    platform: HeterogeneousPlatform,
+}
+
+impl MeasurementEvaluator {
+    /// Evaluate on the given platform.
+    pub fn new(platform: HeterogeneousPlatform) -> Self {
+        MeasurementEvaluator { platform }
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &HeterogeneousPlatform {
+        &self.platform
+    }
+}
+
+impl ConfigEvaluator for MeasurementEvaluator {
+    fn evaluate_times(
+        &self,
+        config: &SystemConfiguration,
+        workload: &WorkloadProfile,
+    ) -> (f64, f64) {
+        let measurement = self
+            .platform
+            .execute(
+                workload,
+                &config.partition(),
+                &config.host_execution(),
+                &[config.device_execution()],
+            )
+            .unwrap_or_else(|err|
+
+                panic!("invalid configuration {config}: {err}"));
+        (measurement.t_host, measurement.t_device)
+    }
+}
+
+/// Evaluation by machine-learning prediction: one model query per device.
+pub struct PredictionEvaluator {
+    host_model: Box<dyn Regressor + Send + Sync>,
+    device_model: Box<dyn Regressor + Send + Sync>,
+    /// Fixed overhead added to the device prediction for the offload launch + transfer
+    /// of the device share.  The paper's device-side training measurements include the
+    /// offload cost, so after training this is zero; it is exposed for experimentation
+    /// with models trained on compute-only data.
+    device_fixed_overhead: f64,
+}
+
+impl PredictionEvaluator {
+    /// Build an evaluator from trained host and device models.
+    pub fn new(
+        host_model: Box<dyn Regressor + Send + Sync>,
+        device_model: Box<dyn Regressor + Send + Sync>,
+    ) -> Self {
+        PredictionEvaluator {
+            host_model,
+            device_model,
+            device_fixed_overhead: 0.0,
+        }
+    }
+
+    /// Add a fixed overhead to every device prediction.
+    pub fn with_device_overhead(mut self, overhead: f64) -> Self {
+        self.device_fixed_overhead = overhead.max(0.0);
+        self
+    }
+
+    /// Predict the host time for a host share of `bytes` bytes.
+    pub fn predict_host(&self, threads: u32, affinity: hetero_platform::Affinity, bytes: u64) -> f64 {
+        self.host_model
+            .predict_one(&host_features(threads, affinity, bytes))
+            .max(0.0)
+    }
+
+    /// Predict the device time for a device share of `bytes` bytes.
+    pub fn predict_device(
+        &self,
+        threads: u32,
+        affinity: hetero_platform::Affinity,
+        bytes: u64,
+    ) -> f64 {
+        (self
+            .device_model
+            .predict_one(&device_features(threads, affinity, bytes))
+            + self.device_fixed_overhead)
+            .max(0.0)
+    }
+}
+
+impl ConfigEvaluator for PredictionEvaluator {
+    fn evaluate_times(
+        &self,
+        config: &SystemConfiguration,
+        workload: &WorkloadProfile,
+    ) -> (f64, f64) {
+        let host_bytes = (workload.bytes as f64 * config.host_fraction()).round() as u64;
+        let device_bytes = workload.bytes - host_bytes.min(workload.bytes);
+        let host = if host_bytes == 0 {
+            0.0
+        } else {
+            self.predict_host(config.host_threads, config.host_affinity, host_bytes)
+        };
+        let device = if device_bytes == 0 {
+            0.0
+        } else {
+            self.predict_device(config.device_threads, config.device_affinity, device_bytes)
+        };
+        (host, device)
+    }
+}
+
+/// Adapter exposing a [`ConfigEvaluator`] + workload pair as a [`wd_opt::Objective`],
+/// so the generic optimizers can minimise the total execution time.
+pub struct EnergyObjective<'a, E: ConfigEvaluator + ?Sized> {
+    evaluator: &'a E,
+    workload: &'a WorkloadProfile,
+}
+
+impl<'a, E: ConfigEvaluator + ?Sized> EnergyObjective<'a, E> {
+    /// Bundle an evaluator with the workload being tuned.
+    pub fn new(evaluator: &'a E, workload: &'a WorkloadProfile) -> Self {
+        EnergyObjective { evaluator, workload }
+    }
+}
+
+impl<E: ConfigEvaluator + ?Sized> Objective<SystemConfiguration> for EnergyObjective<'_, E> {
+    fn evaluate(&self, config: &SystemConfiguration) -> f64 {
+        self.evaluator.energy(config, self.workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_analysis::Genome;
+    use hetero_platform::Affinity;
+
+    fn human() -> WorkloadProfile {
+        Genome::Human.workload()
+    }
+
+    fn evaluator() -> MeasurementEvaluator {
+        MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise())
+    }
+
+    #[test]
+    fn energy_is_the_maximum_of_both_times() {
+        let evaluator = evaluator();
+        let cfg = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 60);
+        let (host, device) = evaluator.evaluate_times(&cfg, &human());
+        assert!(host > 0.0 && device > 0.0);
+        assert_eq!(evaluator.energy(&cfg, &human()), host.max(device));
+    }
+
+    #[test]
+    fn host_only_and_device_only_have_one_sided_times() {
+        let evaluator = evaluator();
+        let host_only = SystemConfiguration::host_only_baseline();
+        let (host, device) = evaluator.evaluate_times(&host_only, &human());
+        assert!(host > 0.0);
+        assert_eq!(device, 0.0);
+
+        let device_only = SystemConfiguration::device_only_baseline();
+        let (host, device) = evaluator.evaluate_times(&device_only, &human());
+        assert_eq!(host, 0.0);
+        assert!(device > 0.0);
+    }
+
+    #[test]
+    fn measurement_energy_prefers_balanced_splits_for_large_inputs() {
+        let evaluator = evaluator();
+        let all_host = evaluator.energy(&SystemConfiguration::host_only_baseline(), &human());
+        let all_device = evaluator.energy(&SystemConfiguration::device_only_baseline(), &human());
+        let split = evaluator.energy(
+            &SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 65),
+            &human(),
+        );
+        assert!(split < all_host);
+        assert!(split < all_device);
+    }
+
+    #[test]
+    fn prediction_evaluator_uses_the_models() {
+        // dummy models: host predicts 2 s/GB of its share, device predicts 1 s/GB + 0.3 s
+        struct PerGb(f64);
+        impl Regressor for PerGb {
+            fn fit(&mut self, _data: &wd_ml::Dataset) -> Result<(), wd_ml::MlError> {
+                Ok(())
+            }
+            fn predict_one(&self, features: &[f64]) -> f64 {
+                self.0 * features[4]
+            }
+            fn is_fitted(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "per-gb"
+            }
+        }
+        let evaluator = PredictionEvaluator::new(Box::new(PerGb(2.0)), Box::new(PerGb(1.0)))
+            .with_device_overhead(0.3);
+        let workload = WorkloadProfile::dna_scan("x", 1_000_000_000);
+        let cfg = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 50);
+        let (host, device) = evaluator.evaluate_times(&cfg, &workload);
+        assert!((host - 1.0).abs() < 1e-9, "host {host}");
+        assert!((device - 0.8).abs() < 1e-9, "device {device}");
+        assert!((evaluator.energy(&cfg, &workload) - 1.0).abs() < 1e-9);
+
+        // zero shares produce zero predictions
+        let host_only = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 100);
+        let (_, device) = evaluator.evaluate_times(&host_only, &workload);
+        assert_eq!(device, 0.0);
+    }
+
+    #[test]
+    fn energy_objective_bridges_to_wd_opt() {
+        let evaluator = evaluator();
+        let workload = human();
+        let objective = EnergyObjective::new(&evaluator, &workload);
+        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 120, Affinity::Balanced, 70);
+        assert!((objective.evaluate(&cfg) - evaluator.energy(&cfg, &workload)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Minimal plain-text table formatting used by the `repro` binary and the examples.
+
+/// Render a fixed-width text table.  The first row of `rows` is printed under a
+/// separator line following the headers.
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            line.push_str(&format!("{cell:>width$}"));
+            if i + 1 != widths.len() {
+                line.push_str("  ");
+            }
+        }
+        line.push('\n');
+        line
+    };
+
+    out.push_str(&render_row(headers, &widths));
+    let total_width: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+    out.push_str(&"-".repeat(total_width));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Format a float with three decimal places (the precision of most paper tables).
+pub fn fmt3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Format a float with two decimal places (used for speedups).
+pub fn fmt2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let headers = vec!["DNA".to_string(), "250".to_string(), "500".to_string()];
+        let rows = vec![
+            vec!["human".to_string(), "22.15".to_string(), "16.17".to_string()],
+            vec!["mouse".to_string(), "22.80".to_string(), "16.84".to_string()],
+        ];
+        let table = format_table(&headers, &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("DNA") && lines[0].contains("500"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("human"));
+        assert!(lines[3].contains("mouse"));
+        // columns align: every data line has the same length
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let headers = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![vec!["only".to_string()]];
+        let table = format_table(&headers, &rows);
+        assert!(table.contains("only"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt3(1.23456), "1.235");
+        assert_eq!(fmt2(1.746), "1.75");
+    }
+}

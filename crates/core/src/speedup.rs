@@ -1,0 +1,105 @@
+//! Speedup accounting against the CPU-only and accelerator-only baselines
+//! (the paper's Tables VIII and IX).
+
+use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
+
+use crate::config::SystemConfiguration;
+use crate::evaluator::{ConfigEvaluator, MeasurementEvaluator};
+
+/// Execution-time baselines and the speedups of a combined (host + device)
+/// configuration against them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupReport {
+    /// Time when all work runs on the host with all 48 threads.
+    pub host_only_seconds: f64,
+    /// Time when all work runs on the accelerator with all 240 usable threads.
+    pub device_only_seconds: f64,
+    /// Time of the combined configuration being reported.
+    pub combined_seconds: f64,
+}
+
+impl SpeedupReport {
+    /// Measure the baselines for `workload` on `platform` and compare them with a
+    /// combined execution time obtained elsewhere.
+    pub fn for_combined_time(
+        platform: &HeterogeneousPlatform,
+        workload: &WorkloadProfile,
+        combined_seconds: f64,
+    ) -> Self {
+        let evaluator = MeasurementEvaluator::new(platform.clone());
+        let host_only_seconds =
+            evaluator.energy(&SystemConfiguration::host_only_baseline(), workload);
+        let device_only_seconds =
+            evaluator.energy(&SystemConfiguration::device_only_baseline(), workload);
+        SpeedupReport {
+            host_only_seconds,
+            device_only_seconds,
+            combined_seconds,
+        }
+    }
+
+    /// Speedup of the combined execution over the host-only baseline (Table VIII).
+    pub fn speedup_vs_host(&self) -> f64 {
+        if self.combined_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.host_only_seconds / self.combined_seconds
+    }
+
+    /// Speedup of the combined execution over the device-only baseline (Table IX).
+    pub fn speedup_vs_device(&self) -> f64 {
+        if self.combined_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.device_only_seconds / self.combined_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dna_analysis::Genome;
+
+    #[test]
+    fn speedups_match_paper_regime_for_a_good_split() {
+        let platform = HeterogeneousPlatform::emil().without_noise();
+        let workload = Genome::Human.workload();
+        // a known-good split found by enumeration elsewhere: ~65 % on the host
+        let evaluator = MeasurementEvaluator::new(platform.clone());
+        let combined = evaluator.energy(
+            &SystemConfiguration::with_host_percent(
+                48,
+                hetero_platform::Affinity::Scatter,
+                240,
+                hetero_platform::Affinity::Balanced,
+                65,
+            ),
+            &workload,
+        );
+        let report = SpeedupReport::for_combined_time(&platform, &workload, combined);
+        // Paper: 1.37–1.95× over host-only and 1.64–2.36× over device-only.
+        assert!(
+            report.speedup_vs_host() > 1.15 && report.speedup_vs_host() < 2.3,
+            "speedup vs host {}",
+            report.speedup_vs_host()
+        );
+        assert!(
+            report.speedup_vs_device() > 1.4 && report.speedup_vs_device() < 3.0,
+            "speedup vs device {}",
+            report.speedup_vs_device()
+        );
+        // the device-only baseline is slower than the host-only baseline, as in the paper
+        assert!(report.device_only_seconds > report.host_only_seconds);
+    }
+
+    #[test]
+    fn zero_combined_time_is_handled() {
+        let report = SpeedupReport {
+            host_only_seconds: 1.0,
+            device_only_seconds: 2.0,
+            combined_seconds: 0.0,
+        };
+        assert_eq!(report.speedup_vs_host(), 0.0);
+        assert_eq!(report.speedup_vs_device(), 0.0);
+    }
+}

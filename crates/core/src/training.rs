@@ -1,0 +1,479 @@
+//! The training campaign and the performance-prediction models.
+//!
+//! Section III-B / IV-B of the paper: 7 200 experiments (2 880 on the host, 4 320 on
+//! the device) are executed over the four genomes, all thread counts, affinities and
+//! input fractions; half of the experiments train a Boosted Decision Tree Regression
+//! model per device, the other half evaluate prediction accuracy (absolute error,
+//! percent error, error histograms — Figs. 5–8 and Tables IV–V).
+
+use dna_analysis::Genome;
+use hetero_platform::{Affinity, ExecutionConfig, HeterogeneousPlatform};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wd_ml::{BoostedTreesRegressor, BoostingParams, Dataset, ErrorHistogram, Regressor};
+
+use crate::evaluator::PredictionEvaluator;
+use crate::features::{device_feature_names, device_features, host_feature_names, host_features};
+
+/// Which side of the platform an experiment ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Host,
+    Device,
+}
+
+/// One experiment of the training campaign, with its metadata retained so accuracy can
+/// be reported per thread count / affinity / input size.
+#[derive(Debug, Clone)]
+struct ExperimentRecord {
+    features: Vec<f64>,
+    threads: u32,
+    affinity: Affinity,
+    genome: Genome,
+    input_bytes: u64,
+    measured: f64,
+}
+
+/// A measured-vs-predicted pair on the evaluation half of the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionRow {
+    /// Thread count of the experiment.
+    pub threads: u32,
+    /// Thread affinity of the experiment.
+    pub affinity: Affinity,
+    /// Genome the input fraction was taken from.
+    pub genome: Genome,
+    /// Size of the scanned input in megabytes.
+    pub input_megabytes: f64,
+    /// Measured (simulated) execution time in seconds.
+    pub measured: f64,
+    /// Model-predicted execution time in seconds.
+    pub predicted: f64,
+}
+
+impl PredictionRow {
+    /// Absolute prediction error `|measured − predicted|` (the paper's Eq. 5).
+    pub fn absolute_error(&self) -> f64 {
+        (self.measured - self.predicted).abs()
+    }
+
+    /// Percent prediction error (the paper's Eq. 6).
+    pub fn percent_error(&self) -> f64 {
+        if self.measured.abs() < f64::EPSILON {
+            0.0
+        } else {
+            100.0 * self.absolute_error() / self.measured
+        }
+    }
+}
+
+/// Prediction accuracy on the evaluation half of a campaign.
+#[derive(Debug, Clone, Default)]
+pub struct AccuracyReport {
+    /// One row per evaluation experiment.
+    pub rows: Vec<PredictionRow>,
+}
+
+impl AccuracyReport {
+    /// Mean absolute error over all evaluation experiments, in seconds.
+    pub fn mean_absolute_error(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(PredictionRow::absolute_error).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean percent error over all evaluation experiments.
+    pub fn mean_percent_error(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(PredictionRow::percent_error).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Per-thread-count accuracy: `(threads, mean absolute error, mean percent error)`,
+    /// sorted by thread count — the rows of the paper's Tables IV and V.
+    pub fn by_threads(&self) -> Vec<(u32, f64, f64)> {
+        let mut thread_counts: Vec<u32> = self.rows.iter().map(|r| r.threads).collect();
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        thread_counts
+            .into_iter()
+            .map(|threads| {
+                let rows: Vec<&PredictionRow> =
+                    self.rows.iter().filter(|r| r.threads == threads).collect();
+                let absolute =
+                    rows.iter().map(|r| r.absolute_error()).sum::<f64>() / rows.len() as f64;
+                let percent =
+                    rows.iter().map(|r| r.percent_error()).sum::<f64>() / rows.len() as f64;
+                (threads, absolute, percent)
+            })
+            .collect()
+    }
+
+    /// Histogram of absolute errors (the paper's Figs. 7–8).
+    pub fn histogram(&self, upper_bounds: Vec<f64>) -> ErrorHistogram {
+        let errors: Vec<f64> = self.rows.iter().map(PredictionRow::absolute_error).collect();
+        ErrorHistogram::new(upper_bounds, &errors)
+    }
+
+    /// Measured/predicted series for one (threads, affinity) pair, sorted by input size
+    /// — one pair of curves in the paper's Figs. 5–6.  Returns
+    /// `(input MB, measured, predicted)` triples.
+    pub fn series(&self, threads: u32, affinity: Affinity) -> Vec<(f64, f64, f64)> {
+        let mut points: Vec<(f64, f64, f64)> = self
+            .rows
+            .iter()
+            .filter(|r| r.threads == threads && r.affinity == affinity)
+            .map(|r| (r.input_megabytes, r.measured, r.predicted))
+            .collect();
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        points
+    }
+}
+
+/// The host and device prediction models plus their accuracy reports.
+#[derive(Debug, Clone)]
+pub struct TrainedModels {
+    /// Model predicting host execution times.
+    pub host_model: BoostedTreesRegressor,
+    /// Model predicting device execution times (including offload overheads, since the
+    /// device-side training measurements include them).
+    pub device_model: BoostedTreesRegressor,
+    /// Accuracy of the host model on its evaluation half.
+    pub host_accuracy: AccuracyReport,
+    /// Accuracy of the device model on its evaluation half.
+    pub device_accuracy: AccuracyReport,
+    /// Number of host experiments performed for training + evaluation.
+    pub host_experiments: usize,
+    /// Number of device experiments performed for training + evaluation.
+    pub device_experiments: usize,
+}
+
+impl TrainedModels {
+    /// Total number of experiments performed by the campaign.
+    pub fn total_experiments(&self) -> usize {
+        self.host_experiments + self.device_experiments
+    }
+
+    /// Build a [`PredictionEvaluator`] backed by clones of the trained models.
+    pub fn prediction_evaluator(&self) -> PredictionEvaluator {
+        PredictionEvaluator::new(
+            Box::new(self.host_model.clone()),
+            Box::new(self.device_model.clone()),
+        )
+    }
+}
+
+/// The experiment campaign that generates training/evaluation data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingCampaign {
+    /// Host thread counts exercised.
+    pub host_threads: Vec<u32>,
+    /// Host affinities exercised.
+    pub host_affinities: Vec<Affinity>,
+    /// Device thread counts exercised.
+    pub device_threads: Vec<u32>,
+    /// Device affinities exercised.
+    pub device_affinities: Vec<Affinity>,
+    /// Input fractions of each genome (0..=1).
+    pub fractions: Vec<f64>,
+    /// Genomes sampled.
+    pub genomes: Vec<Genome>,
+    /// Fraction of experiments held out for evaluation (the paper uses 0.5).
+    pub evaluation_fraction: f64,
+    /// Seed of the deterministic train/evaluation split.
+    pub split_seed: u64,
+}
+
+impl TrainingCampaign {
+    /// The paper's campaign: 2 880 host experiments (6 thread counts × 3 affinities ×
+    /// 4 genomes × 40 fractions) and 4 320 device experiments (9 × 3 × 4 × 40), with a
+    /// 50/50 train/evaluation split.
+    pub fn paper() -> Self {
+        TrainingCampaign {
+            host_threads: vec![2, 6, 12, 24, 36, 48],
+            host_affinities: Affinity::HOST.to_vec(),
+            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            device_affinities: Affinity::DEVICE.to_vec(),
+            fractions: (1..=40).map(|s| s as f64 * 0.025).collect(),
+            genomes: Genome::ALL.to_vec(),
+            evaluation_fraction: 0.5,
+            split_seed: 0x7261_1e55,
+        }
+    }
+
+    /// A much smaller campaign for unit tests, examples and quick starts (a few hundred
+    /// experiments instead of 7 200).
+    pub fn reduced() -> Self {
+        TrainingCampaign {
+            host_threads: vec![2, 6, 12, 24, 48],
+            host_affinities: vec![Affinity::Scatter],
+            device_threads: vec![8, 30, 60, 120, 240],
+            device_affinities: vec![Affinity::Balanced],
+            fractions: (1..=16).map(|s| s as f64 / 16.0).collect(),
+            genomes: vec![Genome::Human, Genome::Cat],
+            evaluation_fraction: 0.5,
+            split_seed: 0x7261_1e55,
+        }
+    }
+
+    /// Number of host-side experiments this campaign performs.
+    pub fn host_experiment_count(&self) -> usize {
+        self.host_threads.len() * self.host_affinities.len() * self.fractions.len() * self.genomes.len()
+    }
+
+    /// Number of device-side experiments this campaign performs.
+    pub fn device_experiment_count(&self) -> usize {
+        self.device_threads.len()
+            * self.device_affinities.len()
+            * self.fractions.len()
+            * self.genomes.len()
+    }
+
+    /// Total number of experiments (host + device).
+    pub fn total_experiment_count(&self) -> usize {
+        self.host_experiment_count() + self.device_experiment_count()
+    }
+
+    /// Execute the host half of the campaign and return it as a dataset
+    /// (features per [`crate::features::host_feature_names`], targets in seconds).
+    pub fn host_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
+        Self::records_to_dataset(self.generate(platform, Side::Host), host_feature_names())
+    }
+
+    /// Execute the device half of the campaign and return it as a dataset.
+    pub fn device_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
+        Self::records_to_dataset(self.generate(platform, Side::Device), device_feature_names())
+    }
+
+    fn records_to_dataset(records: Vec<ExperimentRecord>, names: Vec<String>) -> wd_ml::Dataset {
+        let mut data = wd_ml::Dataset::new(names);
+        for record in records {
+            data.push(record.features, record.measured)
+                .expect("campaign rows match the feature schema");
+        }
+        data
+    }
+
+    /// Execute the campaign on `platform` and fit the two prediction models.
+    pub fn run(
+        &self,
+        platform: &HeterogeneousPlatform,
+        boosting: BoostingParams,
+    ) -> TrainedModels {
+        let host_records = self.generate(platform, Side::Host);
+        let device_records = self.generate(platform, Side::Device);
+
+        let (host_model, host_accuracy) =
+            self.fit_side(&host_records, host_feature_names(), boosting);
+        let (device_model, device_accuracy) =
+            self.fit_side(&device_records, device_feature_names(), boosting);
+
+        TrainedModels {
+            host_model,
+            device_model,
+            host_accuracy,
+            device_accuracy,
+            host_experiments: host_records.len(),
+            device_experiments: device_records.len(),
+        }
+    }
+
+    /// Run all experiments for one side of the platform.
+    fn generate(&self, platform: &HeterogeneousPlatform, side: Side) -> Vec<ExperimentRecord> {
+        let (threads_list, affinity_list) = match side {
+            Side::Host => (&self.host_threads, &self.host_affinities),
+            Side::Device => (&self.device_threads, &self.device_affinities),
+        };
+        let mut records = Vec::with_capacity(
+            threads_list.len() * affinity_list.len() * self.fractions.len() * self.genomes.len(),
+        );
+        for &genome in &self.genomes {
+            for &fraction in &self.fractions {
+                let share = genome.workload_fraction(fraction);
+                if share.is_empty() {
+                    continue;
+                }
+                for &threads in threads_list {
+                    for &affinity in affinity_list {
+                        let cfg = ExecutionConfig::new(threads, affinity);
+                        let measured = match side {
+                            Side::Host => platform
+                                .execute_host_only(&share, &cfg)
+                                .expect("valid host experiment")
+                                .t_total,
+                            Side::Device => platform
+                                .execute_device_only(&share, &cfg)
+                                .expect("valid device experiment")
+                                .t_total,
+                        };
+                        let features = match side {
+                            Side::Host => host_features(threads, affinity, share.bytes),
+                            Side::Device => device_features(threads, affinity, share.bytes),
+                        };
+                        records.push(ExperimentRecord {
+                            features,
+                            threads,
+                            affinity,
+                            genome,
+                            input_bytes: share.bytes,
+                            measured,
+                        });
+                    }
+                }
+            }
+        }
+        records
+    }
+
+    /// Split the records, train the model on the training half and evaluate it on the
+    /// held-out half.
+    fn fit_side(
+        &self,
+        records: &[ExperimentRecord],
+        feature_names: Vec<String>,
+        boosting: BoostingParams,
+    ) -> (BoostedTreesRegressor, AccuracyReport) {
+        assert!(!records.is_empty(), "the campaign produced no experiments");
+        let mut order: Vec<usize> = (0..records.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.split_seed);
+        order.shuffle(&mut rng);
+        let eval_len =
+            ((records.len() as f64) * self.evaluation_fraction.clamp(0.0, 0.9)).round() as usize;
+        let (eval_indices, train_indices) = order.split_at(eval_len.min(records.len() - 1));
+
+        let mut train = Dataset::new(feature_names);
+        for &i in train_indices {
+            train
+                .push(records[i].features.clone(), records[i].measured)
+                .expect("training row matches the schema");
+        }
+        let mut model = BoostedTreesRegressor::new(boosting);
+        model.fit(&train).expect("training set is non-empty");
+
+        let rows = eval_indices
+            .iter()
+            .map(|&i| {
+                let record = &records[i];
+                PredictionRow {
+                    threads: record.threads,
+                    affinity: record.affinity,
+                    genome: record.genome,
+                    input_megabytes: record.input_bytes as f64 / 1e6,
+                    measured: record.measured,
+                    predicted: model.predict_one(&record.features).max(0.0),
+                }
+            })
+            .collect();
+
+        (model, AccuracyReport { rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_campaign_matches_the_reported_experiment_counts() {
+        let campaign = TrainingCampaign::paper();
+        assert_eq!(campaign.host_experiment_count(), 2880);
+        assert_eq!(campaign.device_experiment_count(), 4320);
+        assert_eq!(campaign.total_experiment_count(), 7200);
+    }
+
+    #[test]
+    fn reduced_campaign_trains_accurate_models() {
+        let platform = HeterogeneousPlatform::emil();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+
+        assert!(models.host_model.is_fitted());
+        assert!(models.device_model.is_fitted());
+        assert_eq!(models.host_experiments, TrainingCampaign::reduced().host_experiment_count());
+        assert!(!models.host_accuracy.rows.is_empty());
+        assert!(!models.device_accuracy.rows.is_empty());
+
+        // The paper reports ~5.2 % host and ~3.1 % device error; the reduced campaign is
+        // coarser, so accept anything clearly better than a naive predictor.
+        assert!(
+            models.host_accuracy.mean_percent_error() < 20.0,
+            "host percent error {}",
+            models.host_accuracy.mean_percent_error()
+        );
+        assert!(
+            models.device_accuracy.mean_percent_error() < 20.0,
+            "device percent error {}",
+            models.device_accuracy.mean_percent_error()
+        );
+    }
+
+    #[test]
+    fn accuracy_report_groups_by_threads() {
+        let report = AccuracyReport {
+            rows: vec![
+                PredictionRow {
+                    threads: 2,
+                    affinity: Affinity::Scatter,
+                    genome: Genome::Human,
+                    input_megabytes: 100.0,
+                    measured: 1.0,
+                    predicted: 1.1,
+                },
+                PredictionRow {
+                    threads: 2,
+                    affinity: Affinity::Scatter,
+                    genome: Genome::Human,
+                    input_megabytes: 200.0,
+                    measured: 2.0,
+                    predicted: 1.8,
+                },
+                PredictionRow {
+                    threads: 48,
+                    affinity: Affinity::Scatter,
+                    genome: Genome::Human,
+                    input_megabytes: 100.0,
+                    measured: 0.5,
+                    predicted: 0.5,
+                },
+            ],
+        };
+        let by_threads = report.by_threads();
+        assert_eq!(by_threads.len(), 2);
+        assert_eq!(by_threads[0].0, 2);
+        assert!((by_threads[0].1 - 0.15).abs() < 1e-12);
+        assert!((by_threads[0].2 - 10.0).abs() < 1e-12);
+        assert_eq!(by_threads[1], (48, 0.0, 0.0));
+
+        // error histogram and series
+        let histogram = report.histogram(vec![0.05, 0.15, 0.5]);
+        assert_eq!(histogram.total(), 3);
+        let series = report.series(2, Affinity::Scatter);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].0 < series[1].0);
+    }
+
+    #[test]
+    fn prediction_row_errors_match_the_paper_formulas() {
+        let row = PredictionRow {
+            threads: 12,
+            affinity: Affinity::Compact,
+            genome: Genome::Dog,
+            input_megabytes: 50.0,
+            measured: 2.0,
+            predicted: 1.5,
+        };
+        assert!((row.absolute_error() - 0.5).abs() < 1e-12);
+        assert!((row.percent_error() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accuracy_report_is_safe() {
+        let report = AccuracyReport::default();
+        assert_eq!(report.mean_absolute_error(), 0.0);
+        assert_eq!(report.mean_percent_error(), 0.0);
+        assert!(report.by_threads().is_empty());
+        assert!(report.series(48, Affinity::Scatter).is_empty());
+    }
+}

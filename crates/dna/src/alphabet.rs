@@ -1,0 +1,146 @@
+//! The DNA alphabet and its encoding.
+
+/// A nucleotide base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in index order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Number of symbols in the alphabet.
+    pub const CARDINALITY: usize = 4;
+
+    /// Dense index in `0..4` used by DFA transition tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Base from a dense index (`index % 4`).
+    #[inline]
+    pub fn from_index(index: usize) -> Base {
+        Base::ALL[index % 4]
+    }
+
+    /// Parse an ASCII character (case-insensitive). Returns `None` for anything that is
+    /// not `A`, `C`, `G` or `T` (including the ambiguity code `N`).
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Base> {
+        match c {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// Uppercase ASCII representation.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Base::A => b'A',
+            Base::C => b'C',
+            Base::G => b'G',
+            Base::T => b'T',
+        }
+    }
+
+    /// Watson-Crick complement.
+    #[inline]
+    pub fn complement(self) -> Base {
+        match self {
+            Base::A => Base::T,
+            Base::T => Base::A,
+            Base::C => Base::G,
+            Base::G => Base::C,
+        }
+    }
+
+    /// Whether the base is part of a G/C pair (used for GC-content statistics).
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Base::G | Base::C)
+    }
+}
+
+/// Lookup table mapping every ASCII byte to a base index, or `INVALID_BASE` for bytes
+/// that are not a concrete nucleotide.  Used by the hot DFA scanning loop.
+pub const INVALID_BASE: u8 = 0xFF;
+
+/// Build the 256-entry ASCII → base-index lookup table.
+pub const fn ascii_lookup_table() -> [u8; 256] {
+    let mut table = [INVALID_BASE; 256];
+    table[b'A' as usize] = 0;
+    table[b'a' as usize] = 0;
+    table[b'C' as usize] = 1;
+    table[b'c' as usize] = 1;
+    table[b'G' as usize] = 2;
+    table[b'g' as usize] = 2;
+    table[b'T' as usize] = 3;
+    table[b't' as usize] = 3;
+    table
+}
+
+/// Shared instance of the lookup table.
+pub static ASCII_TO_BASE: [u8; 256] = ascii_lookup_table();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ascii() {
+        for base in Base::ALL {
+            assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
+            assert_eq!(Base::from_ascii(base.to_ascii().to_ascii_lowercase()), Some(base));
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'x'), None);
+    }
+
+    #[test]
+    fn round_trip_index() {
+        for (i, base) in Base::ALL.iter().enumerate() {
+            assert_eq!(base.index(), i);
+            assert_eq!(Base::from_index(i), *base);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for base in Base::ALL {
+            assert_eq!(base.complement().complement(), base);
+            assert_ne!(base.complement(), base);
+        }
+    }
+
+    #[test]
+    fn gc_classification() {
+        assert!(Base::G.is_gc());
+        assert!(Base::C.is_gc());
+        assert!(!Base::A.is_gc());
+        assert!(!Base::T.is_gc());
+    }
+
+    #[test]
+    fn lookup_table_agrees_with_from_ascii() {
+        for c in 0..=255u8 {
+            let via_table = ASCII_TO_BASE[c as usize];
+            match Base::from_ascii(c) {
+                Some(base) => assert_eq!(via_table as usize, base.index()),
+                None => assert_eq!(via_table, INVALID_BASE),
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Deterministic finite automaton built from the motif NFA by subset construction.
+//!
+//! The DFA uses a dense `states × 4` transition table so the hot scanning loop is a
+//! single table lookup per input byte — the structure the paper's PaREM tool generates
+//! and the reason the workload vectorises and scales well on both the host and the
+//! Xeon Phi.
+
+use std::collections::HashMap;
+
+use crate::alphabet::{Base, ASCII_TO_BASE, INVALID_BASE};
+use crate::nfa::{Nfa, NfaStateId};
+use crate::pattern::MotifSet;
+
+/// Identifier of a DFA state.
+pub type DfaStateId = u32;
+
+/// Dense deterministic automaton over the 4-letter DNA alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dfa {
+    /// `transitions[state * 4 + base]` = successor state.
+    transitions: Vec<DfaStateId>,
+    /// `accept_counts[state]` = number of motif occurrences that end when this state is
+    /// entered.
+    accept_counts: Vec<u32>,
+    /// Number of states.
+    state_count: u32,
+}
+
+impl Dfa {
+    /// The start state (always 0).
+    pub const START: DfaStateId = 0;
+
+    /// Build the DFA for a motif set via subset construction over the motif NFA.
+    pub fn from_motifs(motifs: &MotifSet) -> Self {
+        let nfa = Nfa::from_motifs(motifs);
+        Self::from_nfa(&nfa)
+    }
+
+    /// Subset construction.
+    pub fn from_nfa(nfa: &Nfa) -> Self {
+        let mut subset_ids: HashMap<Vec<NfaStateId>, DfaStateId> = HashMap::new();
+        let mut subsets: Vec<Vec<NfaStateId>> = Vec::new();
+        let mut transitions: Vec<DfaStateId> = Vec::new();
+        let mut accept_counts: Vec<u32> = Vec::new();
+
+        let start_subset = vec![Nfa::START];
+        subset_ids.insert(start_subset.clone(), 0);
+        subsets.push(start_subset);
+        accept_counts.push(0);
+        transitions.extend_from_slice(&[0; 4]);
+
+        let mut worklist = vec![0 as DfaStateId];
+        while let Some(dfa_state) = worklist.pop() {
+            let subset = subsets[dfa_state as usize].clone();
+            for base in Base::ALL {
+                let mut next: Vec<NfaStateId> = Vec::new();
+                for &nfa_state in &subset {
+                    for &succ in nfa.successors(nfa_state, base) {
+                        if !next.contains(&succ) {
+                            next.push(succ);
+                        }
+                    }
+                }
+                next.sort_unstable();
+                let next_id = match subset_ids.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = subsets.len() as DfaStateId;
+                        subset_ids.insert(next.clone(), id);
+                        let accepts = next
+                            .iter()
+                            .filter(|&&s| nfa.accepting_motif(s).is_some())
+                            .count() as u32;
+                        subsets.push(next);
+                        accept_counts.push(accepts);
+                        transitions.extend_from_slice(&[0; 4]);
+                        worklist.push(id);
+                        id
+                    }
+                };
+                transitions[dfa_state as usize * 4 + base.index()] = next_id;
+            }
+        }
+
+        Dfa {
+            transitions,
+            accept_counts,
+            state_count: subsets.len() as u32,
+        }
+    }
+
+    /// Number of DFA states.
+    pub fn state_count(&self) -> u32 {
+        self.state_count
+    }
+
+    /// Successor of `state` on `base`.
+    #[inline]
+    pub fn step(&self, state: DfaStateId, base: Base) -> DfaStateId {
+        self.transitions[state as usize * 4 + base.index()]
+    }
+
+    /// Number of motif occurrences reported when `state` is entered.
+    #[inline]
+    pub fn accept_count(&self, state: DfaStateId) -> u32 {
+        self.accept_counts[state as usize]
+    }
+
+    /// Scan `text` starting from `state`; returns `(matches, final state)`.
+    ///
+    /// Characters that are not concrete bases reset the automaton to the start state
+    /// (an `N` or a line break cannot be part of a motif occurrence).
+    pub fn scan_from(&self, mut state: DfaStateId, text: &[u8]) -> (u64, DfaStateId) {
+        let mut matches = 0u64;
+        for &byte in text {
+            let idx = ASCII_TO_BASE[byte as usize];
+            if idx == INVALID_BASE {
+                state = Self::START;
+                continue;
+            }
+            state = self.transitions[state as usize * 4 + idx as usize];
+            matches += u64::from(self.accept_counts[state as usize]);
+        }
+        (matches, state)
+    }
+
+    /// Scan `text` from the start state and return the number of motif occurrences.
+    pub fn count_matches(&self, text: &[u8]) -> u64 {
+        self.scan_from(Self::START, text).0
+    }
+
+    /// Approximate memory footprint of the automaton in bytes (transition table plus
+    /// accept counts) — the quantity that must stay resident in cache for the scan to
+    /// run at full speed.
+    pub fn table_bytes(&self) -> usize {
+        self.transitions.len() * std::mem::size_of::<DfaStateId>()
+            + self.accept_counts.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::DnaSequence;
+
+    fn dfa(patterns: &[&str]) -> Dfa {
+        Dfa::from_motifs(&MotifSet::parse(patterns).unwrap())
+    }
+
+    #[test]
+    fn single_motif_counts() {
+        let d = dfa(&["ACGT"]);
+        assert_eq!(d.count_matches(b"ACGT"), 1);
+        assert_eq!(d.count_matches(b"ACGTACGT"), 2);
+        assert_eq!(d.count_matches(b"AACGTT"), 1);
+        assert_eq!(d.count_matches(b"AAAA"), 0);
+        assert_eq!(d.count_matches(b""), 0);
+    }
+
+    #[test]
+    fn overlapping_matches_are_counted() {
+        let d = dfa(&["AA"]);
+        assert_eq!(d.count_matches(b"AAAA"), 3);
+        let d = dfa(&["ACA"]);
+        assert_eq!(d.count_matches(b"ACACACA"), 3);
+    }
+
+    #[test]
+    fn multiple_motifs_count_independently() {
+        let d = dfa(&["ACG", "CGT", "GTA"]);
+        assert_eq!(d.count_matches(b"ACGTA"), 3);
+    }
+
+    #[test]
+    fn degenerate_motif_matches_all_expansions() {
+        let d = dfa(&["CANNTG"]);
+        assert_eq!(d.count_matches(b"CAGCTG"), 1);
+        assert_eq!(d.count_matches(b"CAATTG"), 1);
+        assert_eq!(d.count_matches(b"CCGCTG"), 0);
+    }
+
+    #[test]
+    fn invalid_bytes_reset_the_automaton() {
+        let d = dfa(&["ACGT"]);
+        assert_eq!(d.count_matches(b"AC\nGT"), 0);
+        assert_eq!(d.count_matches(b"ACGT\nACGT"), 2);
+        assert_eq!(d.count_matches(b"ACGNT"), 0);
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_oracle_on_random_sequences() {
+        let motifs = MotifSet::parse(&["TATAAA", "GAATTC", "CANNTG", "GGGG"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        let d = Dfa::from_motifs(&motifs);
+        for seed in 0..5u64 {
+            let seq = DnaSequence::random(20_000, 0.45, seed);
+            assert_eq!(
+                d.count_matches(seq.bases()),
+                nfa.count_matches_slow(seq.bases()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_from_composes() {
+        // Splitting a text at an arbitrary point and chaining the final state must give
+        // the same count as scanning it in one go.
+        let d = dfa(&["TATAAA", "GGN"]);
+        let seq = DnaSequence::random_with_motif(50_000, 0.4, 3, "TATAAA", 20);
+        let text = seq.bases();
+        let whole = d.count_matches(text);
+        for split in [1usize, 100, 1234, 25_000, 49_999] {
+            let (left, state) = d.scan_from(Dfa::START, &text[..split]);
+            let (right, _) = d.scan_from(state, &text[split..]);
+            assert_eq!(left + right, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn planted_motifs_are_found() {
+        let seq = DnaSequence::random_with_motif(200_000, 0.42, 9, "GGCCAATCT", 40);
+        let d = dfa(&["GGCCAATCT"]);
+        assert!(d.count_matches(seq.bases()) >= 40);
+    }
+
+    #[test]
+    fn state_count_is_reasonable() {
+        let motifs = MotifSet::reference();
+        let d = Dfa::from_motifs(&motifs);
+        let nfa_states: u32 = 1 + motifs.motifs().iter().map(|m| m.len() as u32).sum::<u32>();
+        assert!(d.state_count() >= nfa_states / 2);
+        // subset construction must not blow up for small motif sets
+        assert!(d.state_count() < 4 * nfa_states);
+        assert!(d.table_bytes() > 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! High-level matcher API combining the motif set and its compiled DFA.
+
+use crate::dfa::{Dfa, DfaStateId};
+use crate::pattern::MotifSet;
+
+/// Statistics of one scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchStats {
+    /// Total number of motif occurrences found.
+    pub matches: u64,
+    /// Number of bytes scanned.
+    pub bytes_scanned: u64,
+    /// Number of bytes that were not concrete bases (headers, `N`, newlines).
+    pub invalid_bytes: u64,
+}
+
+impl MatchStats {
+    /// Motif occurrences per megabyte of scanned input.
+    pub fn matches_per_mb(&self) -> f64 {
+        if self.bytes_scanned == 0 {
+            0.0
+        } else {
+            self.matches as f64 / (self.bytes_scanned as f64 / 1e6)
+        }
+    }
+}
+
+/// A compiled motif matcher: the user-facing entry point of the DNA analysis
+/// application.
+#[derive(Debug, Clone)]
+pub struct DfaMatcher {
+    motifs: MotifSet,
+    dfa: Dfa,
+}
+
+impl DfaMatcher {
+    /// Compile a motif set into a matcher.
+    pub fn compile(motifs: &MotifSet) -> Self {
+        DfaMatcher {
+            motifs: motifs.clone(),
+            dfa: Dfa::from_motifs(motifs),
+        }
+    }
+
+    /// The motif set this matcher searches for.
+    pub fn motifs(&self) -> &MotifSet {
+        &self.motifs
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Length of the longest motif; parallel scanners need `max_len - 1` bytes of
+    /// overlap between chunks.
+    pub fn required_overlap(&self) -> usize {
+        self.motifs.max_len().saturating_sub(1)
+    }
+
+    /// Count all motif occurrences in `text` (single-threaded scan).
+    pub fn count_matches(&self, text: &[u8]) -> u64 {
+        self.dfa.count_matches(text)
+    }
+
+    /// Scan and return detailed statistics.
+    pub fn scan(&self, text: &[u8]) -> MatchStats {
+        let invalid = text
+            .iter()
+            .filter(|&&b| crate::alphabet::ASCII_TO_BASE[b as usize] == crate::alphabet::INVALID_BASE)
+            .count() as u64;
+        MatchStats {
+            matches: self.dfa.count_matches(text),
+            bytes_scanned: text.len() as u64,
+            invalid_bytes: invalid,
+        }
+    }
+
+    /// Scan `text` starting from a given DFA state; returns the match count and the
+    /// final state.  Used by the parallel scanner and by host/device split execution.
+    pub fn scan_from(&self, state: DfaStateId, text: &[u8]) -> (u64, DfaStateId) {
+        self.dfa.scan_from(state, text)
+    }
+
+    /// Return the end positions (index of the last byte) of the first `limit` motif
+    /// occurrences.  Intended for debugging and reports, not for the hot path.
+    pub fn find_match_ends(&self, text: &[u8], limit: usize) -> Vec<usize> {
+        let mut positions = Vec::new();
+        let mut state = Dfa::START;
+        for (i, &byte) in text.iter().enumerate() {
+            let idx = crate::alphabet::ASCII_TO_BASE[byte as usize];
+            if idx == crate::alphabet::INVALID_BASE {
+                state = Dfa::START;
+                continue;
+            }
+            state = self.dfa.step(state, crate::alphabet::Base::from_index(idx as usize));
+            for _ in 0..self.dfa.accept_count(state) {
+                if positions.len() >= limit {
+                    return positions;
+                }
+                positions.push(i);
+            }
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequence::DnaSequence;
+
+    #[test]
+    fn matcher_counts_like_its_dfa() {
+        let motifs = MotifSet::parse(&["TATA", "GGCC"]).unwrap();
+        let matcher = DfaMatcher::compile(&motifs);
+        let seq = DnaSequence::random(50_000, 0.5, 17);
+        assert_eq!(
+            matcher.count_matches(seq.bases()),
+            matcher.dfa().count_matches(seq.bases())
+        );
+    }
+
+    #[test]
+    fn scan_reports_invalid_bytes() {
+        let motifs = MotifSet::parse(&["ACGT"]).unwrap();
+        let matcher = DfaMatcher::compile(&motifs);
+        let stats = matcher.scan(b"ACGT\nNNACGT");
+        assert_eq!(stats.matches, 2);
+        assert_eq!(stats.bytes_scanned, 11);
+        assert_eq!(stats.invalid_bytes, 3);
+        assert!(stats.matches_per_mb() > 0.0);
+    }
+
+    #[test]
+    fn required_overlap_is_longest_motif_minus_one() {
+        let motifs = MotifSet::parse(&["ACG", "TATAAA"]).unwrap();
+        let matcher = DfaMatcher::compile(&motifs);
+        assert_eq!(matcher.required_overlap(), 5);
+    }
+
+    #[test]
+    fn find_match_ends_returns_positions() {
+        let motifs = MotifSet::parse(&["ACG"]).unwrap();
+        let matcher = DfaMatcher::compile(&motifs);
+        let ends = matcher.find_match_ends(b"ACGACG", 10);
+        assert_eq!(ends, vec![2, 5]);
+        // limit is honoured
+        let ends = matcher.find_match_ends(b"ACGACGACG", 2);
+        assert_eq!(ends.len(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = MatchStats::default();
+        assert_eq!(stats.matches_per_mb(), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Non-deterministic finite automaton over the motif set.
+//!
+//! The NFA has one *start* state with a self-loop on every base (so matches can begin
+//! at any position) and a linear chain of states per motif.  State `(m, i)` means
+//! "the last `i` bases matched the first `i` positions of motif `m`"; reaching
+//! `(m, len(m))` reports one occurrence of motif `m`.
+
+use crate::alphabet::Base;
+use crate::pattern::MotifSet;
+
+/// Identifier of an NFA state.
+pub type NfaStateId = u32;
+
+/// The motif NFA.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Number of states (state 0 is the start state).
+    state_count: u32,
+    /// `transitions[state][base]` = successor states (excluding the implicit restart
+    /// through the start state, which subset construction adds automatically because
+    /// the start state is a member of every reachable subset).
+    transitions: Vec<[Vec<NfaStateId>; 4]>,
+    /// `accepting[state]` = index of the motif that ends in this state, if any.
+    accepting: Vec<Option<u32>>,
+}
+
+impl Nfa {
+    /// Identifier of the start state.
+    pub const START: NfaStateId = 0;
+
+    /// Build the NFA for a motif set.
+    pub fn from_motifs(motifs: &MotifSet) -> Self {
+        // count states: 1 (start) + sum of motif lengths
+        let total_states: usize = 1 + motifs.motifs().iter().map(|m| m.len()).sum::<usize>();
+        let mut transitions: Vec<[Vec<NfaStateId>; 4]> = vec![Default::default(); total_states];
+        let mut accepting: Vec<Option<u32>> = vec![None; total_states];
+
+        // start state loops on every base
+        for base in Base::ALL {
+            transitions[Self::START as usize][base.index()].push(Self::START);
+        }
+
+        let mut next_state: NfaStateId = 1;
+        for (motif_idx, motif) in motifs.motifs().iter().enumerate() {
+            let mut prev = Self::START;
+            for (pos, class) in motif.classes().iter().enumerate() {
+                let state = next_state;
+                next_state += 1;
+                for base in Base::ALL {
+                    if class.matches(base) {
+                        transitions[prev as usize][base.index()].push(state);
+                    }
+                }
+                if pos + 1 == motif.len() {
+                    accepting[state as usize] = Some(motif_idx as u32);
+                }
+                prev = state;
+            }
+        }
+
+        Nfa {
+            state_count: next_state,
+            transitions,
+            accepting,
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> u32 {
+        self.state_count
+    }
+
+    /// Successors of `state` on input `base` (not including restart semantics).
+    pub fn successors(&self, state: NfaStateId, base: Base) -> &[NfaStateId] {
+        &self.transitions[state as usize][base.index()]
+    }
+
+    /// The motif accepted in `state`, if any.
+    pub fn accepting_motif(&self, state: NfaStateId) -> Option<u32> {
+        self.accepting[state as usize]
+    }
+
+    /// Number of accepting states.
+    pub fn accepting_count(&self) -> usize {
+        self.accepting.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Simulate the NFA directly (slow, used as a test oracle for the DFA): returns the
+    /// total number of motif occurrences in `text`.
+    pub fn count_matches_slow(&self, text: &[u8]) -> u64 {
+        let mut current: Vec<NfaStateId> = vec![Self::START];
+        let mut matches = 0u64;
+        let mut next: Vec<NfaStateId> = Vec::new();
+        for &byte in text {
+            let base = match Base::from_ascii(byte) {
+                Some(b) => b,
+                None => {
+                    // invalid characters break any partial match
+                    current.clear();
+                    current.push(Self::START);
+                    continue;
+                }
+            };
+            next.clear();
+            for &state in &current {
+                for &succ in self.successors(state, base) {
+                    if !next.contains(&succ) {
+                        next.push(succ);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            matches += current
+                .iter()
+                .filter(|&&s| self.accepting[s as usize].is_some())
+                .count() as u64;
+        }
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::MotifSet;
+
+    #[test]
+    fn state_count_is_one_plus_total_motif_length() {
+        let motifs = MotifSet::parse(&["ACG", "TT"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        assert_eq!(nfa.state_count(), 1 + 3 + 2);
+        assert_eq!(nfa.accepting_count(), 2);
+    }
+
+    #[test]
+    fn start_state_loops_on_all_bases() {
+        let motifs = MotifSet::parse(&["A"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        for base in Base::ALL {
+            assert!(nfa.successors(Nfa::START, base).contains(&Nfa::START));
+        }
+    }
+
+    #[test]
+    fn slow_simulation_counts_overlapping_matches() {
+        let motifs = MotifSet::parse(&["AA"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        // "AAAA" contains three overlapping occurrences of "AA"
+        assert_eq!(nfa.count_matches_slow(b"AAAA"), 3);
+    }
+
+    #[test]
+    fn slow_simulation_counts_multiple_motifs() {
+        let motifs = MotifSet::parse(&["ACG", "CGT"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        // "ACGT" contains one of each
+        assert_eq!(nfa.count_matches_slow(b"ACGT"), 2);
+    }
+
+    #[test]
+    fn degenerate_motifs_match_every_expansion() {
+        let motifs = MotifSet::parse(&["AN"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        // "AAACAGAT": matches start at 0 (AA), 1 (AA), 2 (AC), 4 (AG), 6 (AT)
+        assert_eq!(nfa.count_matches_slow(b"AAACAGAT"), 5);
+    }
+
+    #[test]
+    fn invalid_characters_reset_matching() {
+        let motifs = MotifSet::parse(&["ACGT"]).unwrap();
+        let nfa = Nfa::from_motifs(&motifs);
+        assert_eq!(nfa.count_matches_slow(b"ACNGT"), 0);
+        assert_eq!(nfa.count_matches_slow(b"ACGT"), 1);
+    }
+}

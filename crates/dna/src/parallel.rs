@@ -1,0 +1,210 @@
+//! Parallel chunked scanning.
+//!
+//! The DNA scan is embarrassingly parallel after splitting the sequence into chunks:
+//! because a motif occurrence spans at most `max_len` bytes, a worker that starts
+//! scanning `max_len - 1` bytes *before* its chunk (from the DFA start state) observes
+//! every occurrence ending inside the chunk.  This is the same speculative-boundary
+//! idea the paper's PaREM tool uses to parallelise finite-automata execution; the
+//! overlap variant is simpler and exact for motif search.
+//!
+//! Work is distributed dynamically: chunks go into a [`crossbeam`] injector queue and
+//! worker threads pull from it, which keeps all threads busy even when some chunks
+//! contain more invalid bytes (and are therefore cheaper) than others.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal};
+
+use crate::matcher::DfaMatcher;
+
+/// Default chunk size used when splitting work (1 MiB keeps the queue short but the
+/// load balanced).
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// A multi-threaded scanner.
+#[derive(Debug, Clone)]
+pub struct ParallelScanner {
+    threads: usize,
+    chunk_bytes: usize,
+}
+
+impl ParallelScanner {
+    /// Create a scanner that uses `threads` worker threads (at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParallelScanner {
+            threads: threads.max(1),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// Override the chunk size (mostly useful for tests).
+    pub fn with_chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Count all motif occurrences in `text` using all worker threads.
+    ///
+    /// The result is exactly equal to [`DfaMatcher::count_matches`] on the same input.
+    pub fn count_matches(&self, matcher: &DfaMatcher, text: &[u8]) -> u64 {
+        if text.is_empty() {
+            return 0;
+        }
+        if self.threads == 1 || text.len() <= self.chunk_bytes {
+            return matcher.count_matches(text);
+        }
+
+        let overlap = matcher.required_overlap();
+        let injector: Injector<(usize, usize)> = Injector::new();
+        let mut start = 0usize;
+        while start < text.len() {
+            let end = (start + self.chunk_bytes).min(text.len());
+            injector.push((start, end));
+            start = end;
+        }
+
+        let total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    let mut local = 0u64;
+                    loop {
+                        match injector.steal() {
+                            Steal::Success((chunk_start, chunk_end)) => {
+                                local += scan_chunk(matcher, text, chunk_start, chunk_end, overlap);
+                            }
+                            Steal::Empty => break,
+                            Steal::Retry => continue,
+                        }
+                    }
+                    total.fetch_add(local, Ordering::Relaxed);
+                });
+            }
+        });
+        total.into_inner()
+    }
+
+    /// Split the input into a host part and a device part according to
+    /// `host_fraction` (0..=1) and scan both, returning `(host matches, device
+    /// matches)`.  Both parts are scanned on the local machine — the "device" half
+    /// exists so that examples can demonstrate the work-partitioning semantics of the
+    /// paper's offload scheme with bit-exact results.
+    pub fn count_matches_split(
+        &self,
+        matcher: &DfaMatcher,
+        text: &[u8],
+        host_fraction: f64,
+    ) -> (u64, u64) {
+        let host_fraction = host_fraction.clamp(0.0, 1.0);
+        let boundary = (text.len() as f64 * host_fraction).round() as usize;
+        let boundary = boundary.min(text.len());
+        let overlap = matcher.required_overlap();
+
+        let host_matches = self.count_matches(matcher, &text[..boundary]);
+        // the device part re-scans the overlap so occurrences crossing the boundary are
+        // attributed to the device side exactly once
+        let device_matches = if boundary >= text.len() {
+            0
+        } else {
+            let device_start = boundary.saturating_sub(overlap);
+            let (all, _) = matcher.scan_from(crate::dfa::Dfa::START, &text[device_start..]);
+            let (before_boundary, _) =
+                matcher.scan_from(crate::dfa::Dfa::START, &text[device_start..boundary]);
+            // subtract occurrences that end before the boundary (already counted by host)
+            let device_direct = self.count_matches(matcher, &text[boundary..]);
+            // occurrences crossing the boundary:
+            let crossing = all - before_boundary - device_direct;
+            device_direct + crossing
+        };
+        (host_matches, device_matches)
+    }
+}
+
+/// Scan one chunk, counting only occurrences that end inside `[chunk_start, chunk_end)`.
+fn scan_chunk(
+    matcher: &DfaMatcher,
+    text: &[u8],
+    chunk_start: usize,
+    chunk_end: usize,
+    overlap: usize,
+) -> u64 {
+    let scan_start = chunk_start.saturating_sub(overlap);
+    if scan_start == chunk_start {
+        matcher.count_matches(&text[chunk_start..chunk_end])
+    } else {
+        // matches ending in the warm-up region were counted by the previous chunk
+        let (_, state) = matcher.scan_from(crate::dfa::Dfa::START, &text[scan_start..chunk_start]);
+        let (matches, _) = matcher.scan_from(state, &text[chunk_start..chunk_end]);
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::MotifSet;
+    use crate::sequence::DnaSequence;
+
+    fn matcher() -> DfaMatcher {
+        DfaMatcher::compile(&MotifSet::reference())
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let m = matcher();
+        let seq = DnaSequence::random_with_motif(2_000_000, 0.42, 5, "TATAAA", 300);
+        let sequential = m.count_matches(seq.bases());
+        for threads in [1, 2, 4, 8] {
+            let scanner = ParallelScanner::new(threads).with_chunk_bytes(64 * 1024);
+            assert_eq!(
+                scanner.count_matches(&m, seq.bases()),
+                sequential,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_lose_matches() {
+        // Use a tiny chunk size so a planted motif is guaranteed to straddle boundaries.
+        let m = DfaMatcher::compile(&MotifSet::parse(&["ACGTACGTAC"]).unwrap());
+        let seq = DnaSequence::random_with_motif(100_000, 0.5, 13, "ACGTACGTAC", 500);
+        let sequential = m.count_matches(seq.bases());
+        assert!(sequential >= 500);
+        let scanner = ParallelScanner::new(4).with_chunk_bytes(97); // deliberately odd
+        assert_eq!(scanner.count_matches(&m, seq.bases()), sequential);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let m = matcher();
+        let scanner = ParallelScanner::new(8);
+        assert_eq!(scanner.count_matches(&m, b""), 0);
+        assert_eq!(scanner.count_matches(&m, b"ACG"), m.count_matches(b"ACG"));
+    }
+
+    #[test]
+    fn split_counts_sum_to_total() {
+        let m = matcher();
+        let seq = DnaSequence::random_with_motif(500_000, 0.42, 21, "GAATTC", 100);
+        let total = m.count_matches(seq.bases());
+        let scanner = ParallelScanner::new(4).with_chunk_bytes(32 * 1024);
+        for fraction in [0.0, 0.1, 0.33, 0.5, 0.77, 1.0] {
+            let (host, device) = scanner.count_matches_split(&m, seq.bases(), fraction);
+            assert_eq!(host + device, total, "fraction {fraction}");
+        }
+    }
+
+    #[test]
+    fn scanner_defaults_are_sane() {
+        let scanner = ParallelScanner::new(0);
+        assert_eq!(scanner.threads(), 1);
+        let scanner = ParallelScanner::new(3).with_chunk_bytes(0);
+        assert_eq!(scanner.chunk_bytes, 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! Motif patterns with IUPAC degenerate codes.
+//!
+//! A *motif* is a short pattern over the DNA alphabet.  Besides the concrete bases
+//! `A`, `C`, `G`, `T`, positions may use the IUPAC ambiguity codes (`N` = any base,
+//! `R` = A or G, `Y` = C or T, ...), which is how biological motifs such as
+//! transcription-factor binding sites are usually written.
+
+use std::fmt;
+
+use crate::alphabet::Base;
+
+/// Error produced while parsing a motif.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The motif string was empty.
+    Empty,
+    /// A character is not a valid IUPAC nucleotide code.
+    InvalidSymbol {
+        /// The offending character.
+        symbol: char,
+        /// Its position within the motif string.
+        position: usize,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "motif must not be empty"),
+            PatternError::InvalidSymbol { symbol, position } => {
+                write!(f, "invalid IUPAC symbol `{symbol}` at position {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// One position of a motif: the set of bases it accepts, stored as a 4-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BaseClass(u8);
+
+impl BaseClass {
+    /// Class accepting exactly one base.
+    pub fn single(base: Base) -> Self {
+        BaseClass(1 << base.index())
+    }
+
+    /// Class accepting any base (`N`).
+    pub fn any() -> Self {
+        BaseClass(0b1111)
+    }
+
+    /// Parse an IUPAC nucleotide code.
+    pub fn from_iupac(c: char) -> Option<Self> {
+        let mask = match c.to_ascii_uppercase() {
+            'A' => 0b0001,
+            'C' => 0b0010,
+            'G' => 0b0100,
+            'T' | 'U' => 0b1000,
+            'R' => 0b0101, // A or G (purine)
+            'Y' => 0b1010, // C or T (pyrimidine)
+            'S' => 0b0110, // G or C
+            'W' => 0b1001, // A or T
+            'K' => 0b1100, // G or T
+            'M' => 0b0011, // A or C
+            'B' => 0b1110, // not A
+            'D' => 0b1101, // not C
+            'H' => 0b1011, // not G
+            'V' => 0b0111, // not T
+            'N' => 0b1111, // any
+            _ => return None,
+        };
+        Some(BaseClass(mask))
+    }
+
+    /// Does this class accept `base`?
+    #[inline]
+    pub fn matches(&self, base: Base) -> bool {
+        self.0 & (1 << base.index()) != 0
+    }
+
+    /// Number of concrete bases accepted (1..=4).
+    pub fn cardinality(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Iterate over the accepted bases.
+    pub fn bases(&self) -> impl Iterator<Item = Base> + '_ {
+        Base::ALL.into_iter().filter(move |b| self.matches(*b))
+    }
+}
+
+/// A single motif: a sequence of [`BaseClass`] positions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Motif {
+    text: String,
+    classes: Vec<BaseClass>,
+}
+
+impl Motif {
+    /// Parse a motif from an IUPAC string.
+    pub fn parse(text: &str) -> Result<Self, PatternError> {
+        if text.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let mut classes = Vec::with_capacity(text.len());
+        for (position, symbol) in text.chars().enumerate() {
+            match BaseClass::from_iupac(symbol) {
+                Some(class) => classes.push(class),
+                None => return Err(PatternError::InvalidSymbol { symbol, position }),
+            }
+        }
+        Ok(Motif {
+            text: text.to_ascii_uppercase(),
+            classes,
+        })
+    }
+
+    /// The motif as written (upper-cased).
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Length of the motif in positions.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the motif is empty (never true for parsed motifs).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Per-position base classes.
+    pub fn classes(&self) -> &[BaseClass] {
+        &self.classes
+    }
+
+    /// Does the motif match the window `window` exactly (same length assumed)?
+    pub fn matches_window(&self, window: &[Base]) -> bool {
+        window.len() == self.len()
+            && self
+                .classes
+                .iter()
+                .zip(window)
+                .all(|(class, base)| class.matches(*base))
+    }
+
+    /// Number of concrete strings this motif can match.
+    pub fn concrete_count(&self) -> u64 {
+        self.classes
+            .iter()
+            .map(|c| c.cardinality() as u64)
+            .product()
+    }
+}
+
+/// A set of motifs searched simultaneously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MotifSet {
+    motifs: Vec<Motif>,
+}
+
+impl MotifSet {
+    /// Parse a set of motifs; fails on the first invalid motif.
+    pub fn parse(texts: &[&str]) -> Result<Self, PatternError> {
+        let motifs = texts
+            .iter()
+            .map(|t| Motif::parse(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MotifSet { motifs })
+    }
+
+    /// Build a set from already-parsed motifs.
+    pub fn new(motifs: Vec<Motif>) -> Self {
+        MotifSet { motifs }
+    }
+
+    /// The default motif set used throughout the reproduction: a handful of well-known
+    /// biological signals (TATA box, CAAT box, a restriction site, a degenerate E-box).
+    pub fn reference() -> Self {
+        MotifSet::parse(&["TATAAA", "GGCCAATCT", "GAATTC", "CANNTG"]).expect("valid motifs")
+    }
+
+    /// Motifs in the set.
+    pub fn motifs(&self) -> &[Motif] {
+        &self.motifs
+    }
+
+    /// Number of motifs.
+    pub fn len(&self) -> usize {
+        self.motifs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.motifs.is_empty()
+    }
+
+    /// Length of the longest motif (0 for an empty set).
+    pub fn max_len(&self) -> usize {
+        self.motifs.iter().map(Motif::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_concrete_motif() {
+        let motif = Motif::parse("ACGT").unwrap();
+        assert_eq!(motif.len(), 4);
+        assert_eq!(motif.text(), "ACGT");
+        assert_eq!(motif.concrete_count(), 1);
+        assert!(motif.matches_window(&[Base::A, Base::C, Base::G, Base::T]));
+        assert!(!motif.matches_window(&[Base::A, Base::C, Base::G, Base::G]));
+    }
+
+    #[test]
+    fn parse_degenerate_motif() {
+        let motif = Motif::parse("CANNTG").unwrap();
+        assert_eq!(motif.concrete_count(), 16);
+        assert!(motif.matches_window(&[Base::C, Base::A, Base::G, Base::C, Base::T, Base::G]));
+        assert!(motif.matches_window(&[Base::C, Base::A, Base::A, Base::T, Base::T, Base::G]));
+        assert!(!motif.matches_window(&[Base::C, Base::C, Base::A, Base::T, Base::T, Base::G]));
+    }
+
+    #[test]
+    fn lowercase_and_u_are_accepted() {
+        let motif = Motif::parse("acgu").unwrap();
+        assert!(motif.matches_window(&[Base::A, Base::C, Base::G, Base::T]));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Motif::parse(""), Err(PatternError::Empty));
+        assert_eq!(
+            Motif::parse("ACXG"),
+            Err(PatternError::InvalidSymbol {
+                symbol: 'X',
+                position: 2
+            })
+        );
+        assert!(MotifSet::parse(&["ACGT", "BAD!"]).is_err());
+    }
+
+    #[test]
+    fn iupac_classes_have_expected_cardinality() {
+        assert_eq!(BaseClass::from_iupac('A').unwrap().cardinality(), 1);
+        assert_eq!(BaseClass::from_iupac('R').unwrap().cardinality(), 2);
+        assert_eq!(BaseClass::from_iupac('B').unwrap().cardinality(), 3);
+        assert_eq!(BaseClass::from_iupac('N').unwrap().cardinality(), 4);
+        assert!(BaseClass::from_iupac('Z').is_none());
+    }
+
+    #[test]
+    fn purine_and_pyrimidine_sets() {
+        let r = BaseClass::from_iupac('R').unwrap();
+        assert!(r.matches(Base::A) && r.matches(Base::G));
+        assert!(!r.matches(Base::C) && !r.matches(Base::T));
+        let y = BaseClass::from_iupac('Y').unwrap();
+        assert!(y.matches(Base::C) && y.matches(Base::T));
+    }
+
+    #[test]
+    fn reference_set_is_well_formed() {
+        let set = MotifSet::reference();
+        assert_eq!(set.len(), 4);
+        assert_eq!(set.max_len(), 9);
+        assert!(!set.is_empty());
+    }
+
+    #[test]
+    fn base_class_bases_iterator() {
+        let n = BaseClass::any();
+        assert_eq!(n.bases().count(), 4);
+        let a = BaseClass::single(Base::A);
+        assert_eq!(a.bases().collect::<Vec<_>>(), vec![Base::A]);
+    }
+}

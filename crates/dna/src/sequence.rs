@@ -1,0 +1,244 @@
+//! DNA sequences: storage, synthesis and simple I/O.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::alphabet::Base;
+
+/// An in-memory DNA sequence stored as ASCII bytes (`A`, `C`, `G`, `T`).
+///
+/// ASCII storage matches what the real application reads from GenBank FASTA files and
+/// lets the DFA scanner work directly on `&[u8]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnaSequence {
+    name: String,
+    bases: Vec<u8>,
+}
+
+impl DnaSequence {
+    /// Create a sequence from raw ASCII bytes, skipping characters that are not
+    /// concrete bases (newlines, `N` runs, headers are the caller's business).
+    pub fn from_ascii(name: &str, ascii: &[u8]) -> Self {
+        let bases = ascii
+            .iter()
+            .copied()
+            .filter(|&c| Base::from_ascii(c).is_some())
+            .map(|c| c.to_ascii_uppercase())
+            .collect();
+        DnaSequence {
+            name: name.to_string(),
+            bases,
+        }
+    }
+
+    /// Create a sequence from already-validated bases.
+    pub fn from_bases(name: &str, bases: Vec<Base>) -> Self {
+        DnaSequence {
+            name: name.to_string(),
+            bases: bases.into_iter().map(Base::to_ascii).collect(),
+        }
+    }
+
+    /// Generate a random sequence of `length` bases with the given GC content
+    /// (probability of a position being `G` or `C`), using a deterministic seed.
+    ///
+    /// Real mammalian genomes have a GC content of roughly 0.40–0.45.
+    pub fn random(length: usize, gc_content: f64, seed: u64) -> Self {
+        let gc = gc_content.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bases = Vec::with_capacity(length);
+        for _ in 0..length {
+            let is_gc = rng.gen_bool(gc);
+            let first_of_pair = rng.gen_bool(0.5);
+            let base = match (is_gc, first_of_pair) {
+                (true, true) => b'G',
+                (true, false) => b'C',
+                (false, true) => b'A',
+                (false, false) => b'T',
+            };
+            bases.push(base);
+        }
+        DnaSequence {
+            name: format!("random-{seed}"),
+            bases,
+        }
+    }
+
+    /// Generate a random sequence and splice `copies` occurrences of `motif` into it at
+    /// deterministic pseudo-random positions, so tests know a lower bound on the number
+    /// of matches.
+    pub fn random_with_motif(
+        length: usize,
+        gc_content: f64,
+        seed: u64,
+        motif: &str,
+        copies: usize,
+    ) -> Self {
+        let mut sequence = Self::random(length, gc_content, seed);
+        let motif_bytes: Vec<u8> = motif
+            .bytes()
+            .filter(|&c| Base::from_ascii(c).is_some())
+            .map(|c| c.to_ascii_uppercase())
+            .collect();
+        if motif_bytes.is_empty() || motif_bytes.len() > length || copies == 0 {
+            return sequence;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A);
+        // Place copies in disjoint slots so they cannot destroy each other.
+        let slot = length / copies;
+        for i in 0..copies {
+            let slot_start = i * slot;
+            let max_offset = slot.saturating_sub(motif_bytes.len());
+            let offset = if max_offset == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_offset)
+            };
+            let start = slot_start + offset;
+            if start + motif_bytes.len() <= length {
+                sequence.bases[start..start + motif_bytes.len()].copy_from_slice(&motif_bytes);
+            }
+        }
+        sequence
+    }
+
+    /// Name of the sequence.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The bases as ASCII bytes.
+    pub fn bases(&self) -> &[u8] {
+        &self.bases
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Fraction of `G`/`C` bases.
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .bases
+            .iter()
+            .filter(|&&c| matches!(c, b'G' | b'C'))
+            .count();
+        gc as f64 / self.bases.len() as f64
+    }
+
+    /// Serialize to a minimal FASTA record (single header line + 70-column wrapped body).
+    pub fn to_fasta(&self) -> String {
+        let mut out = String::with_capacity(self.bases.len() + self.bases.len() / 70 + 64);
+        out.push('>');
+        out.push_str(&self.name);
+        out.push('\n');
+        for chunk in self.bases.chunks(70) {
+            out.push_str(std::str::from_utf8(chunk).expect("bases are ASCII"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the first record of a FASTA string (header optional).
+    pub fn from_fasta(fasta: &str) -> Self {
+        let mut name = String::from("unnamed");
+        let mut body = Vec::new();
+        for (i, line) in fasta.lines().enumerate() {
+            if let Some(header) = line.strip_prefix('>') {
+                if i == 0 {
+                    name = header.trim().to_string();
+                    continue;
+                } else {
+                    break; // only the first record
+                }
+            }
+            body.extend_from_slice(line.trim().as_bytes());
+        }
+        Self::from_ascii(&name, &body)
+    }
+
+    /// Borrow a contiguous fraction `[0, fraction)` of the sequence (used to emulate the
+    /// paper's "DNA sequence fraction" parameter on real in-memory data).
+    pub fn prefix_fraction(&self, fraction: f64) -> &[u8] {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let end = (self.bases.len() as f64 * fraction).round() as usize;
+        &self.bases[..end.min(self.bases.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_sequence_has_requested_length_and_gc_content() {
+        let s = DnaSequence::random(200_000, 0.42, 1);
+        assert_eq!(s.len(), 200_000);
+        assert!((s.gc_content() - 0.42).abs() < 0.01);
+        // only valid bases
+        assert!(s.bases().iter().all(|&c| Base::from_ascii(c).is_some()));
+    }
+
+    #[test]
+    fn random_sequence_is_deterministic_per_seed() {
+        let a = DnaSequence::random(10_000, 0.5, 7);
+        let b = DnaSequence::random(10_000, 0.5, 7);
+        let c = DnaSequence::random(10_000, 0.5, 8);
+        assert_eq!(a.bases(), b.bases());
+        assert_ne!(a.bases(), c.bases());
+    }
+
+    #[test]
+    fn from_ascii_filters_invalid_characters() {
+        let s = DnaSequence::from_ascii("x", b"AC\nGT nnN..acgt");
+        assert_eq!(s.bases(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn fasta_round_trip() {
+        let original = DnaSequence::random(500, 0.45, 3);
+        let fasta = original.to_fasta();
+        assert!(fasta.starts_with('>'));
+        let parsed = DnaSequence::from_fasta(&fasta);
+        assert_eq!(parsed.bases(), original.bases());
+        assert_eq!(parsed.name(), original.name());
+    }
+
+    #[test]
+    fn fasta_without_header_is_accepted() {
+        let parsed = DnaSequence::from_fasta("ACGT\nACGT\n");
+        assert_eq!(parsed.bases(), b"ACGTACGT");
+    }
+
+    #[test]
+    fn prefix_fraction_clamps() {
+        let s = DnaSequence::random(1000, 0.5, 1);
+        assert_eq!(s.prefix_fraction(0.0).len(), 0);
+        assert_eq!(s.prefix_fraction(0.5).len(), 500);
+        assert_eq!(s.prefix_fraction(1.0).len(), 1000);
+        assert_eq!(s.prefix_fraction(7.0).len(), 1000);
+    }
+
+    #[test]
+    fn planted_motifs_are_present() {
+        let s = DnaSequence::random_with_motif(100_000, 0.4, 11, "TATAAA", 25);
+        let text = std::str::from_utf8(s.bases()).unwrap();
+        let count = text.matches("TATAAA").count();
+        assert!(count >= 25, "expected at least 25 planted motifs, found {count}");
+    }
+
+    #[test]
+    fn from_bases_round_trips() {
+        let s = DnaSequence::from_bases("b", vec![Base::A, Base::C, Base::G, Base::T]);
+        assert_eq!(s.bases(), b"ACGT");
+    }
+}

@@ -1,0 +1,104 @@
+//! Bridge between the DNA application and the platform simulator.
+
+use hetero_platform::WorkloadProfile;
+
+use crate::genome::Genome;
+use crate::matcher::DfaMatcher;
+use crate::pattern::MotifSet;
+
+/// A complete DNA analysis job: which sequence to scan (by nominal size) and which
+/// motifs to search for.
+///
+/// The job can be rendered either as a [`WorkloadProfile`] for the platform simulator
+/// (nominal, multi-gigabyte sizes) or as an actual in-memory scan via
+/// [`DnaWorkload::compile`] plus [`Genome::synthesize`].
+#[derive(Debug, Clone)]
+pub struct DnaWorkload {
+    /// Descriptive name (organism or dataset).
+    pub name: String,
+    /// Number of bytes in the (nominal) input sequence.
+    pub bytes: u64,
+    /// Motifs to search for.
+    pub motifs: MotifSet,
+}
+
+impl DnaWorkload {
+    /// Job scanning the full nominal-size genome of `genome` for the reference motifs.
+    pub fn for_genome(genome: Genome) -> Self {
+        DnaWorkload {
+            name: genome.name().to_string(),
+            bytes: genome.nominal_bytes(),
+            motifs: MotifSet::reference(),
+        }
+    }
+
+    /// Job over a custom byte count and motif set.
+    pub fn custom(name: &str, bytes: u64, motifs: MotifSet) -> Self {
+        DnaWorkload {
+            name: name.to_string(),
+            bytes,
+            motifs,
+        }
+    }
+
+    /// The workload profile the platform simulator / autotuner consumes.
+    pub fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile::dna_scan(&self.name, self.bytes)
+    }
+
+    /// Profile of a fraction (0..=1) of the job.
+    pub fn profile_fraction(&self, fraction: f64) -> WorkloadProfile {
+        self.profile().fraction(fraction)
+    }
+
+    /// Compile the motif set into a matcher for actually running the scan.
+    pub fn compile(&self) -> DfaMatcher {
+        DfaMatcher::compile(&self.motifs)
+    }
+
+    /// Split the job's bytes into a host share and a device share for a host
+    /// percentage in 0..=100 (the paper's workload-fraction parameter).
+    pub fn split_bytes(&self, host_percent: u32) -> (u64, u64) {
+        let host_percent = host_percent.min(100) as u64;
+        let host = self.bytes * host_percent / 100;
+        (host, self.bytes - host)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_workload_matches_genome() {
+        let job = DnaWorkload::for_genome(Genome::Mouse);
+        assert_eq!(job.bytes, Genome::Mouse.nominal_bytes());
+        assert_eq!(job.profile().name, "mouse");
+        assert_eq!(job.profile().bytes, job.bytes);
+    }
+
+    #[test]
+    fn split_bytes_partitions_exactly() {
+        let job = DnaWorkload::for_genome(Genome::Human);
+        for pct in [0u32, 1, 37, 50, 99, 100, 250] {
+            let (host, device) = job.split_bytes(pct);
+            assert_eq!(host + device, job.bytes, "pct {pct}");
+        }
+        let (host, device) = job.split_bytes(0);
+        assert_eq!(host, 0);
+        assert_eq!(device, job.bytes);
+    }
+
+    #[test]
+    fn profile_fraction_scales() {
+        let job = DnaWorkload::custom("tiny", 1_000_000, MotifSet::reference());
+        assert_eq!(job.profile_fraction(0.25).bytes, 250_000);
+    }
+
+    #[test]
+    fn compile_produces_a_working_matcher() {
+        let job = DnaWorkload::custom("x", 100, MotifSet::parse(&["ACGT"]).unwrap());
+        let matcher = job.compile();
+        assert_eq!(matcher.count_matches(b"ACGTACGT"), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the DNA analysis crate.
+
+use dna_analysis::{Base, DfaMatcher, Dfa, DnaSequence, MotifSet, Nfa, ParallelScanner};
+use proptest::prelude::*;
+
+/// Strategy: a random concrete motif (A/C/G/T only) of length 2..=8.
+fn arb_motif() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(vec!['A', 'C', 'G', 'T']), 2..=8)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Strategy: a random motif that may contain degenerate IUPAC codes.
+fn arb_degenerate_motif() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        proptest::sample::select(vec!['A', 'C', 'G', 'T', 'N', 'R', 'Y', 'W', 'S']),
+        2..=6,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Strategy: a random DNA text as ASCII bytes.
+fn arb_text(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(proptest::sample::select(b"ACGT".to_vec()), 0..max_len)
+}
+
+/// Count matches of a single concrete motif by brute force.
+fn brute_force_count(text: &[u8], motif: &str) -> u64 {
+    let motif = motif.as_bytes();
+    if motif.is_empty() || text.len() < motif.len() {
+        return 0;
+    }
+    text.windows(motif.len()).filter(|w| *w == motif).count() as u64
+}
+
+proptest! {
+    /// The DFA count for a single concrete motif equals a brute-force window count.
+    #[test]
+    fn dfa_matches_brute_force(motif in arb_motif(), text in arb_text(4000)) {
+        let motifs = MotifSet::parse(&[motif.as_str()]).unwrap();
+        let dfa = Dfa::from_motifs(&motifs);
+        prop_assert_eq!(dfa.count_matches(&text), brute_force_count(&text, &motif));
+    }
+
+    /// DFA and NFA simulation agree for arbitrary (possibly degenerate) motif sets.
+    #[test]
+    fn dfa_agrees_with_nfa(
+        motifs in proptest::collection::vec(arb_degenerate_motif(), 1..4),
+        text in arb_text(2000),
+    ) {
+        let refs: Vec<&str> = motifs.iter().map(String::as_str).collect();
+        let set = MotifSet::parse(&refs).unwrap();
+        let nfa = Nfa::from_motifs(&set);
+        let dfa = Dfa::from_motifs(&set);
+        prop_assert_eq!(dfa.count_matches(&text), nfa.count_matches_slow(&text));
+    }
+
+    /// The parallel scanner returns exactly the sequential count for any chunk size and
+    /// thread count.
+    #[test]
+    fn parallel_scan_equals_sequential(
+        motifs in proptest::collection::vec(arb_degenerate_motif(), 1..3),
+        text in arb_text(20_000),
+        threads in 1usize..6,
+        chunk in 16usize..512,
+    ) {
+        let refs: Vec<&str> = motifs.iter().map(String::as_str).collect();
+        let matcher = DfaMatcher::compile(&MotifSet::parse(&refs).unwrap());
+        let scanner = ParallelScanner::new(threads).with_chunk_bytes(chunk);
+        prop_assert_eq!(
+            scanner.count_matches(&matcher, &text),
+            matcher.count_matches(&text)
+        );
+    }
+
+    /// Splitting the scan at any ratio conserves the total match count.
+    #[test]
+    fn split_scan_conserves_matches(
+        text in arb_text(10_000),
+        fraction in 0.0f64..=1.0,
+    ) {
+        let matcher = DfaMatcher::compile(&MotifSet::reference());
+        let scanner = ParallelScanner::new(3).with_chunk_bytes(256);
+        let total = matcher.count_matches(&text);
+        let (host, device) = scanner.count_matches_split(&matcher, &text, fraction);
+        prop_assert_eq!(host + device, total);
+    }
+
+    /// Scanning a concatenation from the carried-over state equals scanning the whole
+    /// text at once (state composition).
+    #[test]
+    fn scan_state_composes(text in arb_text(3000), split in 0usize..3000) {
+        let matcher = DfaMatcher::compile(&MotifSet::reference());
+        let split = split.min(text.len());
+        let whole = matcher.count_matches(&text);
+        let (left, state) = matcher.scan_from(Dfa::START, &text[..split]);
+        let (right, _) = matcher.scan_from(state, &text[split..]);
+        prop_assert_eq!(left + right, whole);
+    }
+
+    /// Random sequences only contain valid bases and reproduce per seed.
+    #[test]
+    fn sequences_are_valid_and_reproducible(len in 0usize..5000, gc in 0.0f64..=1.0, seed in 0u64..1000) {
+        let a = DnaSequence::random(len, gc, seed);
+        let b = DnaSequence::random(len, gc, seed);
+        prop_assert_eq!(a.bases(), b.bases());
+        prop_assert_eq!(a.len(), len);
+        prop_assert!(a.bases().iter().all(|&c| Base::from_ascii(c).is_some()));
+    }
+
+    /// FASTA serialisation round-trips.
+    #[test]
+    fn fasta_round_trip(len in 1usize..2000, seed in 0u64..500) {
+        let original = DnaSequence::random(len, 0.45, seed);
+        let parsed = DnaSequence::from_fasta(&original.to_fasta());
+        prop_assert_eq!(parsed.bases(), original.bases());
+    }
+}

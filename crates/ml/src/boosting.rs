@@ -1,0 +1,289 @@
+//! Gradient-boosted regression trees (least-squares boosting).
+//!
+//! This is the "Boosted Decision Tree Regression" the paper selects for execution-time
+//! prediction: an additive ensemble of shallow CART trees, each fitted to the residuals
+//! of the current ensemble, combined with a shrinkage (learning-rate) factor and
+//! optional row subsampling (stochastic gradient boosting).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::model::Regressor;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyper-parameters of the boosted ensemble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoostingParams {
+    /// Number of boosting rounds (trees).
+    pub n_estimators: usize,
+    /// Shrinkage applied to every tree's contribution.
+    pub learning_rate: f64,
+    /// Fraction of rows sampled (without replacement) for each tree; 1.0 disables
+    /// subsampling.
+    pub subsample: f64,
+    /// Parameters of the individual trees.
+    pub tree: TreeParams,
+    /// Seed for the subsampling RNG.
+    pub seed: u64,
+}
+
+impl Default for BoostingParams {
+    fn default() -> Self {
+        BoostingParams {
+            n_estimators: 200,
+            learning_rate: 0.08,
+            subsample: 0.85,
+            tree: TreeParams {
+                max_depth: 6,
+                min_samples_leaf: 3,
+                max_split_candidates: 48,
+            },
+            seed: 0x0b00_57ed,
+        }
+    }
+}
+
+impl BoostingParams {
+    /// A faster, lower-capacity configuration for unit tests and smoke runs.
+    pub fn fast() -> Self {
+        BoostingParams {
+            n_estimators: 40,
+            learning_rate: 0.15,
+            subsample: 1.0,
+            tree: TreeParams {
+                max_depth: 4,
+                min_samples_leaf: 2,
+                max_split_candidates: 32,
+            },
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct BoostedTreesRegressor {
+    params: BoostingParams,
+    base_prediction: f64,
+    trees: Vec<RegressionTree>,
+    fitted: bool,
+}
+
+impl BoostedTreesRegressor {
+    /// Create an unfitted model.
+    pub fn new(params: BoostingParams) -> Self {
+        BoostedTreesRegressor {
+            params,
+            base_prediction: 0.0,
+            trees: Vec::new(),
+            fitted: false,
+        }
+    }
+
+    /// Model with the default hyper-parameters.
+    pub fn default_model() -> Self {
+        Self::new(BoostingParams::default())
+    }
+
+    /// The hyper-parameters this model was created with.
+    pub fn params(&self) -> &BoostingParams {
+        &self.params
+    }
+
+    /// Number of trees in the fitted ensemble.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Training loss (mean squared error on the training set) after every boosting
+    /// round; useful for diagnosing over/under-fitting.  Only available after `fit`.
+    pub fn staged_training_mse(&self, data: &Dataset) -> Vec<f64> {
+        let mut predictions = vec![self.base_prediction; data.len()];
+        let mut losses = Vec::with_capacity(self.trees.len());
+        for tree in &self.trees {
+            for (i, prediction) in predictions.iter_mut().enumerate() {
+                *prediction += self.params.learning_rate * tree.predict_one(data.features(i));
+            }
+            let mse = predictions
+                .iter()
+                .zip(data.targets())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / data.len().max(1) as f64;
+            losses.push(mse);
+        }
+        losses
+    }
+}
+
+impl Regressor for BoostedTreesRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        self.trees.clear();
+        self.base_prediction = data.target_mean();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        let n = data.len();
+        let mut predictions = vec![self.base_prediction; n];
+        let mut residuals = vec![0.0; n];
+        let sample_size = ((n as f64) * self.params.subsample.clamp(0.05, 1.0)).ceil() as usize;
+        let sample_size = sample_size.clamp(1, n);
+        let mut all_indices: Vec<usize> = (0..n).collect();
+
+        for _ in 0..self.params.n_estimators {
+            for i in 0..n {
+                residuals[i] = data.target(i) - predictions[i];
+            }
+
+            let indices: Vec<usize> = if sample_size == n {
+                all_indices.clone()
+            } else {
+                all_indices.shuffle(&mut rng);
+                all_indices[..sample_size].to_vec()
+            };
+
+            let mut tree = RegressionTree::new(self.params.tree);
+            tree.fit_on_indices(data, &residuals, &indices)?;
+
+            for (i, prediction) in predictions.iter_mut().enumerate() {
+                *prediction += self.params.learning_rate * tree.predict_one(data.features(i));
+            }
+            self.trees.push(tree);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        let mut prediction = self.base_prediction;
+        for tree in &self.trees {
+            prediction += self.params.learning_rate * tree.predict_one(features);
+        }
+        prediction
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn name(&self) -> &'static str {
+        "boosted-decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    /// y = 2*x0 + 5*step(x1) + small deterministic wiggle
+    fn synthetic(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..n {
+            let x0 = (i % 50) as f64 / 5.0;
+            let x1 = ((i * 7) % 10) as f64;
+            let wiggle = ((i * 13) % 7) as f64 * 0.01;
+            let y = 2.0 * x0 + if x1 >= 5.0 { 5.0 } else { 0.0 } + wiggle;
+            d.push(vec![x0, x1], y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_nonlinear_function() {
+        let data = synthetic(600);
+        let (train, test) = data.train_test_split(0.5, 1);
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&train).unwrap();
+        assert!(model.is_fitted());
+        assert_eq!(model.tree_count(), BoostingParams::fast().n_estimators);
+
+        let predictions = model.predict_batch(test.feature_rows());
+        let mape = metrics::mean_absolute_percent_error(test.targets(), &predictions);
+        assert!(mape < 8.0, "MAPE too high: {mape}%");
+    }
+
+    #[test]
+    fn beats_a_single_tree() {
+        let data = synthetic(600);
+        let (train, test) = data.train_test_split(0.5, 2);
+
+        let mut single = RegressionTree::new(TreeParams {
+            max_depth: 2,
+            min_samples_leaf: 2,
+            max_split_candidates: 32,
+        });
+        single.fit(&train).unwrap();
+        let mut boosted = BoostedTreesRegressor::new(BoostingParams {
+            tree: TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 2,
+                max_split_candidates: 32,
+            },
+            ..BoostingParams::fast()
+        });
+        boosted.fit(&train).unwrap();
+
+        let rmse_single =
+            metrics::root_mean_squared_error(test.targets(), &single.predict_batch(test.feature_rows()));
+        let rmse_boosted = metrics::root_mean_squared_error(
+            test.targets(),
+            &boosted.predict_batch(test.feature_rows()),
+        );
+        assert!(
+            rmse_boosted < rmse_single,
+            "boosting ({rmse_boosted}) should beat a depth-2 tree ({rmse_single})"
+        );
+    }
+
+    #[test]
+    fn training_loss_decreases_monotonically_in_aggregate() {
+        let data = synthetic(300);
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&data).unwrap();
+        let losses = model.staged_training_mse(&data);
+        assert_eq!(losses.len(), BoostingParams::fast().n_estimators);
+        assert!(losses.last().unwrap() < losses.first().unwrap());
+    }
+
+    #[test]
+    fn subsampling_is_deterministic_per_seed() {
+        let data = synthetic(300);
+        let params = BoostingParams {
+            subsample: 0.5,
+            ..BoostingParams::fast()
+        };
+        let mut a = BoostedTreesRegressor::new(params);
+        let mut b = BoostedTreesRegressor::new(params);
+        a.fit(&data).unwrap();
+        b.fit(&data).unwrap();
+        let probe = vec![3.3, 7.0];
+        assert_eq!(a.predict_one(&probe), b.predict_one(&probe));
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut model = BoostedTreesRegressor::default_model();
+        assert_eq!(
+            model.fit(&Dataset::new(vec!["x".into()])),
+            Err(MlError::EmptyDataset)
+        );
+        assert!(!model.is_fitted());
+    }
+
+    #[test]
+    fn constant_target_is_predicted_exactly() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..50 {
+            d.push(vec![i as f64], 4.25).unwrap();
+        }
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&d).unwrap();
+        assert!((model.predict_one(&[17.0]) - 4.25).abs() < 1e-9);
+    }
+}

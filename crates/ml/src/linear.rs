@@ -1,0 +1,196 @@
+//! Ordinary least-squares linear regression (one of the paper's baseline models).
+//!
+//! The model solves the (ridge-stabilised) normal equations
+//! `(XᵀX + λI) β = Xᵀy` with Gaussian elimination; λ is a tiny constant that keeps the
+//! system solvable when features are collinear (e.g. one-hot encodings).
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::model::Regressor;
+
+/// Linear regression with an intercept term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegressor {
+    /// Ridge regularisation strength.
+    pub ridge_lambda: f64,
+    /// Fitted coefficients; index 0 is the intercept.
+    coefficients: Vec<f64>,
+    fitted: bool,
+}
+
+impl Default for LinearRegressor {
+    fn default() -> Self {
+        LinearRegressor {
+            ridge_lambda: 1e-8,
+            coefficients: Vec::new(),
+            fitted: false,
+        }
+    }
+}
+
+impl LinearRegressor {
+    /// Create a model with the default (numerically negligible) ridge term.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a ridge-regularised model.
+    pub fn with_ridge(lambda: f64) -> Self {
+        LinearRegressor {
+            ridge_lambda: lambda.max(0.0),
+            ..Self::default()
+        }
+    }
+
+    /// Fitted coefficients (`[intercept, beta_1, ..., beta_p]`), empty before fitting.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+}
+
+/// Solve `A x = b` for symmetric positive (semi-)definite `A` using Gaussian
+/// elimination with partial pivoting.  Returns `None` when the system is singular.
+pub(crate) fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let pivot_row = (col..n).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot_row][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        // eliminate
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for k in (col + 1)..n {
+            sum -= a[col][k] * x[k];
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+impl Regressor for LinearRegressor {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        let p = data.n_features() + 1; // +1 for the intercept
+        let mut xtx = vec![vec![0.0; p]; p];
+        let mut xty = vec![0.0; p];
+
+        let mut row_buffer = vec![0.0; p];
+        for i in 0..data.len() {
+            row_buffer[0] = 1.0;
+            row_buffer[1..].copy_from_slice(data.features(i));
+            let y = data.target(i);
+            for a in 0..p {
+                xty[a] += row_buffer[a] * y;
+                for b in 0..p {
+                    xtx[a][b] += row_buffer[a] * row_buffer[b];
+                }
+            }
+        }
+        for (d, row) in xtx.iter_mut().enumerate() {
+            row[d] += self.ridge_lambda;
+        }
+
+        let solution = solve_linear_system(xtx, xty).ok_or_else(|| MlError::FitFailed {
+            reason: "normal equations are singular".to_string(),
+        })?;
+        self.coefficients = solution;
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        if self.coefficients.is_empty() {
+            return 0.0;
+        }
+        let mut prediction = self.coefficients[0];
+        for (idx, beta) in self.coefficients.iter().skip(1).enumerate() {
+            prediction += beta * features.get(idx).copied().unwrap_or(0.0);
+        }
+        prediction
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-regression"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_coefficients() {
+        // y = 3 + 2 x0 - 0.5 x1
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..60 {
+            let x0 = (i % 10) as f64;
+            let x1 = (i / 10) as f64;
+            d.push(vec![x0, x1], 3.0 + 2.0 * x0 - 0.5 * x1).unwrap();
+        }
+        let mut model = LinearRegressor::new();
+        model.fit(&d).unwrap();
+        let c = model.coefficients();
+        assert!((c[0] - 3.0).abs() < 1e-6);
+        assert!((c[1] - 2.0).abs() < 1e-6);
+        assert!((c[2] + 0.5).abs() < 1e-6);
+        assert!((model.predict_one(&[4.0, 2.0]) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collinear_features_are_handled_by_ridge() {
+        // x1 = 2 * x0 exactly
+        let mut d = Dataset::new(vec!["x0".into(), "x1".into()]);
+        for i in 0..30 {
+            let x0 = i as f64;
+            d.push(vec![x0, 2.0 * x0], 5.0 * x0).unwrap();
+        }
+        let mut model = LinearRegressor::with_ridge(1e-6);
+        model.fit(&d).unwrap();
+        // predictions still correct even though individual coefficients are not unique
+        assert!((model.predict_one(&[10.0, 20.0]) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unfitted_model_predicts_zero() {
+        let model = LinearRegressor::new();
+        assert!(!model.is_fitted());
+        assert_eq!(model.predict_one(&[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut model = LinearRegressor::new();
+        assert!(model.fit(&Dataset::new(vec!["x".into()])).is_err());
+    }
+
+    #[test]
+    fn solver_detects_singular_systems() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let b = vec![1.0, 2.0];
+        assert!(solve_linear_system(a, b).is_none());
+        let a = vec![vec![2.0, 0.0], vec![0.0, 3.0]];
+        let b = vec![4.0, 9.0];
+        let x = solve_linear_system(a, b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,85 @@
+//! The common regressor interface.
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// A supervised regression model mapping a feature vector to a real-valued prediction
+/// (an execution time, in this project).
+pub trait Regressor {
+    /// Fit the model to a training dataset.
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError>;
+
+    /// Predict the target for a single feature vector.
+    ///
+    /// Calling this before [`Regressor::fit`] returns an unspecified (but finite)
+    /// value; use [`Regressor::is_fitted`] to check.
+    fn predict_one(&self, features: &[f64]) -> f64;
+
+    /// Whether the model has been fitted.
+    fn is_fitted(&self) -> bool;
+
+    /// Human readable name of the model (used in comparison reports).
+    fn name(&self) -> &'static str;
+
+    /// Predict targets for a batch of feature vectors.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|row| self.predict_one(row)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial regressor predicting the training-target mean, used to exercise the
+    /// trait's default method.
+    struct MeanModel {
+        mean: Option<f64>,
+    }
+
+    impl Regressor for MeanModel {
+        fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+            if data.is_empty() {
+                return Err(MlError::EmptyDataset);
+            }
+            self.mean = Some(data.target_mean());
+            Ok(())
+        }
+
+        fn predict_one(&self, _features: &[f64]) -> f64 {
+            self.mean.unwrap_or(0.0)
+        }
+
+        fn is_fitted(&self) -> bool {
+            self.mean.is_some()
+        }
+
+        fn name(&self) -> &'static str {
+            "mean"
+        }
+    }
+
+    #[test]
+    fn default_batch_prediction_maps_predict_one() {
+        let mut data = Dataset::new(vec!["x".into()]);
+        for i in 0..10 {
+            data.push(vec![i as f64], i as f64).unwrap();
+        }
+        let mut model = MeanModel { mean: None };
+        assert!(!model.is_fitted());
+        model.fit(&data).unwrap();
+        assert!(model.is_fitted());
+        let preds = model.predict_batch(data.feature_rows());
+        assert_eq!(preds.len(), 10);
+        assert!(preds.iter().all(|&p| (p - 4.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut model = MeanModel { mean: None };
+        assert_eq!(
+            model.fit(&Dataset::new(vec!["x".into()])),
+            Err(MlError::EmptyDataset)
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! CART-style regression trees.
+//!
+//! The tree minimises the sum of squared errors: each split chooses the (feature,
+//! threshold) pair with the largest variance reduction, and each leaf predicts the mean
+//! target of its training rows.  Trees are the weak learner of
+//! [`crate::boosting::BoostedTreesRegressor`].
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::model::Regressor;
+
+/// Hyper-parameters of a single regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (a depth of 0 is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of training rows in a leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum number of candidate thresholds examined per feature (quantile pruning of
+    /// the split search keeps training fast on large datasets).
+    pub max_split_candidates: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 5,
+            min_samples_leaf: 2,
+            max_split_candidates: 64,
+        }
+    }
+}
+
+/// One node of the tree, stored in an arena.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        prediction: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    params: TreeParams,
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Create an unfitted tree with the given hyper-parameters.
+    pub fn new(params: TreeParams) -> Self {
+        RegressionTree {
+            params,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf or an unfitted tree).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], index: usize) -> usize {
+            match nodes[index] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, left).max(depth_of(nodes, right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Fit the tree on a subset of rows (by index) against externally supplied targets
+    /// (the boosting residuals).  `targets[i]` corresponds to `data.features(i)`.
+    pub fn fit_on_indices(
+        &mut self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+    ) -> Result<(), MlError> {
+        if data.is_empty() || indices.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if targets.len() != data.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: data.len(),
+                actual: targets.len(),
+            });
+        }
+        self.nodes.clear();
+        let mut work = indices.to_vec();
+        self.build(data, targets, &mut work, 0);
+        Ok(())
+    }
+
+    /// Recursively build the subtree for `indices`, returning the node index.
+    fn build(
+        &mut self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &mut [usize],
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64;
+
+        if depth >= self.params.max_depth
+            || indices.len() < 2 * self.params.min_samples_leaf
+            || Self::is_pure(targets, indices)
+        {
+            return self.push(Node::Leaf { prediction: mean });
+        }
+
+        match self.best_split(data, targets, indices) {
+            None => self.push(Node::Leaf { prediction: mean }),
+            Some((feature, threshold)) => {
+                // partition indices in place
+                let mut split_point = 0;
+                for i in 0..indices.len() {
+                    if data.features(indices[i])[feature] <= threshold {
+                        indices.swap(i, split_point);
+                        split_point += 1;
+                    }
+                }
+                if split_point == 0 || split_point == indices.len() {
+                    return self.push(Node::Leaf { prediction: mean });
+                }
+                // reserve a slot for this split node before recursing so the root ends
+                // up at index 0
+                let node_index = self.push(Node::Leaf { prediction: mean });
+                let (left_slice, right_slice) = indices.split_at_mut(split_point);
+                let left = self.build(data, targets, left_slice, depth + 1);
+                let right = self.build(data, targets, right_slice, depth + 1);
+                self.nodes[node_index] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                node_index
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn is_pure(targets: &[f64], indices: &[usize]) -> bool {
+        let first = targets[indices[0]];
+        indices.iter().all(|&i| (targets[i] - first).abs() < 1e-12)
+    }
+
+    /// Find the (feature, threshold) pair with the largest SSE reduction.
+    fn best_split(
+        &self,
+        data: &Dataset,
+        targets: &[f64],
+        indices: &[usize],
+    ) -> Option<(usize, f64)> {
+        let total_sum: f64 = indices.iter().map(|&i| targets[i]).sum();
+        let total_sq: f64 = indices.iter().map(|&i| targets[i] * targets[i]).sum();
+        let n = indices.len() as f64;
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+
+        for feature in 0..data.n_features() {
+            // candidate thresholds: sorted unique values (quantile-pruned)
+            let mut values: Vec<(f64, f64)> = indices
+                .iter()
+                .map(|&i| (data.features(i)[feature], targets[i]))
+                .collect();
+            values.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            let stride = (values.len() / self.params.max_split_candidates).max(1);
+
+            // prefix sums for O(1) SSE evaluation at each split position
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let mut k = 0usize;
+            while k + 1 < values.len() {
+                left_sum += values[k].1;
+                left_sq += values[k].1 * values[k].1;
+                let boundary = values[k].0;
+                // only evaluate at value changes, respecting the candidate stride
+                let next = values[k + 1].0;
+                if boundary == next || (k + 1) % stride != 0 {
+                    k += 1;
+                    continue;
+                }
+                let left_n = (k + 1) as f64;
+                let right_n = n - left_n;
+                if (left_n as usize) < self.params.min_samples_leaf
+                    || (right_n as usize) < self.params.min_samples_leaf
+                {
+                    k += 1;
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / left_n)
+                    + (right_sq - right_sum * right_sum / right_n);
+                let threshold = (boundary + next) / 2.0;
+                if best.map_or(true, |(_, _, b)| sse < b) {
+                    best = Some((feature, threshold, sse));
+                }
+                k += 1;
+            }
+        }
+
+        best.and_then(|(feature, threshold, sse)| {
+            // require an actual improvement over the parent
+            if sse < parent_sse - 1e-12 {
+                Some((feature, threshold))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn fit(&mut self, data: &Dataset) -> Result<(), MlError> {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        self.fit_on_indices(data, data.targets(), &indices)
+    }
+
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let mut index = 0usize;
+        loop {
+            match self.nodes[index] {
+                Node::Leaf { prediction } => return prediction,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let value = features.get(feature).copied().unwrap_or(0.0);
+                    index = if value <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    fn name(&self) -> &'static str {
+        "regression-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_dataset() -> Dataset {
+        // y = 1 for x < 5, y = 10 for x >= 5 — a single split should fit it perfectly
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..10 {
+            let x = i as f64;
+            d.push(vec![x], if x < 5.0 { 1.0 } else { 10.0 }).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            max_split_candidates: 64,
+        });
+        let d = step_dataset();
+        tree.fit(&d).unwrap();
+        assert!(tree.is_fitted());
+        assert!((tree.predict_one(&[0.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[9.0]) - 10.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[4.4]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[5.1]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_the_mean() {
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 0,
+            min_samples_leaf: 1,
+            max_split_candidates: 8,
+        });
+        let d = step_dataset();
+        tree.fit(&d).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert!((tree.predict_one(&[3.0]) - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..256 {
+            d.push(vec![i as f64], (i % 17) as f64).unwrap();
+        }
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 3,
+            min_samples_leaf: 1,
+            max_split_candidates: 256,
+        });
+        tree.fit(&d).unwrap();
+        assert!(tree.depth() <= 3, "depth {} exceeds limit", tree.depth());
+    }
+
+    #[test]
+    fn min_samples_leaf_is_enforced() {
+        let d = step_dataset();
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 10,
+            min_samples_leaf: 6, // cannot split 10 rows into two leaves of >= 6
+            max_split_candidates: 64,
+        });
+        tree.fit(&d).unwrap();
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn pure_targets_yield_a_single_leaf() {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..20 {
+            d.push(vec![i as f64], 7.0).unwrap();
+        }
+        let mut tree = RegressionTree::new(TreeParams::default());
+        tree.fit(&d).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_one(&[100.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multifeature_split_selects_the_informative_feature() {
+        // feature 0 is noise, feature 1 determines the target
+        let mut d = Dataset::new(vec!["noise".into(), "signal".into()]);
+        for i in 0..100 {
+            let noise = ((i * 37) % 11) as f64;
+            let signal = (i % 2) as f64;
+            d.push(vec![noise, signal], signal * 100.0).unwrap();
+        }
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 1,
+            min_samples_leaf: 1,
+            max_split_candidates: 64,
+        });
+        tree.fit(&d).unwrap();
+        assert!((tree.predict_one(&[5.0, 0.0]) - 0.0).abs() < 1e-9);
+        assert!((tree.predict_one(&[5.0, 1.0]) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unfitted_tree_predicts_zero_and_reports_not_fitted() {
+        let tree = RegressionTree::new(TreeParams::default());
+        assert!(!tree.is_fitted());
+        assert_eq!(tree.predict_one(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let mut tree = RegressionTree::new(TreeParams::default());
+        assert!(tree.fit(&Dataset::new(vec!["x".into()])).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A simple generational genetic algorithm (another Section III-A alternative).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::objective::{CountingObjective, Objective};
+use crate::outcome::Outcome;
+use crate::space::SearchSpace;
+use crate::trace::{IterationRecord, OptimizationTrace};
+
+/// Hyper-parameters of the genetic algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticParams {
+    /// Number of individuals per generation.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size used for parent selection.
+    pub tournament: usize,
+    /// Probability that a child is mutated (one neighbour move).
+    pub mutation_rate: f64,
+    /// Number of elite individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneticParams {
+    fn default() -> Self {
+        GeneticParams {
+            population: 32,
+            generations: 40,
+            tournament: 3,
+            mutation_rate: 0.35,
+            elitism: 2,
+            seed: 0x6e6e_6e6e,
+        }
+    }
+}
+
+/// Generational GA with tournament selection, uniform crossover (delegated to the
+/// search space) and neighbour-move mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticAlgorithm {
+    /// Hyper-parameters.
+    pub params: GeneticParams,
+}
+
+impl GeneticAlgorithm {
+    /// Create a GA with the given parameters.
+    pub fn new(params: GeneticParams) -> Self {
+        GeneticAlgorithm { params }
+    }
+
+    /// A GA whose total evaluation budget is approximately `budget`.
+    pub fn with_budget(budget: usize, seed: u64) -> Self {
+        let population = 32usize;
+        let generations = (budget / population).max(1);
+        GeneticAlgorithm {
+            params: GeneticParams {
+                population,
+                generations,
+                seed,
+                ..GeneticParams::default()
+            },
+        }
+    }
+
+    /// Run the GA.
+    pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: Objective<S::Config> + ?Sized,
+    {
+        let p = &self.params;
+        let counting = CountingObjective::new(objective);
+        let mut rng = StdRng::seed_from_u64(p.seed);
+        let mut trace = OptimizationTrace::new();
+
+        let population_size = p.population.max(2);
+        let mut population: Vec<(S::Config, f64)> = (0..population_size)
+            .map(|_| {
+                let config = space.random(&mut rng);
+                let energy = counting.evaluate(&config);
+                (config, energy)
+            })
+            .collect();
+
+        let mut best = population
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .cloned()
+            .expect("population is non-empty");
+
+        for generation in 0..p.generations {
+            // sort ascending by energy for elitism
+            population.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut next: Vec<(S::Config, f64)> =
+                population.iter().take(p.elitism.min(population_size)).cloned().collect();
+
+            while next.len() < population_size {
+                let parent_a = tournament(&population, p.tournament, &mut rng);
+                let parent_b = tournament(&population, p.tournament, &mut rng);
+                let mut child = space.crossover(&parent_a.0, &parent_b.0, &mut rng);
+                if rng.gen_bool(p.mutation_rate.clamp(0.0, 1.0)) {
+                    child = space.neighbor(&child, &mut rng);
+                }
+                let energy = counting.evaluate(&child);
+                next.push((child, energy));
+            }
+            population = next;
+
+            if let Some(generation_best) = population.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
+                if generation_best.1 < best.1 {
+                    best = generation_best.clone();
+                }
+            }
+
+            trace.push(IterationRecord {
+                iteration: generation,
+                proposed_energy: population
+                    .iter()
+                    .map(|(_, e)| *e)
+                    .fold(f64::INFINITY, f64::min),
+                current_energy: population.iter().map(|(_, e)| *e).sum::<f64>()
+                    / population.len() as f64,
+                best_energy: best.1,
+                temperature: 0.0,
+                accepted: true,
+            });
+        }
+
+        Outcome {
+            best_config: best.0,
+            best_energy: best.1,
+            evaluations: counting.evaluations(),
+            trace,
+        }
+    }
+}
+
+fn tournament<'a, C>(
+    population: &'a [(C, f64)],
+    size: usize,
+    rng: &mut StdRng,
+) -> &'a (C, f64) {
+    let size = size.max(1);
+    let mut best: Option<&(C, f64)> = None;
+    for _ in 0..size {
+        let candidate = &population[rng.gen_range(0..population.len())];
+        if best.map_or(true, |b| candidate.1 < b.1) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("tournament size >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::GridSpace;
+
+    fn rugged(config: &(u32, u32)) -> f64 {
+        let dx = config.0 as f64 - 70.0;
+        let dy = config.1 as f64 - 21.0;
+        dx * dx + dy * dy + 10.0 * ((dx * 0.5).sin().abs() + (dy * 0.3).sin().abs())
+    }
+
+    #[test]
+    fn improves_over_generations() {
+        let space = GridSpace { width: 128, height: 128 };
+        let outcome = GeneticAlgorithm::with_budget(2000, 5).run(&space, &rugged);
+        assert!(outcome.best_energy < 300.0, "got {}", outcome.best_energy);
+        let series = outcome.trace.best_energy_series();
+        assert!(series.last().unwrap() <= series.first().unwrap());
+    }
+
+    #[test]
+    fn evaluation_budget_is_approximately_respected() {
+        let space = GridSpace { width: 64, height: 64 };
+        let outcome = GeneticAlgorithm::with_budget(1000, 1).run(&space, &rugged);
+        assert!(outcome.evaluations <= 1100, "got {}", outcome.evaluations);
+        assert!(outcome.evaluations >= 500);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let space = GridSpace { width: 64, height: 64 };
+        let a = GeneticAlgorithm::with_budget(600, 9).run(&space, &rugged);
+        let b = GeneticAlgorithm::with_budget(600, 9).run(&space, &rugged);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_energy, b.best_energy);
+    }
+
+    #[test]
+    fn elitism_preserves_the_best_individual() {
+        let space = GridSpace { width: 32, height: 32 };
+        let ga = GeneticAlgorithm::new(GeneticParams {
+            population: 10,
+            generations: 30,
+            elitism: 2,
+            ..GeneticParams::default()
+        });
+        let outcome = ga.run(&space, &rugged);
+        // best energy series must be non-increasing when elitism is enabled
+        for pair in outcome.trace.best_energy_series().windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-12);
+        }
+    }
+}

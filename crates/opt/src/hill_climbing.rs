@@ -1,0 +1,129 @@
+//! Random-restart hill climbing (a "local search" baseline, cf. Section III-A).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::objective::{CountingObjective, Objective};
+use crate::outcome::Outcome;
+use crate::space::SearchSpace;
+use crate::trace::{IterationRecord, OptimizationTrace};
+
+/// First-improvement hill climbing with random restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HillClimbing {
+    /// Total evaluation budget across all restarts.
+    pub max_evaluations: usize,
+    /// Number of consecutive non-improving proposals after which the climber restarts
+    /// from a fresh random configuration.
+    pub patience: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HillClimbing {
+    /// A climber with the given evaluation budget.
+    pub fn with_budget(max_evaluations: usize, seed: u64) -> Self {
+        HillClimbing {
+            max_evaluations: max_evaluations.max(2),
+            patience: 40,
+            seed,
+        }
+    }
+
+    /// Run the optimizer.
+    pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: Objective<S::Config> + ?Sized,
+    {
+        let counting = CountingObjective::new(objective);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = OptimizationTrace::new();
+
+        let mut current = space.random(&mut rng);
+        let mut current_energy = counting.evaluate(&current);
+        let mut best = current.clone();
+        let mut best_energy = current_energy;
+        let mut stale = 0usize;
+        let mut iteration = 0usize;
+
+        while counting.evaluations() < self.max_evaluations {
+            let proposal = space.neighbor(&current, &mut rng);
+            let proposal_energy = counting.evaluate(&proposal);
+            let accepted = proposal_energy < current_energy;
+            if accepted {
+                current = proposal;
+                current_energy = proposal_energy;
+                stale = 0;
+                if current_energy < best_energy {
+                    best = current.clone();
+                    best_energy = current_energy;
+                }
+            } else {
+                stale += 1;
+            }
+
+            trace.push(IterationRecord {
+                iteration,
+                proposed_energy: proposal_energy,
+                current_energy,
+                best_energy,
+                temperature: 0.0,
+                accepted,
+            });
+            iteration += 1;
+
+            if stale >= self.patience && counting.evaluations() < self.max_evaluations {
+                current = space.random(&mut rng);
+                current_energy = counting.evaluate(&current);
+                stale = 0;
+                if current_energy < best_energy {
+                    best = current.clone();
+                    best_energy = current_energy;
+                }
+            }
+        }
+
+        Outcome {
+            best_config: best,
+            best_energy,
+            evaluations: counting.evaluations(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::GridSpace;
+
+    fn bowl(config: &(u32, u32)) -> f64 {
+        let dx = config.0 as f64 - 20.0;
+        let dy = config.1 as f64 - 30.0;
+        dx * dx + dy * dy
+    }
+
+    #[test]
+    fn converges_on_a_convex_landscape() {
+        let space = GridSpace { width: 64, height: 64 };
+        let outcome = HillClimbing::with_budget(3000, 1).run(&space, &bowl);
+        assert!(outcome.best_energy <= 2.0, "got {}", outcome.best_energy);
+    }
+
+    #[test]
+    fn respects_the_evaluation_budget() {
+        let space = GridSpace { width: 64, height: 64 };
+        let outcome = HillClimbing::with_budget(500, 2).run(&space, &bowl);
+        assert!(outcome.evaluations <= 501);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let space = GridSpace { width: 64, height: 64 };
+        let a = HillClimbing::with_budget(400, 9).run(&space, &bowl);
+        let b = HillClimbing::with_budget(400, 9).run(&space, &bowl);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_energy, b.best_energy);
+    }
+}

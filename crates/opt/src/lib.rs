@@ -1,0 +1,71 @@
+//! # wd-opt
+//!
+//! Combinatorial-optimization heuristics for discrete configuration spaces, built for
+//! the reproduction of *Memeti & Pllana, Combinatorial Optimization of Work
+//! Distribution on Heterogeneous Systems, ICPP Workshops 2016*.
+//!
+//! The paper's proposal uses **Simulated Annealing** (Section III-A, Fig. 3) to explore
+//! the space of system configurations and compares it against exhaustive
+//! **enumeration**.  Section III-A also lists the alternative meta-heuristics the
+//! authors considered (genetic algorithms, tabu search, local search); those are
+//! provided here as well so the ablation benches can compare them.
+//!
+//! The crate is generic: anything implementing [`SearchSpace`] (how to sample and
+//! perturb configurations) and [`Objective`] (how to score one configuration — lower is
+//! better) can be optimized.
+//!
+//! ## Example
+//!
+//! ```
+//! use wd_opt::{Objective, SearchSpace, SimulatedAnnealing};
+//! use rand::rngs::StdRng;
+//! use rand::Rng;
+//!
+//! /// Search space: integers 0..=1000; neighbours differ by at most ±10.
+//! struct IntSpace;
+//! impl SearchSpace for IntSpace {
+//!     type Config = i64;
+//!     fn random(&self, rng: &mut StdRng) -> i64 { rng.gen_range(0..=1000) }
+//!     fn neighbor(&self, config: &i64, rng: &mut StdRng) -> i64 {
+//!         (config + rng.gen_range(-10i64..=10)).clamp(0, 1000)
+//!     }
+//!     fn cardinality(&self) -> Option<u128> { Some(1001) }
+//! }
+//!
+//! /// Objective: distance to 640 (minimum 0).
+//! struct Distance;
+//! impl Objective<i64> for Distance {
+//!     fn evaluate(&self, config: &i64) -> f64 { (config - 640).abs() as f64 }
+//! }
+//!
+//! let sa = SimulatedAnnealing::with_iteration_budget(500, 100.0, 42);
+//! let outcome = sa.run(&IntSpace, &Distance);
+//! assert!(outcome.best_energy < 25.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod enumeration;
+pub mod genetic;
+pub mod hill_climbing;
+pub mod objective;
+pub mod outcome;
+pub mod random_search;
+pub mod sa;
+pub mod schedule;
+pub mod space;
+pub mod tabu;
+pub mod trace;
+
+pub use enumeration::Enumeration;
+pub use genetic::{GeneticAlgorithm, GeneticParams};
+pub use hill_climbing::HillClimbing;
+pub use objective::{CountingObjective, Objective};
+pub use outcome::Outcome;
+pub use random_search::RandomSearch;
+pub use sa::SimulatedAnnealing;
+pub use schedule::CoolingSchedule;
+pub use space::SearchSpace;
+pub use tabu::TabuSearch;
+pub use trace::{IterationRecord, OptimizationTrace};

@@ -1,0 +1,50 @@
+//! The result returned by every optimization method.
+
+use crate::trace::OptimizationTrace;
+
+/// Result of running an optimization method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome<C> {
+    /// The best configuration found.
+    pub best_config: C,
+    /// Its energy (objective value).
+    pub best_energy: f64,
+    /// How many objective evaluations the method performed — the paper's measure of
+    /// optimization effort ("number of experiments").
+    pub evaluations: usize,
+    /// Per-iteration trace (empty for enumeration, which has no meaningful iteration
+    /// order).
+    pub trace: OptimizationTrace,
+}
+
+impl<C> Outcome<C> {
+    /// Map the configuration type (useful when adapting generic outcomes to
+    /// domain-specific reports).
+    pub fn map_config<D>(self, f: impl FnOnce(C) -> D) -> Outcome<D> {
+        Outcome {
+            best_config: f(self.best_config),
+            best_energy: self.best_energy,
+            evaluations: self.evaluations,
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_config_preserves_everything_else() {
+        let outcome = Outcome {
+            best_config: 42u32,
+            best_energy: 1.5,
+            evaluations: 10,
+            trace: OptimizationTrace::new(),
+        };
+        let mapped = outcome.map_config(|c| format!("cfg-{c}"));
+        assert_eq!(mapped.best_config, "cfg-42");
+        assert_eq!(mapped.best_energy, 1.5);
+        assert_eq!(mapped.evaluations, 10);
+    }
+}

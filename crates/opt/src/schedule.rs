@@ -1,0 +1,135 @@
+//! Cooling schedules for simulated annealing.
+
+/// How the temperature evolves over iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingSchedule {
+    /// The paper's schedule (Eq. 3): `T ← T · (1 − coolingRate)`.
+    Geometric {
+        /// The cooling rate in (0, 1).
+        cooling_rate: f64,
+    },
+    /// Linear decrease: `T ← T − decrement` (floored at zero).
+    Linear {
+        /// Amount subtracted each iteration.
+        decrement: f64,
+    },
+    /// Logarithmic (Boltzmann) cooling: `T(i) = T₀ / ln(i + e)`.
+    Logarithmic,
+}
+
+impl CoolingSchedule {
+    /// The paper's default: geometric cooling.
+    pub fn paper_default() -> Self {
+        CoolingSchedule::Geometric { cooling_rate: 0.003 }
+    }
+
+    /// Temperature after one more iteration.
+    ///
+    /// `initial` is the starting temperature, `current` the temperature before the
+    /// update and `iteration` the 0-based index of the iteration that just finished.
+    pub fn next_temperature(&self, initial: f64, current: f64, iteration: usize) -> f64 {
+        match *self {
+            CoolingSchedule::Geometric { cooling_rate } => {
+                current * (1.0 - cooling_rate.clamp(0.0, 1.0))
+            }
+            CoolingSchedule::Linear { decrement } => (current - decrement.max(0.0)).max(0.0),
+            CoolingSchedule::Logarithmic => initial / ((iteration + 2) as f64).ln().max(1.0),
+        }
+    }
+
+    /// Geometric cooling rate that reaches `final_temperature` from
+    /// `initial_temperature` in exactly `iterations` steps.
+    ///
+    /// The paper controls the iteration budget this way: "We can adjust the number of
+    /// iterations required by Simulated Annealing by changing the initial temperature,
+    /// or adjusting the cooling function."
+    pub fn geometric_for_budget(
+        iterations: usize,
+        initial_temperature: f64,
+        final_temperature: f64,
+    ) -> Self {
+        assert!(iterations > 0, "at least one iteration is required");
+        assert!(
+            initial_temperature > final_temperature && final_temperature > 0.0,
+            "temperatures must satisfy initial > final > 0"
+        );
+        let ratio = final_temperature / initial_temperature;
+        let cooling_rate = 1.0 - ratio.powf(1.0 / iterations as f64);
+        CoolingSchedule::Geometric { cooling_rate }
+    }
+
+    /// Number of iterations a geometric schedule needs to cool from `initial` below
+    /// `final_temperature`; `None` for non-geometric schedules.
+    pub fn geometric_iterations(&self, initial: f64, final_temperature: f64) -> Option<usize> {
+        match *self {
+            CoolingSchedule::Geometric { cooling_rate } => {
+                if cooling_rate <= 0.0 || cooling_rate >= 1.0 {
+                    return None;
+                }
+                let steps =
+                    (final_temperature / initial).ln() / (1.0 - cooling_rate).ln();
+                Some(steps.ceil().max(0.0) as usize)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_matches_the_paper_formula() {
+        let schedule = CoolingSchedule::Geometric { cooling_rate: 0.1 };
+        let t = schedule.next_temperature(100.0, 50.0, 3);
+        assert!((t - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_floors_at_zero() {
+        let schedule = CoolingSchedule::Linear { decrement: 30.0 };
+        assert_eq!(schedule.next_temperature(100.0, 20.0, 0), 0.0);
+        assert_eq!(schedule.next_temperature(100.0, 50.0, 0), 20.0);
+    }
+
+    #[test]
+    fn logarithmic_decreases_slowly() {
+        let schedule = CoolingSchedule::Logarithmic;
+        let t1 = schedule.next_temperature(100.0, 100.0, 0);
+        let t10 = schedule.next_temperature(100.0, t1, 9);
+        let t100 = schedule.next_temperature(100.0, t10, 99);
+        assert!(t1 > t10 && t10 > t100);
+        assert!(t100 > 10.0, "logarithmic cooling should still be warm after 100 iterations");
+    }
+
+    #[test]
+    fn budgeted_schedule_hits_the_requested_iteration_count() {
+        for iterations in [100usize, 250, 1000, 2000] {
+            let schedule = CoolingSchedule::geometric_for_budget(iterations, 1000.0, 1.0);
+            let computed = schedule.geometric_iterations(1000.0, 1.0).unwrap();
+            assert!(
+                computed.abs_diff(iterations) <= 1,
+                "budget {iterations} produced {computed} iterations"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperatures must satisfy")]
+    fn invalid_budget_temperatures_panic() {
+        let _ = CoolingSchedule::geometric_for_budget(10, 1.0, 10.0);
+    }
+
+    #[test]
+    fn geometric_iterations_is_none_for_other_schedules() {
+        assert_eq!(
+            CoolingSchedule::Linear { decrement: 1.0 }.geometric_iterations(10.0, 1.0),
+            None
+        );
+        assert_eq!(
+            CoolingSchedule::Logarithmic.geometric_iterations(10.0, 1.0),
+            None
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! The search-space abstraction.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A discrete configuration space that heuristics can sample and perturb.
+///
+/// Implementations describe *how the space looks* (random configurations, neighbour
+/// moves, optional exhaustive enumeration); they know nothing about the objective.
+pub trait SearchSpace {
+    /// The configuration type.
+    type Config: Clone;
+
+    /// Draw a uniformly random configuration.
+    fn random(&self, rng: &mut StdRng) -> Self::Config;
+
+    /// Produce a configuration "close to" `config` (one or a few parameters changed).
+    fn neighbor(&self, config: &Self::Config, rng: &mut StdRng) -> Self::Config;
+
+    /// Number of distinct configurations, when known and finite.
+    fn cardinality(&self) -> Option<u128> {
+        None
+    }
+
+    /// Exhaustively enumerate the space, when supported.  Methods that require
+    /// enumeration (the paper's EM and EML) return an error for spaces that do not
+    /// provide it.
+    fn enumerate(&self) -> Option<Vec<Self::Config>> {
+        None
+    }
+
+    /// Recombine two parent configurations (used by the genetic algorithm).  The
+    /// default implementation returns one of the parents unchanged, which degrades the
+    /// GA into a mutation-only evolutionary algorithm but keeps the trait easy to
+    /// implement.
+    fn crossover(
+        &self,
+        parent_a: &Self::Config,
+        parent_b: &Self::Config,
+        rng: &mut StdRng,
+    ) -> Self::Config {
+        if rng.gen_bool(0.5) {
+            parent_a.clone()
+        } else {
+            parent_b.clone()
+        }
+    }
+}
+
+/// A small, fully enumerable test space used by the crate's own unit tests: the grid
+/// `{0..width} x {0..height}` with ±1 neighbourhood moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridSpace {
+    /// Exclusive upper bound of the first coordinate.
+    pub width: u32,
+    /// Exclusive upper bound of the second coordinate.
+    pub height: u32,
+}
+
+impl SearchSpace for GridSpace {
+    type Config = (u32, u32);
+
+    fn random(&self, rng: &mut StdRng) -> Self::Config {
+        (rng.gen_range(0..self.width), rng.gen_range(0..self.height))
+    }
+
+    fn neighbor(&self, config: &Self::Config, rng: &mut StdRng) -> Self::Config {
+        let (x, y) = *config;
+        let dx: i64 = rng.gen_range(-1..=1);
+        let dy: i64 = rng.gen_range(-1..=1);
+        (
+            (x as i64 + dx).clamp(0, self.width as i64 - 1) as u32,
+            (y as i64 + dy).clamp(0, self.height as i64 - 1) as u32,
+        )
+    }
+
+    fn cardinality(&self) -> Option<u128> {
+        Some(self.width as u128 * self.height as u128)
+    }
+
+    fn enumerate(&self) -> Option<Vec<Self::Config>> {
+        let mut all = Vec::with_capacity((self.width * self.height) as usize);
+        for x in 0..self.width {
+            for y in 0..self.height {
+                all.push((x, y));
+            }
+        }
+        Some(all)
+    }
+
+    fn crossover(
+        &self,
+        parent_a: &Self::Config,
+        parent_b: &Self::Config,
+        rng: &mut StdRng,
+    ) -> Self::Config {
+        // uniform crossover per coordinate
+        (
+            if rng.gen_bool(0.5) { parent_a.0 } else { parent_b.0 },
+            if rng.gen_bool(0.5) { parent_a.1 } else { parent_b.1 },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_space_samples_within_bounds() {
+        let space = GridSpace { width: 7, height: 3 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let (x, y) = space.random(&mut rng);
+            assert!(x < 7 && y < 3);
+        }
+    }
+
+    #[test]
+    fn grid_neighbors_stay_close_and_in_bounds() {
+        let space = GridSpace { width: 5, height: 5 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut config = (2u32, 2u32);
+        for _ in 0..500 {
+            let next = space.neighbor(&config, &mut rng);
+            assert!((next.0 as i64 - config.0 as i64).abs() <= 1);
+            assert!((next.1 as i64 - config.1 as i64).abs() <= 1);
+            assert!(next.0 < 5 && next.1 < 5);
+            config = next;
+        }
+    }
+
+    #[test]
+    fn grid_enumeration_matches_cardinality() {
+        let space = GridSpace { width: 6, height: 4 };
+        let all = space.enumerate().unwrap();
+        assert_eq!(all.len() as u128, space.cardinality().unwrap());
+        // no duplicates
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn default_crossover_returns_one_parent() {
+        struct Unit;
+        impl SearchSpace for Unit {
+            type Config = u8;
+            fn random(&self, _rng: &mut StdRng) -> u8 {
+                0
+            }
+            fn neighbor(&self, c: &u8, _rng: &mut StdRng) -> u8 {
+                *c
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let child = Unit.crossover(&1, &2, &mut rng);
+        assert!(child == 1 || child == 2);
+        assert_eq!(Unit.cardinality(), None);
+        assert!(Unit.enumerate().is_none());
+    }
+
+    #[test]
+    fn grid_crossover_mixes_coordinates() {
+        let space = GridSpace { width: 10, height: 10 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut saw_mix = false;
+        for _ in 0..100 {
+            let child = space.crossover(&(0, 0), &(9, 9), &mut rng);
+            assert!(child == (0, 0) || child == (9, 9) || child == (0, 9) || child == (9, 0));
+            if child == (0, 9) || child == (9, 0) {
+                saw_mix = true;
+            }
+        }
+        assert!(saw_mix, "uniform crossover should sometimes mix coordinates");
+    }
+}

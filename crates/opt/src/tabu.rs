@@ -1,0 +1,163 @@
+//! Tabu search (one of the alternative heuristics mentioned in Section III-A).
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::objective::{CountingObjective, Objective};
+use crate::outcome::Outcome;
+use crate::space::SearchSpace;
+use crate::trace::{IterationRecord, OptimizationTrace};
+
+/// Tabu search: best-of-neighbourhood moves with a short-term memory that forbids
+/// revisiting recently seen configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuSearch {
+    /// Number of iterations (each iteration samples `neighbourhood` candidates).
+    pub iterations: usize,
+    /// Number of neighbour candidates sampled per iteration.
+    pub neighbourhood: usize,
+    /// Length of the tabu list.
+    pub tabu_tenure: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TabuSearch {
+    /// Reasonable defaults for the given iteration budget.
+    pub fn with_budget(iterations: usize, seed: u64) -> Self {
+        TabuSearch {
+            iterations: iterations.max(1),
+            neighbourhood: 8,
+            tabu_tenure: 64,
+            seed,
+        }
+    }
+
+    /// Run the search.  Configurations must be hashable so the tabu list can store them.
+    pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        S::Config: Hash + Eq,
+        O: Objective<S::Config> + ?Sized,
+    {
+        let counting = CountingObjective::new(objective);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut trace = OptimizationTrace::new();
+
+        let mut current = space.random(&mut rng);
+        let mut current_energy = counting.evaluate(&current);
+        let mut best = current.clone();
+        let mut best_energy = current_energy;
+
+        let mut tabu_set: HashSet<S::Config> = HashSet::new();
+        let mut tabu_queue: VecDeque<S::Config> = VecDeque::new();
+        tabu_set.insert(current.clone());
+        tabu_queue.push_back(current.clone());
+
+        for iteration in 0..self.iterations {
+            // sample the neighbourhood and pick the best non-tabu candidate
+            // (aspiration: a tabu candidate is allowed if it improves the global best)
+            let mut chosen: Option<(S::Config, f64)> = None;
+            for _ in 0..self.neighbourhood {
+                let candidate = space.neighbor(&current, &mut rng);
+                let energy = counting.evaluate(&candidate);
+                let is_tabu = tabu_set.contains(&candidate);
+                let aspirated = energy < best_energy;
+                if is_tabu && !aspirated {
+                    continue;
+                }
+                if chosen.as_ref().map_or(true, |(_, e)| energy < *e) {
+                    chosen = Some((candidate, energy));
+                }
+            }
+
+            let (next, next_energy) = match chosen {
+                Some(pair) => pair,
+                // the whole neighbourhood was tabu: restart from a random configuration
+                None => {
+                    let fresh = space.random(&mut rng);
+                    let energy = counting.evaluate(&fresh);
+                    (fresh, energy)
+                }
+            };
+
+            current = next;
+            current_energy = next_energy;
+            if current_energy < best_energy {
+                best = current.clone();
+                best_energy = current_energy;
+            }
+
+            if tabu_set.insert(current.clone()) {
+                tabu_queue.push_back(current.clone());
+                if tabu_queue.len() > self.tabu_tenure {
+                    if let Some(expired) = tabu_queue.pop_front() {
+                        tabu_set.remove(&expired);
+                    }
+                }
+            }
+
+            trace.push(IterationRecord {
+                iteration,
+                proposed_energy: current_energy,
+                current_energy,
+                best_energy,
+                temperature: 0.0,
+                accepted: true,
+            });
+        }
+
+        Outcome {
+            best_config: best,
+            best_energy,
+            evaluations: counting.evaluations(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::GridSpace;
+
+    fn rugged(config: &(u32, u32)) -> f64 {
+        let dx = config.0 as f64 - 45.0;
+        let dy = config.1 as f64 - 17.0;
+        dx * dx + dy * dy + 15.0 * ((dx * 0.8).sin().abs() + (dy * 0.6).sin().abs())
+    }
+
+    #[test]
+    fn finds_a_good_solution() {
+        let space = GridSpace { width: 96, height: 96 };
+        let outcome = TabuSearch::with_budget(400, 7).run(&space, &rugged);
+        assert!(outcome.best_energy < 120.0, "got {}", outcome.best_energy);
+    }
+
+    #[test]
+    fn evaluations_scale_with_neighbourhood_size() {
+        let space = GridSpace { width: 32, height: 32 };
+        let search = TabuSearch {
+            iterations: 50,
+            neighbourhood: 4,
+            tabu_tenure: 16,
+            seed: 1,
+        };
+        let outcome = search.run(&space, &rugged);
+        // 1 initial + <= iterations * neighbourhood (+ occasional restarts)
+        assert!(outcome.evaluations >= 50);
+        assert!(outcome.evaluations <= 1 + 50 * 5);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let space = GridSpace { width: 64, height: 64 };
+        let a = TabuSearch::with_budget(120, 3).run(&space, &rugged);
+        let b = TabuSearch::with_budget(120, 3).run(&space, &rugged);
+        assert_eq!(a.best_config, b.best_config);
+        assert_eq!(a.best_energy, b.best_energy);
+    }
+}

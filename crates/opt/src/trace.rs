@@ -1,0 +1,125 @@
+//! Per-iteration optimization traces.
+
+/// One record per optimizer iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration number (0-based).
+    pub iteration: usize,
+    /// Energy of the configuration proposed in this iteration.
+    pub proposed_energy: f64,
+    /// Energy of the configuration the optimizer holds after this iteration.
+    pub current_energy: f64,
+    /// Best energy seen so far.
+    pub best_energy: f64,
+    /// Temperature (or an analogous control parameter; 0 for methods without one).
+    pub temperature: f64,
+    /// Whether the proposal was accepted.
+    pub accepted: bool,
+}
+
+/// A sequence of [`IterationRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptimizationTrace {
+    records: Vec<IterationRecord>,
+}
+
+impl OptimizationTrace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one record.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Best energy after each iteration (a non-increasing series).
+    pub fn best_energy_series(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.best_energy).collect()
+    }
+
+    /// Best energy observed within the first `iterations` iterations (or over the whole
+    /// trace if it is shorter).  Returns `None` for an empty trace or `iterations == 0`.
+    pub fn best_within(&self, iterations: usize) -> Option<f64> {
+        if iterations == 0 {
+            return None;
+        }
+        self.records
+            .iter()
+            .take(iterations)
+            .map(|r| r.best_energy)
+            .fold(None, |acc, e| Some(acc.map_or(e, |a: f64| a.min(e))))
+    }
+
+    /// Fraction of proposals that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.accepted).count() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(i: usize, best: f64, accepted: bool) -> IterationRecord {
+        IterationRecord {
+            iteration: i,
+            proposed_energy: best + 1.0,
+            current_energy: best,
+            best_energy: best,
+            temperature: 10.0 / (i + 1) as f64,
+            accepted,
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_records() {
+        let mut trace = OptimizationTrace::new();
+        assert!(trace.is_empty());
+        for i in 0..5 {
+            trace.push(record(i, 10.0 - i as f64, i % 2 == 0));
+        }
+        assert_eq!(trace.len(), 5);
+        assert_eq!(trace.best_energy_series(), vec![10.0, 9.0, 8.0, 7.0, 6.0]);
+        assert!((trace.acceptance_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_within_takes_a_prefix() {
+        let mut trace = OptimizationTrace::new();
+        for (i, best) in [5.0, 4.0, 4.0, 2.0, 2.0].iter().enumerate() {
+            trace.push(record(i, *best, true));
+        }
+        assert_eq!(trace.best_within(1), Some(5.0));
+        assert_eq!(trace.best_within(4), Some(2.0));
+        assert_eq!(trace.best_within(100), Some(2.0));
+        assert_eq!(trace.best_within(0), None);
+        assert_eq!(OptimizationTrace::new().best_within(3), None);
+    }
+
+    #[test]
+    fn empty_trace_metrics_are_safe() {
+        let trace = OptimizationTrace::new();
+        assert_eq!(trace.acceptance_rate(), 0.0);
+        assert!(trace.best_energy_series().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the optimization crate.
+
+use proptest::prelude::*;
+use wd_opt::space::GridSpace;
+use wd_opt::{
+    CoolingSchedule, Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch, SearchSpace,
+    SimulatedAnnealing, TabuSearch,
+};
+
+/// A deterministic but seed-parameterised objective with its global optimum at
+/// `(target_x, target_y)`.
+fn objective(target: (u32, u32)) -> impl Fn(&(u32, u32)) -> f64 + Sync {
+    move |config: &(u32, u32)| {
+        let dx = config.0 as f64 - target.0 as f64;
+        let dy = config.1 as f64 - target.1 as f64;
+        dx * dx + dy * dy + 5.0 * ((dx * 0.31).sin().abs() + (dy * 0.47).sin().abs())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Enumeration always returns the true optimum and evaluates every configuration
+    /// exactly once.
+    #[test]
+    fn enumeration_finds_the_optimum(
+        width in 2u32..30,
+        height in 2u32..30,
+        tx in 0u32..30,
+        ty in 0u32..30,
+    ) {
+        let space = GridSpace { width, height };
+        let target = (tx.min(width - 1), ty.min(height - 1));
+        let outcome = Enumeration::sequential().run(&space, &objective(target));
+        prop_assert_eq!(outcome.evaluations as u128, space.cardinality().unwrap());
+        // the optimum of the objective restricted to the grid is the clamped target
+        prop_assert_eq!(outcome.best_config, target);
+    }
+
+    /// Every heuristic returns an energy it actually evaluated (best ≤ every recorded
+    /// proposal) and respects its evaluation budget.
+    #[test]
+    fn heuristics_report_consistent_outcomes(seed in 0u64..500, budget in 50usize..400) {
+        let space = GridSpace { width: 64, height: 64 };
+        let objective = objective((13, 57));
+
+        let outcomes = vec![
+            ("sa", SimulatedAnnealing::with_budget_and_range(budget, 50.0, 0.5, seed).run(&space, &objective)),
+            ("hill", HillClimbing::with_budget(budget, seed).run(&space, &objective)),
+            ("random", RandomSearch::new(budget, seed).run(&space, &objective)),
+            ("ga", GeneticAlgorithm::with_budget(budget, seed).run(&space, &objective)),
+            ("tabu", TabuSearch::with_budget(budget / 8 + 1, seed).run(&space, &objective)),
+        ];
+        for (name, outcome) in outcomes {
+            prop_assert!(outcome.best_energy.is_finite(), "{name}");
+            // the reported best is never larger than any proposal seen in the trace
+            for record in outcome.trace.records() {
+                prop_assert!(outcome.best_energy <= record.best_energy + 1e-12, "{name}");
+            }
+            // budget respected within a small structural slack
+            prop_assert!(outcome.evaluations <= budget * 2 + 64,
+                "{name} used {} evaluations for budget {budget}", outcome.evaluations);
+            // the best energy equals evaluating the best configuration again
+            prop_assert!((objective(&outcome.best_config) - outcome.best_energy).abs() < 1e-9, "{name}");
+        }
+    }
+
+    /// Simulated annealing runs are exactly reproducible per seed, and the best-energy
+    /// series in the trace is non-increasing.
+    #[test]
+    fn annealing_is_reproducible_and_monotone(seed in 0u64..500, budget in 50usize..600) {
+        let space = GridSpace { width: 100, height: 100 };
+        let objective = objective((71, 23));
+        let sa = SimulatedAnnealing::with_budget_and_range(budget, 80.0, 0.4, seed);
+        let a = sa.run(&space, &objective);
+        let b = sa.run(&space, &objective);
+        prop_assert_eq!(a.best_config, b.best_config);
+        prop_assert_eq!(a.best_energy, b.best_energy);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        let series = a.trace.best_energy_series();
+        for pair in series.windows(2) {
+            prop_assert!(pair[1] <= pair[0] + 1e-12);
+        }
+    }
+
+    /// The geometric budget helper produces a schedule that reaches the stop
+    /// temperature in (approximately) the requested number of iterations.
+    #[test]
+    fn geometric_budget_matches_iterations(
+        iterations in 10usize..3000,
+        t0 in 10.0f64..2000.0,
+        t_end in 0.001f64..1.0,
+    ) {
+        prop_assume!(t0 > t_end * 10.0);
+        let schedule = CoolingSchedule::geometric_for_budget(iterations, t0, t_end);
+        let steps = schedule.geometric_iterations(t0, t_end).unwrap();
+        prop_assert!(steps.abs_diff(iterations) <= 1 + iterations / 100,
+            "requested {iterations}, schedule needs {steps}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Error type for platform simulation.
+
+use std::fmt;
+
+/// Errors produced while validating or executing a simulated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The requested number of threads exceeds what the device supports.
+    TooManyThreads {
+        /// Device name.
+        device: String,
+        /// Requested thread count.
+        requested: u32,
+        /// Maximum supported thread count.
+        maximum: u32,
+    },
+    /// A thread count of zero was requested for a device that received work.
+    ZeroThreads {
+        /// Device name.
+        device: String,
+    },
+    /// The requested affinity policy is not available on the device
+    /// (e.g. `balanced` only exists on the accelerator runtime).
+    UnsupportedAffinity {
+        /// Device name.
+        device: String,
+        /// The offending affinity policy.
+        affinity: crate::Affinity,
+    },
+    /// The partition fractions do not describe a valid split of the workload.
+    InvalidPartition {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// The number of per-device execution configs does not match the number of
+    /// accelerators that received work.
+    ConfigCountMismatch {
+        /// Number of accelerators in the platform.
+        accelerators: usize,
+        /// Number of device configurations supplied.
+        configs: usize,
+    },
+    /// The workload is degenerate (zero bytes).
+    EmptyWorkload,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::TooManyThreads {
+                device,
+                requested,
+                maximum,
+            } => write!(
+                f,
+                "device `{device}` supports at most {maximum} hardware threads, {requested} requested"
+            ),
+            PlatformError::ZeroThreads { device } => {
+                write!(f, "device `{device}` received work but zero threads")
+            }
+            PlatformError::UnsupportedAffinity { device, affinity } => {
+                write!(f, "affinity `{affinity}` is not supported on device `{device}`")
+            }
+            PlatformError::InvalidPartition { reason } => {
+                write!(f, "invalid workload partition: {reason}")
+            }
+            PlatformError::ConfigCountMismatch {
+                accelerators,
+                configs,
+            } => write!(
+                f,
+                "platform has {accelerators} accelerator(s) but {configs} device configuration(s) were supplied"
+            ),
+            PlatformError::EmptyWorkload => write!(f, "workload has zero bytes"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Affinity;
+
+    #[test]
+    fn display_mentions_device_and_counts() {
+        let err = PlatformError::TooManyThreads {
+            device: "phi".into(),
+            requested: 300,
+            maximum: 240,
+        };
+        let text = err.to_string();
+        assert!(text.contains("phi"));
+        assert!(text.contains("300"));
+        assert!(text.contains("240"));
+    }
+
+    #[test]
+    fn display_other_variants_are_nonempty() {
+        let errors = [
+            PlatformError::ZeroThreads { device: "host".into() },
+            PlatformError::UnsupportedAffinity {
+                device: "host".into(),
+                affinity: Affinity::Balanced,
+            },
+            PlatformError::InvalidPartition {
+                reason: "fractions sum to 1.5".into(),
+            },
+            PlatformError::ConfigCountMismatch {
+                accelerators: 1,
+                configs: 0,
+            },
+            PlatformError::EmptyWorkload,
+        ];
+        for err in errors {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&PlatformError::EmptyWorkload);
+    }
+}

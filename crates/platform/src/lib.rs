@@ -1,0 +1,63 @@
+//! # hetero-platform
+//!
+//! A simulator of a heterogeneous compute node consisting of a multi-socket CPU host and
+//! one or more many-core accelerators (modelled after the "Emil" machine used in
+//! *Memeti & Pllana, Combinatorial Optimization of Work Distribution on Heterogeneous
+//! Systems, ICPP Workshops 2016*: two 12-core Intel Xeon E5-2695v2 CPUs plus an Intel
+//! Xeon Phi 7120P co-processor).
+//!
+//! The simulator provides an analytical performance model that maps a *system
+//! configuration* — number of threads, thread affinity and workload fraction for the
+//! host and each accelerator — to host/device execution times.  It substitutes the real
+//! hardware used by the paper: the optimization problem studied there only observes the
+//! black-box mapping `configuration -> (T_host, T_device)`, so a calibrated analytical
+//! model that reproduces the qualitative shape of that mapping (hyper-threading gains,
+//! affinity effects, offload overheads, measurement noise) preserves the behaviour that
+//! matters for the paper's claims.
+//!
+//! ## Example
+//!
+//! ```
+//! use hetero_platform::{Affinity, ExecutionConfig, HeterogeneousPlatform, Partition, WorkloadProfile};
+//!
+//! let platform = HeterogeneousPlatform::emil();
+//! let workload = WorkloadProfile::dna_scan("human", 3_170_000_000);
+//!
+//! // 60 % of the sequence on the host (48 threads, scatter affinity),
+//! // 40 % offloaded to the Xeon Phi (240 threads, balanced affinity).
+//! let measurement = platform
+//!     .execute(
+//!         &workload,
+//!         &Partition::two_way(0.60),
+//!         &ExecutionConfig::new(48, Affinity::Scatter),
+//!         &[ExecutionConfig::new(240, Affinity::Balanced)],
+//!     )
+//!     .unwrap();
+//!
+//! assert!(measurement.t_total >= measurement.t_host.max(measurement.t_device));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod affinity;
+pub mod counters;
+pub mod device;
+pub mod error;
+pub mod noise;
+pub mod offload;
+pub mod perf_model;
+pub mod platform;
+pub mod topology;
+pub mod workload;
+
+pub use affinity::{Affinity, Placement};
+pub use counters::ExecutionStats;
+pub use device::{DeviceKind, DeviceSpec};
+pub use error::PlatformError;
+pub use noise::NoiseModel;
+pub use offload::OffloadModel;
+pub use perf_model::{PerfModel, PerfModelParams};
+pub use platform::{ExecutionConfig, HeterogeneousPlatform, Measurement, Partition};
+pub use topology::Topology;
+pub use workload::WorkloadProfile;

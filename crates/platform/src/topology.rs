@@ -1,0 +1,161 @@
+//! Socket / core / hardware-thread topology of a device.
+
+/// Compact description of a device topology used for thread placement.
+///
+/// Cores are indexed `0..usable_cores()` in socket-major order: core `c` belongs to
+/// socket `c / cores_per_socket`.  Reserved cores (e.g. the Xeon Phi core running the
+/// µOS) are removed from the end of the core list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    sockets: u32,
+    cores_per_socket: u32,
+    threads_per_core: u32,
+    reserved_cores: u32,
+}
+
+impl Topology {
+    /// Create a topology.  `reserved_cores` must be smaller than the total core count.
+    pub fn new(
+        sockets: u32,
+        cores_per_socket: u32,
+        threads_per_core: u32,
+        reserved_cores: u32,
+    ) -> Self {
+        assert!(sockets > 0, "a device has at least one socket");
+        assert!(cores_per_socket > 0, "a socket has at least one core");
+        assert!(threads_per_core > 0, "a core has at least one hardware thread");
+        assert!(
+            reserved_cores < sockets * cores_per_socket,
+            "cannot reserve every core"
+        );
+        Topology {
+            sockets,
+            cores_per_socket,
+            threads_per_core,
+            reserved_cores,
+        }
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> u32 {
+        self.sockets
+    }
+
+    /// Number of physical cores per socket.
+    pub fn cores_per_socket(&self) -> u32 {
+        self.cores_per_socket
+    }
+
+    /// Hardware threads per core.
+    pub fn threads_per_core(&self) -> u32 {
+        self.threads_per_core
+    }
+
+    /// Cores removed from the application's view (system software).
+    pub fn reserved_cores(&self) -> u32 {
+        self.reserved_cores
+    }
+
+    /// Cores usable by the application.
+    pub fn usable_cores(&self) -> u32 {
+        self.sockets * self.cores_per_socket - self.reserved_cores
+    }
+
+    /// Maximum number of application threads (usable cores × SMT width).
+    pub fn max_threads(&self) -> u32 {
+        self.usable_cores() * self.threads_per_core
+    }
+
+    /// Socket that owns core `core` (cores are numbered socket-major).
+    pub fn socket_of_core(&self, core: u32) -> u32 {
+        debug_assert!(core < self.usable_cores());
+        core / self.cores_per_socket
+    }
+
+    /// Iterator over usable core indices in *scatter* order: round-robin across sockets
+    /// so that consecutive entries land on different sockets whenever possible.
+    pub fn cores_scatter_order(&self) -> Vec<u32> {
+        let usable = self.usable_cores();
+        let mut order = Vec::with_capacity(usable as usize);
+        let per_socket = self.cores_per_socket;
+        for offset in 0..per_socket {
+            for socket in 0..self.sockets {
+                let core = socket * per_socket + offset;
+                if core < usable {
+                    order.push(core);
+                }
+            }
+        }
+        order
+    }
+
+    /// Iterator over usable core indices in *compact* order: fill socket 0 first.
+    pub fn cores_compact_order(&self) -> Vec<u32> {
+        (0..self.usable_cores()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> Topology {
+        Topology::new(2, 12, 2, 0)
+    }
+
+    fn phi() -> Topology {
+        Topology::new(1, 61, 4, 1)
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(host().usable_cores(), 24);
+        assert_eq!(host().max_threads(), 48);
+        assert_eq!(phi().usable_cores(), 60);
+        assert_eq!(phi().max_threads(), 240);
+    }
+
+    #[test]
+    fn socket_assignment_is_socket_major() {
+        let t = host();
+        assert_eq!(t.socket_of_core(0), 0);
+        assert_eq!(t.socket_of_core(11), 0);
+        assert_eq!(t.socket_of_core(12), 1);
+        assert_eq!(t.socket_of_core(23), 1);
+    }
+
+    #[test]
+    fn scatter_order_alternates_sockets() {
+        let t = host();
+        let order = t.cores_scatter_order();
+        assert_eq!(order.len(), 24);
+        // first two entries are on different sockets
+        assert_ne!(t.socket_of_core(order[0]), t.socket_of_core(order[1]));
+        // every core appears exactly once
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn compact_order_fills_first_socket_first() {
+        let t = host();
+        let order = t.cores_compact_order();
+        assert!(order[..12].iter().all(|&c| t.socket_of_core(c) == 0));
+        assert!(order[12..].iter().all(|&c| t.socket_of_core(c) == 1));
+    }
+
+    #[test]
+    fn scatter_order_skips_reserved_cores() {
+        let t = phi();
+        let order = t.cores_scatter_order();
+        assert_eq!(order.len(), 60);
+        assert!(order.iter().all(|&c| c < 60));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reserve every core")]
+    fn reserving_all_cores_panics() {
+        let _ = Topology::new(1, 2, 4, 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! DNA partitioning end-to-end: run the *real* finite-automata matcher on a synthetic
+//! genome, split the sequence between a "host" share and a "device" share exactly as
+//! the offload scheme of the paper would, and verify that the partitioned scan finds
+//! the same motif occurrences as a single scan.  Then use the autotuner to pick the
+//! split ratio for the full-size genome.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dna_partitioning
+//! ```
+
+use workdist::autotune::{Autotuner, MethodKind};
+use workdist::dna::{DfaMatcher, Genome, MotifSet, ParallelScanner};
+
+fn main() {
+    // --- 1. the application itself: motif scanning on an in-memory genome ------------
+    let motifs = MotifSet::parse(&["TATAAA", "GGCCAATCT", "GAATTC", "CANNTG"]).unwrap();
+    let matcher = DfaMatcher::compile(&motifs);
+    println!(
+        "compiled {} motifs into a DFA with {} states ({} bytes of tables)",
+        motifs.len(),
+        matcher.dfa().state_count(),
+        matcher.dfa().table_bytes()
+    );
+
+    // a 1:200 scale synthetic mouse genome (~14 MB) so the example runs in memory
+    let genome = Genome::Mouse;
+    let sequence = genome.synthesize(200);
+    println!(
+        "synthesized {} sequence: {:.1} MB (nominal size {:.2} GB), GC content {:.1} %",
+        genome,
+        sequence.len() as f64 / 1e6,
+        genome.nominal_bytes() as f64 / 1e9,
+        sequence.gc_content() * 100.0
+    );
+
+    let scanner = ParallelScanner::new(4);
+    let total = scanner.count_matches(&matcher, sequence.bases());
+    println!("total motif occurrences: {total}");
+
+    // --- 2. split the scan as the offload scheme would --------------------------------
+    for host_percent in [100u32, 70, 50, 30, 0] {
+        let (host_matches, device_matches) =
+            scanner.count_matches_split(&matcher, sequence.bases(), host_percent as f64 / 100.0);
+        assert_eq!(host_matches + device_matches, total, "no matches lost at the boundary");
+        println!(
+            "  split {host_percent:>3}/{:<3}: host finds {host_matches:>6}, device finds {device_matches:>6}",
+            100 - host_percent
+        );
+    }
+
+    // --- 3. let the autotuner pick the ratio for the full-size genome ----------------
+    let mut tuner = Autotuner::quick_setup(7).with_workload(genome.workload());
+    let outcome = tuner.run(MethodKind::Saml, 800).expect("training succeeds");
+    println!(
+        "\nfor the full {:.2} GB {} sequence the autotuner suggests:\n  {}",
+        genome.nominal_bytes() as f64 / 1e9,
+        genome,
+        outcome.best_config
+    );
+    let speedup = tuner.speedup(&outcome);
+    println!(
+        "  estimated time {:.3} s  ({:.2}x vs host-only, {:.2}x vs device-only)",
+        outcome.measured_energy,
+        speedup.speedup_vs_host(),
+        speedup.speedup_vs_device()
+    );
+}

@@ -1,0 +1,63 @@
+//! Compare the paper's four optimization methods (EM, EML, SAM, SAML) on one genome:
+//! solution quality, number of evaluated configurations and whether they need the
+//! trained prediction model.  This is a compact version of the paper's Fig. 9 /
+//! Tables VI-IX analysis.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use workdist::autotune::report::format_table;
+use workdist::autotune::{Autotuner, MethodKind};
+use workdist::dna::Genome;
+
+fn main() {
+    let genome = Genome::Cat;
+    let mut tuner = Autotuner::quick_setup(13).with_workload(genome.workload());
+
+    println!(
+        "comparing EM / EML / SAM / SAML on the {} sequence ({:.2} GB)\n",
+        genome,
+        genome.nominal_bytes() as f64 / 1e9
+    );
+
+    let budget = 1000; // simulated-annealing iterations, ignored by EM/EML
+    let mut rows = Vec::new();
+    let mut em_energy = None;
+    for method in MethodKind::ALL {
+        let outcome = tuner.run(method, budget).expect("every method can run");
+        if method == MethodKind::Em {
+            em_energy = Some(outcome.measured_energy);
+        }
+        let gap = em_energy
+            .map(|em| 100.0 * (outcome.measured_energy - em) / em)
+            .unwrap_or(0.0);
+        let properties = method.properties();
+        rows.push(vec![
+            method.name().to_string(),
+            properties.space_exploration.to_string(),
+            properties.evaluation.to_string(),
+            outcome.evaluations.to_string(),
+            format!("{:.3}", outcome.measured_energy),
+            format!("{gap:+.1}%"),
+            outcome.best_config.to_string(),
+        ]);
+    }
+
+    let headers = vec![
+        "Method".to_string(),
+        "Exploration".to_string(),
+        "Evaluation".to_string(),
+        "Experiments".to_string(),
+        "Time [s]".to_string(),
+        "vs EM".to_string(),
+        "Suggested configuration".to_string(),
+    ];
+    println!("{}", format_table(&headers, &rows));
+
+    println!(
+        "note: SAML evaluates roughly {:.1} % of the configurations EM enumerates, the paper's headline result.",
+        100.0 * budget as f64 / 19_926.0
+    );
+}

@@ -1,0 +1,89 @@
+//! Integration tests of the DNA application against the platform/workload bridge.
+
+use workdist::dna::{DfaMatcher, DnaSequence, DnaWorkload, Genome, MotifSet, ParallelScanner};
+use workdist::platform::{Affinity, ExecutionConfig, HeterogeneousPlatform};
+
+#[test]
+fn split_scanning_is_exact_for_every_ratio() {
+    // The work-distribution semantics of the paper must never lose or double-count a
+    // motif occurrence, whatever the split ratio.
+    let motifs = MotifSet::reference();
+    let matcher = DfaMatcher::compile(&motifs);
+    let sequence = DnaSequence::random_with_motif(1_500_000, 0.42, 99, "GGCCAATCT", 120);
+    let scanner = ParallelScanner::new(4).with_chunk_bytes(64 * 1024);
+    let total = matcher.count_matches(sequence.bases());
+    assert!(total >= 120);
+
+    for percent in (0..=100).step_by(5) {
+        let (host, device) =
+            scanner.count_matches_split(&matcher, sequence.bases(), percent as f64 / 100.0);
+        assert_eq!(host + device, total, "split at {percent}%");
+    }
+}
+
+#[test]
+fn genome_workloads_drive_the_simulator() {
+    // DnaWorkload bridges the application to the platform simulator: nominal sizes in,
+    // plausible execution times out.
+    let platform = HeterogeneousPlatform::emil().without_noise();
+    for genome in Genome::ALL {
+        let job = DnaWorkload::for_genome(genome);
+        let profile = job.profile();
+        assert_eq!(profile.bytes, genome.nominal_bytes());
+
+        let host = platform
+            .execute_host_only(&profile, &ExecutionConfig::new(48, Affinity::Scatter))
+            .unwrap();
+        let device = platform
+            .execute_device_only(&profile, &ExecutionConfig::new(240, Affinity::Balanced))
+            .unwrap();
+        // paper anchors: host-only runs take well under 1 s at 48 threads, device-only
+        // runs are slower but in the same order of magnitude
+        assert!(host.t_total > 0.3 && host.t_total < 1.2, "{genome}: host {}", host.t_total);
+        assert!(
+            device.t_total > host.t_total && device.t_total < 2.0,
+            "{genome}: device {}",
+            device.t_total
+        );
+    }
+}
+
+#[test]
+fn larger_genomes_take_longer() {
+    let platform = HeterogeneousPlatform::emil().without_noise();
+    let cfg = ExecutionConfig::new(48, Affinity::Scatter);
+    let mut times: Vec<(u64, f64)> = Genome::ALL
+        .iter()
+        .map(|g| {
+            (
+                g.nominal_bytes(),
+                platform.execute_host_only(&g.workload(), &cfg).unwrap().t_total,
+            )
+        })
+        .collect();
+    times.sort_by_key(|(bytes, _)| *bytes);
+    for pair in times.windows(2) {
+        assert!(pair[1].1 >= pair[0].1, "time must grow with genome size: {times:?}");
+    }
+}
+
+#[test]
+fn matcher_workload_and_simulated_split_are_consistent() {
+    // The fraction handed to the simulator and the fraction used to split the real scan
+    // describe the same bytes.
+    let job = DnaWorkload::for_genome(Genome::Cat);
+    let (host_bytes, device_bytes) = job.split_bytes(70);
+    assert_eq!(host_bytes + device_bytes, job.bytes);
+    let host_profile = job.profile_fraction(0.7);
+    // byte-rounding between the two paths stays within one byte per percent step
+    assert!((host_profile.bytes as i64 - host_bytes as i64).abs() <= 100);
+
+    // the real matcher agrees on a scaled-down copy of the same genome
+    let matcher = job.compile();
+    let sequence = Genome::Cat.synthesize(500);
+    let scanner = ParallelScanner::new(2);
+    let total = scanner.count_matches(&matcher, sequence.bases());
+    let (host_matches, device_matches) =
+        scanner.count_matches_split(&matcher, sequence.bases(), 0.7);
+    assert_eq!(host_matches + device_matches, total);
+}
