@@ -14,38 +14,42 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dna_analysis::Genome;
 use hetero_autotune::features::host_feature_names;
-use hetero_autotune::{
-    ConfigEvaluator, ConfigurationSpace, EnergyObjective, MeasurementEvaluator, TrainingCampaign,
-};
+use hetero_autotune::{ConfigurationSpace, MeasurementEvaluator, TrainingCampaign};
 use hetero_platform::HeterogeneousPlatform;
 use wd_ml::{
     metrics, BoostedTreesRegressor, BoostingParams, Dataset, LinearRegressor, PoissonRegressor,
     Regressor,
 };
 use wd_opt::{
-    CoolingSchedule, Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch,
-    SimulatedAnnealing, TabuSearch,
+    CoolingSchedule, Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch, SimulatedAnnealing,
+    TabuSearch,
 };
 
 const BUDGET: usize = 1000;
 
-fn setup() -> (HeterogeneousPlatform, MeasurementEvaluator) {
-    let platform = HeterogeneousPlatform::emil();
-    let evaluator = MeasurementEvaluator::new(platform.clone());
-    (platform, evaluator)
+/// The evaluator *is* the objective: `MeasurementEvaluator` implements
+/// `wd_opt::Objective` directly, so the heuristics consume it without adapters.
+fn setup(genome: Genome) -> MeasurementEvaluator {
+    MeasurementEvaluator::new(HeterogeneousPlatform::emil(), genome.workload())
 }
 
 fn ablation_cooling_schedules(c: &mut Criterion) {
-    let (_, evaluator) = setup();
-    let workload = Genome::Human.workload();
-    let objective = EnergyObjective::new(&evaluator, &workload);
+    let objective = setup(Genome::Human);
     let space = ConfigurationSpace::paper();
 
     // quality summary
     let em = Enumeration::parallel().run(&ConfigurationSpace::enumeration_grid(), &objective);
     for (name, schedule) in [
-        ("geometric (paper)", CoolingSchedule::geometric_for_budget(BUDGET, 2.0, 0.02)),
-        ("linear", CoolingSchedule::Linear { decrement: (2.0 - 0.02) / BUDGET as f64 }),
+        (
+            "geometric (paper)",
+            CoolingSchedule::geometric_for_budget(BUDGET, 2.0, 0.02),
+        ),
+        (
+            "linear",
+            CoolingSchedule::Linear {
+                decrement: (2.0 - 0.02) / BUDGET as f64,
+            },
+        ),
         ("logarithmic", CoolingSchedule::Logarithmic),
     ] {
         let mut sa = SimulatedAnnealing::with_budget_and_range(BUDGET, 2.0, 0.02, 9);
@@ -77,9 +81,7 @@ fn ablation_cooling_schedules(c: &mut Criterion) {
 }
 
 fn ablation_heuristics(c: &mut Criterion) {
-    let (_, evaluator) = setup();
-    let workload = Genome::Mouse.workload();
-    let objective = EnergyObjective::new(&evaluator, &workload);
+    let objective = setup(Genome::Mouse);
     let space = ConfigurationSpace::paper();
     let em = Enumeration::parallel().run(&ConfigurationSpace::enumeration_grid(), &objective);
 
@@ -107,9 +109,13 @@ fn ablation_heuristics(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_heuristics");
     group.sample_size(10);
-    group.bench_function("simulated_annealing", |b| b.iter(|| sa.run(&space, &objective)));
+    group.bench_function("simulated_annealing", |b| {
+        b.iter(|| sa.run(&space, &objective))
+    });
     group.bench_function("hill_climbing", |b| b.iter(|| hill.run(&space, &objective)));
-    group.bench_function("random_search", |b| b.iter(|| random.run(&space, &objective)));
+    group.bench_function("random_search", |b| {
+        b.iter(|| random.run(&space, &objective))
+    });
     group.finish();
 }
 
@@ -182,9 +188,9 @@ fn ablation_regressors(c: &mut Criterion) {
 
 fn ablation_noise(c: &mut Criterion) {
     // How much does measurement noise change the evaluated energy surface?
-    let noisy = MeasurementEvaluator::new(HeterogeneousPlatform::emil());
-    let clean = MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise());
     let workload = Genome::Dog.workload();
+    let noisy = MeasurementEvaluator::new(HeterogeneousPlatform::emil(), workload.clone());
+    let clean = MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise(), workload);
     let config = hetero_autotune::SystemConfiguration::with_host_percent(
         48,
         hetero_platform::Affinity::Scatter,
@@ -194,12 +200,12 @@ fn ablation_noise(c: &mut Criterion) {
     );
     println!(
         "noise ablation: noisy energy {:.4} s vs noiseless {:.4} s",
-        noisy.energy(&config, &workload),
-        clean.energy(&config, &workload)
+        noisy.energy(&config),
+        clean.energy(&config)
     );
     let mut group = c.benchmark_group("ablation_noise");
-    group.bench_function("noisy_evaluation", |b| b.iter(|| noisy.energy(&config, &workload)));
-    group.bench_function("noiseless_evaluation", |b| b.iter(|| clean.energy(&config, &workload)));
+    group.bench_function("noisy_evaluation", |b| b.iter(|| noisy.energy(&config)));
+    group.bench_function("noiseless_evaluation", |b| b.iter(|| clean.energy(&config)));
     group.finish();
 }
 

@@ -1,0 +1,113 @@
+//! Benches for the unified evaluation layer: sequential vs. batched vs. cached
+//! enumeration of the paper's configuration spaces.
+//!
+//! Prints a summary table first (total wall-clock per strategy on the Table-I
+//! enumeration grid plus the cache counters), so the bench output doubles as the
+//! evidence that the batched/cached path beats the naive sequential scan:
+//!
+//! * `ParallelEnumeration` reaches the simulator's `execute_many` in bulk batches;
+//! * a warm `CachedObjective` answers the whole grid from memory;
+//! * under simulated annealing the cache absorbs every revisited configuration.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_analysis::Genome;
+use hetero_autotune::{ConfigurationSpace, MeasurementEvaluator};
+use hetero_platform::HeterogeneousPlatform;
+use wd_opt::{
+    CachedObjective, Enumeration, Objective, ParallelEnumeration, SearchSpace, SimulatedAnnealing,
+};
+
+fn evaluator() -> MeasurementEvaluator {
+    MeasurementEvaluator::new(HeterogeneousPlatform::emil(), Genome::Human.workload())
+}
+
+/// One-shot comparison on the full 19 926-configuration enumeration grid.
+fn print_grid_summary() {
+    let evaluator = evaluator();
+    let grid = ConfigurationSpace::enumeration_grid();
+
+    let start = Instant::now();
+    let sequential = Enumeration::sequential().run(&grid, &evaluator);
+    let t_sequential = start.elapsed();
+
+    let start = Instant::now();
+    let batched = ParallelEnumeration::new().run(&grid, &evaluator);
+    let t_batched = start.elapsed();
+
+    let cached = CachedObjective::new(&evaluator);
+    let start = Instant::now();
+    let cold = ParallelEnumeration::new().run(&grid, &cached);
+    let t_cold = start.elapsed();
+    let start = Instant::now();
+    let warm = ParallelEnumeration::new().run(&grid, &cached);
+    let t_warm = start.elapsed();
+
+    assert_eq!(sequential.best_config, batched.best_config);
+    assert_eq!(sequential.best_config, cold.best_config);
+    assert_eq!(cold.best_config, warm.best_config);
+
+    println!(
+        "evaluation layer on the Table-I enumeration grid ({} configurations):",
+        sequential.evaluations
+    );
+    println!("  sequential enumeration        {t_sequential:>12.2?}");
+    println!("  batched parallel enumeration  {t_batched:>12.2?}");
+    println!(
+        "  batched + cache (cold)        {t_cold:>12.2?}  ({} misses)",
+        cached.stats().misses
+    );
+    println!(
+        "  batched + cache (warm)        {t_warm:>12.2?}  ({} hits)",
+        cached.stats().hits
+    );
+    assert!(
+        t_warm < t_sequential,
+        "a warm cache ({t_warm:?}) must beat the sequential scan ({t_sequential:?})"
+    );
+
+    // annealing behind the cache: revisits are free
+    let sa_cache = CachedObjective::new(&evaluator);
+    let outcome = SimulatedAnnealing::with_budget_and_range(2000, 2.0, 0.02, 7)
+        .run(&ConfigurationSpace::paper(), &sa_cache);
+    let stats = sa_cache.stats();
+    println!(
+        "  SA(2000) behind the cache: {} requests -> {} experiments ({} hits, {:.1} % hit rate)",
+        outcome.evaluations,
+        stats.misses,
+        stats.hits,
+        100.0 * stats.hit_rate(),
+    );
+}
+
+fn bench_enumeration_paths(c: &mut Criterion) {
+    print_grid_summary();
+
+    let evaluator = evaluator();
+    // the tiny grid keeps per-sample time reasonable for the timed loop
+    let grid = ConfigurationSpace::tiny();
+
+    let mut group = c.benchmark_group("evaluation_layer");
+    group.sample_size(20);
+    group.bench_function("enumeration_sequential", |b| {
+        b.iter(|| Enumeration::sequential().run(&grid, &evaluator));
+    });
+    group.bench_function("enumeration_batched_parallel", |b| {
+        b.iter(|| ParallelEnumeration::new().run(&grid, &evaluator));
+    });
+    group.bench_function("enumeration_batched_warm_cache", |b| {
+        let cached = CachedObjective::new(&evaluator);
+        let _ = ParallelEnumeration::new().run(&grid, &cached);
+        b.iter(|| ParallelEnumeration::new().run(&grid, &cached));
+    });
+    group.bench_function("batch_evaluation_512", |b| {
+        let configs = grid.enumerate().unwrap();
+        let batch = &configs[..configs.len().min(512)];
+        b.iter(|| evaluator.evaluate_batch(batch));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration_paths);
+criterion_main!(benches);

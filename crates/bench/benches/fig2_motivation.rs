@@ -23,7 +23,11 @@ fn print_series_once(platform: &HeterogeneousPlatform) {
             .iter()
             .map(|p| format!("{}={:.2}", p.label, p.normalized))
             .collect();
-        println!("{name} ({megabytes} MB, {threads} threads): best={} | {}", best.label, series.join(" "));
+        println!(
+            "{name} ({megabytes} MB, {threads} threads): best={} | {}",
+            best.label,
+            series.join(" ")
+        );
     }
 }
 

@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_autotune::features::host_features;
-use hetero_autotune::{ConfigEvaluator, MeasurementEvaluator, SystemConfiguration, TrainingCampaign};
+use hetero_autotune::{MeasurementEvaluator, SystemConfiguration, TrainingCampaign};
 use hetero_platform::{Affinity, HeterogeneousPlatform};
 use wd_bench::{PaperStudy, Scale};
 use wd_ml::{BoostingParams, Regressor};
@@ -45,15 +45,16 @@ fn bench_prediction(c: &mut Criterion) {
     });
 
     // prediction-based vs measurement-based evaluation of one system configuration
-    let config = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 60);
+    let config =
+        SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 60);
     let workload = dna_analysis::Genome::Human.workload();
-    let prediction = models.prediction_evaluator();
-    let measurement = MeasurementEvaluator::new(platform.clone());
+    let prediction = models.prediction_evaluator(workload.clone());
+    let measurement = MeasurementEvaluator::new(platform.clone(), workload);
     c.bench_function("evaluate_config_prediction", |b| {
-        b.iter(|| prediction.energy(&config, &workload));
+        b.iter(|| prediction.energy(&config));
     });
     c.bench_function("evaluate_config_measurement", |b| {
-        b.iter(|| measurement.energy(&config, &workload));
+        b.iter(|| measurement.energy(&config));
     });
 }
 

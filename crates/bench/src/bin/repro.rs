@@ -41,7 +41,9 @@ fn main() {
             "--quick" => scale = Scale::Quick,
             "--seed" => {
                 let value = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
-                seed = value.parse().unwrap_or_else(|_| usage("--seed needs an integer"));
+                seed = value
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed needs an integer"));
             }
             "--help" | "-h" => usage(""),
             name => {
@@ -68,9 +70,12 @@ fn main() {
             "fig5" | "fig6" | "fig7" | "fig8" | "table4" | "table5"
         )
     });
-    let needs_convergence = artifacts
-        .iter()
-        .any(|a| matches!(a.as_str(), "fig9" | "table6" | "table7" | "table8" | "table9"));
+    let needs_convergence = artifacts.iter().any(|a| {
+        matches!(
+            a.as_str(),
+            "fig9" | "table6" | "table7" | "table8" | "table9"
+        )
+    });
 
     // static artifacts first
     for artifact in &artifacts {
@@ -89,7 +94,11 @@ fn main() {
 
     eprintln!(
         "# running the {} campaign (this performs {} simulated experiments)...",
-        if scale == Scale::Paper { "paper-scale" } else { "quick" },
+        if scale == Scale::Paper {
+            "paper-scale"
+        } else {
+            "quick"
+        },
         scale.campaign().total_experiment_count(),
     );
 
@@ -170,7 +179,11 @@ fn usage(message: &str) -> ! {
 fn table1() {
     let space = ConfigurationSpace::paper();
     let grid = ConfigurationSpace::enumeration_grid();
-    let headers = vec!["Parameter".to_string(), "Host".to_string(), "Device".to_string()];
+    let headers = vec![
+        "Parameter".to_string(),
+        "Host".to_string(),
+        "Device".to_string(),
+    ];
     let rows = vec![
         vec![
             "Threads".to_string(),
@@ -179,8 +192,22 @@ fn table1() {
         ],
         vec![
             "Affinity".to_string(),
-            format!("{:?}", space.host_affinities.iter().map(Affinity::name).collect::<Vec<_>>()),
-            format!("{:?}", space.device_affinities.iter().map(Affinity::name).collect::<Vec<_>>()),
+            format!(
+                "{:?}",
+                space
+                    .host_affinities
+                    .iter()
+                    .map(Affinity::name)
+                    .collect::<Vec<_>>()
+            ),
+            format!(
+                "{:?}",
+                space
+                    .device_affinities
+                    .iter()
+                    .map(Affinity::name)
+                    .collect::<Vec<_>>()
+            ),
         ],
         vec![
             "Workload fraction".to_string(),
@@ -229,9 +256,17 @@ fn table2() {
 fn table3() {
     let host = DeviceSpec::xeon_e5_2695v2_dual();
     let phi = DeviceSpec::xeon_phi_7120p();
-    let headers = vec!["Specification".to_string(), "Intel Xeon".to_string(), "Intel Xeon Phi".to_string()];
+    let headers = vec![
+        "Specification".to_string(),
+        "Intel Xeon".to_string(),
+        "Intel Xeon Phi".to_string(),
+    ];
     let rows = vec![
-        vec!["Type".to_string(), "E5-2695v2".to_string(), "7120P".to_string()],
+        vec![
+            "Type".to_string(),
+            "E5-2695v2".to_string(),
+            "7120P".to_string(),
+        ],
         vec![
             "Core frequency [GHz]".to_string(),
             format!("{} - {}", host.base_frequency_ghz, host.turbo_frequency_ghz),
@@ -374,7 +409,10 @@ fn fig7or8(study: &PaperStudy, host: bool) {
         .zip(histogram.counts())
         .map(|(bound, count)| vec![format!("{bound}"), count.to_string()])
         .collect();
-    rows.push(vec!["(larger)".to_string(), histogram.overflow().to_string()]);
+    rows.push(vec![
+        "(larger)".to_string(),
+        histogram.overflow().to_string(),
+    ]);
     println!("{}", format_table(&headers, &rows));
     println!("total predictions evaluated: {}\n", histogram.total());
 }
@@ -382,9 +420,15 @@ fn fig7or8(study: &PaperStudy, host: bool) {
 /// Tables IV / V: prediction accuracy per thread count.
 fn table4or5(study: &PaperStudy, host: bool) {
     let (caption, report) = if host {
-        ("Table IV: prediction accuracy for the host", &study.models.host_accuracy)
+        (
+            "Table IV: prediction accuracy for the host",
+            &study.models.host_accuracy,
+        )
     } else {
-        ("Table V: prediction accuracy for the device", &study.models.device_accuracy)
+        (
+            "Table V: prediction accuracy for the device",
+            &study.models.device_accuracy,
+        )
     };
     let by_threads = report.by_threads();
     let mut headers = vec!["Threads".to_string()];

@@ -80,13 +80,8 @@ impl PaperStudy {
     pub fn run(scale: Scale, seed: u64) -> Self {
         let platform = HeterogeneousPlatform::emil_with_seed(seed);
         let models = scale.campaign().run(&platform, scale.boosting());
-        let convergence = ConvergenceStudy::run(
-            &platform,
-            &models,
-            &scale.genomes(),
-            &scale.budgets(),
-            seed,
-        );
+        let convergence =
+            ConvergenceStudy::run(&platform, &models, &scale.genomes(), &scale.budgets(), seed);
         PaperStudy {
             platform,
             scale,

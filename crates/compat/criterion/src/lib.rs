@@ -1,0 +1,284 @@
+//! Vendored, dependency-free stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness so the
+//! workspace builds (and `cargo bench` runs) without network access.
+//!
+//! The shim keeps criterion's macro/builder API shape — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], [`Bencher::iter`] — but replaces
+//! the statistical machinery with a simple measured loop: a warm-up iteration followed
+//! by `sample_size` timed samples, reporting mean and minimum per-iteration time.
+//! That is enough for the comparative benches in this repository (sequential vs.
+//! batched vs. cached evaluation), which care about orders of magnitude rather than
+//! confidence intervals.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches` does) each
+//! benchmark body runs exactly once, so benches double as smoke tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Identifier consisting of the parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Throughput annotation (accepted and ignored by the shim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    mean: Duration,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its timing.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // one warm-up iteration
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.mean = total / self.samples as u32;
+        self.min = min;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(None, id.into(), sample_size, test_mode, f);
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: BenchmarkId,
+    samples: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: samples.max(1),
+        test_mode,
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = match group {
+        Some(group) => format!("{group}/{}", id.name),
+        None => id.name,
+    };
+    if test_mode {
+        println!("{label:<48} ok (test mode)");
+    } else {
+        println!(
+            "{label:<48} mean {:>12}   min {:>12}   ({} samples)",
+            format_duration(bencher.mean),
+            format_duration(bencher.min),
+            samples.max(1),
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Throughput annotation (ignored by the shim).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            id.into(),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Benchmark a function parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Define a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_timings() {
+        let mut bencher = Bencher {
+            samples: 3,
+            test_mode: false,
+            mean: Duration::ZERO,
+            min: Duration::ZERO,
+        };
+        bencher.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(bencher.mean >= bencher.min);
+        assert!(bencher.min > Duration::ZERO);
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("SAM", 250).name, "SAM/250");
+        assert_eq!(BenchmarkId::from_parameter("human").name, "human");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(100)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(100)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(100)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies (`proptest::sample`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Strategy choosing uniformly among the given values.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select requires at least one value");
+    Select { values }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let index = rng.gen_range(0..self.values.len());
+        self.values[index].clone()
+    }
+}

@@ -1,0 +1,142 @@
+//! The parallel-iterator traits and adapters.
+
+use std::cmp::Ordering;
+use std::iter::Sum;
+
+use crate::parallel_map;
+
+/// A data-parallel iterator.  Unlike rayon's lazy splitters this shim drives each
+/// combinator stage as one parallel pass over a materialised vector, which is
+/// semantically equivalent for the pure item-wise pipelines the workspace uses.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this iterator.
+    type Item: Send;
+
+    /// Materialise all items, running any pending stages in parallel.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Item-wise transformation, applied in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Minimum by a comparator.  Like upstream rayon (and `Iterator::min_by`), ties
+    /// resolve to the *last* minimal item in iteration order, independent of thread
+    /// count.
+    fn min_by<F>(self, compare: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering,
+    {
+        self.drive().into_iter().min_by(compare)
+    }
+
+    /// Collect into any `FromIterator` container, preserving item order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Run `f` on every item (in parallel for pending `map` stages).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let _: Vec<()> = Map { base: self, f: &f }.drive();
+    }
+
+    /// Sum all items.
+    fn sum<S: Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+/// Conversion into an owning parallel iterator (mirrors rayon's trait of the same name).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`par_iter()` on slices/vectors).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Iterate the container's elements by reference, in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// Adapter produced by [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}

@@ -1,0 +1,130 @@
+//! Vendored, dependency-free stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate so the workspace builds without network access.
+//!
+//! The subset provided is what the workspace uses: `into_par_iter()` /
+//! `par_iter()` on vectors and slices, with `map`, `min_by`, `collect`, `for_each`,
+//! `sum` and `count` combinators.  Work is split into contiguous chunks executed on
+//! `std::thread::scope` threads (one per available core), which preserves item order
+//! for `collect` and gives deterministic results for order-insensitive reductions.
+//!
+//! Nested parallelism is guarded with a thread-local flag: a parallel combinator
+//! invoked from inside a worker thread runs sequentially instead of oversubscribing,
+//! mirroring how rayon keeps one pool.
+
+use std::cell::Cell;
+
+pub mod iter;
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of threads parallel combinators will use (the machine's available
+/// parallelism; 1 when called from inside a worker thread).
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    }
+}
+
+/// Apply `f` to every item, in parallel, preserving order.
+pub(crate) fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into `threads` contiguous chunks of near-equal size.
+    let len = items.len();
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|flag| flag.set(true));
+                    chunk.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let doubled: Vec<i64> = (0..10_000i64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(doubled, (0..10_000i64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_min_by_matches_sequential() {
+        let values: Vec<f64> = (0..5000).map(|i| ((i * 37 % 101) as f64).sin()).collect();
+        let par = values.clone().into_par_iter().min_by(|a, b| a.total_cmp(b));
+        let seq = values.into_iter().min_by(|a, b| a.total_cmp(b));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_over_slices_and_sum() {
+        let values: Vec<u64> = (1..=100).collect();
+        let total: u64 = values.par_iter().map(|&v| v).sum();
+        assert_eq!(total, 5050);
+        let count = values.par_iter().count();
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_gracefully() {
+        let out: Vec<usize> = vec![vec![1usize; 50]; 8]
+            .into_par_iter()
+            .map(|inner| inner.into_par_iter().map(|v| v + 1).sum::<usize>())
+            .collect();
+        assert_eq!(out, vec![100usize; 8]);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        (0..257usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(counter.into_inner(), 257);
+    }
+}

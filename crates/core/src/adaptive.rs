@@ -8,10 +8,8 @@
 //! controller on the split ratio.  Because every step is an actual (simulated)
 //! execution, the refinement also corrects residual errors of the prediction model.
 
-use hetero_platform::WorkloadProfile;
-
 use crate::config::SystemConfiguration;
-use crate::evaluator::ConfigEvaluator;
+use crate::evaluator::MeasurementEvaluator;
 
 /// One refinement step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,12 +76,21 @@ impl Default for AdaptiveRefinement {
 }
 
 impl AdaptiveRefinement {
-    /// Refine `start` for `workload`, evaluating with `evaluator` (normally the
-    /// measurement evaluator).
-    pub fn refine<E: ConfigEvaluator + ?Sized>(
+    /// Refine `start` by executing on the (simulated) platform via `evaluator`.
+    pub fn refine(
         &self,
-        evaluator: &E,
-        workload: &WorkloadProfile,
+        evaluator: &MeasurementEvaluator,
+        start: SystemConfiguration,
+    ) -> RefinementOutcome {
+        self.refine_with(|config| evaluator.evaluate_times(config), start)
+    }
+
+    /// Refine `start` with an arbitrary `(T_host, T_device)` oracle.  This is the
+    /// generic entry point: pass a closure over any evaluator (for example a
+    /// [`crate::PredictionEvaluator`], or a cached/instrumented one).
+    pub fn refine_with(
+        &self,
+        times: impl Fn(&SystemConfiguration) -> (f64, f64),
         start: SystemConfiguration,
     ) -> RefinementOutcome {
         let mut config = start;
@@ -92,7 +99,7 @@ impl AdaptiveRefinement {
         let mut best_time = f64::INFINITY;
 
         for _ in 0..self.max_steps.max(1) {
-            let (t_host, t_device) = evaluator.evaluate_times(&config, workload);
+            let (t_host, t_device) = times(&config);
             let t_total = t_host.max(t_device);
             steps.push(RefinementStep {
                 config,
@@ -142,12 +149,14 @@ impl AdaptiveRefinement {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluator::MeasurementEvaluator;
     use dna_analysis::Genome;
     use hetero_platform::{Affinity, HeterogeneousPlatform};
 
-    fn evaluator() -> MeasurementEvaluator {
-        MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise())
+    fn evaluator(genome: Genome) -> MeasurementEvaluator {
+        MeasurementEvaluator::new(
+            HeterogeneousPlatform::emil().without_noise(),
+            genome.workload(),
+        )
     }
 
     fn start_config(host_percent: u32) -> SystemConfiguration {
@@ -162,10 +171,9 @@ mod tests {
 
     #[test]
     fn refinement_balances_a_skewed_split() {
-        let evaluator = evaluator();
-        let workload = Genome::Human.workload();
+        let evaluator = evaluator(Genome::Human);
         let refinement = AdaptiveRefinement::default();
-        let outcome = refinement.refine(&evaluator, &workload, start_config(95));
+        let outcome = refinement.refine(&evaluator, start_config(95));
 
         // the refined configuration is clearly better than the skewed start
         let start_time = outcome.steps.first().unwrap().t_total;
@@ -176,25 +184,32 @@ mod tests {
             outcome.best_time
         );
         // and the final step is nearly balanced
-        assert!(outcome.final_imbalance() < 0.1, "imbalance {}", outcome.final_imbalance());
+        assert!(
+            outcome.final_imbalance() < 0.1,
+            "imbalance {}",
+            outcome.final_imbalance()
+        );
         // the refined split lands in the regime the paper's enumeration finds optimal
         let percent = outcome.best_config.host_percent();
-        assert!((50.0..=80.0).contains(&percent), "refined host share {percent}%");
+        assert!(
+            (50.0..=80.0).contains(&percent),
+            "refined host share {percent}%"
+        );
     }
 
     #[test]
     fn refinement_approaches_the_enumerated_optimum() {
-        let evaluator = evaluator();
-        let workload = Genome::Cat.workload();
-        // brute-force the best fraction for this thread/affinity choice
-        let best_enumerated = (0..=100u32)
-            .map(|pct| {
-                use crate::evaluator::ConfigEvaluator as _;
-                evaluator.energy(&start_config(pct), &workload)
-            })
+        let evaluator = evaluator(Genome::Cat);
+        // brute-force the best fraction for this thread/affinity choice, through the
+        // unified layer's batched path
+        use wd_opt::Objective as _;
+        let candidates: Vec<SystemConfiguration> = (0..=100u32).map(start_config).collect();
+        let best_enumerated = evaluator
+            .evaluate_batch(&candidates)
+            .into_iter()
             .fold(f64::INFINITY, f64::min);
 
-        let outcome = AdaptiveRefinement::default().refine(&evaluator, &workload, start_config(20));
+        let outcome = AdaptiveRefinement::default().refine(&evaluator, start_config(20));
         assert!(
             outcome.best_time <= best_enumerated * 1.05,
             "adaptive refinement ({}) should come within 5% of the best fraction ({})",
@@ -207,10 +222,8 @@ mod tests {
 
     #[test]
     fn one_sided_configurations_terminate_immediately() {
-        let evaluator = evaluator();
-        let workload = Genome::Dog.workload();
-        let outcome =
-            AdaptiveRefinement::default().refine(&evaluator, &workload, start_config(100));
+        let evaluator = evaluator(Genome::Dog);
+        let outcome = AdaptiveRefinement::default().refine(&evaluator, start_config(100));
         assert_eq!(outcome.executions(), 1);
         assert_eq!(outcome.best_config.host_permille, 1000);
         assert_eq!(outcome.final_imbalance(), 0.0);
@@ -218,14 +231,28 @@ mod tests {
 
     #[test]
     fn step_budget_is_respected() {
-        let evaluator = evaluator();
-        let workload = Genome::Mouse.workload();
+        let evaluator = evaluator(Genome::Mouse);
         let refinement = AdaptiveRefinement {
             max_steps: 3,
             imbalance_tolerance: 0.0,
             gain: 0.3,
         };
-        let outcome = refinement.refine(&evaluator, &workload, start_config(90));
+        let outcome = refinement.refine(&evaluator, start_config(90));
         assert!(outcome.executions() <= 3);
+    }
+
+    #[test]
+    fn refine_with_accepts_any_times_oracle() {
+        // a synthetic oracle: host time proportional to its share, device to the rest
+        let outcome = AdaptiveRefinement::default().refine_with(
+            |config| (2.0 * config.host_fraction(), 1.0 * config.device_fraction()),
+            start_config(90),
+        );
+        // the balance point of 2h = (1-h) is h = 1/3
+        let percent = outcome.best_config.host_percent();
+        assert!(
+            (28.0..=38.0).contains(&percent),
+            "refined host share {percent}%"
+        );
     }
 }

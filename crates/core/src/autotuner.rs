@@ -126,9 +126,14 @@ impl Autotuner {
         if method.uses_prediction() {
             self.models();
         }
-        let runner = MethodRunner::new(&self.platform, &self.workload, self.models.as_ref(), self.seed)
-            .with_space(self.space.clone())
-            .with_grid(self.grid.clone());
+        let runner = MethodRunner::new(
+            &self.platform,
+            &self.workload,
+            self.models.as_ref(),
+            self.seed,
+        )
+        .with_space(self.space.clone())
+        .with_grid(self.grid.clone());
         runner.run(method, iterations)
     }
 
@@ -174,7 +179,10 @@ mod tests {
         let speedup = tuner.speedup(&em);
         assert!(speedup.host_only_seconds > 0.0);
         assert!(speedup.device_only_seconds > 0.0);
-        assert!(speedup.speedup_vs_host() > 1.0, "the optimum beats host-only execution");
+        assert!(
+            speedup.speedup_vs_host() > 1.0,
+            "the optimum beats host-only execution"
+        );
         assert!(speedup.speedup_vs_device() > 1.0);
     }
 

@@ -237,7 +237,8 @@ impl SearchSpace for ConfigurationSpace {
             match rng.gen_range(0..5u8) {
                 0 => {
                     let i = Self::index_of(&self.host_threads, &next.host_threads);
-                    next.host_threads = self.host_threads[Self::nudge_index(&self.host_threads, i, 2, rng)];
+                    next.host_threads =
+                        self.host_threads[Self::nudge_index(&self.host_threads, i, 2, rng)];
                 }
                 1 => {
                     next.host_affinity =
@@ -331,7 +332,13 @@ mod tests {
 
     #[test]
     fn fraction_accessors_are_consistent() {
-        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 120, Affinity::Balanced, 60);
+        let cfg = SystemConfiguration::with_host_percent(
+            24,
+            Affinity::Scatter,
+            120,
+            Affinity::Balanced,
+            60,
+        );
         assert_eq!(cfg.host_permille, 600);
         assert!((cfg.host_fraction() - 0.6).abs() < 1e-12);
         assert!((cfg.device_fraction() - 0.4).abs() < 1e-12);
@@ -353,7 +360,8 @@ mod tests {
 
     #[test]
     fn display_mentions_the_split() {
-        let cfg = SystemConfiguration::with_host_percent(48, Affinity::None, 240, Affinity::Compact, 70);
+        let cfg =
+            SystemConfiguration::with_host_percent(48, Affinity::None, 240, Affinity::Compact, 70);
         let text = cfg.to_string();
         assert!(text.contains("70.0/30.0"));
         assert!(text.contains("none"));
@@ -422,7 +430,13 @@ mod tests {
     fn neighbor_fraction_moves_are_mostly_local() {
         let space = ConfigurationSpace::paper();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 60, Affinity::Balanced, 50);
+        let cfg = SystemConfiguration::with_host_percent(
+            24,
+            Affinity::Scatter,
+            60,
+            Affinity::Balanced,
+            50,
+        );
         let mut large_moves = 0usize;
         let samples = 1000;
         for _ in 0..samples {
@@ -445,7 +459,13 @@ mod tests {
         let space = ConfigurationSpace::paper();
         let mut rng = StdRng::seed_from_u64(4);
         let a = SystemConfiguration::with_host_percent(2, Affinity::None, 2, Affinity::Compact, 0);
-        let b = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 100);
+        let b = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            100,
+        );
         for _ in 0..100 {
             let child = space.crossover(&a, &b, &mut rng);
             assert!(child.host_threads == 2 || child.host_threads == 48);

@@ -1,78 +1,122 @@
-//! Performance evaluation of system configurations.
+//! Performance evaluation of system configurations — implementations of the unified
+//! [`wd_opt::Objective`] evaluation layer.
 //!
-//! A [`ConfigEvaluator`] maps a [`SystemConfiguration`] plus a workload to the pair
-//! `(T_host, T_device)`; the optimization energy is their maximum (the paper's Eq. 2).
-//! Two evaluators are provided, matching the paper's two evaluation modes:
+//! An evaluator binds a platform (or trained models) to one workload and scores
+//! [`SystemConfiguration`]s; the optimization energy is `max(T_host, T_device)` (the
+//! paper's Eq. 2).  Two evaluators are provided, matching the paper's two evaluation
+//! modes:
 //!
 //! * [`MeasurementEvaluator`] — "runs" the configuration on the simulated platform
 //!   (stands in for executing the real application on the Emil machine);
 //! * [`PredictionEvaluator`] — queries the trained host/device regression models, the
 //!   fast evaluation mode that makes EML and SAML possible.
+//!
+//! Both implement [`Objective<SystemConfiguration>`] directly, so any optimizer in
+//! [`wd_opt`] — enumeration, simulated annealing, the ablation heuristics — consumes
+//! them without adapters, and both override [`Objective::evaluate_batch`]:
+//! measurement batches go through the platform's parallel
+//! [`HeterogeneousPlatform::execute_many`], prediction batches fan out over rayon
+//! workers.  Wrap an evaluator in [`wd_opt::CachedObjective`] to memoize repeated
+//! configurations (the paper's methods re-visit configurations constantly under
+//! simulated annealing).
 
-use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
+use hetero_platform::{ExecutionRequest, HeterogeneousPlatform, WorkloadProfile};
+use rayon::prelude::*;
 use wd_ml::Regressor;
 use wd_opt::Objective;
 
 use crate::config::SystemConfiguration;
 use crate::features::{device_features, host_features};
 
-/// Maps configurations to host/device execution times.
-pub trait ConfigEvaluator {
-    /// Predicted or measured `(T_host, T_device)` for running `workload` under `config`.
-    /// A device that receives no work reports 0.
-    fn evaluate_times(&self, config: &SystemConfiguration, workload: &WorkloadProfile)
-        -> (f64, f64);
-
-    /// The optimization energy `E = max(T_host, T_device)` (Eq. 2).
-    fn energy(&self, config: &SystemConfiguration, workload: &WorkloadProfile) -> f64 {
-        let (host, device) = self.evaluate_times(config, workload);
-        host.max(device)
-    }
-}
-
-/// Evaluation by "measurement": one simulated execution per query.
+/// Evaluation by "measurement": one simulated execution per query, bound to one
+/// workload.
 #[derive(Debug, Clone)]
 pub struct MeasurementEvaluator {
     platform: HeterogeneousPlatform,
+    workload: WorkloadProfile,
 }
 
 impl MeasurementEvaluator {
-    /// Evaluate on the given platform.
-    pub fn new(platform: HeterogeneousPlatform) -> Self {
-        MeasurementEvaluator { platform }
+    /// Evaluate `workload` on the given platform.
+    pub fn new(platform: HeterogeneousPlatform, workload: WorkloadProfile) -> Self {
+        MeasurementEvaluator { platform, workload }
     }
 
     /// The underlying platform.
     pub fn platform(&self) -> &HeterogeneousPlatform {
         &self.platform
     }
-}
 
-impl ConfigEvaluator for MeasurementEvaluator {
-    fn evaluate_times(
-        &self,
-        config: &SystemConfiguration,
-        workload: &WorkloadProfile,
-    ) -> (f64, f64) {
+    /// The workload being evaluated.
+    pub fn workload(&self) -> &WorkloadProfile {
+        &self.workload
+    }
+
+    /// Rebind the evaluator to a different workload.
+    pub fn with_workload(mut self, workload: WorkloadProfile) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    fn request(config: &SystemConfiguration) -> ExecutionRequest {
+        ExecutionRequest {
+            partition: config.partition(),
+            host: config.host_execution(),
+            devices: vec![config.device_execution()],
+        }
+    }
+
+    /// Measured `(T_host, T_device)` for running the workload under `config`.
+    /// A device that receives no work reports 0.
+    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
         let measurement = self
             .platform
             .execute(
-                workload,
+                &self.workload,
                 &config.partition(),
                 &config.host_execution(),
                 &[config.device_execution()],
             )
-            .unwrap_or_else(|err|
-
-                panic!("invalid configuration {config}: {err}"));
+            .unwrap_or_else(|err| panic!("invalid configuration {config}: {err}"));
         (measurement.t_host, measurement.t_device)
+    }
+
+    /// The optimization energy `E = max(T_host, T_device)` (Eq. 2).
+    pub fn energy(&self, config: &SystemConfiguration) -> f64 {
+        let (host, device) = self.evaluate_times(config);
+        host.max(device)
     }
 }
 
-/// Evaluation by machine-learning prediction: one model query per device.
+impl Objective<SystemConfiguration> for MeasurementEvaluator {
+    fn evaluate(&self, config: &SystemConfiguration) -> f64 {
+        self.energy(config)
+    }
+
+    /// Batched measurement: all configurations are executed in one
+    /// [`HeterogeneousPlatform::execute_many`] pass (rayon-parallel, bit-identical to
+    /// one-at-a-time execution).
+    fn evaluate_batch(&self, configs: &[SystemConfiguration]) -> Vec<f64> {
+        let requests: Vec<ExecutionRequest> = configs.iter().map(Self::request).collect();
+        self.platform
+            .execute_many(&self.workload, &requests)
+            .into_iter()
+            .zip(configs)
+            .map(|(result, config)| {
+                let measurement =
+                    result.unwrap_or_else(|err| panic!("invalid configuration {config}: {err}"));
+                measurement.t_host.max(measurement.t_device)
+            })
+            .collect()
+    }
+}
+
+/// Evaluation by machine-learning prediction: one model query per device, bound to one
+/// workload.
 pub struct PredictionEvaluator {
     host_model: Box<dyn Regressor + Send + Sync>,
     device_model: Box<dyn Regressor + Send + Sync>,
+    workload: WorkloadProfile,
     /// Fixed overhead added to the device prediction for the offload launch + transfer
     /// of the device share.  The paper's device-side training measurements include the
     /// offload cost, so after training this is zero; it is exposed for experimentation
@@ -81,14 +125,16 @@ pub struct PredictionEvaluator {
 }
 
 impl PredictionEvaluator {
-    /// Build an evaluator from trained host and device models.
+    /// Build an evaluator for `workload` from trained host and device models.
     pub fn new(
         host_model: Box<dyn Regressor + Send + Sync>,
         device_model: Box<dyn Regressor + Send + Sync>,
+        workload: WorkloadProfile,
     ) -> Self {
         PredictionEvaluator {
             host_model,
             device_model,
+            workload,
             device_fixed_overhead: 0.0,
         }
     }
@@ -99,8 +145,25 @@ impl PredictionEvaluator {
         self
     }
 
+    /// The workload being evaluated.
+    pub fn workload(&self) -> &WorkloadProfile {
+        &self.workload
+    }
+
+    /// Rebind the evaluator to a different workload (the models depend only on the
+    /// platform, not on the particular workload).
+    pub fn with_workload(mut self, workload: WorkloadProfile) -> Self {
+        self.workload = workload;
+        self
+    }
+
     /// Predict the host time for a host share of `bytes` bytes.
-    pub fn predict_host(&self, threads: u32, affinity: hetero_platform::Affinity, bytes: u64) -> f64 {
+    pub fn predict_host(
+        &self,
+        threads: u32,
+        affinity: hetero_platform::Affinity,
+        bytes: u64,
+    ) -> f64 {
         self.host_model
             .predict_one(&host_features(threads, affinity, bytes))
             .max(0.0)
@@ -119,16 +182,12 @@ impl PredictionEvaluator {
             + self.device_fixed_overhead)
             .max(0.0)
     }
-}
 
-impl ConfigEvaluator for PredictionEvaluator {
-    fn evaluate_times(
-        &self,
-        config: &SystemConfiguration,
-        workload: &WorkloadProfile,
-    ) -> (f64, f64) {
-        let host_bytes = (workload.bytes as f64 * config.host_fraction()).round() as u64;
-        let device_bytes = workload.bytes - host_bytes.min(workload.bytes);
+    /// Predicted `(T_host, T_device)` for running the workload under `config`.
+    /// A device that receives no work reports 0.
+    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
+        let host_bytes = (self.workload.bytes as f64 * config.host_fraction()).round() as u64;
+        let device_bytes = self.workload.bytes - host_bytes.min(self.workload.bytes);
         let host = if host_bytes == 0 {
             0.0
         } else {
@@ -141,25 +200,25 @@ impl ConfigEvaluator for PredictionEvaluator {
         };
         (host, device)
     }
-}
 
-/// Adapter exposing a [`ConfigEvaluator`] + workload pair as a [`wd_opt::Objective`],
-/// so the generic optimizers can minimise the total execution time.
-pub struct EnergyObjective<'a, E: ConfigEvaluator + ?Sized> {
-    evaluator: &'a E,
-    workload: &'a WorkloadProfile,
-}
-
-impl<'a, E: ConfigEvaluator + ?Sized> EnergyObjective<'a, E> {
-    /// Bundle an evaluator with the workload being tuned.
-    pub fn new(evaluator: &'a E, workload: &'a WorkloadProfile) -> Self {
-        EnergyObjective { evaluator, workload }
+    /// The optimization energy `E = max(T_host, T_device)` (Eq. 2) under the models.
+    pub fn energy(&self, config: &SystemConfiguration) -> f64 {
+        let (host, device) = self.evaluate_times(config);
+        host.max(device)
     }
 }
 
-impl<E: ConfigEvaluator + ?Sized> Objective<SystemConfiguration> for EnergyObjective<'_, E> {
+impl Objective<SystemConfiguration> for PredictionEvaluator {
     fn evaluate(&self, config: &SystemConfiguration) -> f64 {
-        self.evaluator.energy(config, self.workload)
+        self.energy(config)
+    }
+
+    /// Batched prediction: the model queries fan out over rayon workers.
+    fn evaluate_batch(&self, configs: &[SystemConfiguration]) -> Vec<f64> {
+        configs
+            .par_iter()
+            .map(|config| self.energy(config))
+            .collect()
     }
 }
 
@@ -174,28 +233,34 @@ mod tests {
     }
 
     fn evaluator() -> MeasurementEvaluator {
-        MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise())
+        MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise(), human())
     }
 
     #[test]
     fn energy_is_the_maximum_of_both_times() {
         let evaluator = evaluator();
-        let cfg = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 60);
-        let (host, device) = evaluator.evaluate_times(&cfg, &human());
+        let cfg = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            60,
+        );
+        let (host, device) = evaluator.evaluate_times(&cfg);
         assert!(host > 0.0 && device > 0.0);
-        assert_eq!(evaluator.energy(&cfg, &human()), host.max(device));
+        assert_eq!(evaluator.energy(&cfg), host.max(device));
     }
 
     #[test]
     fn host_only_and_device_only_have_one_sided_times() {
         let evaluator = evaluator();
         let host_only = SystemConfiguration::host_only_baseline();
-        let (host, device) = evaluator.evaluate_times(&host_only, &human());
+        let (host, device) = evaluator.evaluate_times(&host_only);
         assert!(host > 0.0);
         assert_eq!(device, 0.0);
 
         let device_only = SystemConfiguration::device_only_baseline();
-        let (host, device) = evaluator.evaluate_times(&device_only, &human());
+        let (host, device) = evaluator.evaluate_times(&device_only);
         assert_eq!(host, 0.0);
         assert!(device > 0.0);
     }
@@ -203,14 +268,37 @@ mod tests {
     #[test]
     fn measurement_energy_prefers_balanced_splits_for_large_inputs() {
         let evaluator = evaluator();
-        let all_host = evaluator.energy(&SystemConfiguration::host_only_baseline(), &human());
-        let all_device = evaluator.energy(&SystemConfiguration::device_only_baseline(), &human());
-        let split = evaluator.energy(
-            &SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 65),
-            &human(),
-        );
+        let all_host = evaluator.energy(&SystemConfiguration::host_only_baseline());
+        let all_device = evaluator.energy(&SystemConfiguration::device_only_baseline());
+        let split = evaluator.energy(&SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            65,
+        ));
         assert!(split < all_host);
         assert!(split < all_device);
+    }
+
+    #[test]
+    fn measurement_batches_match_single_evaluations() {
+        let evaluator = evaluator();
+        let configs: Vec<SystemConfiguration> = (0..=10u32)
+            .map(|p| {
+                SystemConfiguration::with_host_percent(
+                    48,
+                    Affinity::Scatter,
+                    240,
+                    Affinity::Balanced,
+                    p * 10,
+                )
+            })
+            .collect();
+        let batched = evaluator.evaluate_batch(&configs);
+        for (config, energy) in configs.iter().zip(batched) {
+            assert_eq!(energy, evaluator.evaluate(config), "config {config}");
+        }
     }
 
     #[test]
@@ -231,27 +319,59 @@ mod tests {
                 "per-gb"
             }
         }
-        let evaluator = PredictionEvaluator::new(Box::new(PerGb(2.0)), Box::new(PerGb(1.0)))
-            .with_device_overhead(0.3);
         let workload = WorkloadProfile::dna_scan("x", 1_000_000_000);
-        let cfg = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 50);
-        let (host, device) = evaluator.evaluate_times(&cfg, &workload);
+        let evaluator =
+            PredictionEvaluator::new(Box::new(PerGb(2.0)), Box::new(PerGb(1.0)), workload)
+                .with_device_overhead(0.3);
+        let cfg = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            50,
+        );
+        let (host, device) = evaluator.evaluate_times(&cfg);
         assert!((host - 1.0).abs() < 1e-9, "host {host}");
         assert!((device - 0.8).abs() < 1e-9, "device {device}");
-        assert!((evaluator.energy(&cfg, &workload) - 1.0).abs() < 1e-9);
+        assert!((evaluator.energy(&cfg) - 1.0).abs() < 1e-9);
 
         // zero shares produce zero predictions
-        let host_only = SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, 100);
-        let (_, device) = evaluator.evaluate_times(&host_only, &workload);
+        let host_only = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            100,
+        );
+        let (_, device) = evaluator.evaluate_times(&host_only);
         assert_eq!(device, 0.0);
+
+        // batch evaluation matches single evaluation
+        let configs = vec![cfg, host_only];
+        assert_eq!(
+            evaluator.evaluate_batch(&configs),
+            configs
+                .iter()
+                .map(|c| evaluator.evaluate(c))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]
-    fn energy_objective_bridges_to_wd_opt() {
+    fn evaluators_are_objectives() {
         let evaluator = evaluator();
-        let workload = human();
-        let objective = EnergyObjective::new(&evaluator, &workload);
-        let cfg = SystemConfiguration::with_host_percent(24, Affinity::Scatter, 120, Affinity::Balanced, 70);
-        assert!((objective.evaluate(&cfg) - evaluator.energy(&cfg, &workload)).abs() < 1e-12);
+        let cfg = SystemConfiguration::with_host_percent(
+            24,
+            Affinity::Scatter,
+            120,
+            Affinity::Balanced,
+            70,
+        );
+        assert!((Objective::evaluate(&evaluator, &cfg) - evaluator.energy(&cfg)).abs() < 1e-12);
+
+        // and therefore compose with the generic wrappers of the evaluation layer
+        let cached = wd_opt::CachedObjective::new(&evaluator);
+        assert_eq!(cached.evaluate(&cfg), cached.evaluate(&cfg));
+        assert_eq!(cached.stats(), wd_opt::CacheStats { hits: 1, misses: 1 });
     }
 }

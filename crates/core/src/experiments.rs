@@ -11,11 +11,14 @@
 //! | Tables VIII–IX (speedups)         | [`ConvergenceStudy::speedup_rows`] |
 
 use dna_analysis::Genome;
-use hetero_platform::{Affinity, ExecutionConfig, HeterogeneousPlatform, Partition, WorkloadProfile};
+use hetero_platform::{
+    Affinity, ExecutionConfig, ExecutionRequest, HeterogeneousPlatform, WorkloadProfile,
+};
+use rayon::prelude::*;
 use wd_ml::BoostingParams;
 
 use crate::config::SystemConfiguration;
-use crate::evaluator::{ConfigEvaluator, MeasurementEvaluator};
+use crate::evaluator::MeasurementEvaluator;
 use crate::methods::{MethodKind, MethodOutcome, MethodRunner};
 use crate::training::{TrainedModels, TrainingCampaign};
 
@@ -41,6 +44,9 @@ pub struct MotivationPoint {
 /// Reproduce one sub-figure of Fig. 2: scan `input_megabytes` MB with `host_threads`
 /// host threads (scatter affinity) and all 240 device threads (balanced affinity),
 /// varying the work-distribution ratio over the paper's eleven values.
+///
+/// All eleven ratios are measured as one batched
+/// [`HeterogeneousPlatform::execute_many`] call.
 pub fn motivation_experiment(
     platform: &HeterogeneousPlatform,
     input_megabytes: u64,
@@ -53,36 +59,43 @@ pub fn motivation_experiment(
     let host_cfg = ExecutionConfig::new(host_threads, Affinity::Scatter);
     let device_cfg = ExecutionConfig::new(240, Affinity::Balanced);
 
-    let mut points: Vec<MotivationPoint> = (0..=10u32)
-        .rev()
-        .map(|step| {
-            let host_percent = step * 10;
+    let ratios: Vec<u32> = (0..=10u32).rev().map(|step| step * 10).collect();
+    let requests: Vec<ExecutionRequest> = ratios
+        .iter()
+        .map(|&host_percent| {
+            ExecutionRequest::two_way(f64::from(host_percent) / 100.0, host_cfg, device_cfg)
+        })
+        .collect();
+    let mut points: Vec<MotivationPoint> = platform
+        .execute_many(&workload, &requests)
+        .into_iter()
+        .zip(&ratios)
+        .map(|(measurement, &host_percent)| {
             let label = match host_percent {
                 100 => "CPU only".to_string(),
                 0 => "Phi only".to_string(),
                 p => format!("{p}/{d}", d = 100 - p),
             };
-            let seconds = platform
-                .execute(
-                    &workload,
-                    &Partition::from_host_percent(host_percent),
-                    &host_cfg,
-                    &[device_cfg],
-                )
-                .expect("motivation configuration is valid")
-                .t_total;
             MotivationPoint {
                 label,
                 host_percent,
-                seconds,
+                seconds: measurement
+                    .expect("motivation configuration is valid")
+                    .t_total,
                 normalized: 0.0,
             }
         })
         .collect();
 
     // normalise into 1..10 as the paper does
-    let min = points.iter().map(|p| p.seconds).fold(f64::INFINITY, f64::min);
-    let max = points.iter().map(|p| p.seconds).fold(f64::NEG_INFINITY, f64::max);
+    let min = points
+        .iter()
+        .map(|p| p.seconds)
+        .fold(f64::INFINITY, f64::min);
+    let max = points
+        .iter()
+        .map(|p| p.seconds)
+        .fold(f64::NEG_INFINITY, f64::max);
     let range = (max - min).max(f64::MIN_POSITIVE);
     for point in &mut points {
         point.normalized = 1.0 + 9.0 * (point.seconds - min) / range;
@@ -165,14 +178,17 @@ impl ConvergenceStudy {
         repeats: usize,
     ) -> Self {
         let repeats = repeats.max(1);
-        let measurement = MeasurementEvaluator::new(platform.clone());
 
-        // run one method at every budget, `repeats` times, keeping the median run
+        // run one method at every budget, `repeats` times in parallel (each annealing
+        // repeat has an independent seed, so repeats are order-independent), keeping
+        // the run with the median measured execution time
         let run_annealer = |workload: &WorkloadProfile, method: MethodKind, genome: Genome| {
             budgets
                 .iter()
                 .map(|&budget| {
                     let mut outcomes: Vec<MethodOutcome> = (0..repeats)
+                        .collect::<Vec<_>>()
+                        .into_par_iter()
                         .map(|repeat| {
                             let run_seed = seed
                                 ^ (genome as u64)
@@ -192,23 +208,26 @@ impl ConvergenceStudy {
             .iter()
             .map(|&genome| {
                 let workload = genome.workload();
-                let runner = MethodRunner::new(platform, &workload, Some(models), seed ^ genome as u64);
+                let runner =
+                    MethodRunner::new(platform, &workload, Some(models), seed ^ genome as u64);
                 let em = runner.run(MethodKind::Em, 0).expect("EM needs no models");
                 let eml = runner.run(MethodKind::Eml, 0).expect("models provided");
                 let sam = run_annealer(&workload, MethodKind::Sam, genome);
                 let saml = run_annealer(&workload, MethodKind::Saml, genome);
-                let host_only_seconds =
-                    measurement.energy(&SystemConfiguration::host_only_baseline(), &workload);
-                let device_only_seconds =
-                    measurement.energy(&SystemConfiguration::device_only_baseline(), &workload);
+                let measurement = MeasurementEvaluator::new(platform.clone(), workload.clone());
+                use wd_opt::Objective as _;
+                let baselines = measurement.evaluate_batch(&[
+                    SystemConfiguration::host_only_baseline(),
+                    SystemConfiguration::device_only_baseline(),
+                ]);
                 GenomeConvergence {
                     genome,
                     em,
                     eml,
                     sam,
                     saml,
-                    host_only_seconds,
-                    device_only_seconds,
+                    host_only_seconds: baselines[0],
+                    device_only_seconds: baselines[1],
                 }
             })
             .collect();
@@ -278,14 +297,17 @@ impl ConvergenceStudy {
     /// Fig. 9 data for one genome: `(budget, SAML, SAM)` measured execution times plus
     /// the EM and EML reference lines.
     pub fn figure9_series(&self, genome: Genome) -> Option<Figure9Series> {
-        self.genomes.iter().find(|g| g.genome == genome).map(|g| Figure9Series {
-            genome,
-            budgets: self.budgets.clone(),
-            saml: g.saml.iter().map(|(_, o)| o.measured_energy).collect(),
-            sam: g.sam.iter().map(|(_, o)| o.measured_energy).collect(),
-            em: g.em.measured_energy,
-            eml: g.eml.measured_energy,
-        })
+        self.genomes
+            .iter()
+            .find(|g| g.genome == genome)
+            .map(|g| Figure9Series {
+                genome,
+                budgets: self.budgets.clone(),
+                saml: g.saml.iter().map(|(_, o)| o.measured_energy).collect(),
+                sam: g.sam.iter().map(|(_, o)| o.measured_energy).collect(),
+                em: g.em.measured_energy,
+                eml: g.eml.measured_energy,
+            })
     }
 }
 
@@ -361,7 +383,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
             .unwrap();
-        assert!(best.host_percent <= 40, "best host share {}", best.host_percent);
+        assert!(
+            best.host_percent <= 40,
+            "best host share {}",
+            best.host_percent
+        );
     }
 
     #[test]
@@ -383,6 +409,9 @@ mod tests {
 
     #[test]
     fn paper_iteration_budgets_match_the_tables() {
-        assert_eq!(paper_iteration_budgets(), vec![250, 500, 750, 1000, 1250, 1500, 1750, 2000]);
+        assert_eq!(
+            paper_iteration_budgets(),
+            vec![250, 500, 750, 1000, 1250, 1500, 1750, 2000]
+        );
     }
 }

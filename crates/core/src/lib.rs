@@ -18,6 +18,17 @@
 //!
 //! yielding the paper's four methods (Table II): EM, EML, SAM and SAML.
 //!
+//! ## The unified evaluation layer
+//!
+//! Both evaluators ([`MeasurementEvaluator`], [`PredictionEvaluator`]) implement the
+//! single [`wd_opt::Objective`] trait — there is no separate evaluator hierarchy.  All
+//! four methods run behind a [`wd_opt::CachedObjective`] (hit/miss counters surfaced
+//! on [`methods::MethodOutcome::cache`]); the enumeration-based methods score the grid
+//! through the batched [`wd_opt::ParallelEnumeration`] path, which reaches the
+//! simulator's rayon-parallel `execute_many`.  The training campaign likewise runs as
+//! parallel batches.  All parallel paths are bit-identical to their sequential
+//! counterparts.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -49,7 +60,7 @@ pub mod training;
 pub use adaptive::{AdaptiveRefinement, RefinementOutcome};
 pub use autotuner::Autotuner;
 pub use config::{ConfigurationSpace, SystemConfiguration};
-pub use evaluator::{ConfigEvaluator, EnergyObjective, MeasurementEvaluator, PredictionEvaluator};
+pub use evaluator::{MeasurementEvaluator, PredictionEvaluator};
 pub use methods::{MethodKind, MethodOutcome, MethodProperties, MethodRunner};
 pub use model_selection::{ModelComparison, ModelFamily};
 pub use speedup::SpeedupReport;

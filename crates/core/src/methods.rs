@@ -3,10 +3,12 @@
 use std::fmt;
 
 use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
-use wd_opt::{Enumeration, Outcome, SimulatedAnnealing};
+use wd_opt::{
+    CacheStats, CachedObjective, Objective, Outcome, ParallelEnumeration, SimulatedAnnealing,
+};
 
 use crate::config::{ConfigurationSpace, SystemConfiguration};
-use crate::evaluator::{ConfigEvaluator, EnergyObjective, MeasurementEvaluator};
+use crate::evaluator::MeasurementEvaluator;
 use crate::training::TrainedModels;
 
 /// One of the paper's optimization methods.
@@ -24,7 +26,12 @@ pub enum MethodKind {
 
 impl MethodKind {
     /// All four methods in the paper's order.
-    pub const ALL: [MethodKind; 4] = [MethodKind::Em, MethodKind::Eml, MethodKind::Sam, MethodKind::Saml];
+    pub const ALL: [MethodKind; 4] = [
+        MethodKind::Em,
+        MethodKind::Eml,
+        MethodKind::Sam,
+        MethodKind::Saml,
+    ];
 
     /// Short name as used in the paper.
     pub fn name(&self) -> &'static str {
@@ -115,10 +122,22 @@ pub struct MethodOutcome {
     /// Energy of the suggested configuration re-measured on the platform — the paper
     /// compares methods on measured values "for fair comparison".
     pub measured_energy: f64,
-    /// Number of configuration evaluations performed during the search.
+    /// Number of configuration evaluations *requested* during the search.
     pub evaluations: usize,
+    /// Hit/miss counters of the evaluation cache every method runs behind.
+    /// `cache.misses` is the number of distinct configurations actually evaluated —
+    /// with memoization this, not `evaluations`, is the paper's "number of
+    /// experiments" cost.
+    pub cache: CacheStats,
     /// Per-iteration trace (empty for enumeration).
     pub trace: wd_opt::OptimizationTrace,
+}
+
+impl MethodOutcome {
+    /// Number of distinct configurations the evaluator actually scored (cache misses).
+    pub fn experiments(&self) -> usize {
+        self.cache.misses
+    }
 }
 
 /// Runs the paper's methods on one workload.
@@ -171,33 +190,42 @@ impl<'a> MethodRunner<'a> {
     /// Run `method`.  `iterations` is the simulated-annealing budget and is ignored by
     /// the enumeration-based methods.
     ///
+    /// Every method evaluates through the unified layer: the evaluator (measurement or
+    /// prediction) is wrapped in a [`CachedObjective`], enumeration goes through the
+    /// batched [`ParallelEnumeration`] path, and the resulting hit/miss counters are
+    /// surfaced on the [`MethodOutcome`].
+    ///
     /// Returns an error message if a prediction-based method is requested without
     /// trained models.
     pub fn run(&self, method: MethodKind, iterations: usize) -> Result<MethodOutcome, String> {
-        let measurement = MeasurementEvaluator::new(self.platform.clone());
-        let outcome = match method {
-            MethodKind::Em => {
-                let objective = EnergyObjective::new(&measurement, self.workload);
-                Enumeration::parallel().run(&self.grid, &objective)
-            }
-            MethodKind::Eml => {
-                let models = self.require_models(method)?;
-                let prediction = models.prediction_evaluator();
-                let objective = EnergyObjective::new(&prediction, self.workload);
-                Enumeration::parallel().run(&self.grid, &objective)
-            }
-            MethodKind::Sam => {
-                let objective = EnergyObjective::new(&measurement, self.workload);
-                self.annealer(iterations).run(&self.space, &objective)
-            }
-            MethodKind::Saml => {
-                let models = self.require_models(method)?;
-                let prediction = models.prediction_evaluator();
-                let objective = EnergyObjective::new(&prediction, self.workload);
-                self.annealer(iterations).run(&self.space, &objective)
-            }
+        let measurement = MeasurementEvaluator::new(self.platform.clone(), self.workload.clone());
+        let (outcome, cache) = if method.uses_prediction() {
+            let models = self.require_models(method)?;
+            let prediction = models.prediction_evaluator(self.workload.clone());
+            self.search(method, iterations, &prediction)
+        } else {
+            self.search(method, iterations, &measurement)
         };
-        Ok(self.finish(method, outcome, &measurement))
+        Ok(self.finish(method, outcome, cache, &measurement))
+    }
+
+    /// Drive one space-exploration strategy over `objective` through the cached layer.
+    fn search<O>(
+        &self,
+        method: MethodKind,
+        iterations: usize,
+        objective: &O,
+    ) -> (Outcome<SystemConfiguration>, CacheStats)
+    where
+        O: Objective<SystemConfiguration> + Sync,
+    {
+        let cached = CachedObjective::new(objective);
+        let outcome = if method.uses_enumeration() {
+            ParallelEnumeration::new().run(&self.grid, &cached)
+        } else {
+            self.annealer(iterations).run(&self.space, &cached)
+        };
+        (outcome, cached.stats())
     }
 
     fn annealer(&self, iterations: usize) -> SimulatedAnnealing {
@@ -220,15 +248,17 @@ impl<'a> MethodRunner<'a> {
         &self,
         method: MethodKind,
         outcome: Outcome<SystemConfiguration>,
+        cache: CacheStats,
         measurement: &MeasurementEvaluator,
     ) -> MethodOutcome {
-        let measured_energy = measurement.energy(&outcome.best_config, self.workload);
+        let measured_energy = measurement.energy(&outcome.best_config);
         MethodOutcome {
             method,
             best_config: outcome.best_config,
             search_energy: outcome.best_energy,
             measured_energy,
             evaluations: outcome.evaluations,
+            cache,
             trace: outcome.trace,
         }
     }
@@ -253,7 +283,10 @@ mod tests {
         assert!(!MethodKind::Em.properties().prediction);
         assert!(MethodKind::Eml.properties().prediction);
         assert_eq!(MethodKind::Sam.properties().effort, "medium");
-        assert_eq!(MethodKind::Saml.properties().space_exploration, "Simulated Annealing");
+        assert_eq!(
+            MethodKind::Saml.properties().space_exploration,
+            "Simulated Annealing"
+        );
         assert!(MethodKind::Saml.uses_prediction() && !MethodKind::Saml.uses_enumeration());
         assert!(MethodKind::Em.uses_enumeration() && !MethodKind::Em.uses_prediction());
         assert_eq!(MethodKind::Saml.to_string(), "SAML");
@@ -280,8 +313,21 @@ mod tests {
         let em = runner.run(MethodKind::Em, 0).unwrap();
         let sam = runner.run(MethodKind::Sam, 300).unwrap();
 
-        assert_eq!(em.evaluations as u128, ConfigurationSpace::tiny().total_configurations());
+        assert_eq!(
+            em.evaluations as u128,
+            ConfigurationSpace::tiny().total_configurations()
+        );
+        // enumeration never revisits a configuration, so the cache records pure misses
+        assert_eq!(em.cache.hits, 0);
+        assert_eq!(em.experiments(), em.evaluations);
         assert!(sam.evaluations < em.evaluations);
+        // annealing on a tiny space revisits configurations; the cache absorbs those
+        assert!(
+            sam.cache.hits > 0,
+            "SAM should hit the cache on a tiny space"
+        );
+        assert_eq!(sam.cache.requests(), sam.evaluations);
+        assert!(sam.experiments() <= sam.evaluations);
         // SAM should land within 25 % of the optimum on this tiny space
         assert!(
             sam.measured_energy <= em.measured_energy * 1.25,
@@ -310,6 +356,9 @@ mod tests {
         // the SAML search energy is a prediction, so it differs from the measured energy,
         // but it should be in the same ballpark (the models are trained on this platform)
         let ratio = saml.search_energy / saml.measured_energy;
-        assert!(ratio > 0.4 && ratio < 2.5, "prediction/measurement ratio {ratio}");
+        assert!(
+            ratio > 0.4 && ratio < 2.5,
+            "prediction/measurement ratio {ratio}"
+        );
     }
 }

@@ -166,7 +166,10 @@ mod tests {
     #[test]
     fn family_names_are_stable() {
         assert_eq!(ModelFamily::ALL.len(), 3);
-        assert_eq!(ModelFamily::BoostedTrees.to_string(), "boosted decision trees");
+        assert_eq!(
+            ModelFamily::BoostedTrees.to_string(),
+            "boosted decision trees"
+        );
         assert_eq!(ModelFamily::Linear.name(), "linear regression");
         assert_eq!(ModelFamily::Poisson.name(), "poisson regression");
     }

@@ -56,8 +56,16 @@ mod tests {
     fn table_is_aligned_and_complete() {
         let headers = vec!["DNA".to_string(), "250".to_string(), "500".to_string()];
         let rows = vec![
-            vec!["human".to_string(), "22.15".to_string(), "16.17".to_string()],
-            vec!["mouse".to_string(), "22.80".to_string(), "16.84".to_string()],
+            vec![
+                "human".to_string(),
+                "22.15".to_string(),
+                "16.17".to_string(),
+            ],
+            vec![
+                "mouse".to_string(),
+                "22.80".to_string(),
+                "16.84".to_string(),
+            ],
         ];
         let table = format_table(&headers, &rows);
         let lines: Vec<&str> = table.lines().collect();

@@ -2,9 +2,10 @@
 //! (the paper's Tables VIII and IX).
 
 use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
+use wd_opt::Objective;
 
 use crate::config::SystemConfiguration;
-use crate::evaluator::{ConfigEvaluator, MeasurementEvaluator};
+use crate::evaluator::MeasurementEvaluator;
 
 /// Execution-time baselines and the speedups of a combined (host + device)
 /// configuration against them.
@@ -26,14 +27,14 @@ impl SpeedupReport {
         workload: &WorkloadProfile,
         combined_seconds: f64,
     ) -> Self {
-        let evaluator = MeasurementEvaluator::new(platform.clone());
-        let host_only_seconds =
-            evaluator.energy(&SystemConfiguration::host_only_baseline(), workload);
-        let device_only_seconds =
-            evaluator.energy(&SystemConfiguration::device_only_baseline(), workload);
+        let evaluator = MeasurementEvaluator::new(platform.clone(), workload.clone());
+        let baselines = evaluator.evaluate_batch(&[
+            SystemConfiguration::host_only_baseline(),
+            SystemConfiguration::device_only_baseline(),
+        ]);
         SpeedupReport {
-            host_only_seconds,
-            device_only_seconds,
+            host_only_seconds: baselines[0],
+            device_only_seconds: baselines[1],
             combined_seconds,
         }
     }
@@ -65,17 +66,14 @@ mod tests {
         let platform = HeterogeneousPlatform::emil().without_noise();
         let workload = Genome::Human.workload();
         // a known-good split found by enumeration elsewhere: ~65 % on the host
-        let evaluator = MeasurementEvaluator::new(platform.clone());
-        let combined = evaluator.energy(
-            &SystemConfiguration::with_host_percent(
-                48,
-                hetero_platform::Affinity::Scatter,
-                240,
-                hetero_platform::Affinity::Balanced,
-                65,
-            ),
-            &workload,
-        );
+        let evaluator = MeasurementEvaluator::new(platform.clone(), workload.clone());
+        let combined = evaluator.energy(&SystemConfiguration::with_host_percent(
+            48,
+            hetero_platform::Affinity::Scatter,
+            240,
+            hetero_platform::Affinity::Balanced,
+            65,
+        ));
         let report = SpeedupReport::for_combined_time(&platform, &workload, combined);
         // Paper: 1.37–1.95× over host-only and 1.64–2.36× over device-only.
         assert!(

@@ -5,12 +5,17 @@
 //! input fractions; half of the experiments train a Boosted Decision Tree Regression
 //! model per device, the other half evaluate prediction accuracy (absolute error,
 //! percent error, error histograms — Figs. 5–8 and Tables IV–V).
+//!
+//! The campaign executes as rayon-parallel batches (see
+//! [`TrainingCampaign::host_dataset`] and friends): the 7 200 simulated experiments
+//! spread over all cores while remaining bit-identical to a sequential run.
 
 use dna_analysis::Genome;
-use hetero_platform::{Affinity, ExecutionConfig, HeterogeneousPlatform};
+use hetero_platform::{Affinity, ExecutionConfig, HeterogeneousPlatform, WorkloadProfile};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use wd_ml::{BoostedTreesRegressor, BoostingParams, Dataset, ErrorHistogram, Regressor};
 
 use crate::evaluator::PredictionEvaluator;
@@ -81,7 +86,11 @@ impl AccuracyReport {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(PredictionRow::absolute_error).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(PredictionRow::absolute_error)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Mean percent error over all evaluation experiments.
@@ -89,7 +98,11 @@ impl AccuracyReport {
         if self.rows.is_empty() {
             return 0.0;
         }
-        self.rows.iter().map(PredictionRow::percent_error).sum::<f64>() / self.rows.len() as f64
+        self.rows
+            .iter()
+            .map(PredictionRow::percent_error)
+            .sum::<f64>()
+            / self.rows.len() as f64
     }
 
     /// Per-thread-count accuracy: `(threads, mean absolute error, mean percent error)`,
@@ -114,7 +127,11 @@ impl AccuracyReport {
 
     /// Histogram of absolute errors (the paper's Figs. 7–8).
     pub fn histogram(&self, upper_bounds: Vec<f64>) -> ErrorHistogram {
-        let errors: Vec<f64> = self.rows.iter().map(PredictionRow::absolute_error).collect();
+        let errors: Vec<f64> = self
+            .rows
+            .iter()
+            .map(PredictionRow::absolute_error)
+            .collect();
         ErrorHistogram::new(upper_bounds, &errors)
     }
 
@@ -157,11 +174,13 @@ impl TrainedModels {
         self.host_experiments + self.device_experiments
     }
 
-    /// Build a [`PredictionEvaluator`] backed by clones of the trained models.
-    pub fn prediction_evaluator(&self) -> PredictionEvaluator {
+    /// Build a [`PredictionEvaluator`] for `workload`, backed by clones of the trained
+    /// models.
+    pub fn prediction_evaluator(&self, workload: WorkloadProfile) -> PredictionEvaluator {
         PredictionEvaluator::new(
             Box::new(self.host_model.clone()),
             Box::new(self.device_model.clone()),
+            workload,
         )
     }
 }
@@ -221,7 +240,10 @@ impl TrainingCampaign {
 
     /// Number of host-side experiments this campaign performs.
     pub fn host_experiment_count(&self) -> usize {
-        self.host_threads.len() * self.host_affinities.len() * self.fractions.len() * self.genomes.len()
+        self.host_threads.len()
+            * self.host_affinities.len()
+            * self.fractions.len()
+            * self.genomes.len()
     }
 
     /// Number of device-side experiments this campaign performs.
@@ -245,7 +267,10 @@ impl TrainingCampaign {
 
     /// Execute the device half of the campaign and return it as a dataset.
     pub fn device_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
-        Self::records_to_dataset(self.generate(platform, Side::Device), device_feature_names())
+        Self::records_to_dataset(
+            self.generate(platform, Side::Device),
+            device_feature_names(),
+        )
     }
 
     fn records_to_dataset(records: Vec<ExperimentRecord>, names: Vec<String>) -> wd_ml::Dataset {
@@ -258,11 +283,7 @@ impl TrainingCampaign {
     }
 
     /// Execute the campaign on `platform` and fit the two prediction models.
-    pub fn run(
-        &self,
-        platform: &HeterogeneousPlatform,
-        boosting: BoostingParams,
-    ) -> TrainedModels {
+    pub fn run(&self, platform: &HeterogeneousPlatform, boosting: BoostingParams) -> TrainedModels {
         let host_records = self.generate(platform, Side::Host);
         let device_records = self.generate(platform, Side::Device);
 
@@ -282,12 +303,17 @@ impl TrainingCampaign {
     }
 
     /// Run all experiments for one side of the platform.
+    ///
+    /// The full cross-product of experiments is enumerated first and then executed as
+    /// one rayon-parallel batch — the simulator is stateless and its noise model is a
+    /// pure hash of the experiment context, so the records are identical to a
+    /// sequential campaign, in the same deterministic order.
     fn generate(&self, platform: &HeterogeneousPlatform, side: Side) -> Vec<ExperimentRecord> {
         let (threads_list, affinity_list) = match side {
             Side::Host => (&self.host_threads, &self.host_affinities),
             Side::Device => (&self.device_threads, &self.device_affinities),
         };
-        let mut records = Vec::with_capacity(
+        let mut experiments: Vec<(Genome, WorkloadProfile, u32, Affinity)> = Vec::with_capacity(
             threads_list.len() * affinity_list.len() * self.fractions.len() * self.genomes.len(),
         );
         for &genome in &self.genomes {
@@ -298,34 +324,43 @@ impl TrainingCampaign {
                 }
                 for &threads in threads_list {
                     for &affinity in affinity_list {
-                        let cfg = ExecutionConfig::new(threads, affinity);
-                        let measured = match side {
-                            Side::Host => platform
-                                .execute_host_only(&share, &cfg)
-                                .expect("valid host experiment")
-                                .t_total,
-                            Side::Device => platform
-                                .execute_device_only(&share, &cfg)
-                                .expect("valid device experiment")
-                                .t_total,
-                        };
-                        let features = match side {
-                            Side::Host => host_features(threads, affinity, share.bytes),
-                            Side::Device => device_features(threads, affinity, share.bytes),
-                        };
-                        records.push(ExperimentRecord {
-                            features,
-                            threads,
-                            affinity,
-                            genome,
-                            input_bytes: share.bytes,
-                            measured,
-                        });
+                        experiments.push((genome, share.clone(), threads, affinity));
                     }
                 }
             }
         }
-        records
+        experiments
+            .into_par_iter()
+            .map(|(genome, share, threads, affinity)| {
+                let cfg = ExecutionConfig::new(threads, affinity);
+                let measured = match side {
+                    Side::Host => {
+                        platform
+                            .execute_host_only(&share, &cfg)
+                            .expect("valid host experiment")
+                            .t_total
+                    }
+                    Side::Device => {
+                        platform
+                            .execute_device_only(&share, &cfg)
+                            .expect("valid device experiment")
+                            .t_total
+                    }
+                };
+                let features = match side {
+                    Side::Host => host_features(threads, affinity, share.bytes),
+                    Side::Device => device_features(threads, affinity, share.bytes),
+                };
+                ExperimentRecord {
+                    features,
+                    threads,
+                    affinity,
+                    genome,
+                    input_bytes: share.bytes,
+                    measured,
+                }
+            })
+            .collect()
     }
 
     /// Split the records, train the model on the training half and evaluate it on the
@@ -391,7 +426,10 @@ mod tests {
 
         assert!(models.host_model.is_fitted());
         assert!(models.device_model.is_fitted());
-        assert_eq!(models.host_experiments, TrainingCampaign::reduced().host_experiment_count());
+        assert_eq!(
+            models.host_experiments,
+            TrainingCampaign::reduced().host_experiment_count()
+        );
         assert!(!models.host_accuracy.rows.is_empty());
         assert!(!models.device_accuracy.rows.is_empty());
 

@@ -103,7 +103,10 @@ mod tests {
     fn round_trip_ascii() {
         for base in Base::ALL {
             assert_eq!(Base::from_ascii(base.to_ascii()), Some(base));
-            assert_eq!(Base::from_ascii(base.to_ascii().to_ascii_lowercase()), Some(base));
+            assert_eq!(
+                Base::from_ascii(base.to_ascii().to_ascii_lowercase()),
+                Some(base)
+            );
         }
         assert_eq!(Base::from_ascii(b'N'), None);
         assert_eq!(Base::from_ascii(b'x'), None);

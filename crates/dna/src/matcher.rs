@@ -67,7 +67,9 @@ impl DfaMatcher {
     pub fn scan(&self, text: &[u8]) -> MatchStats {
         let invalid = text
             .iter()
-            .filter(|&&b| crate::alphabet::ASCII_TO_BASE[b as usize] == crate::alphabet::INVALID_BASE)
+            .filter(|&&b| {
+                crate::alphabet::ASCII_TO_BASE[b as usize] == crate::alphabet::INVALID_BASE
+            })
             .count() as u64;
         MatchStats {
             matches: self.dfa.count_matches(text),
@@ -93,7 +95,9 @@ impl DfaMatcher {
                 state = Dfa::START;
                 continue;
             }
-            state = self.dfa.step(state, crate::alphabet::Base::from_index(idx as usize));
+            state = self
+                .dfa
+                .step(state, crate::alphabet::Base::from_index(idx as usize));
             for _ in 0..self.dfa.accept_count(state) {
                 if positions.len() >= limit {
                     return positions;

@@ -7,13 +7,11 @@
 //! idea the paper's PaREM tool uses to parallelise finite-automata execution; the
 //! overlap variant is simpler and exact for motif search.
 //!
-//! Work is distributed dynamically: chunks go into a [`crossbeam`] injector queue and
-//! worker threads pull from it, which keeps all threads busy even when some chunks
-//! contain more invalid bytes (and are therefore cheaper) than others.
+//! Work is distributed dynamically: chunk descriptors live in a shared list and worker
+//! threads claim the next one with an atomic cursor, which keeps all threads busy even
+//! when some chunks contain more invalid bytes (and are therefore cheaper) than others.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-use crossbeam::deque::{Injector, Steal};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::matcher::DfaMatcher;
 
@@ -60,27 +58,26 @@ impl ParallelScanner {
         }
 
         let overlap = matcher.required_overlap();
-        let injector: Injector<(usize, usize)> = Injector::new();
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
         let mut start = 0usize;
         while start < text.len() {
             let end = (start + self.chunk_bytes).min(text.len());
-            injector.push((start, end));
+            chunks.push((start, end));
             start = end;
         }
 
+        let cursor = AtomicUsize::new(0);
         let total = AtomicU64::new(0);
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
                 scope.spawn(|| {
                     let mut local = 0u64;
                     loop {
-                        match injector.steal() {
-                            Steal::Success((chunk_start, chunk_end)) => {
-                                local += scan_chunk(matcher, text, chunk_start, chunk_end, overlap);
-                            }
-                            Steal::Empty => break,
-                            Steal::Retry => continue,
-                        }
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(chunk_start, chunk_end)) = chunks.get(index) else {
+                            break;
+                        };
+                        local += scan_chunk(matcher, text, chunk_start, chunk_end, overlap);
                     }
                     total.fetch_add(local, Ordering::Relaxed);
                 });

@@ -233,7 +233,10 @@ mod tests {
         let s = DnaSequence::random_with_motif(100_000, 0.4, 11, "TATAAA", 25);
         let text = std::str::from_utf8(s.bases()).unwrap();
         let count = text.matches("TATAAA").count();
-        assert!(count >= 25, "expected at least 25 planted motifs, found {count}");
+        assert!(
+            count >= 25,
+            "expected at least 25 planted motifs, found {count}"
+        );
     }
 
     #[test]

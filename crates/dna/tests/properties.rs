@@ -1,6 +1,6 @@
 //! Property-based tests for the DNA analysis crate.
 
-use dna_analysis::{Base, DfaMatcher, Dfa, DnaSequence, MotifSet, Nfa, ParallelScanner};
+use dna_analysis::{Base, Dfa, DfaMatcher, DnaSequence, MotifSet, Nfa, ParallelScanner};
 use proptest::prelude::*;
 
 /// Strategy: a random concrete motif (A/C/G/T only) of length 2..=8.

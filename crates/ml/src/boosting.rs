@@ -229,8 +229,10 @@ mod tests {
         });
         boosted.fit(&train).unwrap();
 
-        let rmse_single =
-            metrics::root_mean_squared_error(test.targets(), &single.predict_batch(test.feature_rows()));
+        let rmse_single = metrics::root_mean_squared_error(
+            test.targets(),
+            &single.predict_batch(test.feature_rows()),
+        );
         let rmse_boosted = metrics::root_mean_squared_error(
             test.targets(),
             &boosted.predict_batch(test.feature_rows()),

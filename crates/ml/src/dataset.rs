@@ -121,7 +121,11 @@ impl Dataset {
         let mut test = Dataset::new(self.feature_names.clone());
         let mut train = Dataset::new(self.feature_names.clone());
         for (rank, &i) in order.iter().enumerate() {
-            let destination = if rank < test_len { &mut test } else { &mut train };
+            let destination = if rank < test_len {
+                &mut test
+            } else {
+                &mut train
+            };
             destination.rows.push(self.rows[i].clone());
             destination.targets.push(self.targets[i]);
         }
@@ -153,7 +157,8 @@ mod tests {
     fn sample(n: usize) -> Dataset {
         let mut d = Dataset::new(vec!["a".into(), "b".into()]);
         for i in 0..n {
-            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 10.0).unwrap();
+            d.push(vec![i as f64, (i * 2) as f64], i as f64 * 10.0)
+                .unwrap();
         }
         d
     }

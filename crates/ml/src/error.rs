@@ -67,9 +67,15 @@ mod tests {
         for e in [
             MlError::EmptyDataset,
             MlError::NotFitted,
-            MlError::NonFiniteValue { context: "row 4".into() },
-            MlError::FitFailed { reason: "singular".into() },
-            MlError::InvalidTarget { reason: "negative".into() },
+            MlError::NonFiniteValue {
+                context: "row 4".into(),
+            },
+            MlError::FitFailed {
+                reason: "singular".into(),
+            },
+            MlError::InvalidTarget {
+                reason: "negative".into(),
+            },
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -61,12 +61,14 @@ pub(crate) fn solve_linear_system(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Opti
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
         // eliminate
-        for row in (col + 1)..n {
-            let factor = a[row][col] / a[col][col];
-            for k in col..n {
-                a[row][k] -= factor * a[col][k];
+        let (pivot_rows, lower_rows) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        for (offset, row) in lower_rows.iter_mut().enumerate() {
+            let factor = row[col] / pivot[col];
+            for (entry, &pivot_entry) in row[col..].iter_mut().zip(&pivot[col..]) {
+                *entry -= factor * pivot_entry;
             }
-            b[row] -= factor * b[col];
+            b[col + 1 + offset] -= factor * b[col];
         }
     }
     // back substitution

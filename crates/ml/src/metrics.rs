@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn paper_bins_are_increasing() {
-        for bins in [ErrorHistogram::paper_host_bins(), ErrorHistogram::paper_device_bins()] {
+        for bins in [
+            ErrorHistogram::paper_host_bins(),
+            ErrorHistogram::paper_device_bins(),
+        ] {
             for pair in bins.windows(2) {
                 assert!(pair[0] < pair[1] || (pair[0] - pair[1]).abs() < 1e-12);
             }

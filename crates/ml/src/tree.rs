@@ -198,7 +198,7 @@ impl RegressionTree {
                 let boundary = values[k].0;
                 // only evaluate at value changes, respecting the candidate stride
                 let next = values[k + 1].0;
-                if boundary == next || (k + 1) % stride != 0 {
+                if boundary == next || !(k + 1).is_multiple_of(stride) {
                     k += 1;
                     continue;
                 }
@@ -215,7 +215,7 @@ impl RegressionTree {
                 let sse = (left_sq - left_sum * left_sum / left_n)
                     + (right_sq - right_sum * right_sum / right_n);
                 let threshold = (boundary + next) / 2.0;
-                if best.map_or(true, |(_, _, b)| sse < b) {
+                if best.is_none_or(|(_, _, b)| sse < b) {
                     best = Some((feature, threshold, sse));
                 }
                 k += 1;

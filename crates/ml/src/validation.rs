@@ -84,7 +84,11 @@ where
         let mut train = Dataset::new(data.feature_names().to_vec());
         let mut test = Dataset::new(data.feature_names().to_vec());
         for (rank, &row) in order.iter().enumerate() {
-            let destination = if rank % folds == fold { &mut test } else { &mut train };
+            let destination = if rank % folds == fold {
+                &mut test
+            } else {
+                &mut train
+            };
             destination
                 .push(data.features(row).to_vec(), data.target(row))
                 .expect("row matches schema");
@@ -95,10 +99,19 @@ where
         let mut model = factory();
         model.fit(&train)?;
         let predictions = model.predict_batch(test.feature_rows());
-        fold_mape.push(metrics::mean_absolute_percent_error(test.targets(), &predictions));
-        fold_rmse.push(metrics::root_mean_squared_error(test.targets(), &predictions));
+        fold_mape.push(metrics::mean_absolute_percent_error(
+            test.targets(),
+            &predictions,
+        ));
+        fold_rmse.push(metrics::root_mean_squared_error(
+            test.targets(),
+            &predictions,
+        ));
     }
-    Ok(CrossValidation { fold_mape, fold_rmse })
+    Ok(CrossValidation {
+        fold_mape,
+        fold_rmse,
+    })
 }
 
 /// Permutation feature importance: how much the model's RMSE on `data` degrades when

@@ -3,12 +3,12 @@
 use proptest::prelude::*;
 use wd_ml::{
     metrics, BoostedTreesRegressor, BoostingParams, Dataset, ErrorHistogram, LinearRegressor,
-    Normalization, Normalizer, Regressor, RegressionTree, TreeParams,
+    Normalization, Normalizer, RegressionTree, Regressor, TreeParams,
 };
 
 fn arb_dataset(max_rows: usize) -> impl Strategy<Value = Dataset> {
-    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, -50.0f64..50.0), 4..max_rows)
-        .prop_map(|rows| {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0, -50.0f64..50.0), 4..max_rows).prop_map(
+        |rows| {
             let mut data = Dataset::new(vec!["x0".into(), "x1".into()]);
             for (x0, x1, noise) in rows {
                 // a deterministic target with mild nonlinearity
@@ -16,7 +16,8 @@ fn arb_dataset(max_rows: usize) -> impl Strategy<Value = Dataset> {
                 data.push(vec![x0, x1], y).unwrap();
             }
             data
-        })
+        },
+    )
 }
 
 proptest! {

@@ -3,6 +3,18 @@
 //! Enumeration underlies the paper's EM and EML reference methods: it is guaranteed to
 //! find the optimum but requires one evaluation per configuration — 19 926 experiments
 //! for the paper's grid — which is exactly the cost the SA-based methods avoid.
+//!
+//! Two drivers are provided:
+//!
+//! * [`Enumeration`] — the classic one-configuration-at-a-time scan, optionally
+//!   spreading single evaluations over rayon workers;
+//! * [`ParallelEnumeration`] — the batched path: the space is cut into contiguous
+//!   batches which are scored through [`Objective::evaluate_batch`] on rayon workers,
+//!   letting batch-capable objectives (the platform's `execute_many`, vectorised
+//!   prediction models, a shared [`crate::CachedObjective`]) amortise per-call
+//!   overheads.  Results are bit-identical to the sequential scan regardless of thread
+//!   count or batch size: ties are broken towards the earliest configuration in
+//!   enumeration order.
 
 use rayon::prelude::*;
 
@@ -11,7 +23,19 @@ use crate::outcome::Outcome;
 use crate::space::SearchSpace;
 use crate::trace::OptimizationTrace;
 
-/// Exhaustive search over an enumerable space.
+/// Pick the best `(index, energy)` pair: lowest energy, earliest index on ties.
+/// Energies are ordered by [`f64::total_cmp`]; objectives are expected to return real
+/// (non-NaN) energies — under `total_cmp` a positive NaN sorts after every real
+/// energy (it loses), while a sign-bit-set NaN sorts before them (it would win).
+fn better(best: (usize, f64), candidate: (usize, f64)) -> (usize, f64) {
+    match candidate.1.total_cmp(&best.1) {
+        std::cmp::Ordering::Less => candidate,
+        std::cmp::Ordering::Equal if candidate.0 < best.0 => candidate,
+        _ => best,
+    }
+}
+
+/// Exhaustive search over an enumerable space, one evaluation at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Enumeration {
     /// Evaluate configurations in parallel with rayon.  The result is identical; only
@@ -48,28 +72,115 @@ impl Enumeration {
         assert!(!configs.is_empty(), "cannot enumerate an empty space");
         let counting = CountingObjective::new(objective);
 
-        let best = if self.parallel {
+        let scored: Vec<(usize, f64)> = if self.parallel {
             configs
+                .iter()
+                .enumerate()
+                .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|config| {
-                    let energy = counting.evaluate(&config);
-                    (config, energy)
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty space")
+                .map(|(index, config)| (index, counting.evaluate(config)))
+                .collect()
         } else {
             configs
-                .into_iter()
-                .map(|config| {
-                    let energy = counting.evaluate(&config);
-                    (config, energy)
-                })
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("non-empty space")
+                .iter()
+                .enumerate()
+                .map(|(index, config)| (index, counting.evaluate(config)))
+                .collect()
         };
+        let best = scored.into_iter().reduce(better).expect("non-empty space");
 
+        let mut configs = configs;
         Outcome {
-            best_config: best.0,
+            best_config: configs.swap_remove(best.0),
+            best_energy: best.1,
+            evaluations: counting.evaluations(),
+            trace: OptimizationTrace::new(),
+        }
+    }
+}
+
+/// Default number of configurations per batch of [`ParallelEnumeration`].
+pub const DEFAULT_BATCH_SIZE: usize = 512;
+
+/// Exhaustive search that scores the space in parallel batches via
+/// [`Objective::evaluate_batch`].
+///
+/// This is the preferred enumeration driver: for objectives with a batch-capable
+/// backend every batch becomes one bulk request, and for plain objectives the batches
+/// still spread over rayon workers.  The outcome is deterministic — identical to
+/// [`Enumeration::sequential`] — independent of thread count and batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelEnumeration {
+    /// Number of configurations per [`Objective::evaluate_batch`] call.
+    pub batch_size: usize,
+}
+
+impl Default for ParallelEnumeration {
+    fn default() -> Self {
+        ParallelEnumeration {
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+impl ParallelEnumeration {
+    /// Batched enumeration with the default batch size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the batch size (values below 1 are clamped to 1).
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        ParallelEnumeration {
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Run the exhaustive batched search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space does not support enumeration ([`SearchSpace::enumerate`]
+    /// returns `None`) or enumerates to zero configurations.
+    pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        S::Config: Send + Sync,
+        O: Objective<S::Config> + Sync + ?Sized,
+    {
+        let configs = space
+            .enumerate()
+            .expect("enumeration requires an enumerable search space");
+        assert!(!configs.is_empty(), "cannot enumerate an empty space");
+        let counting = CountingObjective::new(objective);
+        let batch_size = self.batch_size.max(1);
+
+        // Score each contiguous batch on a rayon worker, reducing every batch to its
+        // local best before the (cheap, sequential) global reduction.
+        let batches: Vec<(usize, &[S::Config])> = configs
+            .chunks(batch_size)
+            .enumerate()
+            .map(|(batch_index, batch)| (batch_index * batch_size, batch))
+            .collect();
+        let best = batches
+            .into_par_iter()
+            .map(|(offset, batch)| {
+                let energies = counting.evaluate_batch(batch);
+                energies
+                    .into_iter()
+                    .enumerate()
+                    .map(|(local, energy)| (offset + local, energy))
+                    .reduce(better)
+                    .expect("batches are non-empty")
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .reduce(better)
+            .expect("non-empty space");
+
+        let mut configs = configs;
+        Outcome {
+            best_config: configs.swap_remove(best.0),
             best_energy: best.1,
             evaluations: counting.evaluations(),
             trace: OptimizationTrace::new(),
@@ -80,6 +191,7 @@ impl Enumeration {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::CachedObjective;
     use crate::space::GridSpace;
 
     fn bowl(config: &(u32, u32)) -> f64 {
@@ -90,7 +202,10 @@ mod tests {
 
     #[test]
     fn finds_the_exact_optimum() {
-        let space = GridSpace { width: 40, height: 20 };
+        let space = GridSpace {
+            width: 40,
+            height: 20,
+        };
         let outcome = Enumeration::sequential().run(&space, &bowl);
         assert_eq!(outcome.best_config, (13, 5));
         assert_eq!(outcome.best_energy, 0.0);
@@ -99,7 +214,10 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let space = GridSpace { width: 64, height: 48 };
+        let space = GridSpace {
+            width: 64,
+            height: 48,
+        };
         let sequential = Enumeration::sequential().run(&space, &bowl);
         let parallel = Enumeration::parallel().run(&space, &bowl);
         assert_eq!(sequential.best_config, parallel.best_config);
@@ -108,8 +226,74 @@ mod tests {
     }
 
     #[test]
+    fn batched_enumeration_matches_sequential_for_any_batch_size() {
+        let space = GridSpace {
+            width: 37,
+            height: 29,
+        };
+        let sequential = Enumeration::sequential().run(&space, &bowl);
+        for batch_size in [1usize, 7, 64, 512, 10_000] {
+            let batched = ParallelEnumeration::with_batch_size(batch_size).run(&space, &bowl);
+            assert_eq!(
+                batched.best_config, sequential.best_config,
+                "batch {batch_size}"
+            );
+            assert_eq!(batched.best_energy, sequential.best_energy);
+            assert_eq!(batched.evaluations, 37 * 29);
+        }
+    }
+
+    #[test]
+    fn ties_break_towards_the_earliest_configuration() {
+        // A plateau objective: every configuration has the same energy, so the winner
+        // must be the first configuration in enumeration order for every driver.
+        let space = GridSpace {
+            width: 9,
+            height: 11,
+        };
+        let flat = |_: &(u32, u32)| 1.0;
+        let first = space.enumerate().unwrap()[0];
+        assert_eq!(
+            Enumeration::sequential().run(&space, &flat).best_config,
+            first
+        );
+        assert_eq!(
+            Enumeration::parallel().run(&space, &flat).best_config,
+            first
+        );
+        assert_eq!(
+            ParallelEnumeration::with_batch_size(13)
+                .run(&space, &flat)
+                .best_config,
+            first
+        );
+    }
+
+    #[test]
+    fn batched_enumeration_through_a_cache_evaluates_each_config_once() {
+        let space = GridSpace {
+            width: 16,
+            height: 16,
+        };
+        let cached = CachedObjective::new(&bowl);
+        let cold = ParallelEnumeration::new().run(&space, &cached);
+        assert_eq!(cached.stats().misses, 256);
+        assert_eq!(cached.stats().hits, 0);
+
+        // a warm re-run answers everything from the cache and returns the same result
+        let warm = ParallelEnumeration::new().run(&space, &cached);
+        assert_eq!(cached.stats().misses, 256);
+        assert_eq!(cached.stats().hits, 256);
+        assert_eq!(warm.best_config, cold.best_config);
+        assert_eq!(warm.best_energy, cold.best_energy);
+    }
+
+    #[test]
     fn evaluation_count_equals_cardinality() {
-        let space = GridSpace { width: 17, height: 23 };
+        let space = GridSpace {
+            width: 17,
+            height: 23,
+        };
         let outcome = Enumeration::parallel().run(&space, &bowl);
         assert_eq!(outcome.evaluations as u128, space.cardinality().unwrap());
     }
@@ -129,5 +313,22 @@ mod tests {
             }
         }
         let _ = Enumeration::sequential().run(&Opaque, &|c: &u8| *c as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "enumeration requires an enumerable search space")]
+    fn batched_enumeration_also_requires_an_enumerable_space() {
+        use rand::rngs::StdRng;
+        struct Opaque;
+        impl SearchSpace for Opaque {
+            type Config = u8;
+            fn random(&self, _rng: &mut StdRng) -> u8 {
+                0
+            }
+            fn neighbor(&self, c: &u8, _rng: &mut StdRng) -> u8 {
+                *c
+            }
+        }
+        let _ = ParallelEnumeration::new().run(&Opaque, &|c: &u8| *c as f64);
     }
 }

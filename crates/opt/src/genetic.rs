@@ -95,8 +95,11 @@ impl GeneticAlgorithm {
         for generation in 0..p.generations {
             // sort ascending by energy for elitism
             population.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut next: Vec<(S::Config, f64)> =
-                population.iter().take(p.elitism.min(population_size)).cloned().collect();
+            let mut next: Vec<(S::Config, f64)> = population
+                .iter()
+                .take(p.elitism.min(population_size))
+                .cloned()
+                .collect();
 
             while next.len() < population_size {
                 let parent_a = tournament(&population, p.tournament, &mut rng);
@@ -139,16 +142,12 @@ impl GeneticAlgorithm {
     }
 }
 
-fn tournament<'a, C>(
-    population: &'a [(C, f64)],
-    size: usize,
-    rng: &mut StdRng,
-) -> &'a (C, f64) {
+fn tournament<'a, C>(population: &'a [(C, f64)], size: usize, rng: &mut StdRng) -> &'a (C, f64) {
     let size = size.max(1);
     let mut best: Option<&(C, f64)> = None;
     for _ in 0..size {
         let candidate = &population[rng.gen_range(0..population.len())];
-        if best.map_or(true, |b| candidate.1 < b.1) {
+        if best.is_none_or(|b| candidate.1 < b.1) {
             best = Some(candidate);
         }
     }
@@ -168,7 +167,10 @@ mod tests {
 
     #[test]
     fn improves_over_generations() {
-        let space = GridSpace { width: 128, height: 128 };
+        let space = GridSpace {
+            width: 128,
+            height: 128,
+        };
         let outcome = GeneticAlgorithm::with_budget(2000, 5).run(&space, &rugged);
         assert!(outcome.best_energy < 300.0, "got {}", outcome.best_energy);
         let series = outcome.trace.best_energy_series();
@@ -177,7 +179,10 @@ mod tests {
 
     #[test]
     fn evaluation_budget_is_approximately_respected() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let outcome = GeneticAlgorithm::with_budget(1000, 1).run(&space, &rugged);
         assert!(outcome.evaluations <= 1100, "got {}", outcome.evaluations);
         assert!(outcome.evaluations >= 500);
@@ -185,7 +190,10 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let a = GeneticAlgorithm::with_budget(600, 9).run(&space, &rugged);
         let b = GeneticAlgorithm::with_budget(600, 9).run(&space, &rugged);
         assert_eq!(a.best_config, b.best_config);
@@ -194,7 +202,10 @@ mod tests {
 
     #[test]
     fn elitism_preserves_the_best_individual() {
-        let space = GridSpace { width: 32, height: 32 };
+        let space = GridSpace {
+            width: 32,
+            height: 32,
+        };
         let ga = GeneticAlgorithm::new(GeneticParams {
             population: 10,
             generations: 30,

@@ -106,21 +106,30 @@ mod tests {
 
     #[test]
     fn converges_on_a_convex_landscape() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let outcome = HillClimbing::with_budget(3000, 1).run(&space, &bowl);
         assert!(outcome.best_energy <= 2.0, "got {}", outcome.best_energy);
     }
 
     #[test]
     fn respects_the_evaluation_budget() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let outcome = HillClimbing::with_budget(500, 2).run(&space, &bowl);
         assert!(outcome.evaluations <= 501);
     }
 
     #[test]
     fn runs_are_reproducible() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let a = HillClimbing::with_budget(400, 9).run(&space, &bowl);
         let b = HillClimbing::with_budget(400, 9).run(&space, &bowl);
         assert_eq!(a.best_config, b.best_config);

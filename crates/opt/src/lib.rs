@@ -14,6 +14,13 @@
 //! perturb configurations) and [`Objective`] (how to score one configuration — lower is
 //! better) can be optimized.
 //!
+//! [`Objective`] is the workspace's **single evaluation layer**: besides one-at-a-time
+//! scoring it exposes [`Objective::evaluate_batch`] for bulk evaluation, which
+//! batch-capable backends override to run many configurations in one parallel pass.
+//! [`CachedObjective`] adds config-keyed memoization (with [`CacheStats`] hit/miss
+//! counters) on top of any objective, and [`ParallelEnumeration`] drives an exhaustive
+//! search through the batched path.
+//!
 //! ## Example
 //!
 //! ```
@@ -58,10 +65,10 @@ pub mod space;
 pub mod tabu;
 pub mod trace;
 
-pub use enumeration::Enumeration;
+pub use enumeration::{Enumeration, ParallelEnumeration};
 pub use genetic::{GeneticAlgorithm, GeneticParams};
 pub use hill_climbing::HillClimbing;
-pub use objective::{CountingObjective, Objective};
+pub use objective::{CacheStats, CachedObjective, CountingObjective, Objective};
 pub use outcome::Outcome;
 pub use random_search::RandomSearch;
 pub use sa::SimulatedAnnealing;

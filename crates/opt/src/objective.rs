@@ -1,6 +1,25 @@
 //! The objective (energy) abstraction and evaluation bookkeeping.
+//!
+//! This module is the workspace's **single scoring layer**: every evaluator — the
+//! simulated platform, the trained prediction models, plain closures in tests — plugs
+//! into the optimizers by implementing [`Objective`].  On top of the one-at-a-time
+//! [`Objective::evaluate`] the trait offers a batched entry point,
+//! [`Objective::evaluate_batch`], which implementations backed by batch-capable
+//! engines (e.g. `HeterogeneousPlatform::execute_many`) override to evaluate many
+//! configurations in one parallel pass.
+//!
+//! Two wrappers provide the bookkeeping every driver needs:
+//!
+//! * [`CountingObjective`] counts evaluation *requests* (the paper's "number of
+//!   experiments" effort metric);
+//! * [`CachedObjective`] memoizes results by configuration, so revisited
+//!   configurations (frequent under simulated annealing) cost nothing, and reports
+//!   [`CacheStats`] hit/miss counters.
 
+use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 /// An objective function over configurations of type `C`.  Lower values are better
 /// ("energy" in the simulated-annealing terminology of the paper, execution time in the
@@ -8,6 +27,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub trait Objective<C> {
     /// Evaluate one configuration.
     fn evaluate(&self, config: &C) -> f64;
+
+    /// Evaluate a batch of configurations, returning one energy per configuration in
+    /// order.
+    ///
+    /// The default implementation evaluates sequentially; implementations backed by a
+    /// batch-capable engine (a parallel simulator, a vectorised model) should override
+    /// it.  Overrides must be observationally identical to the default: same values,
+    /// same order.
+    fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
+        configs.iter().map(|config| self.evaluate(config)).collect()
+    }
 }
 
 /// Blanket implementation so plain closures can be used as objectives.
@@ -24,7 +54,7 @@ where
 ///
 /// The paper's headline result is about *how many experiments* each method needs
 /// (SAML evaluates ≈5 % of what enumeration needs); this wrapper is how the drivers
-/// report that number.
+/// report that number.  Batched evaluations count one request per configuration.
 pub struct CountingObjective<'a, O: ?Sized> {
     inner: &'a O,
     count: AtomicUsize,
@@ -58,6 +88,187 @@ where
         self.count.fetch_add(1, Ordering::Relaxed);
         self.inner.evaluate(config)
     }
+
+    fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
+        self.count.fetch_add(configs.len(), Ordering::Relaxed);
+        self.inner.evaluate_batch(configs)
+    }
+}
+
+/// Hit/miss counters of a [`CachedObjective`].
+///
+/// `misses` is the number of *distinct* configurations the inner objective actually
+/// evaluated — with caching enabled this, not the request count, is the real
+/// measurement cost of a search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache (including duplicates within one batch).
+    pub hits: usize,
+    /// Requests that reached the inner objective.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total number of evaluation requests seen.
+    pub fn requests(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests answered from the cache (0 when nothing was requested).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests() as f64
+        }
+    }
+}
+
+/// Config-keyed memoization wrapper around any [`Objective`].
+///
+/// Thread-safe: the cache is behind a [`RwLock`] and the counters are atomic, so a
+/// `CachedObjective` can be shared by the parallel enumeration path.  Batch requests
+/// deduplicate configurations before reaching the inner objective.  `misses` counts
+/// *distinct* configurations: insertion is entry-based, so when two threads race on
+/// the same uncached configuration the inner objective may be invoked redundantly
+/// (objectives are deterministic, so the values agree), but the configuration is
+/// recorded as exactly one miss and the loser of the race as a hit.
+pub struct CachedObjective<'a, C, O: ?Sized> {
+    inner: &'a O,
+    cache: RwLock<HashMap<C, f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'a, C, O: ?Sized> CachedObjective<'a, C, O>
+where
+    C: Eq + Hash + Clone,
+{
+    /// Wrap an objective with an empty cache.
+    pub fn new(inner: &'a O) -> Self {
+        CachedObjective {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct configurations cached so far.
+    pub fn len(&self) -> usize {
+        self.cache.read().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forget all cached energies and reset the counters.
+    pub fn clear(&self) {
+        self.cache.write().expect("cache lock poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<C, O> Objective<C> for CachedObjective<'_, C, O>
+where
+    C: Eq + Hash + Clone,
+    O: Objective<C> + ?Sized,
+{
+    fn evaluate(&self, config: &C) -> f64 {
+        if let Some(&energy) = self.cache.read().expect("cache lock poisoned").get(config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return energy;
+        }
+        let energy = self.inner.evaluate(config);
+        match self
+            .cache
+            .write()
+            .expect("cache lock poisoned")
+            .entry(config.clone())
+        {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(energy);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                energy
+            }
+            // another thread filled this configuration while we evaluated; its value
+            // is identical (objectives are deterministic) — count us as a hit so
+            // `misses` keeps counting distinct configurations
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                *slot.get()
+            }
+        }
+    }
+
+    fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
+        let mut energies = vec![0.0f64; configs.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        {
+            let cache = self.cache.read().expect("cache lock poisoned");
+            for (index, config) in configs.iter().enumerate() {
+                match cache.get(config) {
+                    Some(&energy) => energies[index] = energy,
+                    None => pending.push(index),
+                }
+            }
+        }
+        self.hits
+            .fetch_add(configs.len() - pending.len(), Ordering::Relaxed);
+        if pending.is_empty() {
+            return energies;
+        }
+
+        // Deduplicate the uncached configurations so the inner objective sees each
+        // distinct configuration once; duplicates within the batch count as hits.
+        let mut unique: Vec<C> = Vec::with_capacity(pending.len());
+        let mut position: HashMap<C, usize> = HashMap::with_capacity(pending.len());
+        for &index in &pending {
+            let config = &configs[index];
+            if !position.contains_key(config) {
+                position.insert(config.clone(), unique.len());
+                unique.push(config.clone());
+            }
+        }
+        self.hits
+            .fetch_add(pending.len() - unique.len(), Ordering::Relaxed);
+
+        let fresh = self.inner.evaluate_batch(&unique);
+        debug_assert_eq!(fresh.len(), unique.len());
+        {
+            let mut cache = self.cache.write().expect("cache lock poisoned");
+            let mut new_misses = 0;
+            let mut race_hits = 0;
+            for (config, &energy) in unique.iter().zip(&fresh) {
+                match cache.entry(config.clone()) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(energy);
+                        new_misses += 1;
+                    }
+                    // filled by a concurrent caller while we evaluated; identical
+                    // value, counted as a hit so `misses` stays "distinct configs"
+                    std::collections::hash_map::Entry::Occupied(_) => race_hits += 1,
+                }
+            }
+            self.misses.fetch_add(new_misses, Ordering::Relaxed);
+            self.hits.fetch_add(race_hits, Ordering::Relaxed);
+        }
+        for &index in &pending {
+            energies[index] = fresh[position[&configs[index]]];
+        }
+        energies
+    }
 }
 
 #[cfg(test)]
@@ -68,6 +279,10 @@ mod tests {
     fn closures_are_objectives() {
         let objective = |x: &f64| x * x;
         assert_eq!(objective.evaluate(&3.0), 9.0);
+        assert_eq!(
+            objective.evaluate_batch(&[1.0, 2.0, 3.0]),
+            vec![1.0, 4.0, 9.0]
+        );
     }
 
     #[test]
@@ -83,5 +298,79 @@ mod tests {
         assert_eq!(counting.evaluations(), 0);
         // value passes through unchanged
         assert_eq!(counting.evaluate(&5), 5.0);
+    }
+
+    #[test]
+    fn counting_objective_counts_batches_per_item() {
+        let inner = |x: &i32| f64::from(*x);
+        let counting = CountingObjective::new(&inner);
+        let batch: Vec<i32> = (0..13).collect();
+        assert_eq!(
+            counting.evaluate_batch(&batch),
+            batch.iter().map(|&x| f64::from(x)).collect::<Vec<_>>()
+        );
+        assert_eq!(counting.evaluations(), 13);
+    }
+
+    #[test]
+    fn cache_returns_identical_results_and_counts_hits() {
+        let calls = AtomicUsize::new(0);
+        let inner = |x: &u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            f64::from(*x) * 1.5
+        };
+        let cached = CachedObjective::new(&inner);
+
+        assert_eq!(cached.evaluate(&4), 6.0);
+        assert_eq!(cached.evaluate(&4), 6.0);
+        assert_eq!(cached.evaluate(&2), 3.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "4 evaluated once, 2 once");
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cached.len(), 2);
+
+        cached.clear();
+        assert!(cached.is_empty());
+        assert_eq!(cached.stats().requests(), 0);
+    }
+
+    #[test]
+    fn cached_batches_deduplicate_and_match_uncached() {
+        let calls = AtomicUsize::new(0);
+        let inner = |x: &u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            f64::from(*x).sqrt()
+        };
+        let cached = CachedObjective::new(&inner);
+
+        let batch = vec![9u32, 4, 9, 16, 4, 9];
+        let expected: Vec<f64> = batch.iter().map(|&x| f64::from(x).sqrt()).collect();
+        let energies = cached.evaluate_batch(&batch);
+        assert_eq!(energies, expected);
+        // only the three distinct configurations reached the inner objective
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cached.stats(), CacheStats { hits: 3, misses: 3 });
+
+        // a second identical batch is answered fully from the cache
+        let again = cached.evaluate_batch(&batch);
+        assert_eq!(again, energies);
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cached.stats(), CacheStats { hits: 9, misses: 3 });
+        assert!((cached.stats().hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_single_and_batch_requests_share_the_cache() {
+        let calls = AtomicUsize::new(0);
+        let inner = |x: &u32| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            f64::from(*x) + 0.5
+        };
+        let cached = CachedObjective::new(&inner);
+        let _ = cached.evaluate(&7);
+        let energies = cached.evaluate_batch(&[7, 8]);
+        assert_eq!(energies, vec![7.5, 8.5]);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        let _ = cached.evaluate(&8);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
     }
 }

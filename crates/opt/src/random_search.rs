@@ -40,7 +40,7 @@ impl RandomSearch {
         for iteration in 0..self.samples {
             let config = space.random(&mut rng);
             let energy = counting.evaluate(&config);
-            let improved = best.as_ref().map_or(true, |(_, b)| energy < *b);
+            let improved = best.as_ref().is_none_or(|(_, b)| energy < *b);
             if improved {
                 best = Some((config, energy));
             }
@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn keeps_the_best_of_its_samples() {
-        let space = GridSpace { width: 16, height: 16 };
+        let space = GridSpace {
+            width: 16,
+            height: 16,
+        };
         let outcome = RandomSearch::new(2000, 3).run(&space, &bowl);
         // with 2000 samples over 256 cells, the optimum is found with overwhelming probability
         assert_eq!(outcome.best_energy, 0.0);
@@ -88,7 +91,10 @@ mod tests {
 
     #[test]
     fn more_samples_never_yield_a_worse_result_for_the_same_seed() {
-        let space = GridSpace { width: 100, height: 100 };
+        let space = GridSpace {
+            width: 100,
+            height: 100,
+        };
         let small = RandomSearch::new(50, 5).run(&space, &bowl);
         let large = RandomSearch::new(500, 5).run(&space, &bowl);
         assert!(large.best_energy <= small.best_energy);
@@ -96,7 +102,10 @@ mod tests {
 
     #[test]
     fn zero_samples_is_clamped_to_one() {
-        let space = GridSpace { width: 4, height: 4 };
+        let space = GridSpace {
+            width: 4,
+            height: 4,
+        };
         let outcome = RandomSearch::new(0, 1).run(&space, &bowl);
         assert_eq!(outcome.evaluations, 1);
     }

@@ -107,8 +107,8 @@ impl SimulatedAnnealing {
                 true
             } else {
                 // Metropolis criterion (Eq. 4): p = exp((E - E') / T)
-                let p = ((current_energy - proposal_energy) / temperature.max(f64::MIN_POSITIVE))
-                    .exp();
+                let p =
+                    ((current_energy - proposal_energy) / temperature.max(f64::MIN_POSITIVE)).exp();
                 rng.gen_bool(p.clamp(0.0, 1.0))
             };
 
@@ -159,7 +159,10 @@ mod tests {
 
     #[test]
     fn finds_a_near_optimal_solution_on_a_rugged_landscape() {
-        let space = GridSpace { width: 128, height: 128 };
+        let space = GridSpace {
+            width: 128,
+            height: 128,
+        };
         let sa = SimulatedAnnealing::with_iteration_budget(4000, 500.0, 11);
         let outcome = sa.run(&space, &rugged);
         // global optimum value is 0; random configurations average in the thousands
@@ -174,7 +177,10 @@ mod tests {
 
     #[test]
     fn iteration_budget_is_respected() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         for budget in [100usize, 500, 1000] {
             let sa = SimulatedAnnealing::with_iteration_budget(budget, 1000.0, 3);
             let outcome = sa.run(&space, &rugged);
@@ -188,7 +194,10 @@ mod tests {
 
     #[test]
     fn best_energy_series_is_non_increasing() {
-        let space = GridSpace { width: 100, height: 100 };
+        let space = GridSpace {
+            width: 100,
+            height: 100,
+        };
         let sa = SimulatedAnnealing::with_iteration_budget(1500, 200.0, 5);
         let outcome = sa.run(&space, &rugged);
         let series = outcome.trace.best_energy_series();
@@ -200,7 +209,10 @@ mod tests {
 
     #[test]
     fn same_seed_reproduces_same_run() {
-        let space = GridSpace { width: 80, height: 80 };
+        let space = GridSpace {
+            width: 80,
+            height: 80,
+        };
         let sa = SimulatedAnnealing::with_iteration_budget(800, 300.0, 42);
         let a = sa.run(&space, &rugged);
         let b = sa.run(&space, &rugged);
@@ -209,12 +221,18 @@ mod tests {
         assert_eq!(a.trace.records().len(), b.trace.records().len());
 
         let c = SimulatedAnnealing::with_iteration_budget(800, 300.0, 43).run(&space, &rugged);
-        assert!(c.trace.records() != a.trace.records(), "different seeds should differ");
+        assert!(
+            c.trace.records() != a.trace.records(),
+            "different seeds should differ"
+        );
     }
 
     #[test]
     fn accepts_worse_solutions_at_high_temperature() {
-        let space = GridSpace { width: 50, height: 50 };
+        let space = GridSpace {
+            width: 50,
+            height: 50,
+        };
         let sa = SimulatedAnnealing::with_iteration_budget(2000, 2000.0, 9);
         let outcome = sa.run(&space, &rugged);
         let records = outcome.trace.records();
@@ -234,7 +252,10 @@ mod tests {
 
     #[test]
     fn more_iterations_do_not_hurt_solution_quality_on_average() {
-        let space = GridSpace { width: 256, height: 256 };
+        let space = GridSpace {
+            width: 256,
+            height: 256,
+        };
         let average_energy = |budget: usize| -> f64 {
             (0..8)
                 .map(|seed| {

@@ -20,7 +20,9 @@ pub enum CoolingSchedule {
 impl CoolingSchedule {
     /// The paper's default: geometric cooling.
     pub fn paper_default() -> Self {
-        CoolingSchedule::Geometric { cooling_rate: 0.003 }
+        CoolingSchedule::Geometric {
+            cooling_rate: 0.003,
+        }
     }
 
     /// Temperature after one more iteration.
@@ -66,8 +68,7 @@ impl CoolingSchedule {
                 if cooling_rate <= 0.0 || cooling_rate >= 1.0 {
                     return None;
                 }
-                let steps =
-                    (final_temperature / initial).ln() / (1.0 - cooling_rate).ln();
+                let steps = (final_temperature / initial).ln() / (1.0 - cooling_rate).ln();
                 Some(steps.ceil().max(0.0) as usize)
             }
             _ => None,
@@ -100,7 +101,10 @@ mod tests {
         let t10 = schedule.next_temperature(100.0, t1, 9);
         let t100 = schedule.next_temperature(100.0, t10, 99);
         assert!(t1 > t10 && t10 > t100);
-        assert!(t100 > 10.0, "logarithmic cooling should still be warm after 100 iterations");
+        assert!(
+            t100 > 10.0,
+            "logarithmic cooling should still be warm after 100 iterations"
+        );
     }
 
     #[test]

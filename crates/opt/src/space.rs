@@ -96,8 +96,16 @@ impl SearchSpace for GridSpace {
     ) -> Self::Config {
         // uniform crossover per coordinate
         (
-            if rng.gen_bool(0.5) { parent_a.0 } else { parent_b.0 },
-            if rng.gen_bool(0.5) { parent_a.1 } else { parent_b.1 },
+            if rng.gen_bool(0.5) {
+                parent_a.0
+            } else {
+                parent_b.0
+            },
+            if rng.gen_bool(0.5) {
+                parent_a.1
+            } else {
+                parent_b.1
+            },
         )
     }
 }
@@ -109,7 +117,10 @@ mod tests {
 
     #[test]
     fn grid_space_samples_within_bounds() {
-        let space = GridSpace { width: 7, height: 3 };
+        let space = GridSpace {
+            width: 7,
+            height: 3,
+        };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
             let (x, y) = space.random(&mut rng);
@@ -119,7 +130,10 @@ mod tests {
 
     #[test]
     fn grid_neighbors_stay_close_and_in_bounds() {
-        let space = GridSpace { width: 5, height: 5 };
+        let space = GridSpace {
+            width: 5,
+            height: 5,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let mut config = (2u32, 2u32);
         for _ in 0..500 {
@@ -133,7 +147,10 @@ mod tests {
 
     #[test]
     fn grid_enumeration_matches_cardinality() {
-        let space = GridSpace { width: 6, height: 4 };
+        let space = GridSpace {
+            width: 6,
+            height: 4,
+        };
         let all = space.enumerate().unwrap();
         assert_eq!(all.len() as u128, space.cardinality().unwrap());
         // no duplicates
@@ -164,7 +181,10 @@ mod tests {
 
     #[test]
     fn grid_crossover_mixes_coordinates() {
-        let space = GridSpace { width: 10, height: 10 };
+        let space = GridSpace {
+            width: 10,
+            height: 10,
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let mut saw_mix = false;
         for _ in 0..100 {
@@ -174,6 +194,9 @@ mod tests {
                 saw_mix = true;
             }
         }
-        assert!(saw_mix, "uniform crossover should sometimes mix coordinates");
+        assert!(
+            saw_mix,
+            "uniform crossover should sometimes mix coordinates"
+        );
     }
 }

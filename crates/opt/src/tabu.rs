@@ -69,7 +69,7 @@ impl TabuSearch {
                 if is_tabu && !aspirated {
                     continue;
                 }
-                if chosen.as_ref().map_or(true, |(_, e)| energy < *e) {
+                if chosen.as_ref().is_none_or(|(_, e)| energy < *e) {
                     chosen = Some((candidate, energy));
                 }
             }
@@ -132,14 +132,20 @@ mod tests {
 
     #[test]
     fn finds_a_good_solution() {
-        let space = GridSpace { width: 96, height: 96 };
+        let space = GridSpace {
+            width: 96,
+            height: 96,
+        };
         let outcome = TabuSearch::with_budget(400, 7).run(&space, &rugged);
         assert!(outcome.best_energy < 120.0, "got {}", outcome.best_energy);
     }
 
     #[test]
     fn evaluations_scale_with_neighbourhood_size() {
-        let space = GridSpace { width: 32, height: 32 };
+        let space = GridSpace {
+            width: 32,
+            height: 32,
+        };
         let search = TabuSearch {
             iterations: 50,
             neighbourhood: 4,
@@ -154,7 +160,10 @@ mod tests {
 
     #[test]
     fn runs_are_reproducible() {
-        let space = GridSpace { width: 64, height: 64 };
+        let space = GridSpace {
+            width: 64,
+            height: 64,
+        };
         let a = TabuSearch::with_budget(120, 3).run(&space, &rugged);
         let b = TabuSearch::with_budget(120, 3).run(&space, &rugged);
         assert_eq!(a.best_config, b.best_config);

@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn display_other_variants_are_nonempty() {
         let errors = [
-            PlatformError::ZeroThreads { device: "host".into() },
+            PlatformError::ZeroThreads {
+                device: "host".into(),
+            },
             PlatformError::UnsupportedAffinity {
                 device: "host".into(),
                 affinity: Affinity::Balanced,

@@ -58,6 +58,8 @@ pub use error::PlatformError;
 pub use noise::NoiseModel;
 pub use offload::OffloadModel;
 pub use perf_model::{PerfModel, PerfModelParams};
-pub use platform::{ExecutionConfig, HeterogeneousPlatform, Measurement, Partition};
+pub use platform::{
+    ExecutionConfig, ExecutionRequest, HeterogeneousPlatform, Measurement, Partition,
+};
 pub use topology::Topology;
 pub use workload::WorkloadProfile;

@@ -110,9 +110,15 @@ mod tests {
             max = max.max(f);
         }
         let mean = sum / count;
-        assert!((mean - 1.0).abs() < 0.01, "mean factor {mean} too far from 1");
+        assert!(
+            (mean - 1.0).abs() < 0.01,
+            "mean factor {mean} too far from 1"
+        );
         // ±5 sigma bounds for sigma = 0.028
-        assert!(min > 0.85 && max < 1.18, "noise range [{min}, {max}] too wide");
+        assert!(
+            min > 0.85 && max < 1.18,
+            "noise range [{min}, {max}] too wide"
+        );
     }
 
     #[test]

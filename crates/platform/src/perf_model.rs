@@ -221,8 +221,18 @@ mod tests {
     fn zero_threads_or_empty_workload_cost_nothing() {
         let model = PerfModel::default();
         let empty = human().fraction(0.0);
-        assert_eq!(model.compute_time(&host(), Affinity::Scatter, 48, &empty).total(), 0.0);
-        assert_eq!(model.compute_time(&host(), Affinity::Scatter, 0, &human()).total(), 0.0);
+        assert_eq!(
+            model
+                .compute_time(&host(), Affinity::Scatter, 48, &empty)
+                .total(),
+            0.0
+        );
+        assert_eq!(
+            model
+                .compute_time(&host(), Affinity::Scatter, 0, &human())
+                .total(),
+            0.0
+        );
         assert_eq!(model.aggregate_rate(&host(), Affinity::Scatter, 0), 0.0);
     }
 
@@ -245,11 +255,18 @@ mod tests {
     #[test]
     fn scaling_is_sublinear() {
         let model = PerfModel::default();
-        let t6 = model.compute_time(&host(), Affinity::Scatter, 6, &human()).total();
-        let t48 = model.compute_time(&host(), Affinity::Scatter, 48, &human()).total();
+        let t6 = model
+            .compute_time(&host(), Affinity::Scatter, 6, &human())
+            .total();
+        let t48 = model
+            .compute_time(&host(), Affinity::Scatter, 48, &human())
+            .total();
         let speedup = t6 / t48;
         // 8x more threads yield clearly less than 8x speedup but clearly more than 2x
-        assert!(speedup > 2.0 && speedup < 8.0, "unexpected 6->48 speedup {speedup}");
+        assert!(
+            speedup > 2.0 && speedup < 8.0,
+            "unexpected 6->48 speedup {speedup}"
+        );
     }
 
     #[test]
@@ -257,16 +274,26 @@ mod tests {
         // Paper anchor: the human genome (3.17 GB) on 48 host threads takes roughly
         // 0.7-0.8 s (the host-only baseline of Table VIII).
         let model = PerfModel::default();
-        let t = model.compute_time(&host(), Affinity::Scatter, 48, &human()).total();
-        assert!((0.55..=0.95).contains(&t), "host 48-thread time {t} outside anchor range");
+        let t = model
+            .compute_time(&host(), Affinity::Scatter, 48, &human())
+            .total();
+        assert!(
+            (0.55..=0.95).contains(&t),
+            "host 48-thread time {t} outside anchor range"
+        );
     }
 
     #[test]
     fn host_few_threads_time_matches_calibration_anchor() {
         // Paper Fig. 5: ~2.4-2.8 s with 6 scatter threads on a ~3.1 GB sequence.
         let model = PerfModel::default();
-        let t = model.compute_time(&host(), Affinity::Scatter, 6, &human()).total();
-        assert!((2.0..=3.3).contains(&t), "host 6-thread time {t} outside anchor range");
+        let t = model
+            .compute_time(&host(), Affinity::Scatter, 6, &human())
+            .total();
+        assert!(
+            (2.0..=3.3).contains(&t),
+            "host 6-thread time {t} outside anchor range"
+        );
     }
 
     #[test]
@@ -277,8 +304,13 @@ mod tests {
         let t = model
             .compute_time(&phi(), Affinity::Balanced, 240, &human())
             .total();
-        let t_host = model.compute_time(&host(), Affinity::Scatter, 48, &human()).total();
-        assert!((0.5..=1.2).contains(&t), "phi 240-thread compute {t} outside anchor range");
+        let t_host = model
+            .compute_time(&host(), Affinity::Scatter, 48, &human())
+            .total();
+        assert!(
+            (0.5..=1.2).contains(&t),
+            "phi 240-thread compute {t} outside anchor range"
+        );
         assert!(t > t_host);
     }
 
@@ -286,15 +318,24 @@ mod tests {
     fn phi_two_threads_is_dramatically_slower() {
         // Paper: device executions span 0.9 - 42 s; the slow end comes from 2-thread runs.
         let model = PerfModel::default();
-        let t = model.compute_time(&phi(), Affinity::Balanced, 2, &human()).total();
-        assert!(t > 20.0, "2-thread Phi run should take tens of seconds, got {t}");
+        let t = model
+            .compute_time(&phi(), Affinity::Balanced, 2, &human())
+            .total();
+        assert!(
+            t > 20.0,
+            "2-thread Phi run should take tens of seconds, got {t}"
+        );
     }
 
     #[test]
     fn scatter_beats_compact_at_low_thread_counts_on_host() {
         let model = PerfModel::default();
-        let scatter = model.compute_time(&host(), Affinity::Scatter, 6, &human()).total();
-        let compact = model.compute_time(&host(), Affinity::Compact, 6, &human()).total();
+        let scatter = model
+            .compute_time(&host(), Affinity::Scatter, 6, &human())
+            .total();
+        let compact = model
+            .compute_time(&host(), Affinity::Compact, 6, &human())
+            .total();
         assert!(
             scatter < compact,
             "scatter ({scatter}) should beat compact ({compact}) at 6 threads"
@@ -304,9 +345,15 @@ mod tests {
     #[test]
     fn balanced_is_best_on_the_device_at_partial_occupancy() {
         let model = PerfModel::default();
-        let balanced = model.compute_time(&phi(), Affinity::Balanced, 60, &human()).total();
-        let compact = model.compute_time(&phi(), Affinity::Compact, 60, &human()).total();
-        let scatter = model.compute_time(&phi(), Affinity::Scatter, 60, &human()).total();
+        let balanced = model
+            .compute_time(&phi(), Affinity::Balanced, 60, &human())
+            .total();
+        let compact = model
+            .compute_time(&phi(), Affinity::Compact, 60, &human())
+            .total();
+        let scatter = model
+            .compute_time(&phi(), Affinity::Scatter, 60, &human())
+            .total();
         assert!(balanced <= scatter);
         assert!(balanced < compact);
     }
@@ -314,8 +361,12 @@ mod tests {
     #[test]
     fn none_affinity_is_slightly_slower_than_scatter() {
         let model = PerfModel::default();
-        let scatter = model.compute_time(&host(), Affinity::Scatter, 24, &human()).total();
-        let none = model.compute_time(&host(), Affinity::None, 24, &human()).total();
+        let scatter = model
+            .compute_time(&host(), Affinity::Scatter, 24, &human())
+            .total();
+        let none = model
+            .compute_time(&host(), Affinity::None, 24, &human())
+            .total();
         assert!(none > scatter);
         assert!(none < scatter * 1.15);
     }
@@ -339,8 +390,12 @@ mod tests {
         let cheap = WorkloadProfile::dna_scan("w", 1 << 30);
         let mut costly = cheap.clone();
         costly.cost_factor = 3.0;
-        let t_cheap = model.compute_time(&host(), Affinity::Scatter, 48, &cheap).total();
-        let t_costly = model.compute_time(&host(), Affinity::Scatter, 48, &costly).total();
+        let t_cheap = model
+            .compute_time(&host(), Affinity::Scatter, 48, &cheap)
+            .total();
+        let t_costly = model
+            .compute_time(&host(), Affinity::Scatter, 48, &costly)
+            .total();
         assert!(t_costly > 2.0 * t_cheap);
     }
 

@@ -3,7 +3,13 @@
 //! [`HeterogeneousPlatform::execute`] is the simulator's front door: it takes a
 //! workload, a host/device partition and per-device execution configurations and
 //! returns a simulated [`Measurement`] — the quantity the paper's optimization methods
-//! treat as a black box.
+//! treat as a black box.  [`HeterogeneousPlatform::execute_many`] is the batched front
+//! door: it scores many [`ExecutionRequest`]s against one workload in a single
+//! rayon-parallel pass, which is what the unified evaluation layer's
+//! `evaluate_batch` builds on.  The noise model is a pure hash of the measurement
+//! context, so batched execution is bit-identical to one-at-a-time execution.
+
+use rayon::prelude::*;
 
 use crate::affinity::Affinity;
 use crate::counters::ExecutionStats;
@@ -51,7 +57,10 @@ impl Partition {
                 reason: "at least the host fraction is required".to_string(),
             });
         }
-        if fractions.iter().any(|f| !(0.0..=1.0).contains(f) || f.is_nan()) {
+        if fractions
+            .iter()
+            .any(|f| !(0.0..=1.0).contains(f) || f.is_nan())
+        {
             return Err(PlatformError::InvalidPartition {
                 reason: format!("all fractions must lie in [0,1], got {fractions:?}"),
             });
@@ -89,7 +98,10 @@ impl Partition {
 
     /// Everything on the (first) accelerator.
     pub fn device_only(accelerators: usize) -> Self {
-        assert!(accelerators >= 1, "device_only requires at least one accelerator");
+        assert!(
+            accelerators >= 1,
+            "device_only requires at least one accelerator"
+        );
         let mut fractions = vec![0.0; accelerators + 1];
         fractions[1] = 1.0;
         Partition { fractions }
@@ -108,6 +120,29 @@ impl Partition {
     /// Number of accelerator entries in this partition.
     pub fn accelerator_count(&self) -> usize {
         self.fractions.len() - 1
+    }
+}
+
+/// One entry of a batched [`HeterogeneousPlatform::execute_many`] call: a partition
+/// plus the host and per-accelerator execution configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionRequest {
+    /// How the workload's bytes are split between host and accelerators.
+    pub partition: Partition,
+    /// Host thread count and affinity.
+    pub host: ExecutionConfig,
+    /// Per-accelerator thread counts and affinities (one entry per accelerator).
+    pub devices: Vec<ExecutionConfig>,
+}
+
+impl ExecutionRequest {
+    /// Convenience constructor for the common single-accelerator case.
+    pub fn two_way(host_fraction: f64, host: ExecutionConfig, device: ExecutionConfig) -> Self {
+        ExecutionRequest {
+            partition: Partition::two_way(host_fraction),
+            host,
+            devices: vec![device],
+        }
     }
 }
 
@@ -212,9 +247,12 @@ impl HeterogeneousPlatform {
         let t_host = if host_share.is_empty() {
             0.0
         } else {
-            let breakdown =
-                self.perf
-                    .compute_time(&self.host, host_cfg.affinity, host_cfg.threads, &host_share);
+            let breakdown = self.perf.compute_time(
+                &self.host,
+                host_cfg.affinity,
+                host_cfg.threads,
+                &host_share,
+            );
             stats.host_bytes = host_share.bytes;
             stats.host_threads = host_cfg.threads;
             stats.host_rate = breakdown.aggregate_rate;
@@ -231,7 +269,11 @@ impl HeterogeneousPlatform {
         // --- accelerator side ----------------------------------------------------
         let mut t_device_max: f64 = 0.0;
         for (idx, accel) in self.accelerators.iter().enumerate() {
-            let fraction = partition.device_fractions().get(idx).copied().unwrap_or(0.0);
+            let fraction = partition
+                .device_fractions()
+                .get(idx)
+                .copied()
+                .unwrap_or(0.0);
             let share = workload.fraction(fraction);
             if share.is_empty() {
                 continue;
@@ -281,6 +323,31 @@ impl HeterogeneousPlatform {
             t_total: t_host.max(t_device_max),
             stats,
         })
+    }
+
+    /// Simulate many executions of `workload` in one batch, one [`Measurement`] per
+    /// [`ExecutionRequest`], in request order.
+    ///
+    /// The requests are scored in parallel on rayon workers.  Because the simulator is
+    /// stateless and its noise model is a pure hash of the measurement context, the
+    /// results are bit-identical to calling [`HeterogeneousPlatform::execute`] once
+    /// per request, regardless of thread count.
+    pub fn execute_many(
+        &self,
+        workload: &WorkloadProfile,
+        requests: &[ExecutionRequest],
+    ) -> Vec<Result<Measurement, PlatformError>> {
+        requests
+            .par_iter()
+            .map(|request| {
+                self.execute(
+                    workload,
+                    &request.partition,
+                    &request.host,
+                    &request.devices,
+                )
+            })
+            .collect()
     }
 
     /// Run the whole workload on the host only.
@@ -471,7 +538,10 @@ mod tests {
     #[test]
     fn a_mixed_split_beats_both_baselines_for_large_inputs() {
         let platform = HeterogeneousPlatform::emil().without_noise();
-        let host_only = platform.execute_host_only(&human(), &host48()).unwrap().t_total;
+        let host_only = platform
+            .execute_host_only(&human(), &host48())
+            .unwrap()
+            .t_total;
         let device_only = platform
             .execute_device_only(&human(), &phi240())
             .unwrap()
@@ -489,8 +559,14 @@ mod tests {
                     .t_total
             })
             .fold(f64::INFINITY, f64::min);
-        assert!(best_mixed < host_only, "mixed {best_mixed} vs host {host_only}");
-        assert!(best_mixed < device_only, "mixed {best_mixed} vs device {device_only}");
+        assert!(
+            best_mixed < host_only,
+            "mixed {best_mixed} vs host {host_only}"
+        );
+        assert!(
+            best_mixed < device_only,
+            "mixed {best_mixed} vs device {device_only}"
+        );
         // Paper: ≈1.4-2.0× over host-only, ≈1.8-2.4× over device-only.
         assert!(host_only / best_mixed > 1.2);
         assert!(device_only / best_mixed > 1.5);
@@ -501,7 +577,10 @@ mod tests {
         // Fig. 2a: with a 190 MB input and 48 host threads, any offloading loses to
         // CPU-only because of the offload overhead.
         let platform = HeterogeneousPlatform::emil().without_noise();
-        let host_only = platform.execute_host_only(&small(), &host48()).unwrap().t_total;
+        let host_only = platform
+            .execute_host_only(&small(), &host48())
+            .unwrap()
+            .t_total;
         for pct in (10..=90).step_by(10) {
             let mixed = platform
                 .execute(
@@ -530,7 +609,12 @@ mod tests {
         let mut best = f64::INFINITY;
         for pct in 0..=100 {
             let t = platform
-                .execute(&large, &Partition::from_host_percent(pct), &host4, &[phi240()])
+                .execute(
+                    &large,
+                    &Partition::from_host_percent(pct),
+                    &host4,
+                    &[phi240()],
+                )
                 .unwrap()
                 .t_total;
             if t < best {
@@ -555,14 +639,20 @@ mod tests {
         let b = platform
             .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
             .unwrap();
-        assert_eq!(a.t_total, b.t_total, "same configuration must reproduce exactly");
+        assert_eq!(
+            a.t_total, b.t_total,
+            "same configuration must reproduce exactly"
+        );
 
         let noiseless = HeterogeneousPlatform::emil().without_noise();
         let c = noiseless
             .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
             .unwrap();
         let rel = (a.t_total - c.t_total).abs() / c.t_total;
-        assert!(rel < 0.15, "noise should stay within a few percent, got {rel}");
+        assert!(
+            rel < 0.15,
+            "noise should stay within a few percent, got {rel}"
+        );
     }
 
     #[test]
@@ -572,19 +662,34 @@ mod tests {
 
         // too many threads on the host
         let err = platform
-            .execute(&w, &Partition::two_way(0.5), &ExecutionConfig::new(64, Affinity::Scatter), &[phi240()])
+            .execute(
+                &w,
+                &Partition::two_way(0.5),
+                &ExecutionConfig::new(64, Affinity::Scatter),
+                &[phi240()],
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::TooManyThreads { .. }));
 
         // zero threads with work assigned
         let err = platform
-            .execute(&w, &Partition::two_way(0.5), &ExecutionConfig::new(0, Affinity::Scatter), &[phi240()])
+            .execute(
+                &w,
+                &Partition::two_way(0.5),
+                &ExecutionConfig::new(0, Affinity::Scatter),
+                &[phi240()],
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::ZeroThreads { .. }));
 
         // balanced is not a host affinity
         let err = platform
-            .execute(&w, &Partition::two_way(0.5), &ExecutionConfig::new(24, Affinity::Balanced), &[phi240()])
+            .execute(
+                &w,
+                &Partition::two_way(0.5),
+                &ExecutionConfig::new(24, Affinity::Balanced),
+                &[phi240()],
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::UnsupportedAffinity { .. }));
 
@@ -607,7 +712,12 @@ mod tests {
 
         // empty workload
         let err = platform
-            .execute(&w.fraction(0.0), &Partition::two_way(0.5), &host48(), &[phi240()])
+            .execute(
+                &w.fraction(0.0),
+                &Partition::two_way(0.5),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap_err();
         assert!(matches!(err, PlatformError::EmptyWorkload));
 
@@ -621,6 +731,51 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, PlatformError::InvalidPartition { .. }));
+    }
+
+    #[test]
+    fn execute_many_matches_one_at_a_time_execution() {
+        let platform = HeterogeneousPlatform::emil();
+        let workload = human();
+        let requests: Vec<ExecutionRequest> = (0..=10u32)
+            .map(|step| ExecutionRequest::two_way(step as f64 / 10.0, host48(), phi240()))
+            .collect();
+        let batched = platform.execute_many(&workload, &requests);
+        assert_eq!(batched.len(), requests.len());
+        for (request, result) in requests.iter().zip(batched) {
+            let single = platform
+                .execute(
+                    &workload,
+                    &request.partition,
+                    &request.host,
+                    &request.devices,
+                )
+                .unwrap();
+            let batched = result.expect("all requests are valid");
+            assert_eq!(
+                batched.t_total, single.t_total,
+                "batched execution must be bit-identical"
+            );
+            assert_eq!(batched.t_host, single.t_host);
+            assert_eq!(batched.t_device, single.t_device);
+        }
+    }
+
+    #[test]
+    fn execute_many_reports_per_request_errors() {
+        let platform = HeterogeneousPlatform::emil();
+        let workload = human();
+        let requests = vec![
+            ExecutionRequest::two_way(0.5, host48(), phi240()),
+            // 64 host threads exceed the dual-socket maximum
+            ExecutionRequest::two_way(0.5, ExecutionConfig::new(64, Affinity::Scatter), phi240()),
+        ];
+        let results = platform.execute_many(&workload, &requests);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(PlatformError::TooManyThreads { .. })
+        ));
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl Topology {
     ) -> Self {
         assert!(sockets > 0, "a device has at least one socket");
         assert!(cores_per_socket > 0, "a socket has at least one core");
-        assert!(threads_per_core > 0, "a core has at least one hardware thread");
+        assert!(
+            threads_per_core > 0,
+            "a core has at least one hardware thread"
+        );
         assert!(
             reserved_cores < sockets * cores_per_socket,
             "cannot reserve every core"

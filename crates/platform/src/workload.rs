@@ -121,7 +121,10 @@ impl WorkloadProfile {
             ));
         }
         if self.cost_factor <= 0.0 {
-            return Err(format!("cost_factor must be positive, got {}", self.cost_factor));
+            return Err(format!(
+                "cost_factor must be positive, got {}",
+                self.cost_factor
+            ));
         }
         if self.host_setup_seconds < 0.0
             || self.device_setup_seconds < 0.0

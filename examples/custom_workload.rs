@@ -16,7 +16,9 @@ fn tune(label: &str, workload: WorkloadProfile) {
     let mut tuner = Autotuner::quick_setup(21).with_workload(workload);
     // SAM works directly on simulated measurements, so no training campaign is needed —
     // handy when the workload changes often.
-    let outcome = tuner.run(MethodKind::Sam, 1200).expect("SAM needs no models");
+    let outcome = tuner
+        .run(MethodKind::Sam, 1200)
+        .expect("SAM needs no models");
     let speedup = tuner.speedup(&outcome);
     println!("{label}");
     println!("  best configuration : {}", outcome.best_config);

@@ -42,7 +42,11 @@ fn main() {
     for host_percent in [100u32, 70, 50, 30, 0] {
         let (host_matches, device_matches) =
             scanner.count_matches_split(&matcher, sequence.bases(), host_percent as f64 / 100.0);
-        assert_eq!(host_matches + device_matches, total, "no matches lost at the boundary");
+        assert_eq!(
+            host_matches + device_matches,
+            total,
+            "no matches lost at the boundary"
+        );
         println!(
             "  split {host_percent:>3}/{:<3}: host finds {host_matches:>6}, device finds {device_matches:>6}",
             100 - host_percent

@@ -45,7 +45,7 @@ fn main() {
             let measurement = platform
                 .execute(&workload, &partition, &host_cfg, &[phi_cfg, gpu_cfg])
                 .expect("valid configuration");
-            if best.map_or(true, |(_, _, _, t)| measurement.t_total < t) {
+            if best.is_none_or(|(_, _, _, t)| measurement.t_total < t) {
                 best = Some((host, phi, gpu, measurement.t_total));
             }
         }
@@ -59,7 +59,16 @@ fn main() {
         .execute_host_only(&workload, &host_cfg)
         .unwrap()
         .t_total;
-    let phi_only = platform.execute_device_only(&workload, &phi_cfg).unwrap().t_total;
-    println!("host-only   : {host_only:.3} s ({:.2}x slower than the best split)", host_only / seconds);
-    println!("Phi-only    : {phi_only:.3} s ({:.2}x slower than the best split)", phi_only / seconds);
+    let phi_only = platform
+        .execute_device_only(&workload, &phi_cfg)
+        .unwrap()
+        .t_total;
+    println!(
+        "host-only   : {host_only:.3} s ({:.2}x slower than the best split)",
+        host_only / seconds
+    );
+    println!(
+        "Phi-only    : {phi_only:.3} s ({:.2}x slower than the best split)",
+        phi_only / seconds
+    );
 }

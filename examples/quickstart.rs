@@ -15,7 +15,11 @@ fn main() {
     // campaign of the paper.
     let mut tuner = Autotuner::quick_setup(42);
 
-    println!("workload : {} ({:.2} GB)", tuner.workload().name, tuner.workload().gigabytes());
+    println!(
+        "workload : {} ({:.2} GB)",
+        tuner.workload().name,
+        tuner.workload().gigabytes()
+    );
     println!("platform : {}", tuner.platform().host.name);
     for accelerator in &tuner.platform().accelerators {
         println!("           + {}", accelerator.name);
@@ -43,15 +47,33 @@ fn main() {
         .run(MethodKind::Saml, 1000)
         .expect("models are trained");
 
-    println!("\nSAML suggestion after {} evaluated configurations:", outcome.evaluations);
+    println!(
+        "\nSAML suggestion after {} evaluated configurations:",
+        outcome.evaluations
+    );
     println!("  {}", outcome.best_config);
     println!("  predicted execution time: {:.3} s", outcome.search_energy);
-    println!("  measured  execution time: {:.3} s", outcome.measured_energy);
+    println!(
+        "  measured  execution time: {:.3} s",
+        outcome.measured_energy
+    );
 
     let speedup = tuner.speedup(&outcome);
     println!("\ncompared with the baselines:");
-    println!("  host-only (48 threads)   : {:.3} s", speedup.host_only_seconds);
-    println!("  device-only (240 threads): {:.3} s", speedup.device_only_seconds);
-    println!("  speedup vs host-only     : {:.2}x", speedup.speedup_vs_host());
-    println!("  speedup vs device-only   : {:.2}x", speedup.speedup_vs_device());
+    println!(
+        "  host-only (48 threads)   : {:.3} s",
+        speedup.host_only_seconds
+    );
+    println!(
+        "  device-only (240 threads): {:.3} s",
+        speedup.device_only_seconds
+    );
+    println!(
+        "  speedup vs host-only     : {:.2}x",
+        speedup.speedup_vs_host()
+    );
+    println!(
+        "  speedup vs device-only   : {:.2}x",
+        speedup.speedup_vs_device()
+    );
 }

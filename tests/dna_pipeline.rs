@@ -39,7 +39,11 @@ fn genome_workloads_drive_the_simulator() {
             .unwrap();
         // paper anchors: host-only runs take well under 1 s at 48 threads, device-only
         // runs are slower but in the same order of magnitude
-        assert!(host.t_total > 0.3 && host.t_total < 1.2, "{genome}: host {}", host.t_total);
+        assert!(
+            host.t_total > 0.3 && host.t_total < 1.2,
+            "{genome}: host {}",
+            host.t_total
+        );
         assert!(
             device.t_total > host.t_total && device.t_total < 2.0,
             "{genome}: device {}",
@@ -57,13 +61,19 @@ fn larger_genomes_take_longer() {
         .map(|g| {
             (
                 g.nominal_bytes(),
-                platform.execute_host_only(&g.workload(), &cfg).unwrap().t_total,
+                platform
+                    .execute_host_only(&g.workload(), &cfg)
+                    .unwrap()
+                    .t_total,
             )
         })
         .collect();
     times.sort_by_key(|(bytes, _)| *bytes);
     for pair in times.windows(2) {
-        assert!(pair[1].1 >= pair[0].1, "time must grow with genome size: {times:?}");
+        assert!(
+            pair[1].1 >= pair[0].1,
+            "time must grow with genome size: {times:?}"
+        );
     }
 }
 

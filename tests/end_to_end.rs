@@ -16,7 +16,10 @@ fn quick_autotuner_runs_all_four_methods_and_beats_the_baselines() {
     let saml = tuner.run(MethodKind::Saml, 250).unwrap();
 
     // EM enumerates the whole (tiny) grid and is the measured optimum of that grid.
-    assert_eq!(em.evaluations as u128, ConfigurationSpace::tiny().total_configurations());
+    assert_eq!(
+        em.evaluations as u128,
+        ConfigurationSpace::tiny().total_configurations()
+    );
     for outcome in [&eml, &sam, &saml] {
         assert!(
             outcome.measured_energy >= em.measured_energy * 0.98,
@@ -30,7 +33,11 @@ fn quick_autotuner_runs_all_four_methods_and_beats_the_baselines() {
     // The optimum of the combined execution beats both single-device baselines
     // (the paper's headline performance result).
     let speedup = tuner.speedup(&em);
-    assert!(speedup.speedup_vs_host() > 1.0, "speedup vs host {}", speedup.speedup_vs_host());
+    assert!(
+        speedup.speedup_vs_host() > 1.0,
+        "speedup vs host {}",
+        speedup.speedup_vs_host()
+    );
     assert!(speedup.speedup_vs_device() > 1.0);
     // and the device-only baseline is the slower of the two, as in the paper
     assert!(speedup.device_only_seconds > speedup.host_only_seconds);
@@ -46,9 +53,16 @@ fn saml_matches_em_within_a_reasonable_gap_using_few_evaluations() {
     let em = tuner.run(MethodKind::Em, 0).unwrap();
 
     assert!(em.evaluations >= 19_000, "EM enumerates the full grid");
-    assert!(saml.evaluations <= 1_100, "SAML stays within its iteration budget");
+    assert!(
+        saml.evaluations <= 1_100,
+        "SAML stays within its iteration budget"
+    );
     let evaluation_ratio = saml.evaluations as f64 / em.evaluations as f64;
-    assert!(evaluation_ratio < 0.06, "SAML performed {:.1}% of EM's experiments", evaluation_ratio * 100.0);
+    assert!(
+        evaluation_ratio < 0.06,
+        "SAML performed {:.1}% of EM's experiments",
+        evaluation_ratio * 100.0
+    );
 
     let gap = (saml.measured_energy - em.measured_energy) / em.measured_energy;
     assert!(
@@ -66,27 +80,30 @@ fn paper_regimes_hold_for_every_genome() {
     // and assigns the larger share to the host (the paper finds 60/40 - 70/30 splits).
     let platform = HeterogeneousPlatform::emil().without_noise();
     for genome in Genome::ALL {
-        let workload = genome.workload();
-        let evaluator = workdist::autotune::MeasurementEvaluator::new(platform.clone());
-        use workdist::autotune::ConfigEvaluator;
+        let evaluator =
+            workdist::autotune::MeasurementEvaluator::new(platform.clone(), genome.workload());
+        use workdist::opt::Objective;
 
-        let mut best: Option<(workdist::autotune::SystemConfiguration, f64)> = None;
         // coarse sweep over the interesting part of the space (48 host threads,
-        // 240 device threads, the affinities the paper found best)
-        for percent in 0..=100u32 {
-            let config = workdist::autotune::SystemConfiguration::with_host_percent(
-                48,
-                Affinity::Scatter,
-                240,
-                Affinity::Balanced,
-                percent,
-            );
-            let energy = evaluator.energy(&config, &workload);
-            if best.as_ref().map_or(true, |(_, e)| energy < *e) {
-                best = Some((config, energy));
-            }
-        }
-        let (best_config, best_energy) = best.unwrap();
+        // 240 device threads, the affinities the paper found best) — scored as one
+        // batch through the unified evaluation layer
+        let sweep: Vec<workdist::autotune::SystemConfiguration> = (0..=100u32)
+            .map(|percent| {
+                workdist::autotune::SystemConfiguration::with_host_percent(
+                    48,
+                    Affinity::Scatter,
+                    240,
+                    Affinity::Balanced,
+                    percent,
+                )
+            })
+            .collect();
+        let (best_config, best_energy) = sweep
+            .iter()
+            .zip(evaluator.evaluate_batch(&sweep))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(config, energy)| (*config, energy))
+            .unwrap();
         assert!(
             best_config.uses_host() && best_config.uses_device(),
             "{genome}: the optimum uses both devices"
@@ -97,14 +114,10 @@ fn paper_regimes_hold_for_every_genome() {
             best_config.host_percent()
         );
 
-        let host_only = evaluator.energy(
-            &workdist::autotune::SystemConfiguration::host_only_baseline(),
-            &workload,
-        );
-        let device_only = evaluator.energy(
-            &workdist::autotune::SystemConfiguration::device_only_baseline(),
-            &workload,
-        );
+        let host_only =
+            evaluator.energy(&workdist::autotune::SystemConfiguration::host_only_baseline());
+        let device_only =
+            evaluator.energy(&workdist::autotune::SystemConfiguration::device_only_baseline());
         let speedup_host = host_only / best_energy;
         let speedup_device = device_only / best_energy;
         assert!(
@@ -115,7 +128,10 @@ fn paper_regimes_hold_for_every_genome() {
             (1.5..=2.8).contains(&speedup_device),
             "{genome}: speedup vs device-only {speedup_device} outside the paper's range"
         );
-        assert!(speedup_device > speedup_host, "{genome}: device-only is the slower baseline");
+        assert!(
+            speedup_device > speedup_host,
+            "{genome}: device-only is the slower baseline"
+        );
     }
 }
 

@@ -1,25 +1,21 @@
 //! Integration tests of the generic optimizers against the work-distribution objective.
 
-use workdist::autotune::{
-    ConfigurationSpace, EnergyObjective, MeasurementEvaluator, MethodKind,
-};
+use workdist::autotune::{ConfigurationSpace, MeasurementEvaluator, MethodKind};
 use workdist::dna::Genome;
-use workdist::platform::HeterogeneousPlatform;
 use workdist::opt::{
     Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch, SimulatedAnnealing, TabuSearch,
 };
+use workdist::platform::HeterogeneousPlatform;
 
-fn objective_setup() -> (MeasurementEvaluator, workdist::platform::WorkloadProfile) {
-    (
-        MeasurementEvaluator::new(HeterogeneousPlatform::emil()),
-        Genome::Human.workload(),
-    )
+/// The evaluator *is* the objective: `MeasurementEvaluator` implements
+/// `wd_opt::Objective<SystemConfiguration>` directly.
+fn objective_setup() -> MeasurementEvaluator {
+    MeasurementEvaluator::new(HeterogeneousPlatform::emil(), Genome::Human.workload())
 }
 
 #[test]
 fn every_heuristic_beats_random_sampling_of_equal_budget() {
-    let (evaluator, workload) = objective_setup();
-    let objective = EnergyObjective::new(&evaluator, &workload);
+    let objective = objective_setup();
     let space = ConfigurationSpace::paper();
     let budget = 600;
 
@@ -49,14 +45,18 @@ fn every_heuristic_beats_random_sampling_of_equal_budget() {
 
 #[test]
 fn enumeration_of_the_small_grid_is_the_true_optimum() {
-    let (evaluator, workload) = objective_setup();
-    let objective = EnergyObjective::new(&evaluator, &workload);
+    let objective = objective_setup();
     let grid = ConfigurationSpace::tiny();
 
     let sequential = Enumeration::sequential().run(&grid, &objective);
     let parallel = Enumeration::parallel().run(&grid, &objective);
     assert_eq!(sequential.best_energy, parallel.best_energy);
     assert_eq!(sequential.evaluations as u128, grid.total_configurations());
+
+    // the batched path agrees bit-exactly as well
+    let batched = workdist::opt::ParallelEnumeration::new().run(&grid, &objective);
+    assert_eq!(batched.best_energy, sequential.best_energy);
+    assert_eq!(batched.best_config, sequential.best_config);
 
     // no simulated annealing run on the same grid may beat the enumerated optimum
     for seed in 0..5u64 {
@@ -86,11 +86,11 @@ fn method_kinds_report_the_evaluation_economics_of_the_paper() {
 
 #[test]
 fn annealing_budget_controls_the_number_of_experiments() {
-    let (evaluator, workload) = objective_setup();
-    let objective = EnergyObjective::new(&evaluator, &workload);
+    let objective = objective_setup();
     let space = ConfigurationSpace::paper();
     for budget in [250usize, 1000, 2000] {
-        let outcome = SimulatedAnnealing::with_iteration_budget(budget, 1000.0, 3).run(&space, &objective);
+        let outcome =
+            SimulatedAnnealing::with_iteration_budget(budget, 1000.0, 3).run(&space, &objective);
         // +1 for the initial configuration, small slack for the budget-to-cooling conversion
         assert!(
             outcome.evaluations >= budget / 2 && outcome.evaluations <= budget + 32,

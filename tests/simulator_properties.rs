@@ -4,10 +4,8 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use workdist::autotune::{
-    ConfigEvaluator, ConfigurationSpace, MeasurementEvaluator, SystemConfiguration,
-};
-use workdist::opt::SearchSpace;
+use workdist::autotune::{ConfigurationSpace, MeasurementEvaluator, SystemConfiguration};
+use workdist::opt::{Objective, SearchSpace};
 use workdist::platform::{Affinity, HeterogeneousPlatform};
 
 fn host_affinities() -> impl Strategy<Value = Affinity> {
@@ -39,6 +37,13 @@ fn arb_config() -> impl Strategy<Value = SystemConfiguration> {
         })
 }
 
+fn evaluator_for(bytes: u64) -> MeasurementEvaluator {
+    MeasurementEvaluator::new(
+        HeterogeneousPlatform::emil(),
+        workdist::platform::WorkloadProfile::dna_scan("w", bytes),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -46,12 +51,11 @@ proptest! {
     /// and the energy equals max(T_host, T_device).
     #[test]
     fn every_configuration_evaluates(config in arb_config(), gb in 1u64..4) {
-        let evaluator = MeasurementEvaluator::new(HeterogeneousPlatform::emil());
-        let workload = workdist::platform::WorkloadProfile::dna_scan("w", gb * 1_000_000_000);
-        let (host, device) = evaluator.evaluate_times(&config, &workload);
+        let evaluator = evaluator_for(gb * 1_000_000_000);
+        let (host, device) = evaluator.evaluate_times(&config);
         prop_assert!(host.is_finite() && host >= 0.0);
         prop_assert!(device.is_finite() && device >= 0.0);
-        let energy = evaluator.energy(&config, &workload);
+        let energy = evaluator.energy(&config);
         prop_assert!((energy - host.max(device)).abs() < 1e-12);
         prop_assert!(energy > 0.0);
         if config.uses_host() { prop_assert!(host > 0.0); } else { prop_assert!(host == 0.0); }
@@ -59,15 +63,20 @@ proptest! {
     }
 
     /// The evaluator is deterministic: evaluating the same configuration twice yields
-    /// bit-identical energies (the foundation of reproducible studies).
+    /// bit-identical energies (the foundation of reproducible studies), and the batched
+    /// path agrees bit-exactly with single evaluations.
     #[test]
-    fn evaluation_is_deterministic(config in arb_config()) {
-        let evaluator = MeasurementEvaluator::new(HeterogeneousPlatform::emil());
-        let workload = workdist::dna::Genome::Mouse.workload();
-        prop_assert_eq!(
-            evaluator.energy(&config, &workload),
-            evaluator.energy(&config, &workload)
+    fn evaluation_is_deterministic_and_batch_consistent(config in arb_config()) {
+        let evaluator = MeasurementEvaluator::new(
+            HeterogeneousPlatform::emil(),
+            workdist::dna::Genome::Mouse.workload(),
         );
+        prop_assert_eq!(evaluator.energy(&config), evaluator.energy(&config));
+        let batch = vec![config, config, SystemConfiguration::host_only_baseline()];
+        let energies = evaluator.evaluate_batch(&batch);
+        prop_assert_eq!(energies[0], evaluator.energy(&config));
+        prop_assert_eq!(energies[1], energies[0]);
+        prop_assert_eq!(energies[2], evaluator.energy(&SystemConfiguration::host_only_baseline()));
     }
 
     /// Host-only energy is monotone non-increasing in the host thread count (more
@@ -76,12 +85,12 @@ proptest! {
     fn host_only_energy_monotone_in_threads(affinity in host_affinities(), gb in 1u64..4) {
         let evaluator = MeasurementEvaluator::new(
             HeterogeneousPlatform::emil().without_noise(),
+            workdist::platform::WorkloadProfile::dna_scan("w", gb * 1_000_000_000),
         );
-        let workload = workdist::platform::WorkloadProfile::dna_scan("w", gb * 1_000_000_000);
         let mut previous = f64::INFINITY;
         for threads in [2u32, 4, 6, 12, 24, 36, 48] {
             let config = SystemConfiguration::with_host_percent(threads, affinity, 240, Affinity::Balanced, 100);
-            let energy = evaluator.energy(&config, &workload);
+            let energy = evaluator.energy(&config);
             prop_assert!(energy <= previous * 1.001,
                 "host-only energy increased from {} to {} at {} threads", previous, energy, threads);
             previous = energy;
@@ -93,13 +102,15 @@ proptest! {
     #[test]
     fn space_samples_are_always_valid(seed in 0u64..1000, steps in 1usize..50) {
         let space = ConfigurationSpace::paper();
-        let evaluator = MeasurementEvaluator::new(HeterogeneousPlatform::emil());
-        let workload = workdist::dna::Genome::Human.workload();
+        let evaluator = MeasurementEvaluator::new(
+            HeterogeneousPlatform::emil(),
+            workdist::dna::Genome::Human.workload(),
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut config = space.random(&mut rng);
         for _ in 0..steps {
             // energy() panics if the platform rejects the configuration
-            let energy = evaluator.energy(&config, &workload);
+            let energy = evaluator.energy(&config);
             prop_assert!(energy.is_finite() && energy > 0.0);
             config = space.neighbor(&config, &mut rng);
         }
@@ -110,16 +121,17 @@ proptest! {
     /// is accounted for by the optimizer being free to choose 100 % host.
     #[test]
     fn best_split_is_at_least_as_good_as_host_only(gb in 1u64..4) {
-        let evaluator = MeasurementEvaluator::new(HeterogeneousPlatform::emil().without_noise());
-        let workload = workdist::platform::WorkloadProfile::dna_scan("w", gb * 1_000_000_000);
-        let host_only = evaluator.energy(&SystemConfiguration::host_only_baseline(), &workload);
-        let best = (0..=100u32)
-            .map(|pct| {
-                evaluator.energy(
-                    &SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, pct),
-                    &workload,
-                )
-            })
+        let evaluator = MeasurementEvaluator::new(
+            HeterogeneousPlatform::emil().without_noise(),
+            workdist::platform::WorkloadProfile::dna_scan("w", gb * 1_000_000_000),
+        );
+        let host_only = evaluator.energy(&SystemConfiguration::host_only_baseline());
+        let sweep: Vec<SystemConfiguration> = (0..=100u32)
+            .map(|pct| SystemConfiguration::with_host_percent(48, Affinity::Scatter, 240, Affinity::Balanced, pct))
+            .collect();
+        let best = evaluator
+            .evaluate_batch(&sweep)
+            .into_iter()
             .fold(f64::INFINITY, f64::min);
         prop_assert!(best <= host_only * 1.0001);
     }
