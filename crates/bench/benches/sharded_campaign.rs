@@ -1,0 +1,110 @@
+//! Benches for the `wd_dist` campaign coordinator: single-node batched enumeration vs
+//! sharded campaigns vs resuming against a warm persistent store.
+//!
+//! Prints a summary table on the full Table-I enumeration grid first (so the bench
+//! output doubles as the evidence for the subsystem's two claims: sharding is
+//! invisible in the result, and a warm store answers a whole campaign without a single
+//! new experiment), then measures the strategies on the tiny grid.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dna_analysis::Genome;
+use hetero_autotune::{ConfigurationSpace, MeasurementEvaluator, SystemConfiguration};
+use hetero_platform::HeterogeneousPlatform;
+use wd_dist::{JsonlStore, MemoryStore, ResultStore, ShardedCampaign};
+use wd_opt::{CountingObjective, ParallelEnumeration};
+
+fn evaluator() -> MeasurementEvaluator {
+    MeasurementEvaluator::new(HeterogeneousPlatform::emil(), Genome::Human.workload())
+}
+
+/// One-shot comparison on the full 19 926-configuration enumeration grid.
+fn print_grid_summary() {
+    let evaluator = evaluator();
+    let grid = ConfigurationSpace::enumeration_grid();
+
+    let start = Instant::now();
+    let single = ParallelEnumeration::new().run(&grid, &evaluator);
+    let t_single = start.elapsed();
+    println!(
+        "sharded campaign on the Table-I enumeration grid ({} configurations):",
+        single.evaluations
+    );
+    println!("  single-node batched enumeration  {t_single:>12.2?}");
+
+    for shards in [2usize, 4, 8] {
+        let store = MemoryStore::new();
+        let start = Instant::now();
+        let outcome = ShardedCampaign::new(shards).run(&grid, &evaluator, &store);
+        let elapsed = start.elapsed();
+        assert_eq!(outcome.best_config, single.best_config);
+        assert_eq!(outcome.best_energy.to_bits(), single.best_energy.to_bits());
+        println!(
+            "  {shards}-shard campaign (cold store)   {elapsed:>12.2?}  ({} experiments)",
+            outcome.experiments()
+        );
+    }
+
+    // persistent store: cold write-through run, then a resume answered from disk
+    let path = std::env::temp_dir().join(format!(
+        "wd_bench-sharded-campaign-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    {
+        let store: JsonlStore<SystemConfiguration> = JsonlStore::open(&path).unwrap();
+        let start = Instant::now();
+        let outcome = ShardedCampaign::new(4).run(&grid, &evaluator, &store);
+        let elapsed = start.elapsed();
+        assert_eq!(outcome.best_config, single.best_config);
+        println!("  4-shard campaign (jsonl, cold)   {elapsed:>12.2?}");
+    }
+    {
+        let store: JsonlStore<SystemConfiguration> = JsonlStore::open(&path).unwrap();
+        let counting = CountingObjective::new(&evaluator);
+        let start = Instant::now();
+        let outcome = ShardedCampaign::new(4).run(&grid, &counting, &store);
+        let elapsed = start.elapsed();
+        assert_eq!(outcome.best_config, single.best_config);
+        assert_eq!(
+            counting.evaluations(),
+            0,
+            "a warm persistent store must answer the whole campaign"
+        );
+        println!(
+            "  4-shard campaign (jsonl, warm)   {elapsed:>12.2?}  (0 experiments, {} records on disk)",
+            store.len()
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_sharded_campaign(c: &mut Criterion) {
+    print_grid_summary();
+
+    let evaluator = evaluator();
+    // the tiny grid keeps per-sample time reasonable for the timed loop
+    let grid = ConfigurationSpace::tiny();
+
+    let mut group = c.benchmark_group("sharded_campaign");
+    group.sample_size(20);
+    group.bench_function("single_node_enumeration", |b| {
+        b.iter(|| ParallelEnumeration::new().run(&grid, &evaluator));
+    });
+    group.bench_function("campaign_4_shards_cold", |b| {
+        b.iter(|| {
+            let store = MemoryStore::new();
+            ShardedCampaign::new(4).run(&grid, &evaluator, &store)
+        });
+    });
+    group.bench_function("campaign_4_shards_warm_store", |b| {
+        let store = MemoryStore::new();
+        let _ = ShardedCampaign::new(4).run(&grid, &evaluator, &store);
+        b.iter(|| ShardedCampaign::new(4).run(&grid, &evaluator, &store));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_campaign);
+criterion_main!(benches);

@@ -112,7 +112,7 @@ fn main() {
             models,
             convergence: hetero_autotune::experiments::ConvergenceStudy {
                 budgets: vec![],
-                genomes: vec![],
+                cases: vec![],
             },
         }
     };
@@ -452,7 +452,7 @@ fn table4or5(study: &PaperStudy, host: bool) {
 
 /// Fig. 9: per-genome convergence of SAML/SAM towards the EM optimum.
 fn fig9(study: &PaperStudy) {
-    for genome in study.convergence.genomes.iter().map(|g| g.genome) {
+    for genome in study.convergence.cases.iter().filter_map(|c| c.genome) {
         let series = study
             .convergence
             .figure9_series(genome)

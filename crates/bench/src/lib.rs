@@ -182,7 +182,7 @@ mod tests {
         let study = PaperStudy::run(Scale::Quick, 1);
         assert_eq!(study.scale, Scale::Quick);
         assert!(study.models.host_model.is_fitted());
-        assert_eq!(study.convergence.genomes.len(), 2);
+        assert_eq!(study.convergence.cases.len(), 2);
         let table = study.convergence.percent_difference_rows();
         // two genomes + the average row
         assert_eq!(table.len(), 3);

@@ -17,7 +17,7 @@ use hetero_platform::{
 use rayon::prelude::*;
 use wd_ml::BoostingParams;
 
-use crate::config::SystemConfiguration;
+use crate::config::{ConfigurationSpace, SystemConfiguration};
 use crate::evaluator::MeasurementEvaluator;
 use crate::methods::{MethodKind, MethodOutcome, MethodRunner};
 use crate::training::{TrainedModels, TrainingCampaign};
@@ -113,11 +113,28 @@ pub fn prediction_study(
     campaign.run(platform, boosting)
 }
 
-/// Convergence results for one genome.
+/// The three [`WorkloadProfile`] kinds at one input size: the paper's DNA scan plus
+/// the synthetic compute-bound and streaming (transfer-bound) workloads.  This is the
+/// standard mix the multi-workload studies and benches iterate over (ROADMAP "More
+/// workloads").
+pub fn workload_mix(bytes: u64) -> Vec<WorkloadProfile> {
+    vec![
+        WorkloadProfile::dna_scan("dna-scan", bytes),
+        WorkloadProfile::compute_bound("compute-bound", bytes, 6.0),
+        WorkloadProfile::streaming("streaming", bytes),
+    ]
+}
+
+/// Convergence results for one workload case (one genome of the paper's study, or any
+/// other [`WorkloadProfile`]).
 #[derive(Debug, Clone)]
-pub struct GenomeConvergence {
-    /// The genome being analysed.
-    pub genome: Genome,
+pub struct CaseConvergence {
+    /// Row label of this case in the tables (genome name or workload name).
+    pub label: String,
+    /// The genome, when this case came from the paper's per-genome study.
+    pub genome: Option<Genome>,
+    /// The workload being analysed.
+    pub workload: WorkloadProfile,
     /// Enumeration + Measurements (the reference optimum).
     pub em: MethodOutcome,
     /// Enumeration + Machine Learning.
@@ -132,13 +149,26 @@ pub struct GenomeConvergence {
     pub device_only_seconds: f64,
 }
 
-/// The convergence study behind the paper's Fig. 9 and Tables VI–IX.
+/// The convergence study behind the paper's Fig. 9 and Tables VI–IX, generalised to
+/// arbitrary workload cases.
 #[derive(Debug, Clone)]
 pub struct ConvergenceStudy {
     /// The simulated-annealing iteration budgets examined.
     pub budgets: Vec<usize>,
-    /// Per-genome results.
-    pub genomes: Vec<GenomeConvergence>,
+    /// Per-case results (one per genome for the paper's study, one per workload for
+    /// the multi-workload studies).
+    pub cases: Vec<CaseConvergence>,
+}
+
+/// Deterministic per-case seed salt derived from the case label (FNV-1a), so every
+/// case gets an independent annealing stream regardless of its position in the study.
+fn label_seed(label: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in label.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 /// Which baseline a speedup table compares against.
@@ -177,12 +207,112 @@ impl ConvergenceStudy {
         seed: u64,
         repeats: usize,
     ) -> Self {
+        let cases: Vec<(String, Option<Genome>, WorkloadProfile)> = genomes
+            .iter()
+            .map(|&genome| (genome.name().to_string(), Some(genome), genome.workload()))
+            .collect();
+        Self::run_cases_scaled(
+            platform,
+            models,
+            &cases,
+            budgets,
+            seed,
+            repeats,
+            &ConfigurationSpace::enumeration_grid(),
+            &ConfigurationSpace::paper(),
+        )
+    }
+
+    /// Run the study over arbitrary workload profiles (ROADMAP "More workloads"): the
+    /// compute-bound and streaming kinds go through exactly the same EM/EML/SAM/SAML
+    /// pipeline as the paper's DNA scans.  Case labels are the workload names.
+    pub fn run_workloads(
+        platform: &HeterogeneousPlatform,
+        models: &TrainedModels,
+        workloads: &[WorkloadProfile],
+        budgets: &[usize],
+        seed: u64,
+    ) -> Self {
+        Self::run_workloads_scaled(
+            platform,
+            models,
+            workloads,
+            budgets,
+            seed,
+            3,
+            &ConfigurationSpace::enumeration_grid(),
+            &ConfigurationSpace::paper(),
+        )
+    }
+
+    /// [`ConvergenceStudy::run_workloads`] with explicit repeats, enumeration grid and
+    /// annealing space — the knob tests and benches use to shrink the study.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_workloads_scaled(
+        platform: &HeterogeneousPlatform,
+        models: &TrainedModels,
+        workloads: &[WorkloadProfile],
+        budgets: &[usize],
+        seed: u64,
+        repeats: usize,
+        grid: &ConfigurationSpace,
+        space: &ConfigurationSpace,
+    ) -> Self {
+        let cases: Vec<(String, Option<Genome>, WorkloadProfile)> = workloads
+            .iter()
+            .map(|workload| (workload.name.clone(), None, workload.clone()))
+            .collect();
+        Self::run_cases_scaled(
+            platform, models, &cases, budgets, seed, repeats, grid, space,
+        )
+    }
+
+    /// The study engine shared by the genome, workload and sharded drivers: EM/EML
+    /// through the default [`MethodRunner`] enumeration path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_cases_scaled(
+        platform: &HeterogeneousPlatform,
+        models: &TrainedModels,
+        cases: &[(String, Option<Genome>, WorkloadProfile)],
+        budgets: &[usize],
+        seed: u64,
+        repeats: usize,
+        grid: &ConfigurationSpace,
+        space: &ConfigurationSpace,
+    ) -> Self {
+        let reference = |workload: &WorkloadProfile, case_seed: u64, method: MethodKind| {
+            MethodRunner::new(platform, workload, Some(models), case_seed)
+                .with_grid(grid.clone())
+                .with_space(space.clone())
+                .run(method, 0)
+                .expect("enumeration methods cannot fail with models present")
+        };
+        Self::run_cases(
+            platform, models, cases, budgets, seed, repeats, grid, space, &reference,
+        )
+    }
+
+    /// The innermost engine: the caller supplies how the enumeration references (EM
+    /// and EML) are produced — the sharded driver routes them through a
+    /// `wd_dist::ShardedCampaign` — while the annealing methods always run locally.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_cases(
+        platform: &HeterogeneousPlatform,
+        models: &TrainedModels,
+        cases: &[(String, Option<Genome>, WorkloadProfile)],
+        budgets: &[usize],
+        seed: u64,
+        repeats: usize,
+        grid: &ConfigurationSpace,
+        space: &ConfigurationSpace,
+        reference: &(dyn Fn(&WorkloadProfile, u64, MethodKind) -> MethodOutcome + Sync),
+    ) -> Self {
         let repeats = repeats.max(1);
 
         // run one method at every budget, `repeats` times in parallel (each annealing
         // repeat has an independent seed, so repeats are order-independent), keeping
         // the run with the median measured execution time
-        let run_annealer = |workload: &WorkloadProfile, method: MethodKind, genome: Genome| {
+        let run_annealer = |workload: &WorkloadProfile, method: MethodKind, case_seed: u64| {
             budgets
                 .iter()
                 .map(|&budget| {
@@ -190,10 +320,11 @@ impl ConvergenceStudy {
                         .collect::<Vec<_>>()
                         .into_par_iter()
                         .map(|repeat| {
-                            let run_seed = seed
-                                ^ (genome as u64)
-                                ^ (repeat as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                            let run_seed =
+                                case_seed ^ (repeat as u64).wrapping_mul(0xA076_1D64_78BD_642F);
                             MethodRunner::new(platform, workload, Some(models), run_seed)
+                                .with_grid(grid.clone())
+                                .with_space(space.clone())
                                 .run(method, budget)
                                 .expect("annealing methods cannot fail with models present")
                         })
@@ -204,24 +335,24 @@ impl ConvergenceStudy {
                 .collect::<Vec<_>>()
         };
 
-        let genomes = genomes
+        let cases = cases
             .iter()
-            .map(|&genome| {
-                let workload = genome.workload();
-                let runner =
-                    MethodRunner::new(platform, &workload, Some(models), seed ^ genome as u64);
-                let em = runner.run(MethodKind::Em, 0).expect("EM needs no models");
-                let eml = runner.run(MethodKind::Eml, 0).expect("models provided");
-                let sam = run_annealer(&workload, MethodKind::Sam, genome);
-                let saml = run_annealer(&workload, MethodKind::Saml, genome);
+            .map(|(label, genome, workload)| {
+                let case_seed = seed ^ label_seed(label);
+                let em = reference(workload, case_seed, MethodKind::Em);
+                let eml = reference(workload, case_seed, MethodKind::Eml);
+                let sam = run_annealer(workload, MethodKind::Sam, case_seed);
+                let saml = run_annealer(workload, MethodKind::Saml, case_seed);
                 let measurement = MeasurementEvaluator::new(platform.clone(), workload.clone());
                 use wd_opt::Objective as _;
                 let baselines = measurement.evaluate_batch(&[
                     SystemConfiguration::host_only_baseline(),
                     SystemConfiguration::device_only_baseline(),
                 ]);
-                GenomeConvergence {
-                    genome,
+                CaseConvergence {
+                    label: label.clone(),
+                    genome: *genome,
+                    workload: workload.clone(),
                     em,
                     eml,
                     sam,
@@ -233,7 +364,7 @@ impl ConvergenceStudy {
             .collect();
         ConvergenceStudy {
             budgets: budgets.to_vec(),
-            genomes,
+            cases,
         }
     }
 
@@ -251,15 +382,17 @@ impl ConvergenceStudy {
 
     fn difference_rows(&self, difference: impl Fn(f64, f64) -> f64) -> Vec<(String, Vec<f64>)> {
         let mut rows: Vec<(String, Vec<f64>)> = self
-            .genomes
+            .cases
             .iter()
-            .map(|g| {
-                let values = g
+            .map(|case| {
+                let values = case
                     .saml
                     .iter()
-                    .map(|(_, outcome)| difference(outcome.measured_energy, g.em.measured_energy))
+                    .map(|(_, outcome)| {
+                        difference(outcome.measured_energy, case.em.measured_energy)
+                    })
                     .collect();
-                (g.genome.name().to_string(), values)
+                (case.label.clone(), values)
             })
             .collect();
         if !rows.is_empty() {
@@ -276,20 +409,20 @@ impl ConvergenceStudy {
     /// EM optimum, as the final column) over the selected baseline.  Rows are
     /// `(label, one value per budget, EM value)`.
     pub fn speedup_rows(&self, baseline: SpeedupBaseline) -> Vec<(String, Vec<f64>, f64)> {
-        self.genomes
+        self.cases
             .iter()
-            .map(|g| {
+            .map(|case| {
                 let reference = match baseline {
-                    SpeedupBaseline::HostOnly => g.host_only_seconds,
-                    SpeedupBaseline::DeviceOnly => g.device_only_seconds,
+                    SpeedupBaseline::HostOnly => case.host_only_seconds,
+                    SpeedupBaseline::DeviceOnly => case.device_only_seconds,
                 };
-                let budget_speedups = g
+                let budget_speedups = case
                     .saml
                     .iter()
                     .map(|(_, outcome)| reference / outcome.measured_energy)
                     .collect();
-                let em_speedup = reference / g.em.measured_energy;
-                (g.genome.name().to_string(), budget_speedups, em_speedup)
+                let em_speedup = reference / case.em.measured_energy;
+                (case.label.clone(), budget_speedups, em_speedup)
             })
             .collect()
     }
@@ -297,16 +430,22 @@ impl ConvergenceStudy {
     /// Fig. 9 data for one genome: `(budget, SAML, SAM)` measured execution times plus
     /// the EM and EML reference lines.
     pub fn figure9_series(&self, genome: Genome) -> Option<Figure9Series> {
-        self.genomes
+        let case = self.cases.iter().find(|c| c.genome == Some(genome))?;
+        self.case_series(&case.label)
+    }
+
+    /// Fig.-9-shaped data for one case, by label (works for the workload studies too).
+    pub fn case_series(&self, label: &str) -> Option<Figure9Series> {
+        self.cases
             .iter()
-            .find(|g| g.genome == genome)
-            .map(|g| Figure9Series {
-                genome,
+            .find(|case| case.label == label)
+            .map(|case| Figure9Series {
+                label: case.label.clone(),
                 budgets: self.budgets.clone(),
-                saml: g.saml.iter().map(|(_, o)| o.measured_energy).collect(),
-                sam: g.sam.iter().map(|(_, o)| o.measured_energy).collect(),
-                em: g.em.measured_energy,
-                eml: g.eml.measured_energy,
+                saml: case.saml.iter().map(|(_, o)| o.measured_energy).collect(),
+                sam: case.sam.iter().map(|(_, o)| o.measured_energy).collect(),
+                em: case.em.measured_energy,
+                eml: case.eml.measured_energy,
             })
     }
 }
@@ -314,8 +453,8 @@ impl ConvergenceStudy {
 /// The data behind one sub-plot of the paper's Fig. 9.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Figure9Series {
-    /// The genome of this sub-plot.
-    pub genome: Genome,
+    /// Case label of this sub-plot (genome or workload name).
+    pub label: String,
     /// Iteration budgets (x-axis).
     pub budgets: Vec<usize>,
     /// Measured execution time of the SAML-suggested configuration per budget.
@@ -405,6 +544,65 @@ mod tests {
         // EM is optimal on the grid, so SAML (restricted to the same space) cannot beat
         // it by more than the measurement noise
         assert!(saml.measured_energy >= em.measured_energy * 0.9);
+    }
+
+    #[test]
+    fn workload_mix_covers_all_three_profile_kinds() {
+        let mix = workload_mix(1_000_000_000);
+        assert_eq!(mix.len(), 3);
+        let names: Vec<&str> = mix.iter().map(|w| w.name.as_str()).collect();
+        assert_eq!(names, vec!["dna-scan", "compute-bound", "streaming"]);
+        for workload in &mix {
+            workload.validate().unwrap();
+            assert_eq!(workload.bytes, 1_000_000_000);
+        }
+        // the kinds are genuinely different regimes
+        assert!(mix[1].cost_factor > mix[0].cost_factor);
+        assert!(mix[2].cost_factor < mix[0].cost_factor);
+    }
+
+    #[test]
+    fn convergence_study_runs_compute_bound_and_streaming_workloads() {
+        let platform = platform();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+        let study = ConvergenceStudy::run_workloads_scaled(
+            &platform,
+            &models,
+            &workload_mix(800_000_000),
+            &[100],
+            7,
+            1,
+            &ConfigurationSpace::tiny(),
+            &ConfigurationSpace::tiny(),
+        );
+        assert_eq!(study.cases.len(), 3);
+        for case in &study.cases {
+            assert!(case.genome.is_none());
+            assert!(case.em.measured_energy > 0.0, "{}", case.label);
+            assert!(case.host_only_seconds > 0.0 && case.device_only_seconds > 0.0);
+            assert_eq!(case.saml.len(), 1);
+            // EM is optimal on the shared grid, so SAML cannot beat it by more than
+            // the measurement noise
+            assert!(
+                case.saml[0].1.measured_energy >= case.em.measured_energy * 0.9,
+                "{}",
+                case.label
+            );
+        }
+        // rows carry the workload names plus the average row
+        let rows = study.percent_difference_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().any(|(label, _)| label == "streaming"));
+        assert!(study.case_series("compute-bound").is_some());
+        assert!(study.case_series("no-such-case").is_none());
+        // streaming workloads are transfer-bound: offloading rarely pays off, so the
+        // optimum keeps a clear majority of the work on the host
+        let streaming = &study.cases[2];
+        assert!(
+            streaming.em.best_config.host_permille >= 500,
+            "streaming optimum sent {} permille to the host",
+            streaming.em.best_config.host_permille
+        );
     }
 
     #[test]

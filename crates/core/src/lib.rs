@@ -48,6 +48,7 @@
 pub mod adaptive;
 pub mod autotuner;
 pub mod config;
+pub mod dist;
 pub mod evaluator;
 pub mod experiments;
 pub mod features;
@@ -60,7 +61,9 @@ pub mod training;
 pub use adaptive::{AdaptiveRefinement, RefinementOutcome};
 pub use autotuner::Autotuner;
 pub use config::{ConfigurationSpace, SystemConfiguration};
+pub use dist::{campaign_context, run_enumeration_sharded};
 pub use evaluator::{MeasurementEvaluator, PredictionEvaluator};
+pub use experiments::{workload_mix, CaseConvergence, ConvergenceStudy};
 pub use methods::{MethodKind, MethodOutcome, MethodProperties, MethodRunner};
 pub use model_selection::{ModelComparison, ModelFamily};
 pub use speedup::SpeedupReport;
@@ -69,5 +72,6 @@ pub use training::{AccuracyReport, PredictionRow, TrainedModels, TrainingCampaig
 // Re-export the companion crates so downstream users need only one dependency.
 pub use dna_analysis;
 pub use hetero_platform;
+pub use wd_dist;
 pub use wd_ml;
 pub use wd_opt;

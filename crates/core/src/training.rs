@@ -17,6 +17,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use wd_ml::{BoostedTreesRegressor, BoostingParams, Dataset, ErrorHistogram, Regressor};
+use wd_opt::ShardPlan;
 
 use crate::evaluator::PredictionEvaluator;
 use crate::features::{device_feature_names, device_features, host_feature_names, host_features};
@@ -262,13 +263,13 @@ impl TrainingCampaign {
     /// Execute the host half of the campaign and return it as a dataset
     /// (features per [`crate::features::host_feature_names`], targets in seconds).
     pub fn host_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
-        Self::records_to_dataset(self.generate(platform, Side::Host), host_feature_names())
+        Self::records_to_dataset(self.generate(platform, Side::Host, 1), host_feature_names())
     }
 
     /// Execute the device half of the campaign and return it as a dataset.
     pub fn device_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
         Self::records_to_dataset(
-            self.generate(platform, Side::Device),
+            self.generate(platform, Side::Device, 1),
             device_feature_names(),
         )
     }
@@ -284,8 +285,26 @@ impl TrainingCampaign {
 
     /// Execute the campaign on `platform` and fit the two prediction models.
     pub fn run(&self, platform: &HeterogeneousPlatform, boosting: BoostingParams) -> TrainedModels {
-        let host_records = self.generate(platform, Side::Host);
-        let device_records = self.generate(platform, Side::Device);
+        self.run_sharded(platform, boosting, 1)
+    }
+
+    /// Execute the campaign as `shard_count` contiguous shards per side — each shard
+    /// standing in for one node of a measurement cluster — and fit the two prediction
+    /// models from the concatenated records.
+    ///
+    /// Sharding is invisible in the result: shards are contiguous slices of the
+    /// deterministic experiment order (a [`wd_opt::ShardPlan`] partition) concatenated
+    /// back in shard order, and the simulator's noise is a pure hash of the experiment
+    /// context, so the datasets — and therefore the trained models and accuracy
+    /// reports — are identical to a single-node campaign for every shard count.
+    pub fn run_sharded(
+        &self,
+        platform: &HeterogeneousPlatform,
+        boosting: BoostingParams,
+        shard_count: usize,
+    ) -> TrainedModels {
+        let host_records = self.generate(platform, Side::Host, shard_count);
+        let device_records = self.generate(platform, Side::Device, shard_count);
 
         let (host_model, host_accuracy) =
             self.fit_side(&host_records, host_feature_names(), boosting);
@@ -302,13 +321,8 @@ impl TrainingCampaign {
         }
     }
 
-    /// Run all experiments for one side of the platform.
-    ///
-    /// The full cross-product of experiments is enumerated first and then executed as
-    /// one rayon-parallel batch — the simulator is stateless and its noise model is a
-    /// pure hash of the experiment context, so the records are identical to a
-    /// sequential campaign, in the same deterministic order.
-    fn generate(&self, platform: &HeterogeneousPlatform, side: Side) -> Vec<ExperimentRecord> {
+    /// The deterministic experiment order of one side of the campaign.
+    fn experiment_list(&self, side: Side) -> Vec<(Genome, WorkloadProfile, u32, Affinity)> {
         let (threads_list, affinity_list) = match side {
             Side::Host => (&self.host_threads, &self.host_affinities),
             Side::Device => (&self.device_threads, &self.device_affinities),
@@ -330,8 +344,25 @@ impl TrainingCampaign {
             }
         }
         experiments
-            .into_par_iter()
-            .map(|(genome, share, threads, affinity)| {
+    }
+
+    /// Run all experiments for one side of the platform, as `shard_count` concurrent
+    /// shards.
+    ///
+    /// The full cross-product of experiments is enumerated first, partitioned into
+    /// contiguous shards, and each shard executed as one rayon-parallel batch — the
+    /// simulator is stateless and its noise model is a pure hash of the experiment
+    /// context, so the concatenated records are identical to a sequential campaign,
+    /// in the same deterministic order.
+    fn generate(
+        &self,
+        platform: &HeterogeneousPlatform,
+        side: Side,
+        shard_count: usize,
+    ) -> Vec<ExperimentRecord> {
+        let experiments = self.experiment_list(side);
+        let run_one =
+            |(genome, share, threads, affinity): (Genome, WorkloadProfile, u32, Affinity)| {
                 let cfg = ExecutionConfig::new(threads, affinity);
                 let measured = match side {
                     Side::Host => {
@@ -359,7 +390,29 @@ impl TrainingCampaign {
                     input_bytes: share.bytes,
                     measured,
                 }
-            })
+            };
+
+        if shard_count <= 1 {
+            return experiments.into_par_iter().map(run_one).collect();
+        }
+
+        // one rayon task per shard; inside a shard the slice runs sequentially, as it
+        // would on a remote node of a measurement cluster
+        let plan = ShardPlan::new(experiments.len(), shard_count);
+        let mut shards: Vec<Vec<(Genome, WorkloadProfile, u32, Affinity)>> =
+            Vec::with_capacity(plan.shard_count());
+        let mut rest = experiments;
+        for range in plan.ranges().into_iter().rev() {
+            shards.push(rest.split_off(range.start));
+        }
+        shards.reverse();
+
+        shards
+            .into_par_iter()
+            .map(|shard| shard.into_iter().map(run_one).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
             .collect()
     }
 
@@ -445,6 +498,24 @@ mod tests {
             "device percent error {}",
             models.device_accuracy.mean_percent_error()
         );
+    }
+
+    #[test]
+    fn sharded_campaign_is_identical_to_single_node_training() {
+        let platform = HeterogeneousPlatform::emil();
+        let campaign = TrainingCampaign::reduced();
+        let single = campaign.run(&platform, BoostingParams::fast());
+        for shards in [2usize, 3, 7] {
+            let sharded = campaign.run_sharded(&platform, BoostingParams::fast(), shards);
+            assert_eq!(sharded.host_experiments, single.host_experiments);
+            assert_eq!(sharded.device_experiments, single.device_experiments);
+            // identical records → identical split → identical evaluation rows
+            assert_eq!(
+                sharded.host_accuracy.rows, single.host_accuracy.rows,
+                "{shards} shards"
+            );
+            assert_eq!(sharded.device_accuracy.rows, single.device_accuracy.rows);
+        }
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! The campaign coordinator: shard, evaluate, merge.
+//!
+//! A [`ShardedCampaign`] partitions an enumerable [`SearchSpace`] with a deterministic
+//! [`ShardPlan`], evaluates every shard concurrently (one rayon task per shard — each
+//! task standing in for one node of a cluster) through the batched
+//! [`wd_opt::ParallelEnumeration`] path, and merges the per-shard bests with
+//! [`wd_opt::better_indexed`] over global enumeration indices.  The merge is a strict
+//! minimum under the `(energy, index)` order, so the campaign result is bit-identical
+//! to a single-node scan for every shard count and every completion order.
+//!
+//! Every evaluation flows through a [`StoreBackedObjective`]: results already present
+//! in the campaign's [`ResultStore`] are returned without touching the objective, and
+//! fresh results are recorded as they are produced.  Against a warm store a repeated
+//! (or killed-and-restarted) campaign therefore performs **zero** new evaluations.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rayon::prelude::*;
+
+use wd_opt::enumeration::DEFAULT_BATCH_SIZE;
+use wd_opt::{
+    better_indexed, CacheStats, Objective, OptimizationTrace, Outcome, ParallelEnumeration,
+    SearchSpace, ShardPlan, ShardView,
+};
+
+use crate::store::ResultStore;
+
+/// An [`Objective`] adapter that answers from a [`ResultStore`] when possible and
+/// records every fresh evaluation back into it.
+///
+/// The hit/miss counters mirror [`wd_opt::CachedObjective`] semantics: hits are
+/// requests answered by the store, misses are requests that reached the inner
+/// objective.  Unlike `CachedObjective` the adapter does not deduplicate within a
+/// batch — the enumeration drivers it serves never repeat a configuration inside one
+/// batch (duplicates would be evaluated redundantly but identically).
+pub struct StoreBackedObjective<'a, O: ?Sized, R: ?Sized> {
+    inner: &'a O,
+    store: &'a R,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<'a, O: ?Sized, R: ?Sized> StoreBackedObjective<'a, O, R> {
+    /// Route `inner` through `store`.
+    pub fn new(inner: &'a O, store: &'a R) -> Self {
+        StoreBackedObjective {
+            inner,
+            store,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Hit/miss counters of this adapter (not of the whole store).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl<C, O, R> Objective<C> for StoreBackedObjective<'_, O, R>
+where
+    C: Clone,
+    O: Objective<C> + ?Sized,
+    R: ResultStore<C> + ?Sized,
+{
+    fn evaluate(&self, config: &C) -> f64 {
+        if let Some(energy) = self.store.lookup(config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return energy;
+        }
+        let energy = self.inner.evaluate(config);
+        self.store.record(config, energy);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        energy
+    }
+
+    fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
+        let mut energies = vec![0.0f64; configs.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (index, slot) in self.store.lookup_batch(configs).into_iter().enumerate() {
+            match slot {
+                Some(energy) => energies[index] = energy,
+                None => pending.push(index),
+            }
+        }
+        self.hits
+            .fetch_add(configs.len() - pending.len(), Ordering::Relaxed);
+        if pending.is_empty() {
+            return energies;
+        }
+
+        let pending_configs: Vec<C> = pending.iter().map(|&i| configs[i].clone()).collect();
+        let fresh = self.inner.evaluate_batch(&pending_configs);
+        debug_assert_eq!(fresh.len(), pending_configs.len());
+        self.store.record_batch(&pending_configs, &fresh);
+        self.misses.fetch_add(pending.len(), Ordering::Relaxed);
+        for (&index, &energy) in pending.iter().zip(&fresh) {
+            energies[index] = energy;
+        }
+        energies
+    }
+}
+
+/// What one shard (one simulated node) reported back to the coordinator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Shard position in the plan.
+    pub shard_index: usize,
+    /// Global enumeration-index range this shard covered.
+    pub range: Range<usize>,
+    /// Global enumeration index of the shard's best configuration.
+    pub best_index: usize,
+    /// Energy of the shard's best configuration.
+    pub best_energy: f64,
+    /// Evaluation requests the shard issued (its share of the space).
+    pub evaluations: usize,
+    /// Store hit/miss counters of the shard.
+    pub stats: CacheStats,
+}
+
+impl ShardReport {
+    /// The `(global_index, energy)` pair the merge consumes.
+    pub fn best(&self) -> (usize, f64) {
+        (self.best_index, self.best_energy)
+    }
+}
+
+/// Merged result of a sharded campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome<C> {
+    /// The globally best configuration.
+    pub best_config: C,
+    /// Its energy.
+    pub best_energy: f64,
+    /// Its global enumeration index.
+    pub best_index: usize,
+    /// Total evaluation requests across all shards (the cardinality of the space).
+    pub evaluations: usize,
+    /// Merged store hit/miss counters of this run; `stats.misses` is the number of
+    /// configurations this run actually evaluated (0 against a warm store).
+    pub stats: CacheStats,
+    /// Per-shard reports, in shard order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl<C> CampaignOutcome<C> {
+    /// Number of fresh evaluations this run performed (store misses).
+    pub fn experiments(&self) -> usize {
+        self.stats.misses
+    }
+
+    /// Convert into the optimizer-level [`Outcome`] shape.
+    pub fn into_outcome(self) -> Outcome<C> {
+        Outcome {
+            best_config: self.best_config,
+            best_energy: self.best_energy,
+            evaluations: self.evaluations,
+            trace: OptimizationTrace::new(),
+        }
+    }
+}
+
+/// Merge per-shard `(global_index, energy)` bests.  The reduction is associative and
+/// commutative, so *any* arrival order of shard results produces the same winner —
+/// the coordinator does not need to wait for shards in order.
+///
+/// # Panics
+///
+/// Panics when `bests` is empty (a campaign always has at least one shard).
+pub fn merge_shard_bests(bests: impl IntoIterator<Item = (usize, f64)>) -> (usize, f64) {
+    bests
+        .into_iter()
+        .reduce(better_indexed)
+        .expect("a campaign has at least one shard")
+}
+
+/// A sharded, store-backed exhaustive campaign over an enumerable search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedCampaign {
+    /// Number of shards (simulated nodes) to partition the space into; clamped to the
+    /// space cardinality at run time.
+    pub shard_count: usize,
+    /// Batch size of the per-shard [`ParallelEnumeration`] driver.
+    pub batch_size: usize,
+}
+
+impl ShardedCampaign {
+    /// A campaign over `shard_count` shards with the default batch size.
+    pub fn new(shard_count: usize) -> Self {
+        ShardedCampaign {
+            shard_count: shard_count.max(1),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+
+    /// Override the per-shard evaluation batch size (values below 1 are clamped to 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Run the campaign: shard `space`, evaluate every shard through `store`-backed
+    /// `objective`, merge, and record the merged stats into the store.
+    ///
+    /// The result is bit-identical to
+    /// [`ParallelEnumeration::run`] on the whole space, for every shard count,
+    /// batch size and shard completion order.  The store is flushed before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is not enumerable or empty, or if flushing the store fails
+    /// (a persistent campaign that cannot persist is not resumable — failing loudly
+    /// beats silently re-evaluating everything next run).
+    pub fn run<S, O, R>(&self, space: &S, objective: &O, store: &R) -> CampaignOutcome<S::Config>
+    where
+        S: SearchSpace + Sync,
+        S::Config: Clone + Send + Sync,
+        O: Objective<S::Config> + Sync,
+        R: ResultStore<S::Config> + Sync,
+    {
+        let configs = space
+            .enumerate()
+            .expect("sharded campaigns require an enumerable search space");
+        assert!(
+            !configs.is_empty(),
+            "cannot run a campaign over an empty space"
+        );
+        let plan = ShardPlan::new(configs.len(), self.shard_count);
+
+        let reports: Vec<ShardReport> = (0..plan.shard_count())
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|shard| {
+                let range = plan.range(shard);
+                let view = ShardView::new(space, &configs[range.clone()], range.start);
+                let backed = StoreBackedObjective::new(objective, store);
+                let indexed = ParallelEnumeration::with_batch_size(self.batch_size)
+                    .run_indexed(&view, &backed);
+                ShardReport {
+                    shard_index: shard,
+                    best_index: view.global_index(indexed.best_index),
+                    best_energy: indexed.outcome.best_energy,
+                    evaluations: indexed.outcome.evaluations,
+                    stats: backed.stats(),
+                    range,
+                }
+            })
+            .collect();
+
+        let (best_index, best_energy) = merge_shard_bests(reports.iter().map(ShardReport::best));
+        let stats: CacheStats = reports.iter().map(|report| report.stats).sum();
+        store.record_stats(stats);
+        store
+            .flush()
+            .expect("failed to flush the campaign result store");
+
+        CampaignOutcome {
+            best_config: configs[best_index].clone(),
+            best_energy,
+            best_index,
+            evaluations: reports.iter().map(|report| report.evaluations).sum(),
+            stats,
+            shards: reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemoryStore;
+    use wd_opt::space::GridSpace;
+    use wd_opt::CountingObjective;
+
+    fn bowl(config: &(u32, u32)) -> f64 {
+        let dx = config.0 as f64 - 13.0;
+        let dy = config.1 as f64 - 5.0;
+        dx * dx + dy * dy
+    }
+
+    #[test]
+    fn sharded_campaign_matches_single_node_for_every_shard_count() {
+        let space = GridSpace {
+            width: 37,
+            height: 23,
+        };
+        let reference = ParallelEnumeration::new().run(&space, &bowl);
+        for shards in [1usize, 2, 3, 4, 7, 16, 1000] {
+            let store = MemoryStore::new();
+            let outcome = ShardedCampaign::new(shards)
+                .with_batch_size(19)
+                .run(&space, &bowl, &store);
+            assert_eq!(
+                outcome.best_config, reference.best_config,
+                "{shards} shards"
+            );
+            assert_eq!(
+                outcome.best_energy.to_bits(),
+                reference.best_energy.to_bits()
+            );
+            assert_eq!(outcome.evaluations, 37 * 23);
+            assert_eq!(outcome.experiments(), 37 * 23);
+        }
+    }
+
+    #[test]
+    fn shard_reports_partition_the_space() {
+        let space = GridSpace {
+            width: 16,
+            height: 9,
+        };
+        let store = MemoryStore::new();
+        let outcome = ShardedCampaign::new(5).run(&space, &bowl, &store);
+        assert_eq!(outcome.shards.len(), 5);
+        let mut next = 0usize;
+        for (index, report) in outcome.shards.iter().enumerate() {
+            assert_eq!(report.shard_index, index);
+            assert_eq!(report.range.start, next);
+            assert!(report.range.contains(&report.best_index));
+            assert_eq!(report.evaluations, report.range.len());
+            next = report.range.end;
+        }
+        assert_eq!(next, 16 * 9);
+    }
+
+    #[test]
+    fn warm_store_resumes_with_zero_evaluations() {
+        let space = GridSpace {
+            width: 12,
+            height: 12,
+        };
+        let store = MemoryStore::new();
+        let campaign = ShardedCampaign::new(4);
+
+        let counting = CountingObjective::new(&bowl);
+        let cold = campaign.run(&space, &counting, &store);
+        assert_eq!(counting.evaluations(), 144);
+        assert_eq!(
+            cold.stats,
+            CacheStats {
+                hits: 0,
+                misses: 144
+            }
+        );
+
+        // a fresh objective wrapper proves the store, not the wrapper, remembers
+        let counting = CountingObjective::new(&bowl);
+        let warm = campaign.run(&space, &counting, &store);
+        assert_eq!(
+            counting.evaluations(),
+            0,
+            "warm campaigns re-evaluate nothing"
+        );
+        assert_eq!(
+            warm.stats,
+            CacheStats {
+                hits: 144,
+                misses: 0
+            }
+        );
+        assert_eq!(warm.best_config, cold.best_config);
+        assert_eq!(warm.best_energy.to_bits(), cold.best_energy.to_bits());
+        assert_eq!(warm.best_index, cold.best_index);
+
+        // the store audit trail accumulated both runs
+        assert_eq!(
+            store.recorded_stats(),
+            CacheStats {
+                hits: 144,
+                misses: 144
+            }
+        );
+    }
+
+    #[test]
+    fn partially_warm_store_evaluates_only_the_missing_configurations() {
+        let space = GridSpace {
+            width: 10,
+            height: 10,
+        };
+        let store = MemoryStore::new();
+        // pre-record half the space with the true energies
+        let configs = space.enumerate().unwrap();
+        for config in configs.iter().take(50) {
+            store.record(config, bowl(config));
+        }
+        let counting = CountingObjective::new(&bowl);
+        let outcome = ShardedCampaign::new(3).run(&space, &counting, &store);
+        assert_eq!(counting.evaluations(), 50);
+        assert_eq!(
+            outcome.stats,
+            CacheStats {
+                hits: 50,
+                misses: 50
+            }
+        );
+        let reference = ParallelEnumeration::new().run(&space, &bowl);
+        assert_eq!(outcome.best_config, reference.best_config);
+    }
+
+    #[test]
+    fn merge_is_shard_completion_order_independent() {
+        let space = GridSpace {
+            width: 9,
+            height: 8,
+        };
+        // a plateau with many global ties exercises the earliest-index rule
+        let plateau = |config: &(u32, u32)| f64::from((config.0 + config.1).is_multiple_of(3));
+        let store = MemoryStore::new();
+        let outcome = ShardedCampaign::new(6).run(&space, &plateau, &store);
+
+        let mut bests: Vec<(usize, f64)> = outcome.shards.iter().map(ShardReport::best).collect();
+        // try every rotation and the reverse — all must merge to the same winner
+        for rotation in 0..bests.len() {
+            bests.rotate_left(1);
+            assert_eq!(
+                merge_shard_bests(bests.iter().copied()),
+                (outcome.best_index, outcome.best_energy),
+                "rotation {rotation}"
+            );
+        }
+        bests.reverse();
+        assert_eq!(
+            merge_shard_bests(bests.iter().copied()),
+            (outcome.best_index, outcome.best_energy)
+        );
+        let reference = ParallelEnumeration::new().run(&space, &plateau);
+        assert_eq!(outcome.best_config, reference.best_config);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded campaigns require an enumerable search space")]
+    fn non_enumerable_spaces_are_rejected() {
+        use rand::rngs::StdRng;
+        struct Opaque;
+        impl SearchSpace for Opaque {
+            type Config = u8;
+            fn random(&self, _rng: &mut StdRng) -> u8 {
+                0
+            }
+            fn neighbor(&self, c: &u8, _rng: &mut StdRng) -> u8 {
+                *c
+            }
+        }
+        let store: MemoryStore<u8> = MemoryStore::new();
+        let _ = ShardedCampaign::new(2).run(&Opaque, &|c: &u8| *c as f64, &store);
+    }
+}

@@ -1,0 +1,87 @@
+//! Stable textual encoding of configurations, the key format of the persistent stores.
+//!
+//! A [`ConfigKey`] maps a configuration to a single-line string that (a) is unique per
+//! configuration, (b) survives a write/read round trip unchanged, and (c) is safe to
+//! embed verbatim inside a JSON string.  The on-disk [`crate::JsonlStore`] keys its
+//! records by this encoding, so two processes (or two runs of the same process) agree
+//! on which configurations have already been evaluated.
+
+/// A configuration type with a stable, JSON-string-safe textual key.
+///
+/// # Contract
+///
+/// * `decode_key(&c.encode_key()) == Some(c)` for every configuration `c`;
+/// * the encoding contains no `"`, `\` or control characters (it is embedded in a JSON
+///   string without escaping) and no newlines (one record per line);
+/// * the encoding is *stable*: it must not change between runs, or persisted campaigns
+///   would silently lose their warm state.
+pub trait ConfigKey: Sized {
+    /// Encode this configuration as a stable single-line key.
+    fn encode_key(&self) -> String;
+
+    /// Decode a key produced by [`ConfigKey::encode_key`]; `None` for foreign input.
+    fn decode_key(key: &str) -> Option<Self>;
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl ConfigKey for $t {
+            fn encode_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn decode_key(key: &str) -> Option<Self> {
+                key.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Pairs encode as `"a,b"` — enough for grid-style test spaces.
+impl<A: ConfigKey, B: ConfigKey> ConfigKey for (A, B) {
+    fn encode_key(&self) -> String {
+        format!("{},{}", self.0.encode_key(), self.1.encode_key())
+    }
+
+    fn decode_key(key: &str) -> Option<Self> {
+        let (a, b) = key.split_once(',')?;
+        Some((A::decode_key(a)?, B::decode_key(b)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_keys_round_trip() {
+        for value in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(u32::decode_key(&value.encode_key()), Some(value));
+        }
+        assert_eq!(i64::decode_key(&(-42i64).encode_key()), Some(-42));
+        assert_eq!(u32::decode_key("not a number"), None);
+    }
+
+    #[test]
+    fn pair_keys_round_trip() {
+        let config = (13u32, 5u32);
+        let key = config.encode_key();
+        assert_eq!(key, "13,5");
+        assert_eq!(<(u32, u32)>::decode_key(&key), Some(config));
+        assert_eq!(<(u32, u32)>::decode_key("13"), None);
+        assert_eq!(<(u32, u32)>::decode_key("13,x"), None);
+    }
+
+    #[test]
+    fn keys_are_json_string_safe() {
+        for key in [
+            (13u32, 5u32).encode_key(),
+            u64::MAX.encode_key(),
+            (-7i32).encode_key(),
+        ] {
+            assert!(!key.contains(['"', '\\', '\n', '\r']));
+        }
+    }
+}

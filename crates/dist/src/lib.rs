@@ -1,0 +1,62 @@
+//! # wd-dist
+//!
+//! Sharded multi-node campaign coordinator with a persistent result store, the layer
+//! between search ([`wd_opt`]) and evaluation for production-scale configuration
+//! sweeps.
+//!
+//! The paper's reference methods enumerate the whole configuration grid on one
+//! machine.  This crate scales that campaign out and makes it durable:
+//!
+//! * [`ShardedCampaign`] cuts any enumerable [`wd_opt::SearchSpace`] into
+//!   deterministic contiguous shards ([`wd_opt::ShardPlan`]), evaluates each shard
+//!   concurrently — one task per shard, each standing in for a node — through the
+//!   batched [`wd_opt::ParallelEnumeration`] path, and merges per-shard bests with
+//!   the lowest-energy/earliest-global-index rule ([`wd_opt::better_indexed`]).  The
+//!   merged result is **bit-identical** to a single-node run for every shard count,
+//!   batch size and shard completion order.
+//! * [`ResultStore`] persists every `(configuration, energy)` pair as it is produced
+//!   plus the merged [`wd_opt::CacheStats`] of each run.  [`JsonlStore`] is the
+//!   on-disk implementation (append-only JSON lines, exact IEEE-754 round trip,
+//!   tolerant of truncated tails), [`MemoryStore`] the in-process one.  A killed or
+//!   repeated campaign resumes against a warm store with **zero** re-evaluations.
+//!
+//! ## Example
+//!
+//! ```
+//! use wd_dist::{MemoryStore, ShardedCampaign};
+//! use wd_opt::space::GridSpace;
+//! use wd_opt::{CountingObjective, ParallelEnumeration};
+//!
+//! let space = GridSpace { width: 20, height: 10 };
+//! let objective = |c: &(u32, u32)| (c.0 as f64 - 7.0).abs() + (c.1 as f64 - 3.0).abs();
+//!
+//! // 4 "nodes", one persistent store
+//! let store = MemoryStore::new();
+//! let counting = CountingObjective::new(&objective);
+//! let campaign = ShardedCampaign::new(4);
+//! let outcome = campaign.run(&space, &counting, &store);
+//!
+//! // bit-identical to the single-node scan
+//! let reference = ParallelEnumeration::new().run(&space, &objective);
+//! assert_eq!(outcome.best_config, reference.best_config);
+//! assert_eq!(counting.evaluations(), 200);
+//!
+//! // a repeated campaign is answered entirely from the store
+//! let counting = CountingObjective::new(&objective);
+//! let resumed = campaign.run(&space, &counting, &store);
+//! assert_eq!(counting.evaluations(), 0);
+//! assert_eq!(resumed.best_config, reference.best_config);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod coordinator;
+pub mod key;
+pub mod store;
+
+pub use coordinator::{
+    merge_shard_bests, CampaignOutcome, ShardReport, ShardedCampaign, StoreBackedObjective,
+};
+pub use key::ConfigKey;
+pub use store::{JsonlStore, MemoryStore, ResultStore};

@@ -1,0 +1,615 @@
+//! Persistent result stores: where a campaign's `(configuration, energy)` pairs live.
+//!
+//! A [`ResultStore`] is the durability layer of the campaign coordinator: every energy
+//! an [`wd_opt::Objective`] produces is recorded, and every shard consults the store
+//! before evaluating, so a killed or repeated campaign resumes with zero
+//! re-evaluations.  Two implementations are provided:
+//!
+//! * [`MemoryStore`] — a process-local map, the warm-cache of a single run (and the
+//!   cheap store for tests and in-process multi-"node" simulations);
+//! * [`JsonlStore`] — an append-only JSON-lines file.  Records carry the exact IEEE-754
+//!   bit pattern of every energy, so a reloaded store reproduces results *bit for bit*;
+//!   the loader skips truncated or foreign lines, so a campaign killed mid-write loses
+//!   at most the record being written.
+//!
+//! Stores also accumulate the merged [`CacheStats`] of the campaigns that ran against
+//! them ([`ResultStore::record_stats`]), giving an audit trail of how much work each
+//! run actually performed.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::hash::Hash;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, RwLock};
+
+use wd_opt::CacheStats;
+
+use crate::key::ConfigKey;
+
+/// A concurrent store of evaluated `(configuration, energy)` pairs.
+///
+/// All methods take `&self`: stores are shared by the shards of a running campaign and
+/// synchronise internally.  Implementations must return exactly the recorded energy
+/// from [`ResultStore::lookup`] (bit-for-bit — resumed campaigns must reproduce the
+/// original merge result).
+pub trait ResultStore<C> {
+    /// The recorded energy of `config`, if present.
+    fn lookup(&self, config: &C) -> Option<f64>;
+
+    /// Batched lookup, one slot per configuration in order.
+    fn lookup_batch(&self, configs: &[C]) -> Vec<Option<f64>> {
+        configs.iter().map(|config| self.lookup(config)).collect()
+    }
+
+    /// Record one evaluated configuration.
+    fn record(&self, config: &C, energy: f64);
+
+    /// Record a batch of evaluated configurations (`energies[i]` belongs to
+    /// `configs[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    fn record_batch(&self, configs: &[C], energies: &[f64]) {
+        assert_eq!(configs.len(), energies.len());
+        for (config, &energy) in configs.iter().zip(energies) {
+            self.record(config, energy);
+        }
+    }
+
+    /// Fold a campaign's merged hit/miss counters into the store's running total.
+    fn record_stats(&self, stats: CacheStats);
+
+    /// Accumulated counters over every campaign recorded so far (for a persistent
+    /// store: including previous processes).
+    fn recorded_stats(&self) -> CacheStats;
+
+    /// Number of distinct configurations stored.
+    fn len(&self) -> usize;
+
+    /// Whether the store holds no results yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush buffered records to durable storage, reporting any write error that
+    /// occurred since the last flush.  A no-op for purely in-memory stores.
+    fn flush(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory [`ResultStore`]: the durability of a warm cache, the API of the
+/// persistent stores.
+#[derive(Debug, Default)]
+pub struct MemoryStore<C> {
+    map: RwLock<HashMap<C, f64>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl<C> MemoryStore<C> {
+    /// An empty store.
+    pub fn new() -> Self {
+        MemoryStore {
+            map: RwLock::new(HashMap::new()),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+}
+
+impl<C> ResultStore<C> for MemoryStore<C>
+where
+    C: Eq + Hash + Clone,
+{
+    fn lookup(&self, config: &C) -> Option<f64> {
+        self.map
+            .read()
+            .expect("store lock poisoned")
+            .get(config)
+            .copied()
+    }
+
+    fn lookup_batch(&self, configs: &[C]) -> Vec<Option<f64>> {
+        let map = self.map.read().expect("store lock poisoned");
+        configs
+            .iter()
+            .map(|config| map.get(config).copied())
+            .collect()
+    }
+
+    fn record(&self, config: &C, energy: f64) {
+        self.map
+            .write()
+            .expect("store lock poisoned")
+            .insert(config.clone(), energy);
+    }
+
+    fn record_batch(&self, configs: &[C], energies: &[f64]) {
+        assert_eq!(configs.len(), energies.len());
+        let mut map = self.map.write().expect("store lock poisoned");
+        for (config, &energy) in configs.iter().zip(energies) {
+            map.insert(config.clone(), energy);
+        }
+    }
+
+    fn record_stats(&self, stats: CacheStats) {
+        *self.stats.lock().expect("stats lock poisoned") += stats;
+    }
+
+    fn recorded_stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats lock poisoned")
+    }
+
+    fn len(&self) -> usize {
+        self.map.read().expect("store lock poisoned").len()
+    }
+}
+
+/// An append-only on-disk [`ResultStore`], one JSON object per line.
+///
+/// Three record kinds exist:
+///
+/// ```text
+/// {"context":"em|human-genome|3170000000"}
+/// {"config":"<key>","energy":1.234,"bits":"3ff3be76c8b43958"}
+/// {"stats":{"hits":19926,"misses":0}}
+/// ```
+///
+/// `bits` is the hexadecimal IEEE-754 bit pattern of the energy and is authoritative
+/// on load (the decimal `energy` field is for human eyes), so round trips are exact.
+/// Configurations are keyed by their [`ConfigKey`] encoding.  The loader tolerates a
+/// truncated final line (the footprint of a killed campaign) and foreign lines by
+/// skipping them; [`JsonlStore::skipped_lines`] reports how many were dropped.
+///
+/// **A store is bound to one objective.**  Records carry no energy provenance, so
+/// feeding a store populated under one objective (workload, platform, evaluator) to a
+/// campaign over a different one would silently return the wrong energies as "warm"
+/// hits.  [`JsonlStore::open_with_context`] guards against this: it stamps a caller
+/// chosen context string into the file and refuses to open a store stamped with a
+/// different one.  The plain [`JsonlStore::open`] performs no such check.
+///
+/// Record appends are flushed to the OS per call ([`ResultStore::record`] /
+/// [`ResultStore::record_batch`]), so a killed campaign loses at most the batch being
+/// written; [`ResultStore::flush`] (called by the campaign coordinator at the end of
+/// every run) surfaces the first write error encountered since the previous flush.
+#[derive(Debug)]
+pub struct JsonlStore<C> {
+    path: PathBuf,
+    map: RwLock<HashMap<String, f64>>,
+    writer: Mutex<BufWriter<File>>,
+    stats: Mutex<CacheStats>,
+    write_error: Mutex<Option<io::Error>>,
+    skipped_lines: usize,
+    context: Option<String>,
+    _config: PhantomData<fn(&C) -> C>,
+}
+
+enum Record {
+    Result(String, f64),
+    Stats(CacheStats),
+    Context(String),
+}
+
+/// Extract the value of a `"name":"<value>"` string field.
+fn json_str_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pattern = format!("\"{name}\":\"");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extract the value of a `"name":<digits>` unsigned integer field.
+fn json_uint_field(line: &str, name: &str) -> Option<u64> {
+    let pattern = format!("\"{name}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn parse_line(line: &str) -> Option<Record> {
+    if let Some(context) = json_str_field(line, "context") {
+        return Some(Record::Context(context.to_string()));
+    }
+    if let Some(key) = json_str_field(line, "config") {
+        // the bit pattern is authoritative; fall back to the decimal field for
+        // hand-written lines
+        let energy = match json_str_field(line, "bits") {
+            Some(hex) => f64::from_bits(u64::from_str_radix(hex, 16).ok()?),
+            None => {
+                let pattern = "\"energy\":";
+                let start = line.find(pattern)? + pattern.len();
+                let rest = &line[start..];
+                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                rest[..end].trim().parse().ok()?
+            }
+        };
+        return Some(Record::Result(key.to_string(), energy));
+    }
+    if line.contains("\"stats\"") {
+        return Some(Record::Stats(CacheStats {
+            hits: json_uint_field(line, "hits")? as usize,
+            misses: json_uint_field(line, "misses")? as usize,
+        }));
+    }
+    None
+}
+
+impl<C: ConfigKey> JsonlStore<C> {
+    /// Open (or create) the store at `path`, loading every intact record.
+    ///
+    /// No context check is performed — prefer [`JsonlStore::open_with_context`] for
+    /// stores that outlive one process.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut map = HashMap::new();
+        let mut stats = CacheStats::default();
+        let mut skipped = 0usize;
+        let mut context = None;
+        if path.exists() {
+            for line in BufReader::new(File::open(&path)?).split(b'\n') {
+                let line = String::from_utf8(line?).unwrap_or_default();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match parse_line(&line) {
+                    Some(Record::Result(key, energy)) => {
+                        map.insert(key, energy);
+                    }
+                    Some(Record::Stats(loaded)) => stats += loaded,
+                    Some(Record::Context(loaded)) => context = Some(loaded),
+                    None => skipped += 1,
+                }
+            }
+        }
+        let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        Ok(JsonlStore {
+            path,
+            map: RwLock::new(map),
+            writer: Mutex::new(writer),
+            stats: Mutex::new(stats),
+            write_error: Mutex::new(None),
+            skipped_lines: skipped,
+            context,
+            _config: PhantomData,
+        })
+    }
+
+    /// Open (or create) the store at `path` for one evaluation context.
+    ///
+    /// `context` should identify everything the energies depend on — workload,
+    /// platform, evaluation mode (e.g. `"em|human-genome|3170000000"`) — and must be
+    /// JSON-string-safe (no `"`, `\` or control characters).  A fresh store is
+    /// stamped with the context; re-opening checks the stamp and fails with
+    /// [`io::ErrorKind::InvalidData`] when it differs, so a campaign can never
+    /// silently consume energies recorded under a different objective.  Stores with
+    /// existing records but no stamp (created via [`JsonlStore::open`]) are rejected
+    /// too — their provenance is unknown.
+    pub fn open_with_context(path: impl AsRef<Path>, context: &str) -> io::Result<Self> {
+        assert!(
+            !context.contains(['"', '\\', '\n', '\r']),
+            "store contexts must be JSON-string-safe: {context:?}"
+        );
+        let store = Self::open(path)?;
+        match store.context.as_deref() {
+            Some(existing) if existing == context => Ok(store),
+            Some(existing) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "result store {} was recorded under context {existing:?}, \
+                     refusing to reuse it for context {context:?}",
+                    store.path.display()
+                ),
+            )),
+            None if store.is_empty() => {
+                store.append(&format!("{{\"context\":\"{context}\"}}"));
+                store.flush()?;
+                Ok(JsonlStore {
+                    context: Some(context.to_string()),
+                    ..store
+                })
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "result store {} holds records of unknown provenance (no context \
+                     stamp); refusing to reuse it for context {context:?}",
+                    store.path.display()
+                ),
+            )),
+        }
+    }
+
+    /// The file backing this store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The context this store was stamped with, when present.
+    pub fn context(&self) -> Option<&str> {
+        self.context.as_deref()
+    }
+
+    /// Number of malformed/truncated lines skipped while loading.
+    pub fn skipped_lines(&self) -> usize {
+        self.skipped_lines
+    }
+
+    /// Decode every stored record back into configurations (records whose key no
+    /// longer decodes — e.g. written by an older schema — are skipped).
+    pub fn entries(&self) -> Vec<(C, f64)> {
+        self.map
+            .read()
+            .expect("store lock poisoned")
+            .iter()
+            .filter_map(|(key, &energy)| Some((C::decode_key(key)?, energy)))
+            .collect()
+    }
+
+    /// Append `line`, flush it to the OS so a kill cannot lose it, and remember the
+    /// first write error for the next `flush`.
+    fn append(&self, line: &str) {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        if let Err(error) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
+            self.write_error
+                .lock()
+                .expect("error lock poisoned")
+                .get_or_insert(error);
+        }
+    }
+
+    fn result_line(key: &str, energy: f64) -> String {
+        debug_assert!(
+            !key.contains(['"', '\\', '\n', '\r']),
+            "ConfigKey encodings must be JSON-string-safe: {key:?}"
+        );
+        format!(
+            "{{\"config\":\"{key}\",\"energy\":{energy},\"bits\":\"{bits:016x}\"}}",
+            bits = energy.to_bits()
+        )
+    }
+}
+
+impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
+    fn lookup(&self, config: &C) -> Option<f64> {
+        self.map
+            .read()
+            .expect("store lock poisoned")
+            .get(&config.encode_key())
+            .copied()
+    }
+
+    fn lookup_batch(&self, configs: &[C]) -> Vec<Option<f64>> {
+        let map = self.map.read().expect("store lock poisoned");
+        configs
+            .iter()
+            .map(|config| map.get(&config.encode_key()).copied())
+            .collect()
+    }
+
+    fn record(&self, config: &C, energy: f64) {
+        let key = config.encode_key();
+        self.append(&Self::result_line(&key, energy));
+        self.map
+            .write()
+            .expect("store lock poisoned")
+            .insert(key, energy);
+    }
+
+    fn record_batch(&self, configs: &[C], energies: &[f64]) {
+        assert_eq!(configs.len(), energies.len());
+        let keys: Vec<String> = configs.iter().map(ConfigKey::encode_key).collect();
+        {
+            // one writer lock for the whole batch keeps shard appends contiguous; the
+            // trailing flush bounds what a kill can lose to this batch
+            let mut writer = self.writer.lock().expect("writer lock poisoned");
+            let mut wrote = Ok(());
+            for (key, &energy) in keys.iter().zip(energies) {
+                wrote = writeln!(writer, "{}", Self::result_line(key, energy));
+                if wrote.is_err() {
+                    break;
+                }
+            }
+            if let Err(error) = wrote.and_then(|()| writer.flush()) {
+                self.write_error
+                    .lock()
+                    .expect("error lock poisoned")
+                    .get_or_insert(error);
+            }
+        }
+        let mut map = self.map.write().expect("store lock poisoned");
+        for (key, &energy) in keys.into_iter().zip(energies) {
+            map.insert(key, energy);
+        }
+    }
+
+    fn record_stats(&self, stats: CacheStats) {
+        self.append(&format!(
+            "{{\"stats\":{{\"hits\":{},\"misses\":{}}}}}",
+            stats.hits, stats.misses
+        ));
+        *self.stats.lock().expect("stats lock poisoned") += stats;
+    }
+
+    fn recorded_stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats lock poisoned")
+    }
+
+    fn len(&self) -> usize {
+        self.map.read().expect("store lock poisoned").len()
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        if let Some(error) = self.write_error.lock().expect("error lock poisoned").take() {
+            return Err(error);
+        }
+        self.writer.lock().expect("writer lock poisoned").flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "wd_dist-store-{tag}-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn memory_store_round_trips_and_accumulates_stats() {
+        let store: MemoryStore<(u32, u32)> = MemoryStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.lookup(&(1, 2)), None);
+        store.record(&(1, 2), 0.5);
+        store.record_batch(&[(3, 4), (5, 6)], &[1.5, 2.5]);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.lookup(&(3, 4)), Some(1.5));
+        assert_eq!(store.lookup_batch(&[(1, 2), (9, 9)]), vec![Some(0.5), None]);
+        store.record_stats(CacheStats { hits: 2, misses: 3 });
+        store.record_stats(CacheStats { hits: 1, misses: 0 });
+        assert_eq!(store.recorded_stats(), CacheStats { hits: 3, misses: 3 });
+        store.flush().unwrap();
+    }
+
+    #[test]
+    fn jsonl_store_persists_exact_bits_across_instances() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        // energies chosen to stress decimal printing: a subnormal-ish value, a value
+        // with no short decimal representation, and an integer
+        let pairs = [((13u32, 5u32), 0.1 + 0.2), ((0, 0), 1e-300), ((7, 7), 42.0)];
+        {
+            let store: JsonlStore<(u32, u32)> = JsonlStore::open(&path).unwrap();
+            for (config, energy) in pairs {
+                store.record(&config, energy);
+            }
+            store.record_stats(CacheStats { hits: 0, misses: 3 });
+            store.flush().unwrap();
+        }
+        {
+            let store: JsonlStore<(u32, u32)> = JsonlStore::open(&path).unwrap();
+            assert_eq!(store.len(), 3);
+            assert_eq!(store.skipped_lines(), 0);
+            for (config, energy) in pairs {
+                assert_eq!(store.lookup(&config).unwrap().to_bits(), energy.to_bits());
+            }
+            assert_eq!(store.recorded_stats(), CacheStats { hits: 0, misses: 3 });
+            let mut entries = store.entries();
+            entries.sort_by_key(|(config, _)| *config);
+            assert_eq!(entries.len(), 3);
+            assert_eq!(entries[2].0, (13, 5));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn jsonl_store_skips_truncated_and_foreign_lines() {
+        let path = temp_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record(&1, 1.0);
+            store.record(&2, 2.0);
+            store.flush().unwrap();
+        }
+        // simulate a campaign killed mid-write: append garbage and a cut-off record
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("not json at all\n");
+        contents.push_str("{\"config\":\"3\",\"ener");
+        std::fs::write(&path, contents).unwrap();
+
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.skipped_lines(), 2);
+        assert_eq!(store.lookup(&1), Some(1.0));
+        assert_eq!(store.lookup(&3), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn context_stamp_guards_against_cross_objective_reuse() {
+        let path = temp_path("context");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> =
+                JsonlStore::open_with_context(&path, "em|human|3170000000").unwrap();
+            assert_eq!(store.context(), Some("em|human|3170000000"));
+            store.record(&1, 1.0);
+            store.flush().unwrap();
+        }
+        // the same context re-opens and resumes
+        {
+            let store: JsonlStore<u32> =
+                JsonlStore::open_with_context(&path, "em|human|3170000000").unwrap();
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.skipped_lines(), 0);
+        }
+        // a different objective is refused instead of silently served stale energies
+        let err = JsonlStore::<u32>::open_with_context(&path, "eml|cat|2430000000").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+
+        // records of unknown provenance (stampless store) are refused too
+        let path = temp_path("context-unstamped");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record(&1, 1.0);
+            store.flush().unwrap();
+        }
+        assert!(JsonlStore::<u32>::open_with_context(&path, "any").is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_are_durable_before_an_explicit_flush() {
+        // a killed campaign must lose at most the batch being written: appends are
+        // flushed to the OS per record/batch, not parked in the process buffer
+        let path = temp_path("durability");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        store.record(&1, 1.0);
+        store.record_batch(&[2, 3], &[2.0, 3.0]);
+        // read the file out-of-band while the store (and its buffer) is still alive
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 3);
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn jsonl_store_later_records_override_earlier_ones() {
+        let path = temp_path("override");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record(&9, 1.0);
+            store.record(&9, 5.0);
+            store.flush().unwrap();
+            assert_eq!(store.lookup(&9), Some(5.0));
+        }
+        // append order is preserved on disk, so the reloaded map keeps the last write
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.lookup(&9), Some(5.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn energy_parsing_falls_back_to_the_decimal_field() {
+        let path = temp_path("fallback");
+        std::fs::write(&path, "{\"config\":\"4\",\"energy\":2.75}\n").unwrap();
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.lookup(&4), Some(2.75));
+        assert_eq!(store.skipped_lines(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

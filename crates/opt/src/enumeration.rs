@@ -19,21 +19,9 @@
 use rayon::prelude::*;
 
 use crate::objective::{CountingObjective, Objective};
-use crate::outcome::Outcome;
+use crate::outcome::{better_indexed as better, IndexedOutcome, Outcome};
 use crate::space::SearchSpace;
 use crate::trace::OptimizationTrace;
-
-/// Pick the best `(index, energy)` pair: lowest energy, earliest index on ties.
-/// Energies are ordered by [`f64::total_cmp`]; objectives are expected to return real
-/// (non-NaN) energies — under `total_cmp` a positive NaN sorts after every real
-/// energy (it loses), while a sign-bit-set NaN sorts before them (it would win).
-fn better(best: (usize, f64), candidate: (usize, f64)) -> (usize, f64) {
-    match candidate.1.total_cmp(&best.1) {
-        std::cmp::Ordering::Less => candidate,
-        std::cmp::Ordering::Equal if candidate.0 < best.0 => candidate,
-        _ => best,
-    }
-}
 
 /// Exhaustive search over an enumerable space, one evaluation at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -148,6 +136,26 @@ impl ParallelEnumeration {
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
+        self.run_indexed(space, objective).outcome
+    }
+
+    /// Run the exhaustive batched search and also report the enumeration-order index of
+    /// the best configuration.
+    ///
+    /// The index is what distributed drivers (one [`crate::ShardView`] per node) need:
+    /// translating shard-local indices to global ones and merging with
+    /// [`crate::better_indexed`] reproduces the single-node result exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space does not support enumeration ([`SearchSpace::enumerate`]
+    /// returns `None`) or enumerates to zero configurations.
+    pub fn run_indexed<S, O>(&self, space: &S, objective: &O) -> IndexedOutcome<S::Config>
+    where
+        S: SearchSpace,
+        S::Config: Send + Sync,
+        O: Objective<S::Config> + Sync + ?Sized,
+    {
         let configs = space
             .enumerate()
             .expect("enumeration requires an enumerable search space");
@@ -179,11 +187,14 @@ impl ParallelEnumeration {
             .expect("non-empty space");
 
         let mut configs = configs;
-        Outcome {
-            best_config: configs.swap_remove(best.0),
-            best_energy: best.1,
-            evaluations: counting.evaluations(),
-            trace: OptimizationTrace::new(),
+        IndexedOutcome {
+            best_index: best.0,
+            outcome: Outcome {
+                best_config: configs.swap_remove(best.0),
+                best_energy: best.1,
+                evaluations: counting.evaluations(),
+                trace: OptimizationTrace::new(),
+            },
         }
     }
 }
@@ -241,6 +252,19 @@ mod tests {
             assert_eq!(batched.best_energy, sequential.best_energy);
             assert_eq!(batched.evaluations, 37 * 29);
         }
+    }
+
+    #[test]
+    fn run_indexed_reports_the_enumeration_position_of_the_best() {
+        let space = GridSpace {
+            width: 20,
+            height: 10,
+        };
+        let indexed = ParallelEnumeration::with_batch_size(17).run_indexed(&space, &bowl);
+        let configs = space.enumerate().unwrap();
+        assert_eq!(configs[indexed.best_index], indexed.outcome.best_config);
+        assert_eq!(indexed.outcome.best_config, (13, 5));
+        assert_eq!(indexed.outcome.evaluations, 200);
     }
 
     #[test]

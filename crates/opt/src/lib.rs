@@ -61,6 +61,7 @@ pub mod outcome;
 pub mod random_search;
 pub mod sa;
 pub mod schedule;
+pub mod shard;
 pub mod space;
 pub mod tabu;
 pub mod trace;
@@ -69,10 +70,11 @@ pub use enumeration::{Enumeration, ParallelEnumeration};
 pub use genetic::{GeneticAlgorithm, GeneticParams};
 pub use hill_climbing::HillClimbing;
 pub use objective::{CacheStats, CachedObjective, CountingObjective, Objective};
-pub use outcome::Outcome;
+pub use outcome::{better_indexed, IndexedOutcome, Outcome};
 pub use random_search::RandomSearch;
 pub use sa::SimulatedAnnealing;
 pub use schedule::CoolingSchedule;
+pub use shard::{ShardPlan, ShardView};
 pub use space::SearchSpace;
 pub use tabu::TabuSearch;
 pub use trace::{IterationRecord, OptimizationTrace};

@@ -114,13 +114,44 @@ impl CacheStats {
         self.hits + self.misses
     }
 
-    /// Fraction of requests answered from the cache (0 when nothing was requested).
+    /// Fraction of requests answered from the cache.
+    ///
+    /// Guaranteed to be a real number: with zero requests the rate is defined as 0.0
+    /// (never `NaN`), so reports can divide/format it unconditionally.
     pub fn hit_rate(&self) -> f64 {
         if self.requests() == 0 {
             0.0
         } else {
             self.hits as f64 / self.requests() as f64
         }
+    }
+
+    /// Combine two counter sets (e.g. the per-shard stats of a distributed campaign).
+    pub fn merged(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+}
+
+impl std::ops::Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, other: CacheStats) -> CacheStats {
+        self.merged(other)
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        *self = self.merged(other);
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        iter.fold(CacheStats::default(), CacheStats::merged)
     }
 }
 
@@ -310,6 +341,55 @@ mod tests {
             batch.iter().map(|&x| f64::from(x)).collect::<Vec<_>>()
         );
         assert_eq!(counting.evaluations(), 13);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_not_nan_for_zero_requests() {
+        // Regression test: an empty counter set must report a rate of exactly 0.0 so
+        // downstream percentage formatting never sees NaN.
+        let stats = CacheStats::default();
+        assert_eq!(stats.requests(), 0);
+        assert!(!stats.hit_rate().is_nan());
+        assert_eq!(stats.hit_rate(), 0.0);
+        // and a miss-only counter set reports 0.0 as well, not NaN or negative
+        let misses_only = CacheStats { hits: 0, misses: 7 };
+        assert_eq!(misses_only.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_merge_and_sum() {
+        let a = CacheStats { hits: 3, misses: 4 };
+        let b = CacheStats {
+            hits: 10,
+            misses: 1,
+        };
+        assert_eq!(
+            a.merged(b),
+            CacheStats {
+                hits: 13,
+                misses: 5
+            }
+        );
+        assert_eq!(a + b, b + a);
+        let mut acc = CacheStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(
+            acc,
+            CacheStats {
+                hits: 13,
+                misses: 5
+            }
+        );
+        let total: CacheStats = [a, b, CacheStats::default()].into_iter().sum();
+        assert_eq!(
+            total,
+            CacheStats {
+                hits: 13,
+                misses: 5
+            }
+        );
+        assert!((total.hit_rate() - 13.0 / 18.0).abs() < 1e-12);
     }
 
     #[test]

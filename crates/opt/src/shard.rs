@@ -1,0 +1,248 @@
+//! Deterministic sharding of enumerable search spaces.
+//!
+//! A distributed campaign cuts one enumerable [`SearchSpace`] into contiguous shards,
+//! hands each shard to a different node, and merges the per-shard bests.  Two pieces
+//! make that reproducible regardless of node count or completion order:
+//!
+//! * [`ShardPlan`] — the pure arithmetic of the partition: shard `i` of `n` always
+//!   covers the same contiguous index range of the enumeration order, with sizes
+//!   differing by at most one configuration;
+//! * [`ShardView`] — a [`SearchSpace`] over one shard's slice of the enumerated
+//!   configurations, so the existing enumeration drivers
+//!   ([`crate::ParallelEnumeration`]) run unchanged on a shard.
+//!
+//! Merging per-shard results is the job of [`crate::better_indexed`] over *global*
+//! indices (`shard range start + shard-local index`): since that reduction is a strict
+//! minimum under the `(energy, index)` order, the merged outcome is bit-identical to a
+//! single-node scan for every shard count and every merge order.
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::space::SearchSpace;
+
+/// The deterministic partition of `total` enumeration indices into contiguous shards.
+///
+/// The requested shard count is clamped to `1..=total` (a shard must hold at least one
+/// configuration; enumeration drivers reject empty spaces), and the first
+/// `total % shards` shards receive one extra configuration so sizes are balanced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    total: usize,
+    shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan `requested_shards` shards over `total` configurations.
+    pub fn new(total: usize, requested_shards: usize) -> Self {
+        ShardPlan {
+            total,
+            shards: requested_shards.clamp(1, total.max(1)),
+        }
+    }
+
+    /// Number of configurations being partitioned.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Effective number of shards (after clamping).
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The contiguous index range covered by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        assert!(
+            shard < self.shards,
+            "shard {shard} out of range (plan has {} shards)",
+            self.shards
+        );
+        let base = self.total / self.shards;
+        let extra = self.total % self.shards;
+        let start = shard * base + shard.min(extra);
+        let len = base + usize::from(shard < extra);
+        start..start + len
+    }
+
+    /// All shard ranges, in shard order; they partition `0..total` exactly.
+    pub fn ranges(&self) -> Vec<Range<usize>> {
+        (0..self.shards).map(|shard| self.range(shard)).collect()
+    }
+}
+
+/// One shard of an enumerable search space: a contiguous slice of the parent's
+/// enumeration order, itself usable as a [`SearchSpace`].
+///
+/// Enumeration-related queries ([`SearchSpace::enumerate`],
+/// [`SearchSpace::cardinality`], [`SearchSpace::random`]) are restricted to the shard;
+/// move operators ([`SearchSpace::neighbor`], [`SearchSpace::crossover`]) delegate to
+/// the parent space and may therefore leave the shard — shard views are meant for the
+/// enumeration drivers, not for walking heuristics.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a, S: SearchSpace> {
+    parent: &'a S,
+    configs: &'a [S::Config],
+    offset: usize,
+}
+
+impl<'a, S: SearchSpace> ShardView<'a, S> {
+    /// View `configs` (the parent's enumeration slice starting at global index
+    /// `offset`) as a search space of its own.
+    pub fn new(parent: &'a S, configs: &'a [S::Config], offset: usize) -> Self {
+        ShardView {
+            parent,
+            configs,
+            offset,
+        }
+    }
+
+    /// Global enumeration index of the first configuration of this shard.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+
+    /// Number of configurations in this shard.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Translate a shard-local enumeration index to the parent's global index.
+    pub fn global_index(&self, local: usize) -> usize {
+        self.offset + local
+    }
+}
+
+impl<S: SearchSpace> SearchSpace for ShardView<'_, S> {
+    type Config = S::Config;
+
+    fn random(&self, rng: &mut StdRng) -> S::Config {
+        self.configs[rng.gen_range(0..self.configs.len())].clone()
+    }
+
+    fn neighbor(&self, config: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.parent.neighbor(config, rng)
+    }
+
+    fn cardinality(&self) -> Option<u128> {
+        Some(self.configs.len() as u128)
+    }
+
+    fn enumerate(&self) -> Option<Vec<S::Config>> {
+        Some(self.configs.to_vec())
+    }
+
+    fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.parent.crossover(parent_a, parent_b, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::better_indexed;
+    use crate::space::GridSpace;
+    use crate::ParallelEnumeration;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plan_partitions_every_index_exactly_once() {
+        for total in [1usize, 2, 7, 19, 100, 19_926] {
+            for shards in [1usize, 2, 3, 4, 5, 16, 100, 50_000] {
+                let plan = ShardPlan::new(total, shards);
+                assert!(plan.shard_count() >= 1 && plan.shard_count() <= total);
+                let mut next = 0usize;
+                for range in plan.ranges() {
+                    assert_eq!(range.start, next, "total {total}, shards {shards}");
+                    assert!(!range.is_empty());
+                    next = range.end;
+                }
+                assert_eq!(next, total);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_balances_shard_sizes_within_one() {
+        let plan = ShardPlan::new(19_926, 4);
+        let sizes: Vec<usize> = plan.ranges().iter().map(Range::len).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "sizes {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 19_926);
+    }
+
+    #[test]
+    fn plan_clamps_degenerate_requests() {
+        assert_eq!(ShardPlan::new(5, 0).shard_count(), 1);
+        assert_eq!(ShardPlan::new(5, 9).shard_count(), 5);
+        assert_eq!(ShardPlan::new(0, 3).shard_count(), 1);
+        assert!(ShardPlan::new(0, 3).range(0).is_empty());
+    }
+
+    #[test]
+    fn shard_view_exposes_exactly_its_slice() {
+        let space = GridSpace {
+            width: 6,
+            height: 5,
+        };
+        let configs = space.enumerate().unwrap();
+        let plan = ShardPlan::new(configs.len(), 4);
+        let range = plan.range(2);
+        let view = ShardView::new(&space, &configs[range.clone()], range.start);
+
+        assert_eq!(view.len(), range.len());
+        assert_eq!(view.offset(), range.start);
+        assert_eq!(view.cardinality(), Some(range.len() as u128));
+        assert_eq!(view.enumerate().unwrap(), configs[range.clone()].to_vec());
+        assert_eq!(view.global_index(3), range.start + 3);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let sampled = view.random(&mut rng);
+            assert!(configs[range.clone()].contains(&sampled));
+        }
+    }
+
+    #[test]
+    fn sharded_scan_merged_by_global_index_matches_the_full_scan() {
+        let space = GridSpace {
+            width: 23,
+            height: 17,
+        };
+        let objective = |c: &(u32, u32)| ((c.0 * 7 + c.1 * 13) % 29) as f64;
+        let reference = ParallelEnumeration::new().run_indexed(&space, &objective);
+
+        let configs = space.enumerate().unwrap();
+        for shards in [1usize, 2, 3, 5, 8] {
+            let plan = ShardPlan::new(configs.len(), shards);
+            let merged = plan
+                .ranges()
+                .into_iter()
+                .map(|range| {
+                    let view = ShardView::new(&space, &configs[range.clone()], range.start);
+                    let indexed =
+                        ParallelEnumeration::with_batch_size(7).run_indexed(&view, &objective);
+                    (
+                        view.global_index(indexed.best_index),
+                        indexed.outcome.best_energy,
+                    )
+                })
+                .reduce(better_indexed)
+                .unwrap();
+            assert_eq!(merged.0, reference.best_index, "{shards} shards");
+            assert_eq!(merged.1.to_bits(), reference.outcome.best_energy.to_bits());
+        }
+    }
+}

@@ -10,6 +10,7 @@
 //! * [`dna`] — the DNA sequence analysis application (finite-automata motif matching)
 //! * [`ml`] — regression models (boosted decision trees, linear, Poisson)
 //! * [`opt`] — combinatorial optimization (simulated annealing, enumeration, ...)
+//! * [`dist`] — sharded multi-node campaign coordinator with a persistent result store
 //! * [`autotune`] — the paper's contribution: EM / EML / SAM / SAML autotuning
 //!
 //! ## Quick start
@@ -27,6 +28,7 @@
 pub use dna_analysis as dna;
 pub use hetero_autotune as autotune;
 pub use hetero_platform as platform;
+pub use wd_dist as dist;
 pub use wd_ml as ml;
 pub use wd_opt as opt;
 
