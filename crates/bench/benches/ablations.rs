@@ -248,12 +248,65 @@ fn ablation_noise(c: &mut Criterion) {
     group.finish();
 }
 
+fn ablation_accelerator_count(c: &mut Criterion) {
+    // ROADMAP "Multi-accelerator configurations": how much does a second accelerator
+    // buy, and what does N-way enumeration cost?  Same workload, same method pipeline,
+    // host+Phi vs host+Phi+GPU.
+    use hetero_autotune::DeviceAxis;
+    use hetero_platform::Affinity;
+
+    let workload = Genome::Human.workload();
+    let one = HeterogeneousPlatform::emil().without_noise();
+    let two = HeterogeneousPlatform::emil_with_gpu().without_noise();
+
+    let grid_one = ConfigurationSpace::two_way(
+        vec![12, 24, 48],
+        vec![Affinity::Scatter],
+        vec![60, 120, 240],
+        vec![Affinity::Balanced],
+        (0..=10).map(|p| p * 100).collect(),
+    );
+    let grid_two = ConfigurationSpace::multi_accelerator(
+        vec![12, 24, 48],
+        vec![Affinity::Scatter],
+        vec![
+            DeviceAxis::new(vec![60, 120, 240], vec![Affinity::Balanced]),
+            DeviceAxis::new(vec![112, 224, 448], vec![Affinity::Balanced]),
+        ],
+        100,
+    );
+
+    let objective_one = MeasurementEvaluator::new(one, workload.clone());
+    let objective_two = MeasurementEvaluator::new(two, workload);
+    let em_one = Enumeration::parallel().run(&grid_one, &objective_one);
+    let em_two = Enumeration::parallel().run(&grid_two, &objective_two);
+    println!(
+        "accelerators 1: EM optimum {:.3} s over {} configs | accelerators 2: {:.3} s over {} configs ({:+.1} % faster)",
+        em_one.best_energy,
+        grid_one.total_configurations(),
+        em_two.best_energy,
+        grid_two.total_configurations(),
+        100.0 * (em_one.best_energy - em_two.best_energy) / em_one.best_energy,
+    );
+
+    let mut group = c.benchmark_group("ablation_accelerator_count");
+    group.sample_size(10);
+    group.bench_function("em_host_phi", |b| {
+        b.iter(|| Enumeration::parallel().run(&grid_one, &objective_one))
+    });
+    group.bench_function("em_host_phi_gpu", |b| {
+        b.iter(|| Enumeration::parallel().run(&grid_two, &objective_two))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     ablation_cooling_schedules,
     ablation_heuristics,
     ablation_regressors,
     ablation_workload_kinds,
-    ablation_noise
+    ablation_noise,
+    ablation_accelerator_count
 );
 criterion_main!(benches);

@@ -22,8 +22,8 @@ fn print_accuracy_once() {
     );
     println!(
         "device model: mean absolute error {:.3} s, mean percent error {:.2} % ({} experiments)",
-        models.device_accuracy.mean_absolute_error(),
-        models.device_accuracy.mean_percent_error(),
+        models.device_accuracy().mean_absolute_error(),
+        models.device_accuracy().mean_percent_error(),
         models.device_experiments,
     );
 }

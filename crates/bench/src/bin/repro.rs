@@ -188,7 +188,7 @@ fn table1() {
         vec![
             "Threads".to_string(),
             format!("{:?}", space.host_threads),
-            format!("{:?}", space.device_threads),
+            format!("{:?}", space.device_axes[0].threads),
         ],
         vec![
             "Affinity".to_string(),
@@ -202,8 +202,8 @@ fn table1() {
             ),
             format!(
                 "{:?}",
-                space
-                    .device_affinities
+                space.device_axes[0]
+                    .affinities
                     .iter()
                     .map(Affinity::name)
                     .collect::<Vec<_>>()
@@ -338,7 +338,7 @@ fn fig5or6(study: &PaperStudy, host: bool) {
     } else {
         (
             "Fig. 6: device, thread affinity balanced — measured vs. predicted [s]",
-            &study.models.device_accuracy,
+            study.models.device_accuracy(),
             vec![30u32, 60, 120, 240],
             Affinity::Balanced,
         )
@@ -396,7 +396,7 @@ fn fig7or8(study: &PaperStudy, host: bool) {
     } else {
         (
             "Fig. 8: error histogram for execution-time predictions on the device",
-            &study.models.device_accuracy,
+            study.models.device_accuracy(),
             ErrorHistogram::paper_device_bins(),
         )
     };
@@ -427,7 +427,7 @@ fn table4or5(study: &PaperStudy, host: bool) {
     } else {
         (
             "Table V: prediction accuracy for the device",
-            &study.models.device_accuracy,
+            study.models.device_accuracy(),
         )
     };
     let by_threads = report.by_threads();

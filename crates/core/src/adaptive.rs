@@ -12,7 +12,7 @@ use crate::config::SystemConfiguration;
 use crate::evaluator::MeasurementEvaluator;
 
 /// One refinement step.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RefinementStep {
     /// The configuration that was executed.
     pub config: SystemConfiguration,
@@ -93,7 +93,7 @@ impl AdaptiveRefinement {
         times: impl Fn(&SystemConfiguration) -> (f64, f64),
         start: SystemConfiguration,
     ) -> RefinementOutcome {
-        let mut config = start;
+        let mut config = start.clone();
         let mut steps = Vec::with_capacity(self.max_steps);
         let mut best_config = start;
         let mut best_time = f64::INFINITY;
@@ -102,14 +102,14 @@ impl AdaptiveRefinement {
             let (t_host, t_device) = times(&config);
             let t_total = t_host.max(t_device);
             steps.push(RefinementStep {
-                config,
+                config: config.clone(),
                 t_host,
                 t_device,
                 t_total,
             });
             if t_total < best_time {
                 best_time = t_total;
-                best_config = config;
+                best_config = config.clone();
             }
 
             // One-sided configurations cannot be rebalanced by moving the fraction;
@@ -132,10 +132,12 @@ impl AdaptiveRefinement {
                 host_fraction + (1.0 - host_fraction) * adjustment
             };
             let new_permille = (new_fraction * 1000.0).round().clamp(0.0, 1000.0) as u32;
-            if new_permille == config.host_permille {
+            if new_permille == config.host_permille() {
                 break; // converged to the granularity of the fraction parameter
             }
-            config.host_permille = new_permille;
+            // rebalances the accelerator shares proportionally, so the controller
+            // works unchanged on multi-accelerator configurations
+            config = config.with_host_permille(new_permille);
         }
 
         RefinementOutcome {
@@ -225,7 +227,7 @@ mod tests {
         let evaluator = evaluator(Genome::Dog);
         let outcome = AdaptiveRefinement::default().refine(&evaluator, start_config(100));
         assert_eq!(outcome.executions(), 1);
-        assert_eq!(outcome.best_config.host_permille, 1000);
+        assert_eq!(outcome.best_config.host_permille(), 1000);
         assert_eq!(outcome.final_imbalance(), 0.0);
     }
 

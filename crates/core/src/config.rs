@@ -1,4 +1,13 @@
-//! System configurations and the discrete configuration space (the paper's Table I).
+//! System configurations and the discrete configuration space (the paper's Table I),
+//! generalised from host + 1 accelerator to host + N accelerators.
+//!
+//! The paper's architecture allows one to eight accelerators per node; its evaluation
+//! fixes N = 1.  A [`SystemConfiguration`] therefore carries one [`DeviceSetting`]
+//! (threads, affinity, workload share) *per accelerator*, and a [`ConfigurationSpace`]
+//! carries one [`DeviceAxis`] per accelerator plus an explicit list of candidate
+//! workload splits.  Shares are stored in permille on a discrete simplex
+//! (`host + Σ devices = 1000`), so configurations stay `Eq + Hash` and the space stays
+//! exactly enumerable — the properties every method in [`wd_opt`] relies on.
 
 use std::fmt;
 
@@ -7,28 +16,95 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use wd_opt::SearchSpace;
 
-/// One *system configuration*: the tuning knobs the paper optimizes.
-///
-/// The workload fraction is stored in permille (0..=1000) so that both the paper's
-/// 1 %-granularity search space and its 2.5 %-granularity enumeration grid can be
-/// represented exactly with integer (hashable) configurations.
+/// Tuning knobs of one accelerator: thread count, affinity and its workload share in
+/// permille.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceSetting {
+    /// Number of threads on this accelerator.
+    pub threads: u32,
+    /// Thread affinity on this accelerator.
+    pub affinity: Affinity,
+    /// Share of the workload processed by this accelerator, in permille (0..=1000).
+    pub permille: u32,
+}
+
+impl DeviceSetting {
+    /// Convenience constructor.
+    pub fn new(threads: u32, affinity: Affinity, permille: u32) -> Self {
+        DeviceSetting {
+            threads,
+            affinity,
+            permille,
+        }
+    }
+
+    /// This device's share as a fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        f64::from(self.permille) / 1000.0
+    }
+}
+
+/// One *system configuration*: the tuning knobs the paper optimizes, for a node with
+/// one host and any number of accelerators.
+///
+/// Workload shares are stored in permille (0..=1000) so that both the paper's
+/// 1 %-granularity search space and its 2.5 %-granularity enumeration grid can be
+/// represented exactly with integer (hashable) configurations.  The share fields are
+/// private and maintained under the invariant
+/// `host_permille + Σ device permilles == 1000`; constructing a configuration with
+/// out-of-range or non-summing shares is an error, so two distinct in-memory values
+/// can never describe the same semantic split (which used to create duplicate records
+/// in persistent stores).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SystemConfiguration {
     /// Number of threads on the host CPUs.
     pub host_threads: u32,
     /// Thread affinity on the host (`none` / `scatter` / `compact`).
     pub host_affinity: Affinity,
-    /// Number of threads on the accelerator.
-    pub device_threads: u32,
-    /// Thread affinity on the accelerator (`balanced` / `scatter` / `compact`).
-    pub device_affinity: Affinity,
-    /// Share of the workload processed by the host, in permille (0..=1000).
-    /// The accelerator receives the remaining `1000 - host_permille`.
-    pub host_permille: u32,
+    host_permille: u32,
+    devices: Vec<DeviceSetting>,
 }
 
 impl SystemConfiguration {
-    /// Create a configuration from a host percentage (0..=100).
+    /// Build a configuration from explicit shares.
+    ///
+    /// Fails unless every share lies in `0..=1000` and
+    /// `host_permille + Σ devices[i].permille == 1000`, and at least one accelerator
+    /// is described.
+    pub fn new(
+        host_threads: u32,
+        host_affinity: Affinity,
+        host_permille: u32,
+        devices: Vec<DeviceSetting>,
+    ) -> Result<Self, String> {
+        if devices.is_empty() {
+            return Err("a system configuration needs at least one accelerator".to_string());
+        }
+        if host_permille > 1000 || devices.iter().any(|d| d.permille > 1000) {
+            return Err(format!(
+                "shares must lie in 0..=1000 permille, got host {host_permille}, devices {:?}",
+                devices.iter().map(|d| d.permille).collect::<Vec<_>>()
+            ));
+        }
+        let sum: u32 = host_permille + devices.iter().map(|d| d.permille).sum::<u32>();
+        if sum != 1000 {
+            return Err(format!(
+                "shares must sum to 1000 permille, got {sum} (host {host_permille}, devices {:?})",
+                devices.iter().map(|d| d.permille).collect::<Vec<_>>()
+            ));
+        }
+        Ok(SystemConfiguration {
+            host_threads,
+            host_affinity,
+            host_permille,
+            devices,
+        })
+    }
+
+    /// Create a single-accelerator configuration from a host percentage.
+    ///
+    /// Percentages above 100 are normalized to 100 (everything on the host), so every
+    /// constructible configuration satisfies the share invariant.
     pub fn with_host_percent(
         host_threads: u32,
         host_affinity: Affinity,
@@ -36,18 +112,76 @@ impl SystemConfiguration {
         device_affinity: Affinity,
         host_percent: u32,
     ) -> Self {
+        let host_permille = host_percent.min(100) * 10;
         SystemConfiguration {
             host_threads,
             host_affinity,
-            device_threads,
-            device_affinity,
-            host_permille: host_percent.min(100) * 10,
+            host_permille,
+            devices: vec![DeviceSetting::new(
+                device_threads,
+                device_affinity,
+                1000 - host_permille,
+            )],
         }
+    }
+
+    /// Internal constructor for values expected to satisfy the invariant (space
+    /// enumeration, key decoding after validation).  The invariant is still checked —
+    /// `ConfigurationSpace`'s `splits` field is public, so a hand-built space could
+    /// otherwise mint invalid configurations in release builds and resurrect the
+    /// duplicate-store-key bug the invariant exists to prevent.
+    pub(crate) fn from_validated(
+        host_threads: u32,
+        host_affinity: Affinity,
+        host_permille: u32,
+        devices: Vec<DeviceSetting>,
+    ) -> Self {
+        assert_eq!(
+            host_permille + devices.iter().map(|d| d.permille).sum::<u32>(),
+            1000,
+            "shares must sum to 1000 permille (is a hand-built ConfigurationSpace::splits entry invalid?)"
+        );
+        SystemConfiguration {
+            host_threads,
+            host_affinity,
+            host_permille,
+            devices,
+        }
+    }
+
+    /// Host share in permille (0..=1000).
+    pub fn host_permille(&self) -> u32 {
+        self.host_permille
+    }
+
+    /// Per-accelerator settings.
+    pub fn devices(&self) -> &[DeviceSetting] {
+        &self.devices
+    }
+
+    /// Settings of accelerator `index`.
+    pub fn device(&self, index: usize) -> DeviceSetting {
+        self.devices[index]
+    }
+
+    /// Number of accelerators this configuration describes.
+    pub fn accelerator_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Thread count of the first accelerator (the paper's single-device view).
+    pub fn device_threads(&self) -> u32 {
+        self.devices[0].threads
+    }
+
+    /// Affinity of the first accelerator (the paper's single-device view).
+    pub fn device_affinity(&self) -> Affinity {
+        self.devices[0].affinity
     }
 
     /// Host share as a fraction in `[0, 1]`.
     pub fn host_fraction(&self) -> f64 {
-        f64::from(self.host_permille.min(1000)) / 1000.0
+        f64::from(self.host_permille) / 1000.0
     }
 
     /// Host share as a percentage in `[0, 100]`.
@@ -55,7 +189,7 @@ impl SystemConfiguration {
         self.host_fraction() * 100.0
     }
 
-    /// Device share as a fraction in `[0, 1]`.
+    /// Combined accelerator share as a fraction in `[0, 1]`.
     pub fn device_fraction(&self) -> f64 {
         1.0 - self.host_fraction()
     }
@@ -65,14 +199,18 @@ impl SystemConfiguration {
         self.host_permille > 0
     }
 
-    /// Does the accelerator receive any work?
+    /// Does any accelerator receive work?
     pub fn uses_device(&self) -> bool {
         self.host_permille < 1000
     }
 
-    /// The two-way workload partition this configuration describes.
+    /// The N-way workload partition this configuration describes.  The share invariant
+    /// guarantees the partition passes [`Partition::new`]'s validation.
     pub fn partition(&self) -> Partition {
-        Partition::two_way(self.host_fraction())
+        let mut fractions = Vec::with_capacity(self.devices.len() + 1);
+        fractions.push(self.host_fraction());
+        fractions.extend(self.devices.iter().map(DeviceSetting::fraction));
+        Partition::new(fractions).expect("the share invariant implies a valid partition")
     }
 
     /// Host execution configuration (threads + affinity).
@@ -80,79 +218,316 @@ impl SystemConfiguration {
         ExecutionConfig::new(self.host_threads, self.host_affinity)
     }
 
-    /// Device execution configuration (threads + affinity).
+    /// Execution configuration of the first accelerator.
     pub fn device_execution(&self) -> ExecutionConfig {
-        ExecutionConfig::new(self.device_threads, self.device_affinity)
+        ExecutionConfig::new(self.devices[0].threads, self.devices[0].affinity)
+    }
+
+    /// Execution configurations of all accelerators, in device order.
+    pub fn device_executions(&self) -> Vec<ExecutionConfig> {
+        self.devices
+            .iter()
+            .map(|d| ExecutionConfig::new(d.threads, d.affinity))
+            .collect()
+    }
+
+    /// A copy with the host share replaced by `host_permille` (clamped to 0..=1000)
+    /// and the accelerator shares rescaled proportionally to fill the remainder —
+    /// the move the adaptive refinement controller makes.  Rounding residue goes to
+    /// the largest accelerator share so the invariant holds exactly.
+    pub fn with_host_permille(&self, host_permille: u32) -> Self {
+        let host_permille = host_permille.min(1000);
+        let remainder = 1000 - host_permille;
+        let old_total: u32 = self.devices.iter().map(|d| d.permille).sum();
+        let mut devices = self.devices.clone();
+        if old_total == 0 {
+            // all devices were idle: give the remainder to the first one
+            for d in devices.iter_mut() {
+                d.permille = 0;
+            }
+            devices[0].permille = remainder;
+        } else {
+            let mut assigned = 0u32;
+            for d in devices.iter_mut() {
+                d.permille =
+                    (u64::from(d.permille) * u64::from(remainder) / u64::from(old_total)) as u32;
+                assigned += d.permille;
+            }
+            // deterministic largest-remainder fix-up: the residue joins the largest share
+            let residue = remainder - assigned;
+            let largest = devices
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, d)| (d.permille, usize::MAX - i))
+                .map(|(i, _)| i)
+                .expect("at least one device");
+            devices[largest].permille += residue;
+        }
+        SystemConfiguration {
+            host_threads: self.host_threads,
+            host_affinity: self.host_affinity,
+            host_permille,
+            devices,
+        }
     }
 
     /// The CPU-only baseline configuration used by the paper's Table VIII
     /// (48 host threads, everything on the host).
     pub fn host_only_baseline() -> Self {
+        Self::host_only_baseline_for(1)
+    }
+
+    /// The CPU-only baseline for a platform with `accelerators` accelerators.
+    pub fn host_only_baseline_for(accelerators: usize) -> Self {
+        assert!(accelerators >= 1, "at least one accelerator is required");
         SystemConfiguration {
             host_threads: 48,
             host_affinity: Affinity::Scatter,
-            device_threads: 2,
-            device_affinity: Affinity::Balanced,
             host_permille: 1000,
+            devices: vec![DeviceSetting::new(2, Affinity::Balanced, 0); accelerators],
         }
     }
 
     /// The accelerator-only baseline of the paper's Table IX (all 240 usable device
-    /// threads, everything on the device).
+    /// threads, everything on the first accelerator).
     pub fn device_only_baseline() -> Self {
+        Self::device_only_baseline_for(1)
+    }
+
+    /// The accelerator-only baseline for a platform with `accelerators` accelerators
+    /// (everything on the first one).
+    pub fn device_only_baseline_for(accelerators: usize) -> Self {
+        assert!(accelerators >= 1, "at least one accelerator is required");
+        let mut devices = vec![DeviceSetting::new(2, Affinity::Balanced, 0); accelerators];
+        devices[0] = DeviceSetting::new(240, Affinity::Balanced, 1000);
         SystemConfiguration {
             host_threads: 2,
             host_affinity: Affinity::Scatter,
-            device_threads: 240,
-            device_affinity: Affinity::Balanced,
             host_permille: 0,
+            devices,
         }
+    }
+
+    /// The share vector `[host, device1, ..., deviceN]` in permille.
+    pub fn split(&self) -> Vec<u32> {
+        let mut split = Vec::with_capacity(self.devices.len() + 1);
+        split.push(self.host_permille);
+        split.extend(self.devices.iter().map(|d| d.permille));
+        split
     }
 }
 
 impl fmt::Display for SystemConfiguration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "host {{threads: {}, affinity: {}}}, device {{threads: {}, affinity: {}}}, split {:.1}/{:.1}",
-            self.host_threads,
-            self.host_affinity,
-            self.device_threads,
-            self.device_affinity,
-            self.host_percent(),
-            100.0 - self.host_percent(),
-        )
+        if self.devices.len() == 1 {
+            let device = self.devices[0];
+            write!(
+                f,
+                "host {{threads: {}, affinity: {}}}, device {{threads: {}, affinity: {}}}, split {:.1}/{:.1}",
+                self.host_threads,
+                self.host_affinity,
+                device.threads,
+                device.affinity,
+                self.host_percent(),
+                100.0 - self.host_percent(),
+            )
+        } else {
+            write!(
+                f,
+                "host {{threads: {}, affinity: {}}}",
+                self.host_threads, self.host_affinity
+            )?;
+            for (i, device) in self.devices.iter().enumerate() {
+                write!(
+                    f,
+                    ", device{} {{threads: {}, affinity: {}}}",
+                    i + 1,
+                    device.threads,
+                    device.affinity
+                )?;
+            }
+            write!(f, ", split {:.1}", self.host_percent())?;
+            for device in &self.devices {
+                write!(f, "/{:.1}", device.fraction() * 100.0)?;
+            }
+            Ok(())
+        }
     }
 }
 
-/// The discrete space of system configurations (the paper's Table I), which also serves
-/// as the [`SearchSpace`] explored by simulated annealing.
+/// Candidate thread counts and affinities of one accelerator — one axis of the
+/// configuration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceAxis {
+    /// Candidate thread counts on this accelerator.
+    pub threads: Vec<u32>,
+    /// Candidate affinities on this accelerator.
+    pub affinities: Vec<Affinity>,
+}
+
+impl DeviceAxis {
+    /// Convenience constructor.
+    pub fn new(threads: Vec<u32>, affinities: Vec<Affinity>) -> Self {
+        DeviceAxis {
+            threads,
+            affinities,
+        }
+    }
+
+    /// The paper's Xeon Phi axis: thread counts {2, 4, 8, 16, 30, 60, 120, 180, 240}
+    /// and the three device affinities.
+    pub fn paper_phi() -> Self {
+        DeviceAxis::new(
+            vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            Affinity::DEVICE.to_vec(),
+        )
+    }
+
+    /// An axis for an arbitrary accelerator: the paper's thread-count ladder clipped
+    /// to the device's capacity, with the capacity itself appended (so "all threads"
+    /// is always a candidate), and the three device affinities.
+    pub fn for_max_threads(max_threads: u32) -> Self {
+        Self::with_ladder(
+            &[2, 4, 8, 16, 30, 60, 120, 180, 240, 360, 448],
+            max_threads,
+            Affinity::DEVICE.to_vec(),
+        )
+    }
+
+    /// An axis from an arbitrary thread-count ladder: values below `max_threads` are
+    /// kept and the capacity itself is appended as the top candidate.
+    pub fn with_ladder(ladder: &[u32], max_threads: u32, affinities: Vec<Affinity>) -> Self {
+        let mut threads: Vec<u32> = ladder
+            .iter()
+            .copied()
+            .filter(|&t| t < max_threads)
+            .collect();
+        threads.push(max_threads);
+        DeviceAxis::new(threads, affinities)
+    }
+
+    fn len(&self) -> usize {
+        self.threads.len() * self.affinities.len()
+    }
+}
+
+/// The discrete space of system configurations (the paper's Table I, generalised to
+/// host + N accelerators), which also serves as the [`SearchSpace`] explored by
+/// simulated annealing and the other heuristics.
+///
+/// Workload splits are an explicit list of permille share vectors
+/// (`[host, device1, ..., deviceN]`, each summing to 1000) — for one accelerator this
+/// is the paper's scalar "workload fraction" parameter, for N accelerators it is a
+/// discrete simplex (see [`ConfigurationSpace::simplex_splits`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigurationSpace {
     /// Candidate host thread counts.
     pub host_threads: Vec<u32>,
     /// Candidate host affinities.
     pub host_affinities: Vec<Affinity>,
-    /// Candidate device thread counts.
-    pub device_threads: Vec<u32>,
-    /// Candidate device affinities.
-    pub device_affinities: Vec<Affinity>,
-    /// Candidate host shares in permille (0..=1000).
-    pub host_permilles: Vec<u32>,
+    /// One axis per accelerator.
+    pub device_axes: Vec<DeviceAxis>,
+    /// Candidate workload splits (`[host, device1, ..., deviceN]` permille vectors,
+    /// each summing to 1000, each of length `device_axes.len() + 1`).
+    pub splits: Vec<Vec<u32>>,
 }
 
 impl ConfigurationSpace {
+    /// A single-accelerator space from the paper's parameterization: explicit host
+    /// permille candidates, one device axis.
+    pub fn two_way(
+        host_threads: Vec<u32>,
+        host_affinities: Vec<Affinity>,
+        device_threads: Vec<u32>,
+        device_affinities: Vec<Affinity>,
+        host_permilles: Vec<u32>,
+    ) -> Self {
+        ConfigurationSpace {
+            host_threads,
+            host_affinities,
+            device_axes: vec![DeviceAxis::new(device_threads, device_affinities)],
+            splits: host_permilles
+                .into_iter()
+                .map(|p| {
+                    assert!(p <= 1000, "host permille {p} out of range");
+                    vec![p, 1000 - p]
+                })
+                .collect(),
+        }
+    }
+
+    /// A multi-accelerator space: the paper's host axis, one [`DeviceAxis`] per
+    /// accelerator and all workload splits on the `step_permille` simplex.
+    pub fn multi_accelerator(
+        host_threads: Vec<u32>,
+        host_affinities: Vec<Affinity>,
+        device_axes: Vec<DeviceAxis>,
+        step_permille: u32,
+    ) -> Self {
+        let splits = Self::simplex_splits(device_axes.len(), step_permille);
+        ConfigurationSpace {
+            host_threads,
+            host_affinities,
+            device_axes,
+            splits,
+        }
+    }
+
+    /// All share vectors `[host, device1, ..., deviceN]` whose entries are multiples
+    /// of `step_permille` and sum to 1000 — the discrete simplex the N-way splits
+    /// live on.  `step_permille` must divide 1000.  Vectors are ordered
+    /// lexicographically (host share ascending, then device shares), so for one
+    /// accelerator the order matches the paper's ascending workload-fraction list.
+    pub fn simplex_splits(accelerators: usize, step_permille: u32) -> Vec<Vec<u32>> {
+        assert!(accelerators >= 1, "at least one accelerator is required");
+        assert!(
+            step_permille >= 1 && 1000 % step_permille == 0,
+            "step must divide 1000 permille, got {step_permille}"
+        );
+        let mut splits = Vec::new();
+        let mut current = Vec::with_capacity(accelerators + 1);
+        fn recurse(
+            positions_left: usize,
+            remaining: u32,
+            step: u32,
+            current: &mut Vec<u32>,
+            out: &mut Vec<Vec<u32>>,
+        ) {
+            if positions_left == 1 {
+                current.push(remaining);
+                out.push(current.clone());
+                current.pop();
+                return;
+            }
+            let mut share = 0;
+            while share <= remaining {
+                current.push(share);
+                recurse(positions_left - 1, remaining - share, step, current, out);
+                current.pop();
+                share += step;
+            }
+        }
+        recurse(
+            accelerators + 1,
+            1000,
+            step_permille,
+            &mut current,
+            &mut splits,
+        );
+        splits
+    }
+
     /// The search space of the paper's Table I: host threads {2, 4, 6, 12, 24, 36, 48},
     /// device threads {2, 4, 8, 16, 30, 60, 120, 180, 240}, three affinities per side
     /// and a workload fraction with 1 % granularity (0..=100).
     pub fn paper() -> Self {
-        ConfigurationSpace {
-            host_threads: vec![2, 4, 6, 12, 24, 36, 48],
-            host_affinities: Affinity::HOST.to_vec(),
-            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
-            device_affinities: Affinity::DEVICE.to_vec(),
-            host_permilles: (0..=100).map(|p| p * 10).collect(),
-        }
+        Self::two_way(
+            vec![2, 4, 6, 12, 24, 36, 48],
+            Affinity::HOST.to_vec(),
+            vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            Affinity::DEVICE.to_vec(),
+            (0..=100).map(|p| p * 10).collect(),
+        )
     }
 
     /// The enumeration grid used by the paper's EM/EML reference methods
@@ -160,24 +535,45 @@ impl ConfigurationSpace {
     /// affinities, and the workload fraction in 2.5 % steps, for a total of
     /// 6 × 3 × 9 × 3 × 41 = 19 926 configurations.
     pub fn enumeration_grid() -> Self {
-        ConfigurationSpace {
-            host_threads: vec![2, 6, 12, 24, 36, 48],
-            host_affinities: Affinity::HOST.to_vec(),
-            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
-            device_affinities: Affinity::DEVICE.to_vec(),
-            host_permilles: (0..=40).map(|s| s * 25).collect(),
-        }
+        Self::two_way(
+            vec![2, 6, 12, 24, 36, 48],
+            Affinity::HOST.to_vec(),
+            vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
+            Affinity::DEVICE.to_vec(),
+            (0..=40).map(|s| s * 25).collect(),
+        )
     }
 
     /// A deliberately small space for unit tests and quick examples.
     pub fn tiny() -> Self {
-        ConfigurationSpace {
-            host_threads: vec![4, 24, 48],
-            host_affinities: vec![Affinity::Scatter, Affinity::Compact],
-            device_threads: vec![30, 120, 240],
-            device_affinities: vec![Affinity::Balanced, Affinity::Compact],
-            host_permilles: (0..=10).map(|p| p * 100).collect(),
-        }
+        Self::two_way(
+            vec![4, 24, 48],
+            vec![Affinity::Scatter, Affinity::Compact],
+            vec![30, 120, 240],
+            vec![Affinity::Balanced, Affinity::Compact],
+            (0..=10).map(|p| p * 100).collect(),
+        )
+    }
+
+    /// A small two-accelerator space over the Emil-with-GPU platform
+    /// ([`hetero_platform::HeterogeneousPlatform::emil_with_gpu`]): host + Xeon Phi +
+    /// GPU with 10 % split granularity.  Used by the multi-accelerator example and
+    /// tests.
+    pub fn tiny_multi() -> Self {
+        ConfigurationSpace::multi_accelerator(
+            vec![12, 48],
+            vec![Affinity::Scatter],
+            vec![
+                DeviceAxis::new(vec![60, 240], vec![Affinity::Balanced]),
+                DeviceAxis::new(vec![112, 448], vec![Affinity::Balanced]),
+            ],
+            100,
+        )
+    }
+
+    /// Number of accelerators this space describes.
+    pub fn accelerator_count(&self) -> usize {
+        self.device_axes.len()
     }
 
     /// Number of configurations in the space (the paper's Eq. 1: the product of the
@@ -185,9 +581,12 @@ impl ConfigurationSpace {
     pub fn total_configurations(&self) -> u128 {
         self.host_threads.len() as u128
             * self.host_affinities.len() as u128
-            * self.device_threads.len() as u128
-            * self.device_affinities.len() as u128
-            * self.host_permilles.len() as u128
+            * self
+                .device_axes
+                .iter()
+                .map(|axis| axis.len() as u128)
+                .product::<u128>()
+            * self.splits.len() as u128
     }
 
     fn sample_index<T>(values: &[T], rng: &mut StdRng) -> usize {
@@ -212,55 +611,136 @@ impl ConfigurationSpace {
     fn index_of<T: PartialEq>(values: &[T], value: &T) -> usize {
         values.iter().position(|v| v == value).unwrap_or(0)
     }
+
+    /// A local move on the split list: pick uniformly among the `2 * max_step` splits
+    /// *nearest by L1 distance* to the current one (ties broken by list order), with
+    /// the usual occasional uniform jump.
+    ///
+    /// Nudging the *index* instead would be wrong for N ≥ 2 accelerators: the simplex
+    /// list is ordered lexicographically, so index-adjacent entries straddling a
+    /// host-share boundary are semantically distant (`[0, 1000, 0]` is next to
+    /// `[100, 0, 900]`) and a "small" nudge would teleport an entire device share.
+    /// For one accelerator the L1-nearest window reproduces the old ±`max_step`
+    /// index walk exactly.
+    fn nudge_split(&self, current: usize, max_step: usize, rng: &mut StdRng) -> usize {
+        if self.splits.len() <= 1 {
+            return 0;
+        }
+        if rng.gen_bool(0.1) {
+            return rng.gen_range(0..self.splits.len());
+        }
+        let here = &self.splits[current];
+        let mut by_distance: Vec<(u64, usize)> = self
+            .splits
+            .iter()
+            .enumerate()
+            .filter(|&(index, _)| index != current)
+            .map(|(index, split)| {
+                let distance: u64 = split
+                    .iter()
+                    .zip(here)
+                    .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+                    .sum();
+                (distance, index)
+            })
+            .collect();
+        let window = (2 * max_step.max(1)).min(by_distance.len());
+        by_distance.select_nth_unstable(window - 1);
+        by_distance.truncate(window);
+        by_distance.sort_unstable();
+        by_distance[rng.gen_range(0..window)].1
+    }
+
+    /// Build a configuration from axis values and a split vector.
+    fn build(
+        &self,
+        host_threads: u32,
+        host_affinity: Affinity,
+        device_values: &[(u32, Affinity)],
+        split: &[u32],
+    ) -> SystemConfiguration {
+        debug_assert_eq!(device_values.len(), self.device_axes.len());
+        debug_assert_eq!(split.len(), self.device_axes.len() + 1);
+        let devices = device_values
+            .iter()
+            .zip(&split[1..])
+            .map(|(&(threads, affinity), &permille)| {
+                DeviceSetting::new(threads, affinity, permille)
+            })
+            .collect();
+        SystemConfiguration::from_validated(host_threads, host_affinity, split[0], devices)
+    }
 }
 
 impl SearchSpace for ConfigurationSpace {
     type Config = SystemConfiguration;
 
     fn random(&self, rng: &mut StdRng) -> SystemConfiguration {
-        SystemConfiguration {
-            host_threads: self.host_threads[Self::sample_index(&self.host_threads, rng)],
-            host_affinity: self.host_affinities[Self::sample_index(&self.host_affinities, rng)],
-            device_threads: self.device_threads[Self::sample_index(&self.device_threads, rng)],
-            device_affinity: self.device_affinities
-                [Self::sample_index(&self.device_affinities, rng)],
-            host_permille: self.host_permilles[Self::sample_index(&self.host_permilles, rng)],
-        }
+        let host_threads = self.host_threads[Self::sample_index(&self.host_threads, rng)];
+        let host_affinity = self.host_affinities[Self::sample_index(&self.host_affinities, rng)];
+        let device_values: Vec<(u32, Affinity)> = self
+            .device_axes
+            .iter()
+            .map(|axis| {
+                (
+                    axis.threads[Self::sample_index(&axis.threads, rng)],
+                    axis.affinities[Self::sample_index(&axis.affinities, rng)],
+                )
+            })
+            .collect();
+        let split = &self.splits[Self::sample_index(&self.splits, rng)];
+        self.build(host_threads, host_affinity, &device_values, split)
     }
 
     fn neighbor(&self, config: &SystemConfiguration, rng: &mut StdRng) -> SystemConfiguration {
-        let mut next = *config;
+        let mut host_threads = config.host_threads;
+        let mut host_affinity = config.host_affinity;
+        let mut device_values: Vec<(u32, Affinity)> = config
+            .devices()
+            .iter()
+            .map(|d| (d.threads, d.affinity))
+            .collect();
+        debug_assert_eq!(device_values.len(), self.device_axes.len());
+        let mut split_index = Self::index_of(&self.splits, &config.split());
+
         // perturb one parameter most of the time, occasionally two, so the walk can
         // escape ridges that require coordinated changes
+        let parameters = 3 + 2 * self.device_axes.len() as u8;
         let changes = if rng.gen_bool(0.2) { 2 } else { 1 };
         for _ in 0..changes {
-            match rng.gen_range(0..5u8) {
+            match rng.gen_range(0..parameters) {
                 0 => {
-                    let i = Self::index_of(&self.host_threads, &next.host_threads);
-                    next.host_threads =
+                    let i = Self::index_of(&self.host_threads, &host_threads);
+                    host_threads =
                         self.host_threads[Self::nudge_index(&self.host_threads, i, 2, rng)];
                 }
                 1 => {
-                    next.host_affinity =
+                    host_affinity =
                         self.host_affinities[Self::sample_index(&self.host_affinities, rng)];
                 }
                 2 => {
-                    let i = Self::index_of(&self.device_threads, &next.device_threads);
-                    next.device_threads =
-                        self.device_threads[Self::nudge_index(&self.device_threads, i, 2, rng)];
+                    split_index = self.nudge_split(split_index, 8, rng);
                 }
-                3 => {
-                    next.device_affinity =
-                        self.device_affinities[Self::sample_index(&self.device_affinities, rng)];
-                }
-                _ => {
-                    let i = Self::index_of(&self.host_permilles, &next.host_permille);
-                    next.host_permille =
-                        self.host_permilles[Self::nudge_index(&self.host_permilles, i, 8, rng)];
+                p => {
+                    let device = ((p - 3) / 2) as usize;
+                    let axis = &self.device_axes[device];
+                    if (p - 3) % 2 == 0 {
+                        let i = Self::index_of(&axis.threads, &device_values[device].0);
+                        device_values[device].0 =
+                            axis.threads[Self::nudge_index(&axis.threads, i, 2, rng)];
+                    } else {
+                        device_values[device].1 =
+                            axis.affinities[Self::sample_index(&axis.affinities, rng)];
+                    }
                 }
             }
         }
-        next
+        self.build(
+            host_threads,
+            host_affinity,
+            &device_values,
+            &self.splits[split_index],
+        )
     }
 
     fn cardinality(&self) -> Option<u128> {
@@ -268,20 +748,31 @@ impl SearchSpace for ConfigurationSpace {
     }
 
     fn enumerate(&self) -> Option<Vec<SystemConfiguration>> {
+        // cross product over the device axes, axis-major (threads outer, affinity
+        // inner), matching the single-accelerator enumeration order of the paper grid
+        let mut device_combos: Vec<Vec<(u32, Affinity)>> = vec![Vec::new()];
+        for axis in &self.device_axes {
+            let mut extended = Vec::with_capacity(
+                device_combos.len() * axis.threads.len() * axis.affinities.len(),
+            );
+            for combo in &device_combos {
+                for &threads in &axis.threads {
+                    for &affinity in &axis.affinities {
+                        let mut next = combo.clone();
+                        next.push((threads, affinity));
+                        extended.push(next);
+                    }
+                }
+            }
+            device_combos = extended;
+        }
+
         let mut all = Vec::with_capacity(self.total_configurations().min(1 << 24) as usize);
         for &host_threads in &self.host_threads {
             for &host_affinity in &self.host_affinities {
-                for &device_threads in &self.device_threads {
-                    for &device_affinity in &self.device_affinities {
-                        for &host_permille in &self.host_permilles {
-                            all.push(SystemConfiguration {
-                                host_threads,
-                                host_affinity,
-                                device_threads,
-                                device_affinity,
-                                host_permille,
-                            });
-                        }
+                for combo in &device_combos {
+                    for split in &self.splits {
+                        all.push(self.build(host_threads, host_affinity, combo, split));
                     }
                 }
             }
@@ -295,33 +786,44 @@ impl SearchSpace for ConfigurationSpace {
         parent_b: &SystemConfiguration,
         rng: &mut StdRng,
     ) -> SystemConfiguration {
-        SystemConfiguration {
-            host_threads: if rng.gen_bool(0.5) {
-                parent_a.host_threads
-            } else {
-                parent_b.host_threads
-            },
-            host_affinity: if rng.gen_bool(0.5) {
-                parent_a.host_affinity
-            } else {
-                parent_b.host_affinity
-            },
-            device_threads: if rng.gen_bool(0.5) {
-                parent_a.device_threads
-            } else {
-                parent_b.device_threads
-            },
-            device_affinity: if rng.gen_bool(0.5) {
-                parent_a.device_affinity
-            } else {
-                parent_b.device_affinity
-            },
-            host_permille: if rng.gen_bool(0.5) {
-                parent_a.host_permille
-            } else {
-                parent_b.host_permille
-            },
-        }
+        debug_assert_eq!(parent_a.accelerator_count(), parent_b.accelerator_count());
+        let host_threads = if rng.gen_bool(0.5) {
+            parent_a.host_threads
+        } else {
+            parent_b.host_threads
+        };
+        let host_affinity = if rng.gen_bool(0.5) {
+            parent_a.host_affinity
+        } else {
+            parent_b.host_affinity
+        };
+        let device_values: Vec<(u32, Affinity)> = parent_a
+            .devices()
+            .iter()
+            .zip(parent_b.devices())
+            .map(|(a, b)| {
+                (
+                    if rng.gen_bool(0.5) {
+                        a.threads
+                    } else {
+                        b.threads
+                    },
+                    if rng.gen_bool(0.5) {
+                        a.affinity
+                    } else {
+                        b.affinity
+                    },
+                )
+            })
+            .collect();
+        // the split is inherited wholesale: mixing permilles element-wise would leave
+        // the simplex
+        let split = if rng.gen_bool(0.5) {
+            parent_a.split()
+        } else {
+            parent_b.split()
+        };
+        self.build(host_threads, host_affinity, &device_values, &split)
     }
 }
 
@@ -339,13 +841,90 @@ mod tests {
             Affinity::Balanced,
             60,
         );
-        assert_eq!(cfg.host_permille, 600);
+        assert_eq!(cfg.host_permille(), 600);
         assert!((cfg.host_fraction() - 0.6).abs() < 1e-12);
         assert!((cfg.device_fraction() - 0.4).abs() < 1e-12);
         assert!(cfg.uses_host() && cfg.uses_device());
         assert!((cfg.partition().host_fraction() - 0.6).abs() < 1e-12);
         assert_eq!(cfg.host_execution().threads, 24);
         assert_eq!(cfg.device_execution().threads, 120);
+        assert_eq!(cfg.accelerator_count(), 1);
+        assert_eq!(cfg.split(), vec![600, 400]);
+    }
+
+    #[test]
+    fn construction_enforces_the_share_invariant() {
+        // Regression: `host_permille` used to be a public field with no invariant, so
+        // an out-of-range value (e.g. 1200) evaluated identically to 1000 but produced
+        // a distinct persistent-store key.  Out-of-range and non-summing shares are
+        // now rejected at construction.
+        assert!(SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            1200,
+            vec![DeviceSetting::new(240, Affinity::Balanced, 0)]
+        )
+        .is_err());
+        assert!(SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            600,
+            vec![DeviceSetting::new(240, Affinity::Balanced, 300)]
+        )
+        .is_err());
+        assert!(SystemConfiguration::new(48, Affinity::Scatter, 1000, vec![]).is_err());
+        let ok = SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            500,
+            vec![
+                DeviceSetting::new(240, Affinity::Balanced, 300),
+                DeviceSetting::new(448, Affinity::Balanced, 200),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ok.accelerator_count(), 2);
+        assert_eq!(ok.split(), vec![500, 300, 200]);
+        // and `with_host_percent` normalizes over-range percentages instead of
+        // storing them
+        let clamped = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            120,
+        );
+        assert_eq!(clamped.host_permille(), 1000);
+    }
+
+    #[test]
+    fn with_host_permille_rebalances_device_shares() {
+        let cfg = SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            400,
+            vec![
+                DeviceSetting::new(240, Affinity::Balanced, 450),
+                DeviceSetting::new(448, Affinity::Balanced, 150),
+            ],
+        )
+        .unwrap();
+        let moved = cfg.with_host_permille(700);
+        assert_eq!(moved.host_permille(), 700);
+        let split = moved.split();
+        assert_eq!(split.iter().sum::<u32>(), 1000);
+        // proportions preserved (450:150 = 3:1 over the remaining 300)
+        assert_eq!(split[1], 225);
+        assert_eq!(split[2], 75);
+        // partition stays valid at every host share
+        for permille in [0u32, 1, 333, 999, 1000, 1500] {
+            let p = cfg.with_host_permille(permille).partition();
+            assert!((p.host_fraction() - f64::from(permille.min(1000)) / 1000.0).abs() < 1e-12);
+        }
+        // all-idle devices: the remainder lands on the first device
+        let host_only = SystemConfiguration::host_only_baseline_for(2);
+        let reopened = host_only.with_host_permille(600);
+        assert_eq!(reopened.split(), vec![600, 400, 0]);
     }
 
     #[test]
@@ -355,7 +934,14 @@ mod tests {
         assert_eq!(host_only.host_threads, 48);
         let device_only = SystemConfiguration::device_only_baseline();
         assert!(!device_only.uses_host() && device_only.uses_device());
-        assert_eq!(device_only.device_threads, 240);
+        assert_eq!(device_only.device_threads(), 240);
+
+        // multi-accelerator variants keep the invariant and the right arity
+        let host_only2 = SystemConfiguration::host_only_baseline_for(2);
+        assert_eq!(host_only2.accelerator_count(), 2);
+        assert_eq!(host_only2.partition().device_fractions(), &[0.0, 0.0]);
+        let device_only2 = SystemConfiguration::device_only_baseline_for(2);
+        assert_eq!(device_only2.split(), vec![0, 1000, 0]);
     }
 
     #[test]
@@ -366,6 +952,21 @@ mod tests {
         assert!(text.contains("70.0/30.0"));
         assert!(text.contains("none"));
         assert!(text.contains("compact"));
+
+        let multi = SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            500,
+            vec![
+                DeviceSetting::new(240, Affinity::Balanced, 300),
+                DeviceSetting::new(448, Affinity::Balanced, 200),
+            ],
+        )
+        .unwrap();
+        let text = multi.to_string();
+        assert!(text.contains("device1"));
+        assert!(text.contains("device2"));
+        assert!(text.contains("50.0/30.0/20.0"));
     }
 
     #[test]
@@ -390,6 +991,47 @@ mod tests {
     }
 
     #[test]
+    fn simplex_splits_cover_exactly_the_step_grid() {
+        // one accelerator: the simplex is the paper's scalar fraction list
+        let one = ConfigurationSpace::simplex_splits(1, 25);
+        assert_eq!(one.len(), 41);
+        assert_eq!(one.first().unwrap(), &vec![0, 1000]);
+        assert_eq!(one.last().unwrap(), &vec![1000, 0]);
+
+        // two accelerators with 10 % steps: C(12, 2) = 66 compositions
+        let two = ConfigurationSpace::simplex_splits(2, 100);
+        assert_eq!(two.len(), 66);
+        for split in &two {
+            assert_eq!(split.len(), 3);
+            assert_eq!(split.iter().sum::<u32>(), 1000);
+            assert!(split.iter().all(|&s| s % 100 == 0));
+        }
+        // no duplicates
+        let unique: std::collections::HashSet<_> = two.iter().collect();
+        assert_eq!(unique.len(), two.len());
+
+        // three accelerators with 25 % steps: C(4 + 3, 3) = 35 compositions
+        assert_eq!(ConfigurationSpace::simplex_splits(3, 250).len(), 35);
+    }
+
+    #[test]
+    fn multi_accelerator_space_enumerates_valid_configurations() {
+        let space = ConfigurationSpace::tiny_multi();
+        assert_eq!(space.accelerator_count(), 2);
+        let all = space.enumerate().unwrap();
+        assert_eq!(all.len() as u128, space.total_configurations());
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+        for config in &all {
+            assert_eq!(config.accelerator_count(), 2);
+            assert_eq!(config.split().iter().sum::<u32>(), 1000);
+            // every enumerated configuration yields a partition `Partition::new` accepts
+            let partition = config.partition();
+            assert_eq!(partition.accelerator_count(), 2);
+        }
+    }
+
+    #[test]
     fn random_configurations_stay_within_the_space() {
         let space = ConfigurationSpace::paper();
         let mut rng = StdRng::seed_from_u64(1);
@@ -397,32 +1039,48 @@ mod tests {
             let cfg = space.random(&mut rng);
             assert!(space.host_threads.contains(&cfg.host_threads));
             assert!(space.host_affinities.contains(&cfg.host_affinity));
-            assert!(space.device_threads.contains(&cfg.device_threads));
-            assert!(space.device_affinities.contains(&cfg.device_affinity));
-            assert!(space.host_permilles.contains(&cfg.host_permille));
+            assert!(space.device_axes[0].threads.contains(&cfg.device_threads()));
+            assert!(space.device_axes[0]
+                .affinities
+                .contains(&cfg.device_affinity()));
+            assert!(space.splits.contains(&cfg.split()));
         }
     }
 
     #[test]
     fn neighbors_stay_within_the_space_and_differ_slightly() {
-        let space = ConfigurationSpace::paper();
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut cfg = space.random(&mut rng);
-        for _ in 0..1000 {
-            let next = space.neighbor(&cfg, &mut rng);
-            assert!(space.host_threads.contains(&next.host_threads));
-            assert!(space.host_affinities.contains(&next.host_affinity));
-            assert!(space.device_threads.contains(&next.device_threads));
-            assert!(space.device_affinities.contains(&next.device_affinity));
-            assert!(space.host_permilles.contains(&next.host_permille));
-            // at most three of the five parameters change per move
-            let changed = usize::from(next.host_threads != cfg.host_threads)
-                + usize::from(next.host_affinity != cfg.host_affinity)
-                + usize::from(next.device_threads != cfg.device_threads)
-                + usize::from(next.device_affinity != cfg.device_affinity)
-                + usize::from(next.host_permille != cfg.host_permille);
-            assert!(changed <= 3);
-            cfg = next;
+        for space in [
+            ConfigurationSpace::paper(),
+            ConfigurationSpace::tiny_multi(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut cfg = space.random(&mut rng);
+            for _ in 0..1000 {
+                let next = space.neighbor(&cfg, &mut rng);
+                assert!(space.host_threads.contains(&next.host_threads));
+                assert!(space.host_affinities.contains(&next.host_affinity));
+                for (axis, device) in space.device_axes.iter().zip(next.devices()) {
+                    assert!(axis.threads.contains(&device.threads));
+                    assert!(axis.affinities.contains(&device.affinity));
+                }
+                assert!(space.splits.contains(&next.split()));
+                // at most two of the parameters change per move (threads, affinity or
+                // the whole split vector)
+                let changed = usize::from(next.host_threads != cfg.host_threads)
+                    + usize::from(next.host_affinity != cfg.host_affinity)
+                    + usize::from(next.split() != cfg.split())
+                    + next
+                        .devices()
+                        .iter()
+                        .zip(cfg.devices())
+                        .map(|(n, c)| {
+                            usize::from(n.threads != c.threads)
+                                + usize::from(n.affinity != c.affinity)
+                        })
+                        .sum::<usize>();
+                assert!(changed <= 2, "{changed} parameters changed in one move");
+                cfg = next;
+            }
         }
     }
 
@@ -441,7 +1099,7 @@ mod tests {
         let samples = 1000;
         for _ in 0..samples {
             let next = space.neighbor(&cfg, &mut rng);
-            let delta = (next.host_permille as i64 - cfg.host_permille as i64).abs();
+            let delta = (next.host_permille() as i64 - cfg.host_permille() as i64).abs();
             if delta > 160 {
                 large_moves += 1;
             }
@@ -469,8 +1127,9 @@ mod tests {
         for _ in 0..100 {
             let child = space.crossover(&a, &b, &mut rng);
             assert!(child.host_threads == 2 || child.host_threads == 48);
-            assert!(child.device_threads == 2 || child.device_threads == 240);
-            assert!(child.host_permille == 0 || child.host_permille == 1000);
+            assert!(child.device_threads() == 2 || child.device_threads() == 240);
+            assert!(child.host_permille() == 0 || child.host_permille() == 1000);
+            assert_eq!(child.split().iter().sum::<u32>(), 1000);
         }
     }
 
@@ -480,5 +1139,60 @@ mod tests {
         let all = space.enumerate().unwrap();
         assert_eq!(all.len() as u128, space.total_configurations());
         assert!(all.len() < 1000);
+    }
+
+    #[test]
+    fn hand_built_spaces_cannot_mint_invalid_configurations() {
+        // `splits` is a public field; a bad entry must fail loudly (in every build
+        // profile) instead of silently producing a configuration that evaluates like
+        // another split but occupies its own persistent-store key.
+        let mut space = ConfigurationSpace::tiny();
+        space.splits.push(vec![1200, 0]);
+        assert!(std::panic::catch_unwind(|| space.enumerate()).is_err());
+    }
+
+    #[test]
+    fn multi_accelerator_split_moves_are_local_in_l1_distance() {
+        // Regression: nudging the *index* into the lexicographically ordered simplex
+        // list teleports across host-share boundaries for N >= 2 accelerators
+        // ([0,1000,0] is index-adjacent to [100,0,900]); moves must be local in the
+        // split itself, not in the list order.
+        let space = ConfigurationSpace::tiny_multi();
+        let start = space
+            .enumerate()
+            .unwrap()
+            .into_iter()
+            .find(|c| c.split() == vec![0, 1000, 0])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples = 1000;
+        let mut far_moves = 0usize;
+        for _ in 0..samples {
+            let next = space.neighbor(&start, &mut rng);
+            let l1: u64 = next
+                .split()
+                .iter()
+                .zip(start.split())
+                .map(|(&a, b)| u64::from(a.abs_diff(b)))
+                .sum();
+            if l1 > 600 {
+                far_moves += 1;
+            }
+        }
+        // only the occasional uniform jump may travel far across the simplex
+        assert!(
+            far_moves < samples / 10,
+            "{far_moves}/{samples} split moves teleported across the simplex"
+        );
+    }
+
+    #[test]
+    fn device_axis_for_max_threads_clips_and_appends_capacity() {
+        let axis = DeviceAxis::for_max_threads(240);
+        assert_eq!(axis.threads.last(), Some(&240));
+        assert!(axis.threads.iter().all(|&t| t <= 240));
+        let gpu = DeviceAxis::for_max_threads(448);
+        assert_eq!(gpu.threads.last(), Some(&448));
+        assert!(gpu.threads.contains(&240));
     }
 }

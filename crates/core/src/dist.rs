@@ -16,37 +16,97 @@ use hetero_platform::{Affinity, HeterogeneousPlatform, WorkloadProfile};
 use wd_dist::{ConfigKey, MemoryStore, ResultStore, ShardedCampaign};
 use wd_opt::OptimizationTrace;
 
-use crate::config::{ConfigurationSpace, SystemConfiguration};
+use crate::config::{ConfigurationSpace, DeviceSetting, SystemConfiguration};
 use crate::evaluator::MeasurementEvaluator;
 use crate::experiments::ConvergenceStudy;
 use crate::methods::{MethodKind, MethodOutcome};
 use crate::training::TrainedModels;
 
-/// `SystemConfiguration`s encode as `ht|ha|dt|da|hp` (threads, affinity name, threads,
-/// affinity name, permille) — e.g. `48|scatter|240|balanced|600`.  The format is part
-/// of the on-disk store schema: changing it would orphan persisted campaigns.
+/// Single-accelerator `SystemConfiguration`s encode as `ht|ha|dt|da|hp` (threads,
+/// affinity name, threads, affinity name, host permille) — e.g.
+/// `48|scatter|240|balanced|600` — exactly the schema earlier releases persisted, so
+/// existing single-device stores stay warm.  N-accelerator configurations extend the
+/// schema to `ht|ha|hp|dt1|da1|dp1|...|dtN|daN|dpN` (3 + 3N fields, one
+/// threads/affinity/permille triple per device).  The two formats are distinguished
+/// by field count (5 vs. ≥ 6); both are part of the on-disk store schema: changing
+/// them would orphan persisted campaigns.
+///
+/// Decoding validates the share invariant: keys whose permilles exceed 1000 or do not
+/// sum to 1000 (e.g. a hand-edited `...|1200`) return `None` instead of materialising
+/// a configuration that evaluates like another one but occupies a distinct record.
 impl ConfigKey for SystemConfiguration {
     fn encode_key(&self) -> String {
-        format!(
-            "{}|{}|{}|{}|{}",
-            self.host_threads,
-            self.host_affinity.name(),
-            self.device_threads,
-            self.device_affinity.name(),
-            self.host_permille
-        )
+        if self.accelerator_count() == 1 {
+            format!(
+                "{}|{}|{}|{}|{}",
+                self.host_threads,
+                self.host_affinity.name(),
+                self.device_threads(),
+                self.device_affinity().name(),
+                self.host_permille()
+            )
+        } else {
+            use std::fmt::Write as _;
+            let mut key = format!(
+                "{}|{}|{}",
+                self.host_threads,
+                self.host_affinity.name(),
+                self.host_permille()
+            );
+            for device in self.devices() {
+                write!(
+                    key,
+                    "|{}|{}|{}",
+                    device.threads,
+                    device.affinity.name(),
+                    device.permille
+                )
+                .expect("writing to a String cannot fail");
+            }
+            key
+        }
     }
 
     fn decode_key(key: &str) -> Option<Self> {
-        let mut parts = key.split('|');
-        let config = SystemConfiguration {
-            host_threads: parts.next()?.parse().ok()?,
-            host_affinity: Affinity::parse(parts.next()?)?,
-            device_threads: parts.next()?.parse().ok()?,
-            device_affinity: Affinity::parse(parts.next()?)?,
-            host_permille: parts.next()?.parse().ok()?,
-        };
-        parts.next().is_none().then_some(config)
+        let parts: Vec<&str> = key.split('|').collect();
+        if parts.len() == 5 {
+            // legacy single-accelerator schema: the device share is implied
+            let host_permille: u32 = parts[4].parse().ok()?;
+            if host_permille > 1000 {
+                return None;
+            }
+            return SystemConfiguration::new(
+                parts[0].parse().ok()?,
+                Affinity::parse(parts[1])?,
+                host_permille,
+                vec![DeviceSetting::new(
+                    parts[2].parse().ok()?,
+                    Affinity::parse(parts[3])?,
+                    1000 - host_permille,
+                )],
+            )
+            .ok();
+        }
+        if parts.len() < 6 || !(parts.len() - 3).is_multiple_of(3) {
+            return None;
+        }
+        let devices = parts[3..]
+            .chunks(3)
+            .map(|chunk| {
+                Some(DeviceSetting::new(
+                    chunk[0].parse().ok()?,
+                    Affinity::parse(chunk[1])?,
+                    chunk[2].parse().ok()?,
+                ))
+            })
+            .collect::<Option<Vec<DeviceSetting>>>()?;
+        SystemConfiguration::new(
+            parts[0].parse().ok()?,
+            Affinity::parse(parts[1])?,
+            parts[2].parse().ok()?,
+            devices,
+        )
+        .ok()
     }
 }
 
@@ -201,13 +261,25 @@ mod tests {
 
     #[test]
     fn system_configuration_keys_round_trip() {
-        let space = ConfigurationSpace::tiny();
         use wd_opt::SearchSpace as _;
-        for config in space.enumerate().unwrap() {
-            let key = config.encode_key();
-            assert!(!key.contains(['"', '\\', '\n', '\r']));
-            assert_eq!(SystemConfiguration::decode_key(&key), Some(config));
+        for space in [ConfigurationSpace::tiny(), ConfigurationSpace::tiny_multi()] {
+            for config in space.enumerate().unwrap() {
+                let key = config.encode_key();
+                assert!(!key.contains(['"', '\\', '\n', '\r']));
+                assert_eq!(SystemConfiguration::decode_key(&key), Some(config));
+            }
         }
+        // single-accelerator configurations keep the legacy 5-field schema, so stores
+        // persisted before the N-way generalisation stay warm
+        let legacy = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            60,
+        );
+        assert_eq!(legacy.encode_key(), "48|scatter|240|balanced|600");
+
         assert_eq!(SystemConfiguration::decode_key("48|scatter|240"), None);
         assert_eq!(
             SystemConfiguration::decode_key("48|sideways|240|balanced|600"),
@@ -217,6 +289,44 @@ mod tests {
             SystemConfiguration::decode_key("48|scatter|240|balanced|600|extra"),
             None
         );
+    }
+
+    #[test]
+    fn out_of_range_shares_decode_to_none() {
+        // Regression: `host_permille` used to be an unvalidated public field, so the
+        // key `...|1200` decoded into a configuration that evaluates identically to
+        // `...|1000` yet occupies a distinct store record.  Decoding now enforces the
+        // share invariant.
+        assert_eq!(
+            SystemConfiguration::decode_key("48|scatter|240|balanced|1200"),
+            None
+        );
+        assert_eq!(
+            // extended schema whose shares do not sum to 1000
+            SystemConfiguration::decode_key("48|scatter|500|240|balanced|300|448|balanced|300"),
+            None
+        );
+        assert_eq!(
+            SystemConfiguration::decode_key("48|scatter|500|240|balanced|1200|448|balanced|0"),
+            None
+        );
+    }
+
+    #[test]
+    fn multi_accelerator_keys_use_the_extended_schema() {
+        let config = SystemConfiguration::new(
+            48,
+            Affinity::Scatter,
+            500,
+            vec![
+                DeviceSetting::new(240, Affinity::Balanced, 300),
+                DeviceSetting::new(448, Affinity::Balanced, 200),
+            ],
+        )
+        .unwrap();
+        let key = config.encode_key();
+        assert_eq!(key, "48|scatter|500|240|balanced|300|448|balanced|200");
+        assert_eq!(SystemConfiguration::decode_key(&key), Some(config));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use wd_ml::Regressor;
 use wd_opt::Objective;
 
 use crate::config::SystemConfiguration;
-use crate::features::{device_features, host_features};
+use crate::features::{device_features, host_features, share_bytes};
 
 /// Evaluation by "measurement": one simulated execution per query, bound to one
 /// workload.
@@ -62,7 +62,7 @@ impl MeasurementEvaluator {
         ExecutionRequest {
             partition: config.partition(),
             host: config.host_execution(),
-            devices: vec![config.device_execution()],
+            devices: config.device_executions(),
         }
     }
 
@@ -75,7 +75,7 @@ impl MeasurementEvaluator {
                 &self.workload,
                 &config.partition(),
                 &config.host_execution(),
-                &[config.device_execution()],
+                &config.device_executions(),
             )
             .unwrap_or_else(|err| panic!("invalid configuration {config}: {err}"));
         (measurement.t_host, measurement.t_device)
@@ -111,11 +111,11 @@ impl Objective<SystemConfiguration> for MeasurementEvaluator {
     }
 }
 
-/// Evaluation by machine-learning prediction: one model query per device, bound to one
-/// workload.
+/// Evaluation by machine-learning prediction: one model query per device (one trained
+/// model *per accelerator*), bound to one workload.
 pub struct PredictionEvaluator {
     host_model: Box<dyn Regressor + Send + Sync>,
-    device_model: Box<dyn Regressor + Send + Sync>,
+    device_models: Vec<Box<dyn Regressor + Send + Sync>>,
     workload: WorkloadProfile,
     /// Fixed overhead added to the device prediction for the offload launch + transfer
     /// of the device share.  The paper's device-side training measurements include the
@@ -125,18 +125,28 @@ pub struct PredictionEvaluator {
 }
 
 impl PredictionEvaluator {
-    /// Build an evaluator for `workload` from trained host and device models.
+    /// Build an evaluator for `workload` from a trained host model and one trained
+    /// model per accelerator (device order matches the platform's accelerator order).
     pub fn new(
         host_model: Box<dyn Regressor + Send + Sync>,
-        device_model: Box<dyn Regressor + Send + Sync>,
+        device_models: Vec<Box<dyn Regressor + Send + Sync>>,
         workload: WorkloadProfile,
     ) -> Self {
+        assert!(
+            !device_models.is_empty(),
+            "at least one device model is required"
+        );
         PredictionEvaluator {
             host_model,
-            device_model,
+            device_models,
             workload,
             device_fixed_overhead: 0.0,
         }
+    }
+
+    /// Number of accelerators this evaluator has models for.
+    pub fn device_model_count(&self) -> usize {
+        self.device_models.len()
     }
 
     /// Add a fixed overhead to every device prediction.
@@ -169,36 +179,66 @@ impl PredictionEvaluator {
             .max(0.0)
     }
 
-    /// Predict the device time for a device share of `bytes` bytes.
+    /// Predict the time of accelerator `device_index` for a share of `bytes` bytes.
+    pub fn predict_device_on(
+        &self,
+        device_index: usize,
+        threads: u32,
+        affinity: hetero_platform::Affinity,
+        bytes: u64,
+    ) -> f64 {
+        (self.device_models[device_index].predict_one(&device_features(threads, affinity, bytes))
+            + self.device_fixed_overhead)
+            .max(0.0)
+    }
+
+    /// Predict the time of the first accelerator for a device share of `bytes` bytes.
     pub fn predict_device(
         &self,
         threads: u32,
         affinity: hetero_platform::Affinity,
         bytes: u64,
     ) -> f64 {
-        (self
-            .device_model
-            .predict_one(&device_features(threads, affinity, bytes))
-            + self.device_fixed_overhead)
-            .max(0.0)
+        self.predict_device_on(0, threads, affinity, bytes)
     }
 
-    /// Predicted `(T_host, T_device)` for running the workload under `config`.
-    /// A device that receives no work reports 0.
-    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
-        let host_bytes = (self.workload.bytes as f64 * config.host_fraction()).round() as u64;
-        let device_bytes = self.workload.bytes - host_bytes.min(self.workload.bytes);
+    /// Predicted host time plus one predicted time per accelerator for running the
+    /// workload under `config`.  A device that receives no work reports 0.
+    pub fn evaluate_all_times(&self, config: &SystemConfiguration) -> (f64, Vec<f64>) {
+        assert!(
+            config.accelerator_count() <= self.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.device_models.len()
+        );
+        let host_bytes = share_bytes(self.workload.bytes, config.host_permille());
         let host = if host_bytes == 0 {
             0.0
         } else {
             self.predict_host(config.host_threads, config.host_affinity, host_bytes)
         };
-        let device = if device_bytes == 0 {
-            0.0
-        } else {
-            self.predict_device(config.device_threads, config.device_affinity, device_bytes)
-        };
-        (host, device)
+        let devices = config
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(index, device)| {
+                let bytes = share_bytes(self.workload.bytes, device.permille);
+                if bytes == 0 {
+                    0.0
+                } else {
+                    self.predict_device_on(index, device.threads, device.affinity, bytes)
+                }
+            })
+            .collect();
+        (host, devices)
+    }
+
+    /// Predicted `(T_host, T_device)` for running the workload under `config`, where
+    /// `T_device` is the time of the slowest accelerator (matching
+    /// [`hetero_platform::Measurement::t_device`]).
+    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
+        let (host, devices) = self.evaluate_all_times(config);
+        (host, devices.into_iter().fold(0.0, f64::max))
     }
 
     /// The optimization energy `E = max(T_host, T_device)` (Eq. 2) under the models.
@@ -321,7 +361,7 @@ mod tests {
         }
         let workload = WorkloadProfile::dna_scan("x", 1_000_000_000);
         let evaluator =
-            PredictionEvaluator::new(Box::new(PerGb(2.0)), Box::new(PerGb(1.0)), workload)
+            PredictionEvaluator::new(Box::new(PerGb(2.0)), vec![Box::new(PerGb(1.0))], workload)
                 .with_device_overhead(0.3);
         let cfg = SystemConfiguration::with_host_percent(
             48,

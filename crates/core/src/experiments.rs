@@ -64,6 +64,7 @@ pub fn motivation_experiment(
         .iter()
         .map(|&host_percent| {
             ExecutionRequest::two_way(f64::from(host_percent) / 100.0, host_cfg, device_cfg)
+                .expect("motivation ratios lie in [0, 1]")
         })
         .collect();
     let mut points: Vec<MotivationPoint> = platform
@@ -345,9 +346,10 @@ impl ConvergenceStudy {
                 let saml = run_annealer(workload, MethodKind::Saml, case_seed);
                 let measurement = MeasurementEvaluator::new(platform.clone(), workload.clone());
                 use wd_opt::Objective as _;
+                let accelerators = platform.accelerator_count();
                 let baselines = measurement.evaluate_batch(&[
-                    SystemConfiguration::host_only_baseline(),
-                    SystemConfiguration::device_only_baseline(),
+                    SystemConfiguration::host_only_baseline_for(accelerators),
+                    SystemConfiguration::device_only_baseline_for(accelerators),
                 ]);
                 CaseConvergence {
                     label: label.clone(),
@@ -599,9 +601,9 @@ mod tests {
         // optimum keeps a clear majority of the work on the host
         let streaming = &study.cases[2];
         assert!(
-            streaming.em.best_config.host_permille >= 500,
+            streaming.em.best_config.host_permille() >= 500,
             "streaming optimum sent {} permille to the host",
-            streaming.em.best_config.host_permille
+            streaming.em.best_config.host_permille()
         );
     }
 

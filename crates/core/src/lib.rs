@@ -60,7 +60,7 @@ pub mod training;
 
 pub use adaptive::{AdaptiveRefinement, RefinementOutcome};
 pub use autotuner::Autotuner;
-pub use config::{ConfigurationSpace, SystemConfiguration};
+pub use config::{ConfigurationSpace, DeviceAxis, DeviceSetting, SystemConfiguration};
 pub use dist::{campaign_context, run_enumeration_sharded};
 pub use evaluator::{MeasurementEvaluator, PredictionEvaluator};
 pub use experiments::{workload_mix, CaseConvergence, ConvergenceStudy};

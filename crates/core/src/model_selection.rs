@@ -62,17 +62,18 @@ pub struct FamilyScore {
     pub rmse: f64,
 }
 
-/// The full comparison for host and device models.
+/// The full comparison for the host model and one comparison per accelerator model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModelComparison {
     /// Scores on the host-side campaign data.
     pub host: Vec<FamilyScore>,
-    /// Scores on the device-side campaign data.
-    pub device: Vec<FamilyScore>,
+    /// Scores on each accelerator's campaign data, in device order.
+    pub devices: Vec<Vec<FamilyScore>>,
 }
 
 impl ModelComparison {
-    /// Compare all families with `folds`-fold cross-validation on the campaign's data.
+    /// Compare all families with `folds`-fold cross-validation on the campaign's data
+    /// (every accelerator of the platform is cross-validated separately).
     pub fn run(
         platform: &HeterogeneousPlatform,
         campaign: &TrainingCampaign,
@@ -81,10 +82,15 @@ impl ModelComparison {
         seed: u64,
     ) -> Self {
         let host_data = campaign.host_dataset(platform);
-        let device_data = campaign.device_dataset(platform);
+        let devices = (0..campaign.device_axes.len())
+            .map(|index| {
+                let device_data = campaign.device_dataset(platform, index);
+                Self::score_all(&device_data, boosting, folds, seed)
+            })
+            .collect();
         ModelComparison {
             host: Self::score_all(&host_data, boosting, folds, seed),
-            device: Self::score_all(&device_data, boosting, folds, seed),
+            devices,
         }
     }
 
@@ -123,9 +129,14 @@ impl ModelComparison {
         Self::best_of(&self.host)
     }
 
-    /// The family with the lowest MAPE on the device data.
+    /// The family with the lowest MAPE on the first accelerator's data.
     pub fn best_device_family(&self) -> ModelFamily {
-        Self::best_of(&self.device)
+        Self::best_of(&self.devices[0])
+    }
+
+    /// The family with the lowest MAPE on accelerator `index`'s data.
+    pub fn best_device_family_for(&self, index: usize) -> ModelFamily {
+        Self::best_of(&self.devices[index])
     }
 
     fn best_of(scores: &[FamilyScore]) -> ModelFamily {
@@ -154,10 +165,19 @@ mod tests {
             3,
         );
         assert_eq!(comparison.host.len(), 3);
-        assert_eq!(comparison.device.len(), 3);
+        assert_eq!(comparison.devices.len(), 1);
+        assert_eq!(comparison.devices[0].len(), 3);
         assert_eq!(comparison.best_host_family(), ModelFamily::BoostedTrees);
         assert_eq!(comparison.best_device_family(), ModelFamily::BoostedTrees);
-        for score in comparison.host.iter().chain(&comparison.device) {
+        assert_eq!(
+            comparison.best_device_family_for(0),
+            comparison.best_device_family()
+        );
+        for score in comparison
+            .host
+            .iter()
+            .chain(comparison.devices.iter().flatten())
+        {
             assert!(score.mape.is_finite() && score.mape >= 0.0);
             assert!(score.rmse.is_finite() && score.rmse >= 0.0);
         }

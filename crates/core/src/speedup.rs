@@ -27,10 +27,11 @@ impl SpeedupReport {
         workload: &WorkloadProfile,
         combined_seconds: f64,
     ) -> Self {
+        let accelerators = platform.accelerator_count();
         let evaluator = MeasurementEvaluator::new(platform.clone(), workload.clone());
         let baselines = evaluator.evaluate_batch(&[
-            SystemConfiguration::host_only_baseline(),
-            SystemConfiguration::device_only_baseline(),
+            SystemConfiguration::host_only_baseline_for(accelerators),
+            SystemConfiguration::device_only_baseline_for(accelerators),
         ]);
         SpeedupReport {
             host_only_seconds: baselines[0],
@@ -40,17 +41,23 @@ impl SpeedupReport {
     }
 
     /// Speedup of the combined execution over the host-only baseline (Table VIII).
+    ///
+    /// A degenerate (zero or negative) combined time reports `f64::INFINITY`:
+    /// returning 0 — "infinitely slow" — would understate the result.
     pub fn speedup_vs_host(&self) -> f64 {
         if self.combined_seconds <= 0.0 {
-            return 0.0;
+            return f64::INFINITY;
         }
         self.host_only_seconds / self.combined_seconds
     }
 
     /// Speedup of the combined execution over the device-only baseline (Table IX).
+    ///
+    /// A degenerate (zero or negative) combined time reports `f64::INFINITY`, see
+    /// [`SpeedupReport::speedup_vs_host`].
     pub fn speedup_vs_device(&self) -> f64 {
         if self.combined_seconds <= 0.0 {
-            return 0.0;
+            return f64::INFINITY;
         }
         self.device_only_seconds / self.combined_seconds
     }
@@ -91,13 +98,39 @@ mod tests {
     }
 
     #[test]
-    fn zero_combined_time_is_handled() {
+    fn zero_combined_time_reports_infinite_speedup() {
+        // Regression: a degenerate combined time used to report a speedup of 0.0 —
+        // "infinitely slow" — silently understating the result.
         let report = SpeedupReport {
             host_only_seconds: 1.0,
             device_only_seconds: 2.0,
             combined_seconds: 0.0,
         };
-        assert_eq!(report.speedup_vs_host(), 0.0);
-        assert_eq!(report.speedup_vs_device(), 0.0);
+        assert_eq!(report.speedup_vs_host(), f64::INFINITY);
+        assert_eq!(report.speedup_vs_device(), f64::INFINITY);
+        let negative = SpeedupReport {
+            host_only_seconds: 1.0,
+            device_only_seconds: 2.0,
+            combined_seconds: -1.0,
+        };
+        assert_eq!(negative.speedup_vs_host(), f64::INFINITY);
+        // a healthy report is unaffected
+        let healthy = SpeedupReport {
+            host_only_seconds: 1.0,
+            device_only_seconds: 2.0,
+            combined_seconds: 0.5,
+        };
+        assert_eq!(healthy.speedup_vs_host(), 2.0);
+        assert_eq!(healthy.speedup_vs_device(), 4.0);
+    }
+
+    #[test]
+    fn baselines_follow_the_platform_accelerator_count() {
+        let platform = HeterogeneousPlatform::emil_with_gpu().without_noise();
+        let workload = Genome::Human.workload();
+        let report = SpeedupReport::for_combined_time(&platform, &workload, 0.4);
+        assert!(report.host_only_seconds > 0.0);
+        assert!(report.device_only_seconds > 0.0);
+        assert!(report.speedup_vs_host().is_finite());
     }
 }

@@ -19,14 +19,15 @@ use rayon::prelude::*;
 use wd_ml::{BoostedTreesRegressor, BoostingParams, Dataset, ErrorHistogram, Regressor};
 use wd_opt::ShardPlan;
 
+use crate::config::DeviceAxis;
 use crate::evaluator::PredictionEvaluator;
 use crate::features::{device_feature_names, device_features, host_feature_names, host_features};
 
-/// Which side of the platform an experiment ran on.
+/// Which side of the platform an experiment ran on (for accelerators: which one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Side {
     Host,
-    Device,
+    Device(usize),
 }
 
 /// One experiment of the training campaign, with its metadata retained so accuracy can
@@ -151,21 +152,22 @@ impl AccuracyReport {
     }
 }
 
-/// The host and device prediction models plus their accuracy reports.
+/// The host and per-accelerator prediction models plus their accuracy reports.
 #[derive(Debug, Clone)]
 pub struct TrainedModels {
     /// Model predicting host execution times.
     pub host_model: BoostedTreesRegressor,
-    /// Model predicting device execution times (including offload overheads, since the
-    /// device-side training measurements include them).
-    pub device_model: BoostedTreesRegressor,
+    /// One model per accelerator predicting that device's execution times (including
+    /// offload overheads, since the device-side training measurements include them).
+    pub device_models: Vec<BoostedTreesRegressor>,
     /// Accuracy of the host model on its evaluation half.
     pub host_accuracy: AccuracyReport,
-    /// Accuracy of the device model on its evaluation half.
-    pub device_accuracy: AccuracyReport,
+    /// Accuracy of each device model on its evaluation half.
+    pub device_accuracies: Vec<AccuracyReport>,
     /// Number of host experiments performed for training + evaluation.
     pub host_experiments: usize,
-    /// Number of device experiments performed for training + evaluation.
+    /// Number of device experiments performed for training + evaluation (all
+    /// accelerators combined).
     pub device_experiments: usize,
 }
 
@@ -175,28 +177,48 @@ impl TrainedModels {
         self.host_experiments + self.device_experiments
     }
 
+    /// Number of accelerators the campaign trained models for.
+    pub fn device_model_count(&self) -> usize {
+        self.device_models.len()
+    }
+
+    /// The first accelerator's model (the paper's single-device view).
+    pub fn device_model(&self) -> &BoostedTreesRegressor {
+        &self.device_models[0]
+    }
+
+    /// The first accelerator's accuracy report (the paper's single-device view).
+    pub fn device_accuracy(&self) -> &AccuracyReport {
+        &self.device_accuracies[0]
+    }
+
     /// Build a [`PredictionEvaluator`] for `workload`, backed by clones of the trained
-    /// models.
+    /// models (one per accelerator).
     pub fn prediction_evaluator(&self, workload: WorkloadProfile) -> PredictionEvaluator {
         PredictionEvaluator::new(
             Box::new(self.host_model.clone()),
-            Box::new(self.device_model.clone()),
+            self.device_models
+                .iter()
+                .map(|model| Box::new(model.clone()) as Box<dyn wd_ml::Regressor + Send + Sync>)
+                .collect(),
             workload,
         )
     }
 }
 
 /// The experiment campaign that generates training/evaluation data.
+///
+/// One [`DeviceAxis`] per accelerator: the campaign characterises each accelerator of
+/// the platform separately (`device_axes.len()` must match the platform's accelerator
+/// count when the campaign runs), and fits one model per device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingCampaign {
     /// Host thread counts exercised.
     pub host_threads: Vec<u32>,
     /// Host affinities exercised.
     pub host_affinities: Vec<Affinity>,
-    /// Device thread counts exercised.
-    pub device_threads: Vec<u32>,
-    /// Device affinities exercised.
-    pub device_affinities: Vec<Affinity>,
+    /// Thread counts and affinities exercised per accelerator.
+    pub device_axes: Vec<DeviceAxis>,
     /// Input fractions of each genome (0..=1).
     pub fractions: Vec<f64>,
     /// Genomes sampled.
@@ -215,8 +237,7 @@ impl TrainingCampaign {
         TrainingCampaign {
             host_threads: vec![2, 6, 12, 24, 36, 48],
             host_affinities: Affinity::HOST.to_vec(),
-            device_threads: vec![2, 4, 8, 16, 30, 60, 120, 180, 240],
-            device_affinities: Affinity::DEVICE.to_vec(),
+            device_axes: vec![DeviceAxis::paper_phi()],
             fractions: (1..=40).map(|s| s as f64 * 0.025).collect(),
             genomes: Genome::ALL.to_vec(),
             evaluation_fraction: 0.5,
@@ -230,13 +251,56 @@ impl TrainingCampaign {
         TrainingCampaign {
             host_threads: vec![2, 6, 12, 24, 48],
             host_affinities: vec![Affinity::Scatter],
-            device_threads: vec![8, 30, 60, 120, 240],
-            device_affinities: vec![Affinity::Balanced],
+            device_axes: vec![DeviceAxis::new(
+                vec![8, 30, 60, 120, 240],
+                vec![Affinity::Balanced],
+            )],
             fractions: (1..=16).map(|s| s as f64 / 16.0).collect(),
             genomes: vec![Genome::Human, Genome::Cat],
             evaluation_fraction: 0.5,
             split_seed: 0x7261_1e55,
         }
+    }
+
+    /// The paper's campaign adapted to an arbitrary platform: one axis per
+    /// accelerator, thread ladders clipped to each device's capacity
+    /// ([`DeviceAxis::for_max_threads`]).
+    pub fn for_platform(platform: &HeterogeneousPlatform) -> Self {
+        Self::paper().with_device_axes(
+            platform
+                .accelerators
+                .iter()
+                .map(|accel| DeviceAxis::for_max_threads(accel.max_threads()))
+                .collect(),
+        )
+    }
+
+    /// The reduced campaign adapted to an arbitrary platform (a coarse thread ladder
+    /// per accelerator), for examples and tests of multi-accelerator nodes.
+    pub fn reduced_for(platform: &HeterogeneousPlatform) -> Self {
+        Self::reduced().with_device_axes(
+            platform
+                .accelerators
+                .iter()
+                .map(|accel| {
+                    DeviceAxis::with_ladder(
+                        &[8, 30, 60, 120, 240],
+                        accel.max_threads(),
+                        vec![Affinity::Balanced],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Replace the per-accelerator axes.
+    pub fn with_device_axes(mut self, device_axes: Vec<DeviceAxis>) -> Self {
+        assert!(
+            !device_axes.is_empty(),
+            "at least one device axis is required"
+        );
+        self.device_axes = device_axes;
+        self
     }
 
     /// Number of host-side experiments this campaign performs.
@@ -247,10 +311,12 @@ impl TrainingCampaign {
             * self.genomes.len()
     }
 
-    /// Number of device-side experiments this campaign performs.
+    /// Number of device-side experiments this campaign performs (all accelerators).
     pub fn device_experiment_count(&self) -> usize {
-        self.device_threads.len()
-            * self.device_affinities.len()
+        self.device_axes
+            .iter()
+            .map(|axis| axis.threads.len() * axis.affinities.len())
+            .sum::<usize>()
             * self.fractions.len()
             * self.genomes.len()
     }
@@ -266,10 +332,15 @@ impl TrainingCampaign {
         Self::records_to_dataset(self.generate(platform, Side::Host, 1), host_feature_names())
     }
 
-    /// Execute the device half of the campaign and return it as a dataset.
-    pub fn device_dataset(&self, platform: &HeterogeneousPlatform) -> wd_ml::Dataset {
+    /// Execute the campaign half of accelerator `device_index` and return it as a
+    /// dataset.
+    pub fn device_dataset(
+        &self,
+        platform: &HeterogeneousPlatform,
+        device_index: usize,
+    ) -> wd_ml::Dataset {
         Self::records_to_dataset(
-            self.generate(platform, Side::Device, 1),
+            self.generate(platform, Side::Device(device_index), 1),
             device_feature_names(),
         )
     }
@@ -289,35 +360,55 @@ impl TrainingCampaign {
     }
 
     /// Execute the campaign as `shard_count` contiguous shards per side — each shard
-    /// standing in for one node of a measurement cluster — and fit the two prediction
-    /// models from the concatenated records.
+    /// standing in for one node of a measurement cluster — and fit one prediction
+    /// model per device from the concatenated records.
     ///
     /// Sharding is invisible in the result: shards are contiguous slices of the
     /// deterministic experiment order (a [`wd_opt::ShardPlan`] partition) concatenated
     /// back in shard order, and the simulator's noise is a pure hash of the experiment
     /// context, so the datasets — and therefore the trained models and accuracy
     /// reports — are identical to a single-node campaign for every shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the number of device axes does not match the platform's
+    /// accelerator count (the campaign would otherwise silently train models for
+    /// devices that do not exist, or skip devices that do).
     pub fn run_sharded(
         &self,
         platform: &HeterogeneousPlatform,
         boosting: BoostingParams,
         shard_count: usize,
     ) -> TrainedModels {
+        assert_eq!(
+            self.device_axes.len(),
+            platform.accelerator_count(),
+            "campaign describes {} device axes but the platform has {} accelerator(s)",
+            self.device_axes.len(),
+            platform.accelerator_count()
+        );
         let host_records = self.generate(platform, Side::Host, shard_count);
-        let device_records = self.generate(platform, Side::Device, shard_count);
-
         let (host_model, host_accuracy) =
             self.fit_side(&host_records, host_feature_names(), boosting);
-        let (device_model, device_accuracy) =
-            self.fit_side(&device_records, device_feature_names(), boosting);
+
+        let mut device_models = Vec::with_capacity(self.device_axes.len());
+        let mut device_accuracies = Vec::with_capacity(self.device_axes.len());
+        let mut device_experiments = 0usize;
+        for index in 0..self.device_axes.len() {
+            let records = self.generate(platform, Side::Device(index), shard_count);
+            let (model, accuracy) = self.fit_side(&records, device_feature_names(), boosting);
+            device_experiments += records.len();
+            device_models.push(model);
+            device_accuracies.push(accuracy);
+        }
 
         TrainedModels {
             host_model,
-            device_model,
+            device_models,
             host_accuracy,
-            device_accuracy,
+            device_accuracies,
             host_experiments: host_records.len(),
-            device_experiments: device_records.len(),
+            device_experiments,
         }
     }
 
@@ -325,7 +416,10 @@ impl TrainingCampaign {
     fn experiment_list(&self, side: Side) -> Vec<(Genome, WorkloadProfile, u32, Affinity)> {
         let (threads_list, affinity_list) = match side {
             Side::Host => (&self.host_threads, &self.host_affinities),
-            Side::Device => (&self.device_threads, &self.device_affinities),
+            Side::Device(index) => {
+                let axis = &self.device_axes[index];
+                (&axis.threads, &axis.affinities)
+            }
         };
         let mut experiments: Vec<(Genome, WorkloadProfile, u32, Affinity)> = Vec::with_capacity(
             threads_list.len() * affinity_list.len() * self.fractions.len() * self.genomes.len(),
@@ -371,16 +465,16 @@ impl TrainingCampaign {
                             .expect("valid host experiment")
                             .t_total
                     }
-                    Side::Device => {
+                    Side::Device(index) => {
                         platform
-                            .execute_device_only(&share, &cfg)
+                            .execute_device_only_on(index, &share, &cfg)
                             .expect("valid device experiment")
                             .t_total
                     }
                 };
                 let features = match side {
                     Side::Host => host_features(threads, affinity, share.bytes),
-                    Side::Device => device_features(threads, affinity, share.bytes),
+                    Side::Device(_) => device_features(threads, affinity, share.bytes),
                 };
                 ExperimentRecord {
                     features,
@@ -478,13 +572,14 @@ mod tests {
         let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
 
         assert!(models.host_model.is_fitted());
-        assert!(models.device_model.is_fitted());
+        assert!(models.device_model().is_fitted());
+        assert_eq!(models.device_model_count(), 1);
         assert_eq!(
             models.host_experiments,
             TrainingCampaign::reduced().host_experiment_count()
         );
         assert!(!models.host_accuracy.rows.is_empty());
-        assert!(!models.device_accuracy.rows.is_empty());
+        assert!(!models.device_accuracy().rows.is_empty());
 
         // The paper reports ~5.2 % host and ~3.1 % device error; the reduced campaign is
         // coarser, so accept anything clearly better than a naive predictor.
@@ -494,9 +589,9 @@ mod tests {
             models.host_accuracy.mean_percent_error()
         );
         assert!(
-            models.device_accuracy.mean_percent_error() < 20.0,
+            models.device_accuracy().mean_percent_error() < 20.0,
             "device percent error {}",
-            models.device_accuracy.mean_percent_error()
+            models.device_accuracy().mean_percent_error()
         );
     }
 
@@ -514,8 +609,60 @@ mod tests {
                 sharded.host_accuracy.rows, single.host_accuracy.rows,
                 "{shards} shards"
             );
-            assert_eq!(sharded.device_accuracy.rows, single.device_accuracy.rows);
+            assert_eq!(
+                sharded.device_accuracy().rows,
+                single.device_accuracy().rows
+            );
         }
+    }
+
+    #[test]
+    fn multi_accelerator_campaign_trains_one_model_per_device() {
+        let platform = HeterogeneousPlatform::emil_with_gpu();
+        let campaign = TrainingCampaign::reduced_for(&platform);
+        assert_eq!(campaign.device_axes.len(), 2);
+        // the GPU axis is clipped/extended to the device capacity
+        assert_eq!(campaign.device_axes[1].threads.last(), Some(&448));
+
+        let models = campaign.run(&platform, BoostingParams::fast());
+        assert_eq!(models.device_model_count(), 2);
+        for (index, (model, accuracy)) in models
+            .device_models
+            .iter()
+            .zip(&models.device_accuracies)
+            .enumerate()
+        {
+            assert!(model.is_fitted(), "device {index}");
+            assert!(!accuracy.rows.is_empty(), "device {index}");
+            assert!(
+                accuracy.mean_percent_error() < 25.0,
+                "device {index} percent error {}",
+                accuracy.mean_percent_error()
+            );
+        }
+        assert_eq!(
+            models.device_experiments,
+            campaign.device_experiment_count()
+        );
+
+        // the two devices are genuinely different: their models disagree on the same
+        // share
+        let features = device_features(60, Affinity::Balanced, 1_000_000_000);
+        let phi = models.device_models[0].predict_one(&features);
+        let gpu = models.device_models[1].predict_one(&features);
+        assert!(phi > 0.0 && gpu > 0.0);
+        assert!(
+            (phi - gpu).abs() / phi.max(gpu) > 0.05,
+            "Phi ({phi}) and GPU ({gpu}) models should disagree"
+        );
+    }
+
+    #[test]
+    fn campaign_rejects_mismatched_device_axes() {
+        let platform = HeterogeneousPlatform::emil_with_gpu();
+        let campaign = TrainingCampaign::reduced(); // one axis, two accelerators
+        let result = std::panic::catch_unwind(|| campaign.run(&platform, BoostingParams::fast()));
+        assert!(result.is_err());
     }
 
     #[test]

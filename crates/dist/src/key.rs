@@ -39,15 +39,27 @@ macro_rules! impl_int_key {
 
 impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-/// Pairs encode as `"a,b"` — enough for grid-style test spaces.
+/// Pairs encode as `"a,b"` — enough for grid-style test spaces, including nested
+/// pairs on either side.
+///
+/// Decoding tries every comma as the split point and returns the first one both
+/// halves accept.  A naive `split_once` breaks the round-trip contract for
+/// left-nested pairs: `((1, 2), 3)` encodes as `"1,2,3"`, and splitting at the
+/// *first* comma hands `"1"` to the `(u32, u32)` decoder, which fails.  For the
+/// integer-based configurations this trait targets, the number of commas each side
+/// consumes is fixed by its type structure, so at most one split point can decode —
+/// the scan is unambiguous.
 impl<A: ConfigKey, B: ConfigKey> ConfigKey for (A, B) {
     fn encode_key(&self) -> String {
         format!("{},{}", self.0.encode_key(), self.1.encode_key())
     }
 
     fn decode_key(key: &str) -> Option<Self> {
-        let (a, b) = key.split_once(',')?;
-        Some((A::decode_key(a)?, B::decode_key(b)?))
+        key.match_indices(',').find_map(|(split, _)| {
+            let a = A::decode_key(&key[..split])?;
+            let b = B::decode_key(&key[split + 1..])?;
+            Some((a, b))
+        })
     }
 }
 
@@ -72,6 +84,40 @@ mod tests {
         assert_eq!(<(u32, u32)>::decode_key(&key), Some(config));
         assert_eq!(<(u32, u32)>::decode_key("13"), None);
         assert_eq!(<(u32, u32)>::decode_key("13,x"), None);
+    }
+
+    #[test]
+    fn nested_pair_keys_round_trip() {
+        // Regression: the old decoder split at the *first* comma, so the left-nested
+        // key "1,2,3" handed "1" to the (u32, u32) decoder and returned None,
+        // violating the trait's own round-trip contract.
+        let left_nested = ((1u32, 2u32), 3u32);
+        let key = left_nested.encode_key();
+        assert_eq!(key, "1,2,3");
+        assert_eq!(<((u32, u32), u32)>::decode_key(&key), Some(left_nested));
+
+        // right-nested pairs keep working
+        let right_nested = (1u32, (2u32, 3u32));
+        assert_eq!(
+            <(u32, (u32, u32))>::decode_key(&right_nested.encode_key()),
+            Some(right_nested)
+        );
+
+        // and doubly nested grids round-trip too
+        let grid2 = ((7u32, 8u32), (9u32, 10u32));
+        assert_eq!(
+            <((u32, u32), (u32, u32))>::decode_key(&grid2.encode_key()),
+            Some(grid2)
+        );
+        let deep = (((1u32, 2u32), 3u32), 4u32);
+        assert_eq!(
+            <(((u32, u32), u32), u32)>::decode_key(&deep.encode_key()),
+            Some(deep)
+        );
+
+        // foreign input with the wrong arity still decodes to None
+        assert_eq!(<((u32, u32), u32)>::decode_key("1,2"), None);
+        assert_eq!(<((u32, u32), u32)>::decode_key("1,2,3,4"), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! let measurement = platform
 //!     .execute(
 //!         &workload,
-//!         &Partition::two_way(0.60),
+//!         &Partition::two_way(0.60).unwrap(),
 //!         &ExecutionConfig::new(48, Affinity::Scatter),
 //!         &[ExecutionConfig::new(240, Affinity::Balanced)],
 //!     )

@@ -75,18 +75,32 @@ impl Partition {
     }
 
     /// Two-way split between the host and a single accelerator.
-    /// `host_fraction` is clamped into `[0, 1]`.
-    pub fn two_way(host_fraction: f64) -> Self {
-        let h = host_fraction.clamp(0.0, 1.0);
-        Partition {
-            fractions: vec![h, 1.0 - h],
+    ///
+    /// `host_fraction` must lie in `[0, 1]`; NaN and out-of-range values are rejected
+    /// with the same error policy as [`Partition::new`].  (Earlier versions silently
+    /// clamped, which let `f64::NAN` slip through `f64::clamp` and poison every
+    /// downstream timing.)
+    pub fn two_way(host_fraction: f64) -> Result<Self, PlatformError> {
+        if !(0.0..=1.0).contains(&host_fraction) || host_fraction.is_nan() {
+            return Err(PlatformError::InvalidPartition {
+                reason: format!("host fraction must lie in [0,1], got {host_fraction}"),
+            });
         }
+        Ok(Partition {
+            fractions: vec![host_fraction, 1.0 - host_fraction],
+        })
     }
 
     /// Split expressed as a host percentage (the paper's "workload fraction" parameter,
-    /// 0..=100).
-    pub fn from_host_percent(host_percent: u32) -> Self {
-        Self::two_way(host_percent.min(100) as f64 / 100.0)
+    /// 0..=100).  Percentages above 100 are rejected, like [`Partition::new`] rejects
+    /// fractions above 1.
+    pub fn from_host_percent(host_percent: u32) -> Result<Self, PlatformError> {
+        if host_percent > 100 {
+            return Err(PlatformError::InvalidPartition {
+                reason: format!("host percentage must lie in 0..=100, got {host_percent}"),
+            });
+        }
+        Self::two_way(f64::from(host_percent) / 100.0)
     }
 
     /// Everything on the host.
@@ -136,13 +150,18 @@ pub struct ExecutionRequest {
 }
 
 impl ExecutionRequest {
-    /// Convenience constructor for the common single-accelerator case.
-    pub fn two_way(host_fraction: f64, host: ExecutionConfig, device: ExecutionConfig) -> Self {
-        ExecutionRequest {
-            partition: Partition::two_way(host_fraction),
+    /// Convenience constructor for the common single-accelerator case.  Propagates
+    /// [`Partition::two_way`]'s validation (NaN / out-of-range host fractions).
+    pub fn two_way(
+        host_fraction: f64,
+        host: ExecutionConfig,
+        device: ExecutionConfig,
+    ) -> Result<Self, PlatformError> {
+        Ok(ExecutionRequest {
+            partition: Partition::two_way(host_fraction)?,
             host,
             devices: vec![device],
-        }
+        })
     }
 }
 
@@ -189,6 +208,24 @@ impl HeterogeneousPlatform {
         HeterogeneousPlatform {
             host: DeviceSpec::xeon_e5_2695v2_dual(),
             accelerators: vec![DeviceSpec::xeon_phi_7120p()],
+            offload: OffloadModel::pcie_gen2_x16(),
+            noise: NoiseModel::paper_default(seed),
+            perf: PerfModel::default(),
+        }
+    }
+
+    /// The "Emil" machine extended with a second, GPU-like accelerator — the paper's
+    /// architecture allows one to eight accelerators per node; this is the smallest
+    /// heterogeneous-accelerator instance of it.
+    pub fn emil_with_gpu() -> Self {
+        Self::emil_with_gpu_seed(0x45_6d_69_6c)
+    }
+
+    /// Same as [`HeterogeneousPlatform::emil_with_gpu`] with a caller-chosen noise seed.
+    pub fn emil_with_gpu_seed(seed: u64) -> Self {
+        HeterogeneousPlatform {
+            host: DeviceSpec::xeon_e5_2695v2_dual(),
+            accelerators: vec![DeviceSpec::xeon_phi_7120p(), DeviceSpec::generic_gpu()],
             offload: OffloadModel::pcie_gen2_x16(),
             noise: NoiseModel::paper_default(seed),
             perf: PerfModel::default(),
@@ -375,19 +412,33 @@ impl HeterogeneousPlatform {
         workload: &WorkloadProfile,
         device_cfg: &ExecutionConfig,
     ) -> Result<Measurement, PlatformError> {
+        self.execute_device_only_on(0, workload, device_cfg)
+    }
+
+    /// Run the whole workload on accelerator `index` only (the per-device entry point
+    /// the multi-accelerator training campaign uses to characterise each device).
+    pub fn execute_device_only_on(
+        &self,
+        index: usize,
+        workload: &WorkloadProfile,
+        device_cfg: &ExecutionConfig,
+    ) -> Result<Measurement, PlatformError> {
         assert!(
-            !self.accelerators.is_empty(),
-            "execute_device_only requires at least one accelerator"
+            index < self.accelerators.len(),
+            "accelerator index {index} out of range (platform has {})",
+            self.accelerators.len()
         );
         let mut cfgs: Vec<ExecutionConfig> = self
             .accelerators
             .iter()
             .map(|_| ExecutionConfig::new(1, Affinity::Balanced))
             .collect();
-        cfgs[0] = *device_cfg;
+        cfgs[index] = *device_cfg;
+        let mut fractions = vec![0.0; self.accelerators.len() + 1];
+        fractions[index + 1] = 1.0;
         self.execute(
             workload,
-            &Partition::device_only(self.accelerators.len()),
+            &Partition { fractions },
             &ExecutionConfig::new(1, Affinity::Scatter),
             &cfgs,
         )
@@ -490,11 +541,11 @@ mod tests {
 
     #[test]
     fn partition_constructors() {
-        let p = Partition::two_way(0.6);
+        let p = Partition::two_way(0.6).unwrap();
         assert!((p.host_fraction() - 0.6).abs() < 1e-12);
         assert!((p.device_fractions()[0] - 0.4).abs() < 1e-12);
 
-        let p = Partition::from_host_percent(70);
+        let p = Partition::from_host_percent(70).unwrap();
         assert!((p.host_fraction() - 0.7).abs() < 1e-12);
 
         assert_eq!(Partition::host_only(1).device_fractions(), &[0.0]);
@@ -507,10 +558,60 @@ mod tests {
     }
 
     #[test]
+    fn two_way_rejects_nan_and_out_of_range_fractions() {
+        // Regression: `f64::clamp` propagates NaN, so `two_way(f64::NAN)` used to
+        // return a NaN partition that bypassed `Partition::new`'s validation and
+        // silently poisoned every downstream timing.
+        assert!(Partition::two_way(f64::NAN).is_err());
+        assert!(Partition::new(vec![f64::NAN, 1.0]).is_err());
+        // and the silent-clamp policy is gone: out-of-range inputs error like `new`
+        assert!(Partition::two_way(-0.1).is_err());
+        assert!(Partition::two_way(1.5).is_err());
+        assert!(Partition::two_way(f64::INFINITY).is_err());
+        assert!(Partition::from_host_percent(101).is_err());
+        assert!(Partition::from_host_percent(100).is_ok());
+        assert!(Partition::two_way(0.0).is_ok());
+        assert!(Partition::two_way(1.0).is_ok());
+        assert!(ExecutionRequest::two_way(f64::NAN, host48(), phi240()).is_err());
+    }
+
+    #[test]
+    fn execute_device_only_on_targets_the_requested_accelerator() {
+        let platform = HeterogeneousPlatform::emil_with_gpu().without_noise();
+        assert_eq!(platform.accelerator_count(), 2);
+        let phi = platform
+            .execute_device_only_on(0, &human(), &phi240())
+            .unwrap();
+        let gpu = platform
+            .execute_device_only_on(1, &human(), &ExecutionConfig::new(448, Affinity::Balanced))
+            .unwrap();
+        assert!(phi.t_device > 0.0 && gpu.t_device > 0.0);
+        assert_eq!(phi.t_host, 0.0);
+        assert_eq!(gpu.t_host, 0.0);
+        // the two accelerators are genuinely different devices
+        assert_ne!(phi.t_device, gpu.t_device);
+        // index 0 matches the single-accelerator entry point on the emil platform
+        let emil = HeterogeneousPlatform::emil().without_noise();
+        assert_eq!(
+            emil.execute_device_only(&human(), &phi240())
+                .unwrap()
+                .t_device,
+            emil.execute_device_only_on(0, &human(), &phi240())
+                .unwrap()
+                .t_device
+        );
+    }
+
+    #[test]
     fn total_is_max_of_host_and_device() {
         let platform = HeterogeneousPlatform::emil();
         let m = platform
-            .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
+            .execute(
+                &human(),
+                &Partition::two_way(0.6).unwrap(),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap();
         assert!(m.t_host > 0.0 && m.t_device > 0.0);
         assert!((m.t_total - m.t_host.max(m.t_device)).abs() < 1e-12);
@@ -551,7 +652,7 @@ mod tests {
                 platform
                     .execute(
                         &human(),
-                        &Partition::from_host_percent(pct),
+                        &Partition::from_host_percent(pct).unwrap(),
                         &host48(),
                         &[phi240()],
                     )
@@ -585,7 +686,7 @@ mod tests {
             let mixed = platform
                 .execute(
                     &small(),
-                    &Partition::from_host_percent(pct),
+                    &Partition::from_host_percent(pct).unwrap(),
                     &host48(),
                     &[phi240()],
                 )
@@ -611,7 +712,7 @@ mod tests {
             let t = platform
                 .execute(
                     &large,
-                    &Partition::from_host_percent(pct),
+                    &Partition::from_host_percent(pct).unwrap(),
                     &host4,
                     &[phi240()],
                 )
@@ -634,10 +735,20 @@ mod tests {
     fn noise_is_reproducible_and_small() {
         let platform = HeterogeneousPlatform::emil();
         let a = platform
-            .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
+            .execute(
+                &human(),
+                &Partition::two_way(0.6).unwrap(),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap();
         let b = platform
-            .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
+            .execute(
+                &human(),
+                &Partition::two_way(0.6).unwrap(),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap();
         assert_eq!(
             a.t_total, b.t_total,
@@ -646,7 +757,12 @@ mod tests {
 
         let noiseless = HeterogeneousPlatform::emil().without_noise();
         let c = noiseless
-            .execute(&human(), &Partition::two_way(0.6), &host48(), &[phi240()])
+            .execute(
+                &human(),
+                &Partition::two_way(0.6).unwrap(),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap();
         let rel = (a.t_total - c.t_total).abs() / c.t_total;
         assert!(
@@ -664,7 +780,7 @@ mod tests {
         let err = platform
             .execute(
                 &w,
-                &Partition::two_way(0.5),
+                &Partition::two_way(0.5).unwrap(),
                 &ExecutionConfig::new(64, Affinity::Scatter),
                 &[phi240()],
             )
@@ -675,7 +791,7 @@ mod tests {
         let err = platform
             .execute(
                 &w,
-                &Partition::two_way(0.5),
+                &Partition::two_way(0.5).unwrap(),
                 &ExecutionConfig::new(0, Affinity::Scatter),
                 &[phi240()],
             )
@@ -686,7 +802,7 @@ mod tests {
         let err = platform
             .execute(
                 &w,
-                &Partition::two_way(0.5),
+                &Partition::two_way(0.5).unwrap(),
                 &ExecutionConfig::new(24, Affinity::Balanced),
                 &[phi240()],
             )
@@ -697,7 +813,7 @@ mod tests {
         let err = platform
             .execute(
                 &w,
-                &Partition::two_way(0.5),
+                &Partition::two_way(0.5).unwrap(),
                 &host48(),
                 &[ExecutionConfig::new(60, Affinity::None)],
             )
@@ -706,7 +822,7 @@ mod tests {
 
         // missing device configuration
         let err = platform
-            .execute(&w, &Partition::two_way(0.5), &host48(), &[])
+            .execute(&w, &Partition::two_way(0.5).unwrap(), &host48(), &[])
             .unwrap_err();
         assert!(matches!(err, PlatformError::ConfigCountMismatch { .. }));
 
@@ -714,7 +830,7 @@ mod tests {
         let err = platform
             .execute(
                 &w.fraction(0.0),
-                &Partition::two_way(0.5),
+                &Partition::two_way(0.5).unwrap(),
                 &host48(),
                 &[phi240()],
             )
@@ -738,7 +854,7 @@ mod tests {
         let platform = HeterogeneousPlatform::emil();
         let workload = human();
         let requests: Vec<ExecutionRequest> = (0..=10u32)
-            .map(|step| ExecutionRequest::two_way(step as f64 / 10.0, host48(), phi240()))
+            .map(|step| ExecutionRequest::two_way(step as f64 / 10.0, host48(), phi240()).unwrap())
             .collect();
         let batched = platform.execute_many(&workload, &requests);
         assert_eq!(batched.len(), requests.len());
@@ -766,9 +882,10 @@ mod tests {
         let platform = HeterogeneousPlatform::emil();
         let workload = human();
         let requests = vec![
-            ExecutionRequest::two_way(0.5, host48(), phi240()),
+            ExecutionRequest::two_way(0.5, host48(), phi240()).unwrap(),
             // 64 host threads exceed the dual-socket maximum
-            ExecutionRequest::two_way(0.5, ExecutionConfig::new(64, Affinity::Scatter), phi240()),
+            ExecutionRequest::two_way(0.5, ExecutionConfig::new(64, Affinity::Scatter), phi240())
+                .unwrap(),
         ];
         let results = platform.execute_many(&workload, &requests);
         assert!(results[0].is_ok());
@@ -798,7 +915,12 @@ mod tests {
     fn stats_reflect_the_partition() {
         let platform = HeterogeneousPlatform::emil();
         let m = platform
-            .execute(&human(), &Partition::two_way(0.75), &host48(), &[phi240()])
+            .execute(
+                &human(),
+                &Partition::two_way(0.75).unwrap(),
+                &host48(),
+                &[phi240()],
+            )
             .unwrap();
         assert!((m.stats.host_share() - 0.75).abs() < 0.01);
         assert!(m.stats.transfer_seconds > 0.0);

@@ -105,7 +105,7 @@ proptest! {
         let workload = WorkloadProfile::dna_scan("w", mb * 1_000_000);
         let m = platform.execute(
             &workload,
-            &Partition::from_host_percent(host_pct),
+            &Partition::from_host_percent(host_pct).unwrap(),
             &ExecutionConfig::new(host_threads, host_aff),
             &[ExecutionConfig::new(device_threads, device_aff)],
         ).unwrap();
@@ -130,11 +130,25 @@ proptest! {
         let workload = WorkloadProfile::dna_scan("w", mb * 1_000_000);
         let cfg_h = ExecutionConfig::new(24, Affinity::Scatter);
         let cfg_d = ExecutionConfig::new(120, Affinity::Balanced);
-        let a = platform.execute(&workload, &Partition::from_host_percent(host_pct), &cfg_h, &[cfg_d]).unwrap();
-        let b = platform.execute(&workload, &Partition::from_host_percent(host_pct), &cfg_h, &[cfg_d]).unwrap();
+        let a = platform.execute(&workload, &Partition::from_host_percent(host_pct).unwrap(), &cfg_h, &[cfg_d]).unwrap();
+        let b = platform.execute(&workload, &Partition::from_host_percent(host_pct).unwrap(), &cfg_h, &[cfg_d]).unwrap();
         prop_assert_eq!(a.t_total, b.t_total);
         prop_assert_eq!(a.t_host, b.t_host);
         prop_assert_eq!(a.t_device, b.t_device);
+    }
+
+    /// `two_way` accepts exactly the fractions in [0,1] (regression for the
+    /// silent-clamp hole that let NaN and out-of-range fractions through).
+    #[test]
+    fn two_way_accepts_exactly_unit_fractions(f in -2.0f64..=2.0) {
+        let result = Partition::two_way(f);
+        if (0.0..=1.0).contains(&f) {
+            let p = result.unwrap();
+            prop_assert!((p.host_fraction() - f).abs() < 1e-15);
+            prop_assert!(p.device_fractions().iter().all(|d| (0.0..=1.0).contains(d)));
+        } else {
+            prop_assert!(result.is_err());
+        }
     }
 
     /// Partition construction accepts exactly the vectors that are element-wise in

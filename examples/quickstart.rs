@@ -38,7 +38,7 @@ fn main() {
     );
     println!(
         "  device model: {:.2} % mean percent error",
-        models.device_accuracy.mean_percent_error()
+        models.device_accuracy().mean_percent_error()
     );
 
     // Ask SAML for a near-optimal system configuration using 1 000 annealing iterations

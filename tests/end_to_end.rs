@@ -102,7 +102,7 @@ fn paper_regimes_hold_for_every_genome() {
             .iter()
             .zip(evaluator.evaluate_batch(&sweep))
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(config, energy)| (*config, energy))
+            .map(|(config, energy)| (config.clone(), energy))
             .unwrap();
         assert!(
             best_config.uses_host() && best_config.uses_device(),

@@ -72,7 +72,7 @@ proptest! {
             workdist::dna::Genome::Mouse.workload(),
         );
         prop_assert_eq!(evaluator.energy(&config), evaluator.energy(&config));
-        let batch = vec![config, config, SystemConfiguration::host_only_baseline()];
+        let batch = vec![config.clone(), config.clone(), SystemConfiguration::host_only_baseline()];
         let energies = evaluator.evaluate_batch(&batch);
         prop_assert_eq!(energies[0], evaluator.energy(&config));
         prop_assert_eq!(energies[1], energies[0]);
