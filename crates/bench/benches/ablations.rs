@@ -153,7 +153,7 @@ fn ablation_regressors(c: &mut Criterion) {
     summaries.push(("poisson regression", &poisson as &dyn Regressor));
 
     for (name, model) in &summaries {
-        let predictions = model.predict_batch(test.feature_rows());
+        let predictions = model.predict_batch(test.feature_matrix(), test.n_features());
         println!(
             "regressor {name:<24}: MAPE {:.2} %, RMSE {:.3} s",
             metrics::mean_absolute_percent_error(test.targets(), &predictions),

@@ -13,6 +13,8 @@
 //!   table6 table7                 percent / absolute difference to the EM optimum
 //!   table8 table9                 speedups vs. host-only / device-only
 //!   all                           everything above
+//!   bench-enumeration             enumeration fast-path measurements; also writes
+//!                                 the BENCH_enumeration.json perf-trajectory artifact
 //! ```
 //!
 //! `--quick` runs a scaled-down study (reduced training campaign, fewer budgets) so the
@@ -84,6 +86,7 @@ fn main() {
             "table2" => table2(),
             "table3" => table3(),
             "fig2" => fig2(seed),
+            "bench-enumeration" => bench_enumeration(scale),
             _ => {}
         }
     }
@@ -170,7 +173,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] <artifact>...\n\
          artifacts: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 table4 table5 fig9 \
-         table6 table7 table8 table9 all"
+         table6 table7 table8 table9 all bench-enumeration"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -483,6 +486,74 @@ fn fig9(study: &PaperStudy) {
             .collect();
         println!("{}", format_table(&headers, &rows));
     }
+}
+
+/// `bench-enumeration`: measure the enumeration fast path and write the
+/// `BENCH_enumeration.json` perf-trajectory artifact (one JSON object per run,
+/// suitable for diffing across commits in CI).
+///
+/// The direct-vs-factorized measurement is `wd_bench::measure_fast_path` — the same
+/// code the `enumeration_fast_path` criterion bench runs, on the same grid at paper
+/// scale, so the JSON trajectory and the bench numbers describe one experiment.
+fn bench_enumeration(scale: Scale) {
+    use std::time::Instant;
+    use wd_bench::{measure_fast_path, two_accel_bench_grid};
+    use wd_opt::{MaterializedOnly, ParallelEnumeration, SearchSpace};
+
+    let platform = HeterogeneousPlatform::emil_with_gpu();
+    let models = TrainingCampaign::reduced_for(&platform).run(&platform, scale.boosting());
+
+    // 2-accelerator EML grid: quick shrinks it, paper uses the bench grid
+    let grid = match scale {
+        Scale::Quick => ConfigurationSpace::tiny_multi(),
+        Scale::Paper => two_accel_bench_grid(),
+    };
+    let m = measure_fast_path(&models, Genome::Human.workload(), &grid);
+
+    // lazy vs. materialized streaming on the Table-I grid, cheap objective
+    let table1 = ConfigurationSpace::enumeration_grid();
+    let cheap = |config: &hetero_autotune::SystemConfiguration| {
+        f64::from(config.host_threads) + f64::from(config.host_permille()) * 1e-3
+    };
+    let start = Instant::now();
+    let lazy = ParallelEnumeration::new().run_indexed(&table1, &cheap);
+    let t_lazy = start.elapsed();
+    let start = Instant::now();
+    let materialized =
+        ParallelEnumeration::new().run_indexed(&MaterializedOnly::new(&table1), &cheap);
+    let t_materialized = start.elapsed();
+    assert_eq!(lazy.best_index, materialized.best_index);
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-enumeration/v1\",\n  \"scale\": \"{}\",\n  \
+         \"tabulated_vs_direct\": {{\n    \"grid_configs\": {},\n    \
+         \"direct_ms\": {:.3},\n    \"tabulated_ms\": {:.3},\n    \
+         \"model_queries_direct\": {},\n    \
+         \"model_queries_tabulated\": {},\n    \
+         \"query_reduction\": {:.2},\n    \"identical_best\": {}\n  }},\n  \
+         \"lazy_vs_materialized\": {{\n    \"grid_configs\": {},\n    \
+         \"lazy_ms\": {:.3},\n    \"materialized_ms\": {:.3}\n  }}\n}}\n",
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        },
+        m.grid_configs,
+        m.direct.as_secs_f64() * 1e3,
+        m.tabulated_total().as_secs_f64() * 1e3,
+        m.model_queries_direct,
+        m.model_queries_tabulated,
+        m.query_reduction(),
+        m.identical_best,
+        table1.space_len().expect("Table-I grid is indexed"),
+        t_lazy.as_secs_f64() * 1e3,
+        t_materialized.as_secs_f64() * 1e3,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_enumeration.json", &json)
+        .expect("failed to write BENCH_enumeration.json");
+    eprintln!("# wrote BENCH_enumeration.json");
+    m.assert_fast_path_won();
 }
 
 // ensure the helper crate links even when only static tables are printed

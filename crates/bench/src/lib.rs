@@ -98,6 +98,198 @@ impl PaperStudy {
     }
 }
 
+/// A [`wd_ml::Regressor`] wrapper counting model invocations (one per predicted row,
+/// for both the single and the batched entry points).
+///
+/// This is the *instrumented objective* the enumeration fast-path bench and the
+/// `bench-enumeration` perf artifact use to prove the factorized prediction path
+/// really performs fewer model queries — wall-clock alone would not distinguish a
+/// faster tree walk from fewer tree walks.
+pub struct CountingRegressor<M> {
+    inner: M,
+    calls: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+}
+
+impl<M: wd_ml::Regressor> CountingRegressor<M> {
+    /// Wrap `inner`; the returned handle reads the invocation count even after the
+    /// regressor has been moved into an evaluator.
+    pub fn new(inner: M) -> (Self, std::sync::Arc<std::sync::atomic::AtomicUsize>) {
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        (Self::with_counter(inner, calls.clone()), calls)
+    }
+
+    /// Wrap `inner` onto an existing counter, so several models (e.g. one per
+    /// device) accumulate into one total.
+    pub fn with_counter(inner: M, calls: std::sync::Arc<std::sync::atomic::AtomicUsize>) -> Self {
+        CountingRegressor { inner, calls }
+    }
+}
+
+impl<M: wd_ml::Regressor> wd_ml::Regressor for CountingRegressor<M> {
+    fn fit(&mut self, data: &wd_ml::Dataset) -> Result<(), wd_ml::MlError> {
+        self.inner.fit(data)
+    }
+
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        self.calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.predict_one(features)
+    }
+
+    fn predict_batch(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if let Some(count) = rows.len().checked_div(width) {
+            self.calls
+                .fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.inner.predict_batch(rows, width)
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.inner.is_fitted()
+    }
+
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+}
+
+/// Build a [`hetero_autotune::PredictionEvaluator`] whose host and device models are
+/// wrapped in [`CountingRegressor`]s, plus one shared invocation counter over all of
+/// them.
+pub fn counting_prediction_evaluator(
+    models: &TrainedModels,
+    workload: hetero_platform::WorkloadProfile,
+) -> (
+    hetero_autotune::PredictionEvaluator,
+    std::sync::Arc<std::sync::atomic::AtomicUsize>,
+) {
+    let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let host = CountingRegressor::with_counter(models.host_model.clone(), calls.clone());
+    let devices: Vec<Box<dyn wd_ml::Regressor + Send + Sync>> = models
+        .device_models
+        .iter()
+        .map(|model| {
+            Box::new(CountingRegressor::with_counter(
+                model.clone(),
+                calls.clone(),
+            )) as Box<dyn wd_ml::Regressor + Send + Sync>
+        })
+        .collect();
+    (
+        hetero_autotune::PredictionEvaluator::new(Box::new(host), devices, workload),
+        calls,
+    )
+}
+
+/// The 2-accelerator (Phi + GPU) grid the enumeration fast-path bench and the
+/// `bench-enumeration` perf artifact both measure, with 10 % split granularity —
+/// one definition so the criterion trajectory and the CI JSON describe the same
+/// experiment.
+pub fn two_accel_bench_grid() -> hetero_autotune::ConfigurationSpace {
+    hetero_autotune::ConfigurationSpace::multi_accelerator(
+        vec![2, 12, 24, 48],
+        vec![hetero_platform::Affinity::Scatter],
+        vec![
+            hetero_autotune::DeviceAxis::new(
+                vec![30, 60, 120, 240],
+                vec![hetero_platform::Affinity::Balanced],
+            ),
+            hetero_autotune::DeviceAxis::new(
+                vec![112, 224, 448],
+                vec![hetero_platform::Affinity::Balanced],
+            ),
+        ],
+        100,
+    )
+}
+
+/// One direct-vs-factorized EML measurement on a grid (see [`measure_fast_path`]).
+pub struct FastPathMeasurement {
+    /// Number of configurations in the measured grid.
+    pub grid_configs: usize,
+    /// Wall-clock of enumerating the direct prediction evaluator.
+    pub direct: std::time::Duration,
+    /// Wall-clock of building the factorized tables.
+    pub build: std::time::Duration,
+    /// Wall-clock of enumerating through the built tables.
+    pub scan: std::time::Duration,
+    /// Model invocations of the direct enumeration.
+    pub model_queries_direct: usize,
+    /// Model invocations of the factorized path (table construction only).
+    pub model_queries_tabulated: usize,
+    /// Whether both paths agreed on the best index and its energy bits.
+    pub identical_best: bool,
+}
+
+impl FastPathMeasurement {
+    /// Total wall-clock of the factorized path (build + scan).
+    pub fn tabulated_total(&self) -> std::time::Duration {
+        self.build + self.scan
+    }
+
+    /// Direct-over-tabulated model-invocation ratio.
+    pub fn query_reduction(&self) -> f64 {
+        self.model_queries_direct as f64 / self.model_queries_tabulated.max(1) as f64
+    }
+
+    /// Assert the *deterministic* acceptance criteria: bit-identical winner and
+    /// ≥ 5× fewer model invocations.  Wall-clock is reported, never asserted — on a
+    /// noisy CI runner a scheduling stall must not fail the build when the query
+    /// counts already prove the claim.
+    pub fn assert_fast_path_won(&self) {
+        assert!(
+            self.identical_best,
+            "factorized EML diverged from the direct path"
+        );
+        assert!(
+            self.model_queries_direct >= 5 * self.model_queries_tabulated,
+            "factorization must save >= 5x model invocations ({} direct vs {} tabulated)",
+            self.model_queries_direct,
+            self.model_queries_tabulated
+        );
+    }
+}
+
+/// Measure EML over `grid` twice — through the direct [`CountingRegressor`]-wrapped
+/// prediction evaluator and through the factorized tables — and compare.
+pub fn measure_fast_path(
+    models: &TrainedModels,
+    workload: hetero_platform::WorkloadProfile,
+    grid: &hetero_autotune::ConfigurationSpace,
+) -> FastPathMeasurement {
+    use std::sync::atomic::Ordering;
+    use std::time::Instant;
+    use wd_opt::{ParallelEnumeration, SearchSpace as _};
+
+    let grid_configs = grid.space_len().expect("bench grids are indexed");
+
+    let (direct, direct_calls) = counting_prediction_evaluator(models, workload.clone());
+    let start = Instant::now();
+    let reference = ParallelEnumeration::new().run_indexed(grid, &direct);
+    let t_direct = start.elapsed();
+
+    let (counted, tabulated_calls) = counting_prediction_evaluator(models, workload);
+    let start = Instant::now();
+    let tabulated = counted.tabulated(grid);
+    let t_build = start.elapsed();
+    let start = Instant::now();
+    let fast = ParallelEnumeration::new().run_indexed(grid, &tabulated);
+    let t_scan = start.elapsed();
+    assert_eq!(tabulated.fallback_queries(), 0);
+
+    FastPathMeasurement {
+        grid_configs,
+        direct: t_direct,
+        build: t_build,
+        scan: t_scan,
+        model_queries_direct: direct_calls.load(Ordering::Relaxed),
+        model_queries_tabulated: tabulated_calls.load(Ordering::Relaxed),
+        identical_best: reference.best_index == fast.best_index
+            && reference.outcome.best_energy.to_bits() == fast.outcome.best_energy.to_bits()
+            && reference.outcome.best_config == fast.outcome.best_config,
+    }
+}
+
 /// Render a `(label, values-per-budget)` table with one column per iteration budget,
 /// as used by Tables VI and VII.
 pub fn render_budget_table(

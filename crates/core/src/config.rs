@@ -747,6 +747,43 @@ impl SearchSpace for ConfigurationSpace {
         Some(self.total_configurations())
     }
 
+    fn space_len(&self) -> Option<usize> {
+        usize::try_from(self.total_configurations()).ok()
+    }
+
+    /// Decode the mixed-radix enumeration index — host threads are the most
+    /// significant digit, the split the least, matching exactly the nested-loop order
+    /// of [`SearchSpace::enumerate`] below.  This is the zero-materialization path:
+    /// the enumeration drivers stream N-way grids through it in fixed-size chunks
+    /// instead of allocating the whole cross product.
+    fn config_at(&self, index: usize) -> Option<SystemConfiguration> {
+        let len = self.space_len()?;
+        if index >= len {
+            return None;
+        }
+        let mut rest = index;
+        let split_index = rest % self.splits.len();
+        rest /= self.splits.len();
+        // device digits, least significant device last in the loop nest
+        let mut device_values = vec![(0u32, Affinity::None); self.device_axes.len()];
+        for (value, axis) in device_values.iter_mut().zip(&self.device_axes).rev() {
+            let affinity_index = rest % axis.affinities.len();
+            rest /= axis.affinities.len();
+            let thread_index = rest % axis.threads.len();
+            rest /= axis.threads.len();
+            *value = (axis.threads[thread_index], axis.affinities[affinity_index]);
+        }
+        let host_affinity = self.host_affinities[rest % self.host_affinities.len()];
+        rest /= self.host_affinities.len();
+        debug_assert!(rest < self.host_threads.len());
+        Some(self.build(
+            self.host_threads[rest],
+            host_affinity,
+            &device_values,
+            &self.splits[split_index],
+        ))
+    }
+
     fn enumerate(&self) -> Option<Vec<SystemConfiguration>> {
         // cross product over the device axes, axis-major (threads outer, affinity
         // inner), matching the single-accelerator enumeration order of the paper grid
@@ -1130,6 +1167,37 @@ mod tests {
             assert!(child.device_threads() == 2 || child.device_threads() == 240);
             assert!(child.host_permille() == 0 || child.host_permille() == 1000);
             assert_eq!(child.split().iter().sum::<u32>(), 1000);
+        }
+    }
+
+    #[test]
+    fn config_at_matches_the_enumeration_order_exactly() {
+        // the indexed decoder and the nested-loop enumeration are two independent
+        // implementations of the same order; they must agree element by element
+        for space in [
+            ConfigurationSpace::tiny(),
+            ConfigurationSpace::tiny_multi(),
+            ConfigurationSpace::multi_accelerator(
+                vec![12, 48],
+                vec![Affinity::Scatter, Affinity::Compact],
+                vec![
+                    DeviceAxis::new(vec![60, 240], vec![Affinity::Balanced, Affinity::Scatter]),
+                    DeviceAxis::new(vec![448], vec![Affinity::Balanced]),
+                    DeviceAxis::new(vec![30, 60], vec![Affinity::Compact]),
+                ],
+                250,
+            ),
+        ] {
+            let all = space.enumerate().unwrap();
+            assert_eq!(space.space_len(), Some(all.len()));
+            for (index, config) in all.iter().enumerate() {
+                assert_eq!(
+                    space.config_at(index).as_ref(),
+                    Some(config),
+                    "index {index}"
+                );
+            }
+            assert_eq!(space.config_at(all.len()), None);
         }
     }
 

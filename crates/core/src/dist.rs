@@ -150,7 +150,21 @@ where
         let models = models.ok_or_else(|| {
             format!("{method} requires trained prediction models; run the training campaign first")
         })?;
-        campaign.run(grid, &models.prediction_evaluator(workload.clone()), store)
+        // EML campaigns score shards from the factorized per-device time tables
+        // (bit-identical to the direct prediction path, a fraction of the model
+        // queries); the grid itself streams lazily through the shard views.  A store
+        // that already covers the whole grid answers everything itself — skip the
+        // table construction so fully-warm resumes keep costing zero model queries
+        // (stores are dedicated to one campaign, see above, so `len` is a faithful
+        // coverage bound).
+        use wd_opt::SearchSpace as _;
+        let prediction = models.prediction_evaluator(workload.clone());
+        let fully_warm = grid.space_len().is_some_and(|len| store.len() >= len);
+        if fully_warm {
+            campaign.run(grid, &prediction, store)
+        } else {
+            campaign.run(grid, &prediction.tabulated(grid), store)
+        }
     } else {
         campaign.run(grid, &measurement, store)
     };

@@ -20,12 +20,15 @@
 //! configurations (the paper's methods re-visit configurations constantly under
 //! simulated annealing).
 
-use hetero_platform::{ExecutionRequest, HeterogeneousPlatform, WorkloadProfile};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hetero_platform::{Affinity, ExecutionRequest, HeterogeneousPlatform, WorkloadProfile};
 use rayon::prelude::*;
 use wd_ml::Regressor;
 use wd_opt::Objective;
 
-use crate::config::SystemConfiguration;
+use crate::config::{ConfigurationSpace, SystemConfiguration};
 use crate::features::{device_features, host_features, share_bytes};
 
 /// Evaluation by "measurement": one simulated execution per query, bound to one
@@ -246,6 +249,14 @@ impl PredictionEvaluator {
         let (host, device) = self.evaluate_times(config);
         host.max(device)
     }
+
+    /// Build the factorized fast path for exhaustive searches over `space`: a
+    /// [`TabulatedPredictionEvaluator`] whose per-device time tables are precomputed
+    /// with batched, rayon-parallel model queries.  See the type docs for when this
+    /// pays off.
+    pub fn tabulated(&self, space: &ConfigurationSpace) -> TabulatedPredictionEvaluator<'_> {
+        TabulatedPredictionEvaluator::new(self, space)
+    }
 }
 
 impl Objective<SystemConfiguration> for PredictionEvaluator {
@@ -259,6 +270,260 @@ impl Objective<SystemConfiguration> for PredictionEvaluator {
             .par_iter()
             .map(|config| self.energy(config))
             .collect()
+    }
+}
+
+/// One per-device time table of the factorized fast path, keyed by that device's own
+/// `(threads, affinity, share permille)` axis.
+type TimeTable = HashMap<(u32, Affinity, u32), f64>;
+
+/// Number of table entries scored per batched model call during construction.
+const TABLE_BATCH: usize = 256;
+
+/// The factorized prediction fast path for exhaustive (enumeration) searches.
+///
+/// The energy `E = max(T_host, max_d T_d)` is *separable*: each device's predicted
+/// time depends only on that device's own `(threads, affinity, share)` triple, never
+/// on the other devices.  An N-way grid of `|host axis| × Π_d |axis_d| × |splits|`
+/// configurations therefore needs only `Σ_d |threads_d| × |affinities_d| × |shares_d|`
+/// *distinct* model queries — the per-device tables this evaluator precomputes — after
+/// which scoring any configuration is a handful of table lookups and a max-fold,
+/// with **zero** boosted-tree walks.
+///
+/// Construction queries the models once per table entry through the batched,
+/// rayon-parallel [`wd_ml::Regressor::predict_batch`] path; results are **bit-identical**
+/// to [`PredictionEvaluator`] (the tables store exactly what `predict_host` /
+/// `predict_device_on` would return, and the max-composition replicates
+/// [`PredictionEvaluator::energy`] operation for operation).
+///
+/// Tabulation pays off when many configurations share axis values — enumeration (EM's
+/// grid visits every table entry thousands of times) and sharded campaigns.  It does
+/// *not* pay off for short annealing walks, which visit too few configurations to
+/// amortise building the tables; those keep querying the models directly.
+///
+/// Configurations outside the tabulated space (an axis value or share the space does
+/// not contain) fall back to the wrapped evaluator's direct model path, so the
+/// evaluator remains total; [`TabulatedPredictionEvaluator::fallback_queries`] counts
+/// how often that happened.
+pub struct TabulatedPredictionEvaluator<'a> {
+    inner: &'a PredictionEvaluator,
+    host: TimeTable,
+    devices: Vec<TimeTable>,
+    table_model_queries: usize,
+    fallback_queries: AtomicUsize,
+}
+
+impl<'a> TabulatedPredictionEvaluator<'a> {
+    /// Precompute the host table and one table per accelerator of `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `space` describes more accelerators than `inner` has models for.
+    pub fn new(inner: &'a PredictionEvaluator, space: &ConfigurationSpace) -> Self {
+        assert!(
+            space.accelerator_count() <= inner.device_models.len(),
+            "space describes {} accelerators but only {} device models are trained",
+            space.accelerator_count(),
+            inner.device_models.len()
+        );
+        let bytes = inner.workload.bytes;
+
+        // distinct share values per simplex position (column 0 is the host)
+        let shares_of = |position: usize| {
+            let mut shares: Vec<u32> = space.splits.iter().map(|split| split[position]).collect();
+            shares.sort_unstable();
+            shares.dedup();
+            shares
+        };
+
+        let host = Self::build_table(
+            inner.host_model.as_ref(),
+            &space.host_threads,
+            &space.host_affinities,
+            &shares_of(0),
+            bytes,
+            host_features,
+            // exactly `predict_host`: clamp the raw prediction at zero
+            &|prediction| prediction.max(0.0),
+        );
+        let overhead = inner.device_fixed_overhead;
+        let devices: Vec<(TimeTable, usize)> = space
+            .device_axes
+            .iter()
+            .enumerate()
+            .map(|(index, axis)| {
+                Self::build_table(
+                    inner.device_models[index].as_ref(),
+                    &axis.threads,
+                    &axis.affinities,
+                    &shares_of(index + 1),
+                    bytes,
+                    device_features,
+                    // exactly `predict_device_on`: add the offload overhead, clamp
+                    &|prediction| (prediction + overhead).max(0.0),
+                )
+            })
+            .collect();
+
+        let table_model_queries =
+            host.1 + devices.iter().map(|(_, queries)| queries).sum::<usize>();
+        TabulatedPredictionEvaluator {
+            inner,
+            host: host.0,
+            devices: devices.into_iter().map(|(table, _)| table).collect(),
+            table_model_queries,
+            fallback_queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tabulate one device axis: zero shares short-circuit to 0 (as the direct path
+    /// does), everything else is scored through batched, rayon-parallel model calls.
+    /// Returns the table and the number of model queries it cost.
+    fn build_table(
+        model: &(dyn Regressor + Send + Sync),
+        threads: &[u32],
+        affinities: &[Affinity],
+        shares: &[u32],
+        total_bytes: u64,
+        featurize: fn(u32, Affinity, u64) -> Vec<f64>,
+        finish: &(dyn Fn(f64) -> f64 + Sync),
+    ) -> (TimeTable, usize) {
+        let mut table = TimeTable::with_capacity(threads.len() * affinities.len() * shares.len());
+        let mut queried: Vec<(u32, Affinity, u32)> = Vec::new();
+        for &t in threads {
+            for &a in affinities {
+                for &share in shares {
+                    if share_bytes(total_bytes, share) == 0 {
+                        // a side that receives no work reports 0, without a model query
+                        table.insert((t, a, share), 0.0);
+                    } else {
+                        queried.push((t, a, share));
+                    }
+                }
+            }
+        }
+
+        let predictions: Vec<Vec<f64>> = queried
+            .chunks(TABLE_BATCH)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|chunk| {
+                let mut width = 0;
+                let mut matrix: Vec<f64> = Vec::new();
+                for &(t, a, share) in chunk {
+                    let row = featurize(t, a, share_bytes(total_bytes, share));
+                    width = row.len();
+                    matrix.extend(row);
+                }
+                model
+                    .predict_batch(&matrix, width)
+                    .into_iter()
+                    .map(finish)
+                    .collect()
+            })
+            .collect();
+        for (chunk, chunk_predictions) in queried.chunks(TABLE_BATCH).zip(predictions) {
+            for (&key, &time) in chunk.iter().zip(&chunk_predictions) {
+                table.insert(key, time);
+            }
+        }
+        (table, queried.len())
+    }
+
+    /// Number of model queries spent building the tables — the *entire* model cost of
+    /// any number of subsequent evaluations.
+    pub fn table_model_queries(&self) -> usize {
+        self.table_model_queries
+    }
+
+    /// Total number of table entries across the host and all devices.
+    pub fn table_len(&self) -> usize {
+        self.host.len() + self.devices.iter().map(TimeTable::len).sum::<usize>()
+    }
+
+    /// How many evaluations had to fall back to the direct model path because the
+    /// configuration lay outside the tabulated space (0 for enumeration over the
+    /// space the tables were built from).
+    pub fn fallback_queries(&self) -> usize {
+        self.fallback_queries.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped direct evaluator.
+    pub fn inner(&self) -> &PredictionEvaluator {
+        self.inner
+    }
+
+    fn host_time(&self, config: &SystemConfiguration) -> f64 {
+        match self.host.get(&(
+            config.host_threads,
+            config.host_affinity,
+            config.host_permille(),
+        )) {
+            Some(&time) => time,
+            None => {
+                self.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                let bytes = share_bytes(self.inner.workload.bytes, config.host_permille());
+                if bytes == 0 {
+                    0.0
+                } else {
+                    self.inner
+                        .predict_host(config.host_threads, config.host_affinity, bytes)
+                }
+            }
+        }
+    }
+
+    fn device_time(&self, index: usize, device: crate::config::DeviceSetting) -> f64 {
+        match self
+            .devices
+            .get(index)
+            .and_then(|table| table.get(&(device.threads, device.affinity, device.permille)))
+        {
+            Some(&time) => time,
+            None => {
+                self.fallback_queries.fetch_add(1, Ordering::Relaxed);
+                let bytes = share_bytes(self.inner.workload.bytes, device.permille);
+                if bytes == 0 {
+                    0.0
+                } else {
+                    self.inner
+                        .predict_device_on(index, device.threads, device.affinity, bytes)
+                }
+            }
+        }
+    }
+
+    /// The optimization energy `E = max(T_host, max_d T_d)` by table lookup +
+    /// max-composition — the same fold, in the same order, as
+    /// [`PredictionEvaluator::energy`].
+    pub fn energy(&self, config: &SystemConfiguration) -> f64 {
+        assert!(
+            config.accelerator_count() <= self.inner.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.inner.device_models.len()
+        );
+        let host = self.host_time(config);
+        let device = config
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(index, &device)| self.device_time(index, device))
+            .fold(0.0, f64::max);
+        host.max(device)
+    }
+}
+
+impl Objective<SystemConfiguration> for TabulatedPredictionEvaluator<'_> {
+    fn evaluate(&self, config: &SystemConfiguration) -> f64 {
+        self.energy(config)
+    }
+
+    /// Batched scoring: pure table lookups.  Deliberately sequential — the lookups
+    /// are ~ns each and the enumeration drivers already spread batches over rayon
+    /// workers, so fanning out *inside* the batch would only add thread overhead.
+    fn evaluate_batch(&self, configs: &[SystemConfiguration]) -> Vec<f64> {
+        configs.iter().map(|config| self.energy(config)).collect()
     }
 }
 
@@ -395,6 +660,88 @@ mod tests {
                 .map(|c| evaluator.evaluate(c))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn tabulated_evaluator_is_bit_identical_and_factorizes_the_queries() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use wd_opt::SearchSpace as _;
+
+        // a deterministic nonlinear dummy model that counts its invocations
+        struct Wavy(&'static AtomicUsize);
+        impl Regressor for Wavy {
+            fn fit(&mut self, _data: &wd_ml::Dataset) -> Result<(), wd_ml::MlError> {
+                Ok(())
+            }
+            fn predict_one(&self, features: &[f64]) -> f64 {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                (features[0] * 0.37).sin().abs() + features[4] * (1.0 + features[1] * 0.25)
+            }
+            fn is_fitted(&self) -> bool {
+                true
+            }
+            fn name(&self) -> &'static str {
+                "wavy"
+            }
+        }
+        static HOST_CALLS: AtomicUsize = AtomicUsize::new(0);
+        static DEVICE_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+        let space = crate::config::ConfigurationSpace::tiny();
+        let workload = WorkloadProfile::dna_scan("x", 3_000_000_000);
+        let evaluator = PredictionEvaluator::new(
+            Box::new(Wavy(&HOST_CALLS)),
+            vec![Box::new(Wavy(&DEVICE_CALLS))],
+            workload,
+        )
+        .with_device_overhead(0.125);
+
+        let configs = space.enumerate().unwrap();
+        let direct: Vec<f64> = configs.iter().map(|c| evaluator.energy(c)).collect();
+        let direct_queries =
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed);
+
+        HOST_CALLS.store(0, Ordering::Relaxed);
+        DEVICE_CALLS.store(0, Ordering::Relaxed);
+        let tabulated = evaluator.tabulated(&space);
+        let table_queries =
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed);
+        assert_eq!(tabulated.table_model_queries(), table_queries);
+        // the factorization collapses |grid| × 2 queries to Σ axis sizes
+        assert!(
+            table_queries * 5 <= direct_queries,
+            "tabulation used {table_queries} queries, direct used {direct_queries}"
+        );
+
+        for (config, &reference) in configs.iter().zip(&direct) {
+            assert_eq!(
+                tabulated.energy(config).to_bits(),
+                reference.to_bits(),
+                "config {config}"
+            );
+        }
+        // scoring the whole grid consumed zero additional model queries
+        assert_eq!(
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed),
+            table_queries
+        );
+        assert_eq!(tabulated.fallback_queries(), 0);
+
+        // a configuration outside the space falls back to the direct path, identically
+        let outside =
+            SystemConfiguration::with_host_percent(48, Affinity::None, 240, Affinity::Balanced, 55);
+        assert_eq!(
+            tabulated.energy(&outside).to_bits(),
+            evaluator.energy(&outside).to_bits()
+        );
+        assert!(tabulated.fallback_queries() > 0);
+
+        // the batched path matches too
+        let batched = tabulated.evaluate_batch(&configs);
+        assert_eq!(batched.len(), direct.len());
+        for (a, b) in batched.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

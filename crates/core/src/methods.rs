@@ -202,7 +202,17 @@ impl<'a> MethodRunner<'a> {
         let (outcome, cache) = if method.uses_prediction() {
             let models = self.require_models(method)?;
             let prediction = models.prediction_evaluator(self.workload.clone());
-            self.search(method, iterations, &prediction)
+            if method.uses_enumeration() {
+                // EML fast path: the energy is separable per device, so the whole
+                // grid is scored from precomputed per-device time tables
+                // (Σ axis sizes model queries instead of |grid| × (N + 1)) —
+                // bit-identical to enumerating through `prediction` directly.
+                // Annealing walks skip this: they visit too few configurations to
+                // amortise building the tables.
+                self.search(method, iterations, &prediction.tabulated(&self.grid))
+            } else {
+                self.search(method, iterations, &prediction)
+            }
         } else {
             self.search(method, iterations, &measurement)
         };

@@ -206,15 +206,23 @@ impl ShardedCampaign {
     /// Run the campaign: shard `space`, evaluate every shard through `store`-backed
     /// `objective`, merge, and record the merged stats into the store.
     ///
+    /// On spaces with indexed access ([`SearchSpace::space_len`] /
+    /// [`SearchSpace::config_at`]) the campaign is **zero-materialization**: every
+    /// shard is a lazy [`ShardView::lazy`] over its global index range and streams
+    /// configurations through the batched enumeration driver one chunk at a time —
+    /// the full configuration `Vec` never exists, so peak allocation is bounded by
+    /// `batch_size` per concurrent shard, not by the space cardinality.  Spaces
+    /// without indexed access fall back to materialising the enumeration once.
+    ///
     /// The result is bit-identical to
     /// [`ParallelEnumeration::run`] on the whole space, for every shard count,
     /// batch size and shard completion order.  The store is flushed before returning.
     ///
     /// # Panics
     ///
-    /// Panics if the space is not enumerable or empty, or if flushing the store fails
-    /// (a persistent campaign that cannot persist is not resumable — failing loudly
-    /// beats silently re-evaluating everything next run).
+    /// Panics if the space is neither indexed nor enumerable, or if it is empty, or if
+    /// flushing the store fails (a persistent campaign that cannot persist is not
+    /// resumable — failing loudly beats silently re-evaluating everything next run).
     pub fn run<S, O, R>(&self, space: &S, objective: &O, store: &R) -> CampaignOutcome<S::Config>
     where
         S: SearchSpace + Sync,
@@ -222,21 +230,28 @@ impl ShardedCampaign {
         O: Objective<S::Config> + Sync,
         R: ResultStore<S::Config> + Sync,
     {
-        let configs = space
-            .enumerate()
-            .expect("sharded campaigns require an enumerable search space");
-        assert!(
-            !configs.is_empty(),
-            "cannot run a campaign over an empty space"
-        );
-        let plan = ShardPlan::new(configs.len(), self.shard_count);
+        let (materialized, total) = match space.space_len() {
+            Some(len) => (None, len),
+            None => {
+                let configs = space
+                    .enumerate()
+                    .expect("sharded campaigns require an enumerable search space");
+                let len = configs.len();
+                (Some(configs), len)
+            }
+        };
+        assert!(total > 0, "cannot run a campaign over an empty space");
+        let plan = ShardPlan::new(total, self.shard_count);
 
         let reports: Vec<ShardReport> = (0..plan.shard_count())
             .collect::<Vec<_>>()
             .into_par_iter()
             .map(|shard| {
                 let range = plan.range(shard);
-                let view = ShardView::new(space, &configs[range.clone()], range.start);
+                let view = match &materialized {
+                    Some(configs) => ShardView::new(space, &configs[range.clone()], range.start),
+                    None => ShardView::lazy(space, range.clone()),
+                };
                 let backed = StoreBackedObjective::new(objective, store);
                 let indexed = ParallelEnumeration::with_batch_size(self.batch_size)
                     .run_indexed(&view, &backed);
@@ -258,8 +273,14 @@ impl ShardedCampaign {
             .flush()
             .expect("failed to flush the campaign result store");
 
+        let best_config = match materialized {
+            Some(mut configs) => configs.swap_remove(best_index),
+            None => space
+                .config_at(best_index)
+                .expect("space_len() implies config_at() coverage"),
+        };
         CampaignOutcome {
-            best_config: configs[best_index].clone(),
+            best_config,
             best_energy,
             best_index,
             evaluations: reports.iter().map(|report| report.evaluations).sum(),
@@ -305,6 +326,65 @@ mod tests {
             assert_eq!(outcome.evaluations, 37 * 23);
             assert_eq!(outcome.experiments(), 37 * 23);
         }
+    }
+
+    #[test]
+    fn indexed_spaces_stream_without_materializing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use wd_opt::{InstrumentedSpace, MaterializedOnly, Objective};
+
+        let space = GridSpace {
+            width: 25,
+            height: 20,
+        };
+
+        // an objective that records the largest batch it was ever asked to score —
+        // with the streaming driver this bounds the per-worker materialisation
+        struct MaxBatch<'a, O>(&'a O, AtomicUsize);
+        impl<C, O: Objective<C>> Objective<C> for MaxBatch<'_, O> {
+            fn evaluate(&self, config: &C) -> f64 {
+                self.1.fetch_max(1, Ordering::Relaxed);
+                self.0.evaluate(config)
+            }
+            fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
+                self.1.fetch_max(configs.len(), Ordering::Relaxed);
+                self.0.evaluate_batch(configs)
+            }
+        }
+
+        let instrumented = InstrumentedSpace::new(&space);
+        let store = MemoryStore::new();
+        let objective = MaxBatch(&bowl, AtomicUsize::new(0));
+        let batch_size = 32;
+        let outcome = ShardedCampaign::new(4).with_batch_size(batch_size).run(
+            &instrumented,
+            &objective,
+            &store,
+        );
+
+        assert_eq!(
+            instrumented.enumerate_calls(),
+            0,
+            "a lazy campaign must never materialise the space"
+        );
+        // every configuration streamed by index, plus one re-materialisation of each
+        // shard's local best and one of the global winner
+        assert_eq!(instrumented.config_at_calls(), 500 + 4 + 1);
+        assert!(objective.1.load(Ordering::Relaxed) <= batch_size);
+
+        // and the result is bit-identical to the forced-materialization fallback
+        let hidden = MaterializedOnly::new(&space);
+        let reference = ShardedCampaign::new(4).with_batch_size(batch_size).run(
+            &hidden,
+            &bowl,
+            &MemoryStore::new(),
+        );
+        assert_eq!(outcome.best_config, reference.best_config);
+        assert_eq!(outcome.best_index, reference.best_index);
+        assert_eq!(
+            outcome.best_energy.to_bits(),
+            reference.best_energy.to_bits()
+        );
     }
 
     #[test]

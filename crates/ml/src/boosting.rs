@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::model::Regressor;
-use crate::tree::{RegressionTree, TreeParams};
+use crate::tree::{RegressionTree, TreeParams, LEAF};
 
 /// Hyper-parameters of the boosted ensemble.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,12 +63,77 @@ impl BoostingParams {
     }
 }
 
+/// The whole fitted ensemble flattened into **one contiguous arena**: every tree's
+/// [`crate::FlatTree`] arrays concatenated (child indices rebased), plus one root
+/// offset per tree.  All inference — single rows and batches — walks these four
+/// arrays; the per-tree [`RegressionTree`] arenas are kept only for training-time
+/// diagnostics ([`BoostedTreesRegressor::staged_training_mse`]).
+#[derive(Debug, Clone, Default)]
+struct FlatForest {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    roots: Vec<u32>,
+}
+
+impl FlatForest {
+    /// Concatenate the fitted trees into one arena.
+    fn from_trees(trees: &[RegressionTree]) -> Self {
+        let total: usize = trees.iter().map(RegressionTree::node_count).sum();
+        let mut forest = FlatForest {
+            feature: Vec::with_capacity(total),
+            threshold: Vec::with_capacity(total),
+            left: Vec::with_capacity(total),
+            right: Vec::with_capacity(total),
+            roots: Vec::with_capacity(trees.len()),
+        };
+        for tree in trees {
+            let offset = forest.feature.len() as u32;
+            forest.roots.push(offset);
+            let flat = tree.flatten();
+            forest.feature.extend_from_slice(&flat.feature);
+            forest.threshold.extend_from_slice(&flat.threshold);
+            // rebase the child indices into the shared arena (leaf slots hold 0 and
+            // are never followed, so rebasing them is harmless)
+            forest.left.extend(flat.left.iter().map(|&l| l + offset));
+            forest.right.extend(flat.right.iter().map(|&r| r + offset));
+        }
+        forest
+    }
+
+    /// Number of trees in the arena.
+    fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Leaf value of tree `tree` for `features` — the same walk as
+    /// [`crate::FlatTree::predict_one`], over the shared arrays.
+    #[inline]
+    fn leaf(&self, tree: usize, features: &[f64]) -> f64 {
+        let mut index = self.roots[tree] as usize;
+        loop {
+            let feature = self.feature[index];
+            if feature == LEAF {
+                return self.threshold[index];
+            }
+            let value = features.get(feature as usize).copied().unwrap_or(0.0);
+            index = if value <= self.threshold[index] {
+                self.left[index] as usize
+            } else {
+                self.right[index] as usize
+            };
+        }
+    }
+}
+
 /// A fitted gradient-boosted tree ensemble.
 #[derive(Debug, Clone)]
 pub struct BoostedTreesRegressor {
     params: BoostingParams,
     base_prediction: f64,
     trees: Vec<RegressionTree>,
+    flat: FlatForest,
     fitted: bool,
 }
 
@@ -79,6 +144,7 @@ impl BoostedTreesRegressor {
             params,
             base_prediction: 0.0,
             trees: Vec::new(),
+            flat: FlatForest::default(),
             fitted: false,
         }
     }
@@ -125,6 +191,7 @@ impl Regressor for BoostedTreesRegressor {
             return Err(MlError::EmptyDataset);
         }
         self.trees.clear();
+        self.flat = FlatForest::default();
         self.base_prediction = data.target_mean();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
 
@@ -155,16 +222,42 @@ impl Regressor for BoostedTreesRegressor {
             }
             self.trees.push(tree);
         }
+        self.flat = FlatForest::from_trees(&self.trees);
         self.fitted = true;
         Ok(())
     }
 
     fn predict_one(&self, features: &[f64]) -> f64 {
+        // the flat arena holds exactly the fitted trees, in boosting order, so the
+        // accumulation is bit-identical to walking the per-tree arenas
         let mut prediction = self.base_prediction;
-        for tree in &self.trees {
-            prediction += self.params.learning_rate * tree.predict_one(features);
+        for tree in 0..self.flat.tree_count() {
+            prediction += self.params.learning_rate * self.flat.leaf(tree, features);
         }
         prediction
+    }
+
+    /// Real batched inference over a row-major feature matrix: tree-major traversal of
+    /// the flat arena, so each tree's nodes stay cache-hot across all rows and no
+    /// per-row buffers are allocated.  Per row the additions happen in the same order
+    /// as [`Regressor::predict_one`], so the results are bit-identical to the default
+    /// row loop.
+    fn predict_batch(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            width > 0 && rows.len().is_multiple_of(width),
+            "row-major batch of {} values is not a whole number of width-{width} rows",
+            rows.len()
+        );
+        let mut predictions = vec![self.base_prediction; rows.len() / width];
+        for tree in 0..self.flat.tree_count() {
+            for (prediction, row) in predictions.iter_mut().zip(rows.chunks_exact(width)) {
+                *prediction += self.params.learning_rate * self.flat.leaf(tree, row);
+            }
+        }
+        predictions
     }
 
     fn is_fitted(&self) -> bool {
@@ -203,7 +296,7 @@ mod tests {
         assert!(model.is_fitted());
         assert_eq!(model.tree_count(), BoostingParams::fast().n_estimators);
 
-        let predictions = model.predict_batch(test.feature_rows());
+        let predictions = model.predict_batch(test.feature_matrix(), test.n_features());
         let mape = metrics::mean_absolute_percent_error(test.targets(), &predictions);
         assert!(mape < 8.0, "MAPE too high: {mape}%");
     }
@@ -231,11 +324,11 @@ mod tests {
 
         let rmse_single = metrics::root_mean_squared_error(
             test.targets(),
-            &single.predict_batch(test.feature_rows()),
+            &single.predict_batch(test.feature_matrix(), test.n_features()),
         );
         let rmse_boosted = metrics::root_mean_squared_error(
             test.targets(),
-            &boosted.predict_batch(test.feature_rows()),
+            &boosted.predict_batch(test.feature_matrix(), test.n_features()),
         );
         assert!(
             rmse_boosted < rmse_single,

@@ -1,4 +1,8 @@
 //! Feature/target storage, shuffling and train/test splitting.
+//!
+//! Features are stored as one contiguous **row-major matrix** (`len × n_features`
+//! values in one allocation), so batched inference ([`crate::Regressor::predict_batch`])
+//! can walk the rows without chasing one heap allocation per row.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -11,7 +15,9 @@ use crate::error::MlError;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     feature_names: Vec<String>,
-    rows: Vec<Vec<f64>>,
+    /// Row-major feature matrix: `values[i * n_features .. (i + 1) * n_features]` is
+    /// row `i`.
+    values: Vec<f64>,
     targets: Vec<f64>,
 }
 
@@ -20,7 +26,7 @@ impl Dataset {
     pub fn new(feature_names: Vec<String>) -> Self {
         Dataset {
             feature_names,
-            rows: Vec::new(),
+            values: Vec::new(),
             targets: Vec::new(),
         }
     }
@@ -35,15 +41,15 @@ impl Dataset {
         }
         if features.iter().any(|v| !v.is_finite()) {
             return Err(MlError::NonFiniteValue {
-                context: format!("features of row {}", self.rows.len()),
+                context: format!("features of row {}", self.targets.len()),
             });
         }
         if !target.is_finite() {
             return Err(MlError::NonFiniteValue {
-                context: format!("target of row {}", self.rows.len()),
+                context: format!("target of row {}", self.targets.len()),
             });
         }
-        self.rows.push(features);
+        self.values.extend_from_slice(&features);
         self.targets.push(target);
         Ok(())
     }
@@ -55,12 +61,12 @@ impl Dataset {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.targets.len()
     }
 
     /// Whether the dataset has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.targets.is_empty()
     }
 
     /// Number of feature columns.
@@ -68,24 +74,26 @@ impl Dataset {
         self.feature_names.len()
     }
 
-    /// All feature rows.
-    pub fn feature_rows(&self) -> &[Vec<f64>] {
-        &self.rows
-    }
-
-    /// All targets.
-    pub fn targets(&self) -> &[f64] {
-        &self.targets
+    /// The whole feature matrix, row-major (`len() * n_features()` values) — the shape
+    /// [`crate::Regressor::predict_batch`] consumes directly.
+    pub fn feature_matrix(&self) -> &[f64] {
+        &self.values
     }
 
     /// Features of row `i`.
     pub fn features(&self, i: usize) -> &[f64] {
-        &self.rows[i]
+        let width = self.n_features();
+        &self.values[i * width..(i + 1) * width]
     }
 
     /// Target of row `i`.
     pub fn target(&self, i: usize) -> f64 {
         self.targets[i]
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
     }
 
     /// Mean of the targets (0 for an empty dataset).
@@ -97,13 +105,24 @@ impl Dataset {
         }
     }
 
+    /// Append row `i` of `source` without revalidation (rows already passed `push`).
+    fn push_row_from(&mut self, source: &Dataset, i: usize) {
+        self.values.extend_from_slice(source.features(i));
+        self.targets.push(source.targets[i]);
+    }
+
     /// Deterministically shuffle the rows.
     pub fn shuffle(&mut self, seed: u64) {
-        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        let mut order: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
-        self.rows = order.iter().map(|&i| self.rows[i].clone()).collect();
-        self.targets = order.iter().map(|&i| self.targets[i]).collect();
+        let mut shuffled = Dataset::new(self.feature_names.clone());
+        shuffled.values.reserve(self.values.len());
+        shuffled.targets.reserve(self.targets.len());
+        for &i in &order {
+            shuffled.push_row_from(self, i);
+        }
+        *self = shuffled;
     }
 
     /// Split into `(train, test)` with `test_fraction` of the rows (rounded down) going
@@ -113,10 +132,10 @@ impl Dataset {
     /// were used to train the prediction model, and the other half for evaluation").
     pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
         let test_fraction = test_fraction.clamp(0.0, 1.0);
-        let mut order: Vec<usize> = (0..self.rows.len()).collect();
+        let mut order: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         order.shuffle(&mut rng);
-        let test_len = (self.rows.len() as f64 * test_fraction).floor() as usize;
+        let test_len = (self.len() as f64 * test_fraction).floor() as usize;
 
         let mut test = Dataset::new(self.feature_names.clone());
         let mut train = Dataset::new(self.feature_names.clone());
@@ -126,8 +145,7 @@ impl Dataset {
             } else {
                 &mut train
             };
-            destination.rows.push(self.rows[i].clone());
-            destination.targets.push(self.targets[i]);
+            destination.push_row_from(self, i);
         }
         (train, test)
     }
@@ -135,10 +153,9 @@ impl Dataset {
     /// Keep only the rows for which `predicate(features, target)` returns true.
     pub fn filtered<F: Fn(&[f64], f64) -> bool>(&self, predicate: F) -> Dataset {
         let mut out = Dataset::new(self.feature_names.clone());
-        for (row, &target) in self.rows.iter().zip(&self.targets) {
-            if predicate(row, target) {
-                out.rows.push(row.clone());
-                out.targets.push(target);
+        for i in 0..self.len() {
+            if predicate(self.features(i), self.targets[i]) {
+                out.push_row_from(self, i);
             }
         }
         out
@@ -173,6 +190,19 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert_eq!(d.features(0), &[1.0, 2.0]);
         assert_eq!(d.target(0), 3.0);
+    }
+
+    #[test]
+    fn feature_matrix_is_row_major() {
+        let d = sample(3);
+        assert_eq!(d.feature_matrix(), &[0.0, 0.0, 1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(d.feature_matrix().len(), d.len() * d.n_features());
+        for i in 0..d.len() {
+            assert_eq!(
+                d.features(i),
+                &d.feature_matrix()[i * d.n_features()..(i + 1) * d.n_features()]
+            );
+        }
     }
 
     #[test]
@@ -213,6 +243,11 @@ mod tests {
         original.sort_by(f64::total_cmp);
         after.sort_by(f64::total_cmp);
         assert_eq!(original, after, "shuffle must preserve the multiset");
+        // rows stay intact: features still travel with their target
+        for i in 0..shuffled.len() {
+            let target = shuffled.target(i);
+            assert_eq!(shuffled.features(i), &[target / 10.0, target / 5.0]);
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@
 //! let (train, test) = data.train_test_split(0.5, 42);
 //! let mut model = BoostedTreesRegressor::new(BoostingParams::default());
 //! model.fit(&train).unwrap();
-//! let predictions = model.predict_batch(test.feature_rows());
+//! let predictions = model.predict_batch(test.feature_matrix(), test.n_features());
 //! let mape = metrics::mean_absolute_percent_error(test.targets(), &predictions);
 //! assert!(mape < 15.0);
 //! ```
@@ -54,5 +54,5 @@ pub use metrics::ErrorHistogram;
 pub use model::Regressor;
 pub use normalize::{Normalization, Normalizer};
 pub use poisson::PoissonRegressor;
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{FlatTree, RegressionTree, TreeParams};
 pub use validation::{k_fold_cross_validation, permutation_importance, CrossValidation};

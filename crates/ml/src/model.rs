@@ -21,9 +21,35 @@ pub trait Regressor {
     /// Human readable name of the model (used in comparison reports).
     fn name(&self) -> &'static str;
 
-    /// Predict targets for a batch of feature vectors.
-    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        rows.iter().map(|row| self.predict_one(row)).collect()
+    /// Predict targets for a batch of feature vectors stored as one **row-major
+    /// matrix**: `rows.len() / width` rows of `width` features each, borrowed from the
+    /// caller ([`crate::Dataset::feature_matrix`] has exactly this shape).
+    ///
+    /// The default implementation loops [`Regressor::predict_one`] over the rows;
+    /// batch-capable models override it with a vectorised pass.  Overrides must be
+    /// bit-identical to the default: same values, same order.
+    ///
+    /// An empty `rows` is treated as zero rows.  A zero-`width` matrix cannot
+    /// represent rows at all (an empty slice is ambiguous between "no rows" and
+    /// "n rows of no features"); callers with a degenerate zero-feature schema must
+    /// loop [`Regressor::predict_one`] with an empty feature slice instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is non-empty and `width` is zero or does not divide
+    /// `rows.len()`.
+    fn predict_batch(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            width > 0 && rows.len().is_multiple_of(width),
+            "row-major batch of {} values is not a whole number of width-{width} rows",
+            rows.len()
+        );
+        rows.chunks_exact(width)
+            .map(|row| self.predict_one(row))
+            .collect()
     }
 }
 
@@ -69,9 +95,18 @@ mod tests {
         assert!(!model.is_fitted());
         model.fit(&data).unwrap();
         assert!(model.is_fitted());
-        let preds = model.predict_batch(data.feature_rows());
+        let preds = model.predict_batch(data.feature_matrix(), data.n_features());
         assert_eq!(preds.len(), 10);
         assert!(preds.iter().all(|&p| (p - 4.5).abs() < 1e-12));
+        // empty batches are fine regardless of width
+        assert!(model.predict_batch(&[], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of width-3 rows")]
+    fn ragged_batches_are_rejected() {
+        let model = MeanModel { mean: Some(1.0) };
+        let _ = model.predict_batch(&[1.0, 2.0, 3.0, 4.0], 3);
     }
 
     #[test]

@@ -36,7 +36,7 @@ impl Normalizer {
         let n_features = data.n_features();
         let mut params = Vec::with_capacity(n_features);
         for feature in 0..n_features {
-            let column: Vec<f64> = data.feature_rows().iter().map(|r| r[feature]).collect();
+            let column: Vec<f64> = (0..data.len()).map(|i| data.features(i)[feature]).collect();
             let (offset, scale) = match strategy {
                 Normalization::None => (0.0, 1.0),
                 Normalization::MinMax => {
@@ -103,10 +103,8 @@ mod tests {
         let d = dataset();
         let norm = Normalizer::fit(&d, Normalization::MinMax).unwrap();
         let t = norm.transform_dataset(&d);
-        for row in t.feature_rows() {
-            for &v in row {
-                assert!((0.0..=1.0).contains(&v));
-            }
+        for &v in t.feature_matrix() {
+            assert!((0.0..=1.0).contains(&v));
         }
         assert_eq!(t.features(0), &[0.0, 0.0]);
         assert_eq!(t.features(2), &[1.0, 1.0]);
@@ -121,7 +119,7 @@ mod tests {
         let t = norm.transform_dataset(&d);
         for feature in 0..2 {
             let mean: f64 =
-                t.feature_rows().iter().map(|r| r[feature]).sum::<f64>() / t.len() as f64;
+                (0..t.len()).map(|i| t.features(i)[feature]).sum::<f64>() / t.len() as f64;
             assert!(mean.abs() < 1e-12);
         }
     }
@@ -141,7 +139,7 @@ mod tests {
         for strategy in [Normalization::MinMax, Normalization::ZScore] {
             let norm = Normalizer::fit(&d, strategy).unwrap();
             let t = norm.transform_dataset(&d);
-            assert!(t.feature_rows().iter().all(|r| r[0].is_finite()));
+            assert!(t.feature_matrix().iter().all(|v| v.is_finite()));
         }
     }
 

@@ -45,6 +45,63 @@ enum Node {
     },
 }
 
+/// Sentinel value of [`FlatTree::feature`] marking a leaf node.
+pub const LEAF: u32 = u32::MAX;
+
+/// A fitted tree flattened into structure-of-arrays form for cache-friendly inference:
+/// four contiguous arrays indexed by node, with leaves marked by `feature == `[`LEAF`]
+/// and their prediction stored in the `threshold` slot.
+///
+/// Traversal touches only these flat arrays — no enum discriminants, no pointer
+/// chasing — which is what makes the batched prediction of
+/// [`crate::BoostedTreesRegressor`] cheap enough to tabulate whole prediction tables.
+/// The arrays are exposed so ensembles can concatenate many trees into one arena
+/// (offsetting the child indices).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlatTree {
+    /// Split feature per node; [`LEAF`] for leaves.
+    pub feature: Vec<u32>,
+    /// Split threshold per node; the leaf prediction for leaves.
+    pub threshold: Vec<f64>,
+    /// Left child index per node (unused for leaves).
+    pub left: Vec<u32>,
+    /// Right child index per node (unused for leaves).
+    pub right: Vec<u32>,
+}
+
+impl FlatTree {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Whether the tree has no nodes (an unfitted tree).
+    pub fn is_empty(&self) -> bool {
+        self.feature.is_empty()
+    }
+
+    /// Walk the flat arrays from the root; bit-identical to
+    /// [`RegressionTree::predict_one`] on the tree this was flattened from.
+    pub fn predict_one(&self, features: &[f64]) -> f64 {
+        if self.feature.is_empty() {
+            return 0.0;
+        }
+        let mut index = 0usize;
+        loop {
+            let feature = self.feature[index];
+            if feature == LEAF {
+                return self.threshold[index];
+            }
+            let value = features.get(feature as usize).copied().unwrap_or(0.0);
+            index = if value <= self.threshold[index] {
+                self.left[index] as usize
+            } else {
+                self.right[index] as usize
+            };
+        }
+    }
+}
+
 /// A fitted regression tree.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
@@ -152,6 +209,39 @@ impl RegressionTree {
                 node_index
             }
         }
+    }
+
+    /// Flatten the fitted arena into [`FlatTree`] arrays (empty for an unfitted tree).
+    /// Node indices are preserved, so the flat root is node 0 as well.
+    pub fn flatten(&self) -> FlatTree {
+        let mut flat = FlatTree {
+            feature: Vec::with_capacity(self.nodes.len()),
+            threshold: Vec::with_capacity(self.nodes.len()),
+            left: Vec::with_capacity(self.nodes.len()),
+            right: Vec::with_capacity(self.nodes.len()),
+        };
+        for node in &self.nodes {
+            match *node {
+                Node::Leaf { prediction } => {
+                    flat.feature.push(LEAF);
+                    flat.threshold.push(prediction);
+                    flat.left.push(0);
+                    flat.right.push(0);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    flat.feature.push(feature as u32);
+                    flat.threshold.push(threshold);
+                    flat.left.push(left as u32);
+                    flat.right.push(right as u32);
+                }
+            }
+        }
+        flat
     }
 
     fn push(&mut self, node: Node) -> usize {
@@ -376,6 +466,41 @@ mod tests {
         let tree = RegressionTree::new(TreeParams::default());
         assert!(!tree.is_fitted());
         assert_eq!(tree.predict_one(&[1.0]), 0.0);
+        let flat = tree.flatten();
+        assert!(flat.is_empty());
+        assert_eq!(flat.predict_one(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn flattened_trees_predict_bit_identically() {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..200 {
+            let x = (i % 23) as f64;
+            let y = ((i * 7) % 13) as f64;
+            d.push(
+                vec![x, y],
+                x * 1.5 + (y * y) * 0.25 + ((i % 5) as f64) * 0.01,
+            )
+            .unwrap();
+        }
+        let mut tree = RegressionTree::new(TreeParams {
+            max_depth: 6,
+            min_samples_leaf: 2,
+            max_split_candidates: 32,
+        });
+        tree.fit(&d).unwrap();
+        let flat = tree.flatten();
+        assert_eq!(flat.len(), tree.node_count());
+        for i in 0..d.len() {
+            let arena = tree.predict_one(d.features(i));
+            let flattened = flat.predict_one(d.features(i));
+            assert_eq!(arena.to_bits(), flattened.to_bits(), "row {i}");
+        }
+        // out-of-schema probes behave identically too (missing features read as 0)
+        assert_eq!(
+            tree.predict_one(&[3.0]).to_bits(),
+            flat.predict_one(&[3.0]).to_bits()
+        );
     }
 
     #[test]

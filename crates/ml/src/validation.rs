@@ -49,6 +49,17 @@ fn mean(values: &[f64]) -> f64 {
     }
 }
 
+/// Batch-predict every row of `data`, covering the degenerate zero-feature schema
+/// (which the row-major matrix cannot represent: an empty matrix is ambiguous between
+/// "no rows" and "n rows of no features", so it is looped through `predict_one`).
+fn predict_dataset<M: Regressor>(model: &M, data: &Dataset) -> Vec<f64> {
+    if data.n_features() == 0 {
+        (0..data.len()).map(|_| model.predict_one(&[])).collect()
+    } else {
+        model.predict_batch(data.feature_matrix(), data.n_features())
+    }
+}
+
 fn std_dev(values: &[f64]) -> f64 {
     if values.len() < 2 {
         return 0.0;
@@ -98,7 +109,7 @@ where
         }
         let mut model = factory();
         model.fit(&train)?;
-        let predictions = model.predict_batch(test.feature_rows());
+        let predictions = predict_dataset(&model, &test);
         fold_mape.push(metrics::mean_absolute_percent_error(
             test.targets(),
             &predictions,
@@ -126,26 +137,22 @@ pub fn permutation_importance<M: Regressor>(
     if data.is_empty() {
         return Vec::new();
     }
-    let baseline_predictions = model.predict_batch(data.feature_rows());
+    let baseline_predictions = predict_dataset(model, data);
     let baseline_rmse = metrics::root_mean_squared_error(data.targets(), &baseline_predictions);
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut importances = Vec::with_capacity(data.n_features());
-    for feature in 0..data.n_features() {
-        // shuffle one column while keeping the rest intact
-        let mut column: Vec<f64> = data.feature_rows().iter().map(|r| r[feature]).collect();
+    let width = data.n_features();
+    let mut importances = Vec::with_capacity(width);
+    for feature in 0..width {
+        // shuffle one column while keeping the rest intact, directly in a copy of the
+        // row-major matrix (no per-row buffers)
+        let mut column: Vec<f64> = (0..data.len()).map(|i| data.features(i)[feature]).collect();
         column.shuffle(&mut rng);
-        let shuffled_rows: Vec<Vec<f64>> = data
-            .feature_rows()
-            .iter()
-            .zip(&column)
-            .map(|(row, &value)| {
-                let mut row = row.clone();
-                row[feature] = value;
-                row
-            })
-            .collect();
-        let predictions = model.predict_batch(&shuffled_rows);
+        let mut shuffled = data.feature_matrix().to_vec();
+        for (row, &value) in column.iter().enumerate() {
+            shuffled[row * width + feature] = value;
+        }
+        let predictions = model.predict_batch(&shuffled, width);
         let rmse = metrics::root_mean_squared_error(data.targets(), &predictions);
         importances.push((
             data.feature_names()[feature].clone(),
@@ -209,6 +216,28 @@ mod tests {
             signal > 10.0 * noise.max(1e-6),
             "signal importance {signal} should dwarf noise importance {noise}"
         );
+    }
+
+    #[test]
+    fn zero_feature_datasets_still_produce_one_prediction_per_row() {
+        // Regression test: the row-major predict_batch matrix cannot represent rows
+        // of zero features, so the validation helpers must fall back to predict_one —
+        // a zero-feature dataset yields the mean model, not empty/NaN metrics.
+        let mut data = Dataset::new(vec![]);
+        for i in 0..12 {
+            data.push(vec![], 5.0 + (i % 3) as f64).unwrap();
+        }
+        let cv = k_fold_cross_validation(&data, 3, 1, || {
+            BoostedTreesRegressor::new(BoostingParams::fast())
+        })
+        .unwrap();
+        assert_eq!(cv.fold_mape.len(), 3);
+        assert!(cv.mean_mape().is_finite());
+        assert!(cv.mean_rmse().is_finite() && cv.mean_rmse() > 0.0);
+
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&data).unwrap();
+        assert!(permutation_importance(&model, &data, 1).is_empty());
     }
 
     #[test]

@@ -36,10 +36,8 @@ proptest! {
     fn minmax_is_bounded(data in arb_dataset(60)) {
         let normalizer = Normalizer::fit(&data, Normalization::MinMax).unwrap();
         let transformed = normalizer.transform_dataset(&data);
-        for row in transformed.feature_rows() {
-            for &value in row {
-                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&value));
-            }
+        for &value in transformed.feature_matrix() {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&value));
         }
     }
 
@@ -49,7 +47,7 @@ proptest! {
     fn tree_is_no_worse_than_the_mean(data in arb_dataset(80)) {
         let mut tree = RegressionTree::new(TreeParams::default());
         tree.fit(&data).unwrap();
-        let predictions = tree.predict_batch(data.feature_rows());
+        let predictions = tree.predict_batch(data.feature_matrix(), data.n_features());
         let tree_rmse = metrics::root_mean_squared_error(data.targets(), &predictions);
         let mean = data.target_mean();
         let mean_rmse = metrics::root_mean_squared_error(
@@ -76,9 +74,9 @@ proptest! {
         });
         boosted.fit(&data).unwrap();
         let single_rmse = metrics::root_mean_squared_error(
-            data.targets(), &single.predict_batch(data.feature_rows()));
+            data.targets(), &single.predict_batch(data.feature_matrix(), data.n_features()));
         let boosted_rmse = metrics::root_mean_squared_error(
-            data.targets(), &boosted.predict_batch(data.feature_rows()));
+            data.targets(), &boosted.predict_batch(data.feature_matrix(), data.n_features()));
         // with enough rounds the ensemble is not meaningfully worse than the greedy
         // single tree on its own training data (small slack for shrinkage not having
         // fully converged on awkward datasets)
@@ -87,8 +85,16 @@ proptest! {
         // the staged training loss never increases by more than numerical noise overall
         let losses = boosted.staged_training_mse(&data);
         prop_assert!(*losses.last().unwrap() <= losses.first().unwrap() + 1e-9);
-        for row in data.feature_rows() {
-            prop_assert!(boosted.predict_one(row).is_finite());
+        for i in 0..data.len() {
+            prop_assert!(boosted.predict_one(data.features(i)).is_finite());
+        }
+        // the flat-forest batch path is bit-identical to the per-row walk
+        let batched = boosted.predict_batch(data.feature_matrix(), data.n_features());
+        for (i, &prediction) in batched.iter().enumerate() {
+            prop_assert_eq!(
+                prediction.to_bits(),
+                boosted.predict_one(data.features(i)).to_bits(),
+                "row {} of the batched prediction diverged", i);
         }
     }
 

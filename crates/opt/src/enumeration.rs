@@ -15,6 +15,13 @@
 //!   overheads.  Results are bit-identical to the sequential scan regardless of thread
 //!   count or batch size: ties are broken towards the earliest configuration in
 //!   enumeration order.
+//!
+//! Both drivers are **zero-materialization** on spaces that implement the indexed
+//! contract ([`SearchSpace::space_len`] / [`SearchSpace::config_at`]): configurations
+//! are produced by global index in fixed-size chunks and dropped as soon as their
+//! batch is scored, so peak allocation is bounded by the batch size (times the number
+//! of workers), not by the space cardinality.  Spaces without indexed access fall back
+//! to the materialising [`SearchSpace::enumerate`] path.
 
 use rayon::prelude::*;
 
@@ -22,6 +29,45 @@ use crate::objective::{CountingObjective, Objective};
 use crate::outcome::{better_indexed as better, IndexedOutcome, Outcome};
 use crate::space::SearchSpace;
 use crate::trace::OptimizationTrace;
+
+/// Message of the panic raised when a space claims `space_len()` coverage but
+/// `config_at` fails inside it — an indexed-contract violation of the space.
+const COVERAGE: &str = "space_len() implies config_at() coverage for every index below it";
+
+/// The enumeration source of one run: either the space serves indices lazily, or its
+/// enumeration was materialised once up front (the fallback).
+enum Source<C> {
+    Lazy,
+    Materialized(Vec<C>),
+}
+
+/// Resolve the enumeration source and length of `space`, preferring indexed access.
+///
+/// # Panics
+///
+/// Panics if the space is neither indexed nor enumerable, or if it is empty.
+fn source_of<S: SearchSpace>(space: &S) -> (Source<S::Config>, usize) {
+    if let Some(len) = space.space_len() {
+        assert!(len > 0, "cannot enumerate an empty space");
+        return (Source::Lazy, len);
+    }
+    let configs = space
+        .enumerate()
+        .expect("enumeration requires an enumerable search space");
+    assert!(!configs.is_empty(), "cannot enumerate an empty space");
+    let len = configs.len();
+    (Source::Materialized(configs), len)
+}
+
+impl<C> Source<C> {
+    /// The winning configuration, re-materialised by index for the lazy source.
+    fn into_best<S: SearchSpace<Config = C>>(self, space: &S, best_index: usize) -> C {
+        match self {
+            Source::Lazy => space.config_at(best_index).expect(COVERAGE),
+            Source::Materialized(mut configs) => configs.swap_remove(best_index),
+        }
+    }
+}
 
 /// Exhaustive search over an enumerable space, one evaluation at a time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -46,40 +92,39 @@ impl Enumeration {
     ///
     /// # Panics
     ///
-    /// Panics if the space does not support enumeration ([`SearchSpace::enumerate`]
-    /// returns `None`) or enumerates to zero configurations.
+    /// Panics if the space supports neither indexed access
+    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
+    /// if it holds zero configurations.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
-        S: SearchSpace,
+        S: SearchSpace + Sync,
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
-        let configs = space
-            .enumerate()
-            .expect("enumeration requires an enumerable search space");
-        assert!(!configs.is_empty(), "cannot enumerate an empty space");
+        let (source, len) = source_of(space);
         let counting = CountingObjective::new(objective);
+        let evaluate_at = |index: usize| match &source {
+            Source::Lazy => counting.evaluate(&space.config_at(index).expect(COVERAGE)),
+            Source::Materialized(configs) => counting.evaluate(&configs[index]),
+        };
 
-        let scored: Vec<(usize, f64)> = if self.parallel {
-            configs
-                .iter()
-                .enumerate()
+        let best = if self.parallel {
+            (0..len)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|(index, config)| (index, counting.evaluate(config)))
-                .collect()
+                .map(|index| (index, evaluate_at(index)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .reduce(better)
         } else {
-            configs
-                .iter()
-                .enumerate()
-                .map(|(index, config)| (index, counting.evaluate(config)))
-                .collect()
-        };
-        let best = scored.into_iter().reduce(better).expect("non-empty space");
+            (0..len)
+                .map(|index| (index, evaluate_at(index)))
+                .reduce(better)
+        }
+        .expect("non-empty space");
 
-        let mut configs = configs;
         Outcome {
-            best_config: configs.swap_remove(best.0),
+            best_config: source.into_best(space, best.0),
             best_energy: best.1,
             evaluations: counting.evaluations(),
             trace: OptimizationTrace::new(),
@@ -95,8 +140,10 @@ pub const DEFAULT_BATCH_SIZE: usize = 512;
 ///
 /// This is the preferred enumeration driver: for objectives with a batch-capable
 /// backend every batch becomes one bulk request, and for plain objectives the batches
-/// still spread over rayon workers.  The outcome is deterministic — identical to
-/// [`Enumeration::sequential`] — independent of thread count and batch size.
+/// still spread over rayon workers.  On indexed spaces each worker materialises at
+/// most one batch of configurations at a time.  The outcome is deterministic —
+/// identical to [`Enumeration::sequential`] — independent of thread count and batch
+/// size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ParallelEnumeration {
     /// Number of configurations per [`Objective::evaluate_batch`] call.
@@ -126,13 +173,17 @@ impl ParallelEnumeration {
 
     /// Run the exhaustive batched search.
     ///
+    /// Delegates to [`ParallelEnumeration::run_indexed`] — there is exactly one
+    /// chunk/merge implementation.
+    ///
     /// # Panics
     ///
-    /// Panics if the space does not support enumeration ([`SearchSpace::enumerate`]
-    /// returns `None`) or enumerates to zero configurations.
+    /// Panics if the space supports neither indexed access
+    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
+    /// if it holds zero configurations.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
-        S: SearchSpace,
+        S: SearchSpace + Sync,
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
@@ -148,49 +199,57 @@ impl ParallelEnumeration {
     ///
     /// # Panics
     ///
-    /// Panics if the space does not support enumeration ([`SearchSpace::enumerate`]
-    /// returns `None`) or enumerates to zero configurations.
+    /// Panics if the space supports neither indexed access
+    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
+    /// if it holds zero configurations.
     pub fn run_indexed<S, O>(&self, space: &S, objective: &O) -> IndexedOutcome<S::Config>
     where
-        S: SearchSpace,
+        S: SearchSpace + Sync,
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
-        let configs = space
-            .enumerate()
-            .expect("enumeration requires an enumerable search space");
-        assert!(!configs.is_empty(), "cannot enumerate an empty space");
+        let (source, len) = source_of(space);
         let counting = CountingObjective::new(objective);
         let batch_size = self.batch_size.max(1);
 
-        // Score each contiguous batch on a rayon worker, reducing every batch to its
-        // local best before the (cheap, sequential) global reduction.
-        let batches: Vec<(usize, &[S::Config])> = configs
-            .chunks(batch_size)
-            .enumerate()
-            .map(|(batch_index, batch)| (batch_index * batch_size, batch))
-            .collect();
-        let best = batches
+        // Score each contiguous chunk on a rayon worker, reducing every chunk to its
+        // local best before the (cheap, sequential) global reduction.  For the lazy
+        // source the chunk's configurations are materialised here and dropped at the
+        // end of the closure — the full grid never exists at once.
+        let chunk_count = len.div_ceil(batch_size);
+        let best = (0..chunk_count)
+            .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|(offset, batch)| {
+            .map(|chunk| {
+                let start = chunk * batch_size;
+                let end = (start + batch_size).min(len);
+                let streamed: Vec<S::Config>;
+                let batch: &[S::Config] = match &source {
+                    Source::Lazy => {
+                        streamed = (start..end)
+                            .map(|index| space.config_at(index).expect(COVERAGE))
+                            .collect();
+                        &streamed
+                    }
+                    Source::Materialized(configs) => &configs[start..end],
+                };
                 let energies = counting.evaluate_batch(batch);
                 energies
                     .into_iter()
                     .enumerate()
-                    .map(|(local, energy)| (offset + local, energy))
+                    .map(|(local, energy)| (start + local, energy))
                     .reduce(better)
-                    .expect("batches are non-empty")
+                    .expect("chunks are non-empty")
             })
             .collect::<Vec<_>>()
             .into_iter()
             .reduce(better)
             .expect("non-empty space");
 
-        let mut configs = configs;
         IndexedOutcome {
             best_index: best.0,
             outcome: Outcome {
-                best_config: configs.swap_remove(best.0),
+                best_config: source.into_best(space, best.0),
                 best_energy: best.1,
                 evaluations: counting.evaluations(),
                 trace: OptimizationTrace::new(),
@@ -203,7 +262,7 @@ impl ParallelEnumeration {
 mod tests {
     use super::*;
     use crate::objective::CachedObjective;
-    use crate::space::GridSpace;
+    use crate::space::{GridSpace, InstrumentedSpace, MaterializedOnly};
 
     fn bowl(config: &(u32, u32)) -> f64 {
         let dx = config.0 as f64 - 13.0;
@@ -252,6 +311,51 @@ mod tests {
             assert_eq!(batched.best_energy, sequential.best_energy);
             assert_eq!(batched.evaluations, 37 * 29);
         }
+    }
+
+    #[test]
+    fn lazy_and_materialized_paths_are_bit_identical() {
+        let space = GridSpace {
+            width: 41,
+            height: 17,
+        };
+        let hidden = MaterializedOnly::new(&space);
+        for batch_size in [1usize, 13, 512] {
+            let driver = ParallelEnumeration::with_batch_size(batch_size);
+            let lazy = driver.run_indexed(&space, &bowl);
+            let materialized = driver.run_indexed(&hidden, &bowl);
+            assert_eq!(lazy.best_index, materialized.best_index);
+            assert_eq!(lazy.outcome.best_config, materialized.outcome.best_config);
+            assert_eq!(
+                lazy.outcome.best_energy.to_bits(),
+                materialized.outcome.best_energy.to_bits()
+            );
+            assert_eq!(lazy.outcome.evaluations, materialized.outcome.evaluations);
+        }
+    }
+
+    #[test]
+    fn indexed_spaces_are_never_materialized() {
+        let space = GridSpace {
+            width: 30,
+            height: 30,
+        };
+        let instrumented = InstrumentedSpace::new(&space);
+        let outcome = ParallelEnumeration::with_batch_size(64).run(&instrumented, &bowl);
+        assert_eq!(outcome.best_config, (13, 5));
+        assert_eq!(
+            instrumented.enumerate_calls(),
+            0,
+            "the streaming driver must not materialise an indexed space"
+        );
+        // every configuration was served by index, plus one re-materialisation of
+        // the winner
+        assert_eq!(instrumented.config_at_calls(), 900 + 1);
+
+        let instrumented = InstrumentedSpace::new(&space);
+        let classic = Enumeration::sequential().run(&instrumented, &bowl);
+        assert_eq!(classic.best_config, (13, 5));
+        assert_eq!(instrumented.enumerate_calls(), 0);
     }
 
     #[test]

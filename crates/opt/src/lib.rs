@@ -75,6 +75,6 @@ pub use random_search::RandomSearch;
 pub use sa::SimulatedAnnealing;
 pub use schedule::CoolingSchedule;
 pub use shard::{ShardPlan, ShardView};
-pub use space::SearchSpace;
+pub use space::{InstrumentedSpace, MaterializedOnly, SearchSpace};
 pub use tabu::TabuSearch;
 pub use trace::{IterationRecord, OptimizationTrace};

@@ -159,11 +159,13 @@ impl std::iter::Sum for CacheStats {
 ///
 /// Thread-safe: the cache is behind a [`RwLock`] and the counters are atomic, so a
 /// `CachedObjective` can be shared by the parallel enumeration path.  Batch requests
-/// deduplicate configurations before reaching the inner objective.  `misses` counts
-/// *distinct* configurations: insertion is entry-based, so when two threads race on
-/// the same uncached configuration the inner objective may be invoked redundantly
-/// (objectives are deterministic, so the values agree), but the configuration is
-/// recorded as exactly one miss and the loser of the race as a hit.
+/// deduplicate configurations before reaching the inner objective.  Hits probe with
+/// the borrowed key under the shared lock and allocate nothing; a distinct
+/// configuration is cloned exactly once, when its key enters the cache.  `misses`
+/// counts *distinct* configurations: insertion re-checks under the write lock, so when
+/// two threads race on the same uncached configuration the inner objective may be
+/// invoked redundantly (objectives are deterministic, so the values agree), but the
+/// configuration is recorded as exactly one miss and the loser of the race as a hit.
 pub struct CachedObjective<'a, C, O: ?Sized> {
     inner: &'a O,
     cache: RwLock<HashMap<C, f64>>,
@@ -217,30 +219,24 @@ where
     O: Objective<C> + ?Sized,
 {
     fn evaluate(&self, config: &C) -> f64 {
+        // Read-then-write fast path: hits (the common case under annealing) probe the
+        // shared lock with the borrowed key and allocate nothing.
         if let Some(&energy) = self.cache.read().expect("cache lock poisoned").get(config) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return energy;
         }
         let energy = self.inner.evaluate(config);
-        match self
-            .cache
-            .write()
-            .expect("cache lock poisoned")
-            .entry(config.clone())
-        {
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(energy);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                energy
-            }
-            // another thread filled this configuration while we evaluated; its value
-            // is identical (objectives are deterministic) — count us as a hit so
-            // `misses` keeps counting distinct configurations
-            std::collections::hash_map::Entry::Occupied(slot) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                *slot.get()
-            }
+        let mut cache = self.cache.write().expect("cache lock poisoned");
+        // another thread may have filled this configuration while we evaluated; its
+        // value is identical (objectives are deterministic) — count us as a hit so
+        // `misses` keeps counting distinct configurations, and skip the key clone
+        if let Some(&existing) = cache.get(config) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return existing;
         }
+        cache.insert(config.clone(), energy);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        energy
     }
 
     fn evaluate_batch(&self, configs: &[C]) -> Vec<f64> {
@@ -263,12 +259,15 @@ where
 
         // Deduplicate the uncached configurations so the inner objective sees each
         // distinct configuration once; duplicates within the batch count as hits.
+        // The position map borrows its keys from the request slice, so each distinct
+        // configuration is cloned exactly once — for the inner batch call — and that
+        // clone is later *moved* into the cache rather than cloned again.
         let mut unique: Vec<C> = Vec::with_capacity(pending.len());
-        let mut position: HashMap<C, usize> = HashMap::with_capacity(pending.len());
+        let mut position: HashMap<&C, usize> = HashMap::with_capacity(pending.len());
         for &index in &pending {
             let config = &configs[index];
             if !position.contains_key(config) {
-                position.insert(config.clone(), unique.len());
+                position.insert(config, unique.len());
                 unique.push(config.clone());
             }
         }
@@ -277,12 +276,15 @@ where
 
         let fresh = self.inner.evaluate_batch(&unique);
         debug_assert_eq!(fresh.len(), unique.len());
+        for &index in &pending {
+            energies[index] = fresh[position[&configs[index]]];
+        }
         {
             let mut cache = self.cache.write().expect("cache lock poisoned");
             let mut new_misses = 0;
             let mut race_hits = 0;
-            for (config, &energy) in unique.iter().zip(&fresh) {
-                match cache.entry(config.clone()) {
+            for (config, &energy) in unique.into_iter().zip(&fresh) {
+                match cache.entry(config) {
                     std::collections::hash_map::Entry::Vacant(slot) => {
                         slot.insert(energy);
                         new_misses += 1;
@@ -294,9 +296,6 @@ where
             }
             self.misses.fetch_add(new_misses, Ordering::Relaxed);
             self.hits.fetch_add(race_hits, Ordering::Relaxed);
-        }
-        for &index in &pending {
-            energies[index] = fresh[position[&configs[index]]];
         }
         energies
     }

@@ -77,8 +77,17 @@ impl ShardPlan {
     }
 }
 
-/// One shard of an enumerable search space: a contiguous slice of the parent's
+/// One shard of an enumerable search space: a contiguous range of the parent's
 /// enumeration order, itself usable as a [`SearchSpace`].
+///
+/// Two backings exist:
+///
+/// * [`ShardView::new`] — a borrowed slice of the parent's materialised enumeration
+///   (the classic form);
+/// * [`ShardView::lazy`] — just the index range, served on demand through the
+///   parent's [`SearchSpace::config_at`].  Nothing is materialised up front, so a
+///   sharded campaign over a lazy view allocates at most one evaluation batch per
+///   worker at a time.
 ///
 /// Enumeration-related queries ([`SearchSpace::enumerate`],
 /// [`SearchSpace::cardinality`], [`SearchSpace::random`]) are restricted to the shard;
@@ -88,7 +97,9 @@ impl ShardPlan {
 #[derive(Debug, Clone, Copy)]
 pub struct ShardView<'a, S: SearchSpace> {
     parent: &'a S,
-    configs: &'a [S::Config],
+    /// Materialised backing; `None` means the shard is served lazily by index.
+    configs: Option<&'a [S::Config]>,
+    len: usize,
     offset: usize,
 }
 
@@ -98,8 +109,33 @@ impl<'a, S: SearchSpace> ShardView<'a, S> {
     pub fn new(parent: &'a S, configs: &'a [S::Config], offset: usize) -> Self {
         ShardView {
             parent,
-            configs,
+            len: configs.len(),
+            configs: Some(configs),
             offset,
+        }
+    }
+
+    /// View the global index range `range` of `parent`'s enumeration order as a lazy
+    /// search space: configurations are produced one at a time through
+    /// [`SearchSpace::config_at`], never as a whole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent does not support indexed access
+    /// ([`SearchSpace::space_len`] is `None`) or if `range` exceeds its length.
+    pub fn lazy(parent: &'a S, range: Range<usize>) -> Self {
+        let parent_len = parent
+            .space_len()
+            .expect("lazy shard views require a space with indexed access");
+        assert!(
+            range.end <= parent_len,
+            "shard range {range:?} exceeds the space length {parent_len}"
+        );
+        ShardView {
+            parent,
+            configs: None,
+            len: range.len(),
+            offset: range.start,
         }
     }
 
@@ -110,17 +146,28 @@ impl<'a, S: SearchSpace> ShardView<'a, S> {
 
     /// Number of configurations in this shard.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.len
     }
 
     /// Whether the shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.len == 0
     }
 
     /// Translate a shard-local enumeration index to the parent's global index.
     pub fn global_index(&self, local: usize) -> usize {
         self.offset + local
+    }
+
+    /// The shard-local configuration at `local`, from the slice or the parent.
+    fn fetch(&self, local: usize) -> S::Config {
+        match self.configs {
+            Some(configs) => configs[local].clone(),
+            None => self
+                .parent
+                .config_at(self.offset + local)
+                .expect("lazy shard ranges are validated against the space length"),
+        }
     }
 }
 
@@ -128,7 +175,7 @@ impl<S: SearchSpace> SearchSpace for ShardView<'_, S> {
     type Config = S::Config;
 
     fn random(&self, rng: &mut StdRng) -> S::Config {
-        self.configs[rng.gen_range(0..self.configs.len())].clone()
+        self.fetch(rng.gen_range(0..self.len))
     }
 
     fn neighbor(&self, config: &S::Config, rng: &mut StdRng) -> S::Config {
@@ -136,11 +183,24 @@ impl<S: SearchSpace> SearchSpace for ShardView<'_, S> {
     }
 
     fn cardinality(&self) -> Option<u128> {
-        Some(self.configs.len() as u128)
+        Some(self.len as u128)
     }
 
     fn enumerate(&self) -> Option<Vec<S::Config>> {
-        Some(self.configs.to_vec())
+        Some((0..self.len).map(|local| self.fetch(local)).collect())
+    }
+
+    fn space_len(&self) -> Option<usize> {
+        // both backings serve `config_at`: the slice directly, the lazy view through
+        // the parent's indexed access (guaranteed by `ShardView::lazy`)
+        Some(self.len)
+    }
+
+    fn config_at(&self, index: usize) -> Option<S::Config> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.fetch(index))
     }
 
     fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
@@ -213,6 +273,40 @@ mod tests {
             let sampled = view.random(&mut rng);
             assert!(configs[range.clone()].contains(&sampled));
         }
+    }
+
+    #[test]
+    fn lazy_shard_views_match_slice_backed_views() {
+        let space = GridSpace {
+            width: 11,
+            height: 7,
+        };
+        let configs = space.enumerate().unwrap();
+        let plan = ShardPlan::new(configs.len(), 3);
+        for shard in 0..plan.shard_count() {
+            let range = plan.range(shard);
+            let sliced = ShardView::new(&space, &configs[range.clone()], range.start);
+            let lazy = ShardView::lazy(&space, range.clone());
+            assert_eq!(lazy.len(), sliced.len());
+            assert_eq!(lazy.offset(), sliced.offset());
+            assert_eq!(lazy.enumerate(), sliced.enumerate());
+            assert_eq!(lazy.space_len(), Some(range.len()));
+            for local in 0..range.len() {
+                assert_eq!(lazy.config_at(local), sliced.config_at(local));
+            }
+            assert_eq!(lazy.config_at(range.len()), None);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lazy shard views require a space with indexed access")]
+    fn lazy_shard_views_require_indexed_parents() {
+        let space = GridSpace {
+            width: 4,
+            height: 4,
+        };
+        let hidden = crate::space::MaterializedOnly::new(&space);
+        let _ = ShardView::lazy(&hidden, 0..4);
     }
 
     #[test]

@@ -25,7 +25,31 @@ pub trait SearchSpace {
     /// Exhaustively enumerate the space, when supported.  Methods that require
     /// enumeration (the paper's EM and EML) return an error for spaces that do not
     /// provide it.
+    ///
+    /// This is the *fallback* contract: spaces that can serve their enumeration order
+    /// by index should implement [`SearchSpace::space_len`] and
+    /// [`SearchSpace::config_at`] instead, which lets the enumeration drivers stream
+    /// configurations in fixed-size chunks without ever materialising this `Vec`.
     fn enumerate(&self) -> Option<Vec<Self::Config>> {
+        None
+    }
+
+    /// Number of configurations reachable through [`SearchSpace::config_at`], when the
+    /// space supports indexed (lazy) access to its enumeration order.
+    ///
+    /// Returning `Some(n)` is a contract: `config_at(i)` must return `Some` for every
+    /// `i < n` and `None` for `i >= n`, and the sequence `config_at(0), ...,
+    /// config_at(n - 1)` must be exactly the [`SearchSpace::enumerate`] sequence
+    /// whenever both are provided.  Drivers prefer this path: it bounds peak
+    /// allocation by their chunk size instead of the space cardinality.
+    fn space_len(&self) -> Option<usize> {
+        None
+    }
+
+    /// The configuration at position `index` of the enumeration order, when the space
+    /// supports indexed access (see [`SearchSpace::space_len`]).
+    fn config_at(&self, index: usize) -> Option<Self::Config> {
+        let _ = index;
         None
     }
 
@@ -88,6 +112,21 @@ impl SearchSpace for GridSpace {
         Some(all)
     }
 
+    fn space_len(&self) -> Option<usize> {
+        Some(self.width as usize * self.height as usize)
+    }
+
+    fn config_at(&self, index: usize) -> Option<Self::Config> {
+        if index >= self.width as usize * self.height as usize {
+            return None;
+        }
+        // x-major, y-minor: the `enumerate` order
+        Some((
+            (index / self.height as usize) as u32,
+            (index % self.height as usize) as u32,
+        ))
+    }
+
     fn crossover(
         &self,
         parent_a: &Self::Config,
@@ -107,6 +146,118 @@ impl SearchSpace for GridSpace {
                 parent_b.1
             },
         )
+    }
+}
+
+/// Instrumentation wrapper around any [`SearchSpace`]: counts how often the wrapped
+/// space is asked to materialise its full enumeration ([`SearchSpace::enumerate`])
+/// versus serve single configurations by index ([`SearchSpace::config_at`]).
+///
+/// Tests and benches use it to *prove* that the streaming drivers never materialise a
+/// lazy space: after a run, [`InstrumentedSpace::enumerate_calls`] must be zero and
+/// every configuration must have flowed through `config_at` one chunk at a time.
+pub struct InstrumentedSpace<'a, S> {
+    inner: &'a S,
+    enumerate_calls: std::sync::atomic::AtomicUsize,
+    config_at_calls: std::sync::atomic::AtomicUsize,
+}
+
+impl<'a, S> InstrumentedSpace<'a, S> {
+    /// Wrap a space with zeroed counters.
+    pub fn new(inner: &'a S) -> Self {
+        InstrumentedSpace {
+            inner,
+            enumerate_calls: std::sync::atomic::AtomicUsize::new(0),
+            config_at_calls: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// How many times the full enumeration `Vec` was materialised.
+    pub fn enumerate_calls(&self) -> usize {
+        self.enumerate_calls
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// How many single configurations were served by index.
+    pub fn config_at_calls(&self) -> usize {
+        self.config_at_calls
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl<S: SearchSpace> SearchSpace for InstrumentedSpace<'_, S> {
+    type Config = S::Config;
+
+    fn random(&self, rng: &mut StdRng) -> S::Config {
+        self.inner.random(rng)
+    }
+
+    fn neighbor(&self, config: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.inner.neighbor(config, rng)
+    }
+
+    fn cardinality(&self) -> Option<u128> {
+        self.inner.cardinality()
+    }
+
+    fn enumerate(&self) -> Option<Vec<S::Config>> {
+        self.enumerate_calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.enumerate()
+    }
+
+    fn space_len(&self) -> Option<usize> {
+        self.inner.space_len()
+    }
+
+    fn config_at(&self, index: usize) -> Option<S::Config> {
+        self.config_at_calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.config_at(index)
+    }
+
+    fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.inner.crossover(parent_a, parent_b, rng)
+    }
+}
+
+/// Adapter that hides a space's indexed access ([`SearchSpace::space_len`] /
+/// [`SearchSpace::config_at`] report `None`), forcing drivers onto the materialising
+/// [`SearchSpace::enumerate`] fallback.
+///
+/// Exists for benches and tests that compare the streaming fast path against the
+/// classic full-`Vec` enumeration on the *same* space.
+#[derive(Debug, Clone, Copy)]
+pub struct MaterializedOnly<'a, S>(&'a S);
+
+impl<'a, S> MaterializedOnly<'a, S> {
+    /// Hide `inner`'s indexed access.
+    pub fn new(inner: &'a S) -> Self {
+        MaterializedOnly(inner)
+    }
+}
+
+impl<S: SearchSpace> SearchSpace for MaterializedOnly<'_, S> {
+    type Config = S::Config;
+
+    fn random(&self, rng: &mut StdRng) -> S::Config {
+        self.0.random(rng)
+    }
+
+    fn neighbor(&self, config: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.0.neighbor(config, rng)
+    }
+
+    fn cardinality(&self) -> Option<u128> {
+        self.0.cardinality()
+    }
+
+    fn enumerate(&self) -> Option<Vec<S::Config>> {
+        self.0.enumerate()
+    }
+
+    fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
+        self.0.crossover(parent_a, parent_b, rng)
     }
 }
 
@@ -158,6 +309,51 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn grid_indexed_access_matches_enumeration_order() {
+        let space = GridSpace {
+            width: 6,
+            height: 4,
+        };
+        let all = space.enumerate().unwrap();
+        assert_eq!(space.space_len(), Some(all.len()));
+        for (index, config) in all.iter().enumerate() {
+            assert_eq!(space.config_at(index), Some(*config));
+        }
+        assert_eq!(space.config_at(all.len()), None);
+    }
+
+    #[test]
+    fn instrumented_space_counts_both_access_paths() {
+        let space = GridSpace {
+            width: 3,
+            height: 3,
+        };
+        let instrumented = InstrumentedSpace::new(&space);
+        assert_eq!(instrumented.enumerate_calls(), 0);
+        assert_eq!(instrumented.config_at_calls(), 0);
+        assert_eq!(instrumented.space_len(), Some(9));
+        let _ = instrumented.config_at(4);
+        let _ = instrumented.config_at(5);
+        let _ = instrumented.enumerate();
+        assert_eq!(instrumented.config_at_calls(), 2);
+        assert_eq!(instrumented.enumerate_calls(), 1);
+        assert_eq!(instrumented.cardinality(), Some(9));
+    }
+
+    #[test]
+    fn materialized_only_hides_indexed_access() {
+        let space = GridSpace {
+            width: 3,
+            height: 3,
+        };
+        let hidden = MaterializedOnly::new(&space);
+        assert_eq!(hidden.space_len(), None);
+        assert_eq!(hidden.config_at(0), None);
+        assert_eq!(hidden.enumerate(), space.enumerate());
+        assert_eq!(hidden.cardinality(), Some(9));
     }
 
     #[test]
