@@ -15,6 +15,9 @@
 //!   all                           everything above
 //!   bench-enumeration             enumeration fast-path measurements; also writes
 //!                                 the BENCH_enumeration.json perf-trajectory artifact
+//!   bench-annealing               incremental-annealing fast-path measurements
+//!                                 (direct vs eager vs lazy SAML); also writes the
+//!                                 BENCH_annealing.json perf-trajectory artifact
 //! ```
 //!
 //! `--quick` runs a scaled-down study (reduced training campaign, fewer budgets) so the
@@ -87,6 +90,7 @@ fn main() {
             "table3" => table3(),
             "fig2" => fig2(seed),
             "bench-enumeration" => bench_enumeration(scale),
+            "bench-annealing" => bench_annealing(scale, seed),
             _ => {}
         }
     }
@@ -173,7 +177,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] <artifact>...\n\
          artifacts: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 table4 table5 fig9 \
-         table6 table7 table8 table9 all bench-enumeration"
+         table6 table7 table8 table9 all bench-enumeration bench-annealing"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -553,6 +557,62 @@ fn bench_enumeration(scale: Scale) {
     std::fs::write("BENCH_enumeration.json", &json)
         .expect("failed to write BENCH_enumeration.json");
     eprintln!("# wrote BENCH_enumeration.json");
+    m.assert_fast_path_won();
+}
+
+/// `bench-annealing`: measure the incremental annealing fast path and write the
+/// `BENCH_annealing.json` perf-trajectory artifact (one JSON object per run,
+/// suitable for diffing across commits in CI).
+///
+/// The measurement is `wd_bench::measure_annealing_fast_path` — the same code the
+/// `annealing_fast_path` criterion bench runs — on the 2-accelerator bench space at
+/// paper scale (`tiny_multi` + a shorter walk for `--quick`): one SAML trajectory,
+/// walked three ways (direct full re-evaluation, eager tables + delta, lazy tables +
+/// delta), with bit-identity and the ≥ 5× per-accepted-move query reduction asserted.
+fn bench_annealing(scale: Scale, seed: u64) {
+    use wd_bench::{measure_annealing_fast_path, two_accel_bench_grid};
+
+    let platform = HeterogeneousPlatform::emil_with_gpu();
+    let models = TrainingCampaign::reduced_for(&platform).run(&platform, scale.boosting());
+    let (space, iterations) = match scale {
+        Scale::Quick => (ConfigurationSpace::tiny_multi(), 300),
+        Scale::Paper => (two_accel_bench_grid(), 2000),
+    };
+    let m =
+        measure_annealing_fast_path(&models, Genome::Human.workload(), &space, iterations, seed);
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-annealing/v1\",\n  \"scale\": \"{}\",\n  \
+         \"space_configs\": {},\n  \"iterations\": {},\n  \"evaluations\": {},\n  \
+         \"accepted_moves\": {},\n  \"direct_ms\": {:.3},\n  \"eager_ms\": {:.3},\n  \
+         \"lazy_ms\": {:.3},\n  \"model_queries_direct\": {},\n  \
+         \"model_queries_eager\": {},\n  \"model_queries_lazy\": {},\n  \
+         \"queries_per_accepted_direct\": {:.3},\n  \
+         \"queries_per_accepted_lazy\": {:.3},\n  \"query_reduction\": {:.2},\n  \
+         \"identical_trajectories\": {}\n}}\n",
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        },
+        m.space_configs,
+        m.iterations,
+        m.evaluations,
+        m.accepted_moves,
+        m.direct.as_secs_f64() * 1e3,
+        m.eager_total().as_secs_f64() * 1e3,
+        m.lazy.as_secs_f64() * 1e3,
+        m.model_queries_direct,
+        m.model_queries_eager,
+        m.model_queries_lazy,
+        m.queries_per_accepted_direct(),
+        m.queries_per_accepted_lazy(),
+        m.query_reduction(),
+        m.identical_trajectories,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_annealing.json", &json).expect("failed to write BENCH_annealing.json");
+    eprintln!("# wrote BENCH_annealing.json");
     m.assert_fast_path_won();
 }
 

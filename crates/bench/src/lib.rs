@@ -290,6 +290,147 @@ pub fn measure_fast_path(
     }
 }
 
+/// One direct-vs-eager-vs-lazy SAML measurement on an annealing space (see
+/// [`measure_annealing_fast_path`]).
+pub struct AnnealingMeasurement {
+    /// Number of configurations in the annealing space.
+    pub space_configs: usize,
+    /// Iteration budget of the annealer.
+    pub iterations: usize,
+    /// Evaluation requests the walk performed (initial + one per proposal).
+    pub evaluations: usize,
+    /// Accepted moves of the (shared) trajectory.
+    pub accepted_moves: usize,
+    /// Wall-clock of the classic walk: full re-evaluation of the direct models.
+    pub direct: std::time::Duration,
+    /// Wall-clock of eagerly building the full per-device tables.
+    pub eager_build: std::time::Duration,
+    /// Wall-clock of the delta walk over the eager tables (excluding the build).
+    pub eager_walk: std::time::Duration,
+    /// Wall-clock of the delta walk over the lazy (fill-on-first-touch) tables.
+    pub lazy: std::time::Duration,
+    /// Model invocations of the direct walk.
+    pub model_queries_direct: usize,
+    /// Model invocations of the eager path (table construction; the walk itself
+    /// performs none).
+    pub model_queries_eager: usize,
+    /// Model invocations of the lazy path (first-touch fills only).
+    pub model_queries_lazy: usize,
+    /// Whether all three walks produced the same trajectory: identical per-iteration
+    /// trace, best configuration and best-energy bits.
+    pub identical_trajectories: bool,
+}
+
+impl AnnealingMeasurement {
+    /// Total wall-clock of the eager path (table build + walk).
+    pub fn eager_total(&self) -> std::time::Duration {
+        self.eager_build + self.eager_walk
+    }
+
+    /// Model invocations per accepted move of the direct walk.
+    pub fn queries_per_accepted_direct(&self) -> f64 {
+        self.model_queries_direct as f64 / self.accepted_moves.max(1) as f64
+    }
+
+    /// Model invocations per accepted move of the lazy delta walk.
+    pub fn queries_per_accepted_lazy(&self) -> f64 {
+        self.model_queries_lazy as f64 / self.accepted_moves.max(1) as f64
+    }
+
+    /// Direct-over-lazy model-invocation ratio (equivalently: the per-accepted-move
+    /// ratio, the denominator being the shared trajectory's accepted moves).
+    pub fn query_reduction(&self) -> f64 {
+        self.model_queries_direct as f64 / self.model_queries_lazy.max(1) as f64
+    }
+
+    /// Assert the *deterministic* acceptance criteria: bit-identical trajectories and
+    /// ≥ 5× fewer model invocations per accepted move for the lazy delta walk.
+    /// Wall-clock is reported, never asserted — on a noisy CI runner a scheduling
+    /// stall must not fail the build when the query counts already prove the claim.
+    pub fn assert_fast_path_won(&self) {
+        assert!(
+            self.identical_trajectories,
+            "incremental SAML diverged from the direct walk"
+        );
+        assert!(
+            self.model_queries_direct >= 5 * self.model_queries_lazy,
+            "the lazy delta walk must save >= 5x model invocations per accepted move \
+             ({} direct vs {} lazy over {} accepted moves)",
+            self.model_queries_direct,
+            self.model_queries_lazy,
+            self.accepted_moves
+        );
+    }
+}
+
+/// Run one SAML walk (budget `iterations`, fixed `seed`) over `space` three ways —
+/// classic full re-evaluation of the direct models, the incremental
+/// (`run_delta`) walk over eagerly built tables, and the incremental walk over lazy
+/// fill-on-first-touch tables — counting boosted-tree invocations via
+/// [`CountingRegressor`] and checking all three trajectories agree bit for bit.
+pub fn measure_annealing_fast_path(
+    models: &TrainedModels,
+    workload: hetero_platform::WorkloadProfile,
+    space: &hetero_autotune::ConfigurationSpace,
+    iterations: usize,
+    seed: u64,
+) -> AnnealingMeasurement {
+    use std::sync::atomic::Ordering;
+    use std::time::Instant;
+    use wd_opt::{SearchSpace as _, SimulatedAnnealing};
+
+    let sa = SimulatedAnnealing::with_budget_and_range(iterations, 2.0, 0.02, seed);
+
+    let (direct, direct_calls) = counting_prediction_evaluator(models, workload.clone());
+    let start = Instant::now();
+    let reference = sa.run(space, &direct);
+    let t_direct = start.elapsed();
+
+    let (eager_counted, eager_calls) = counting_prediction_evaluator(models, workload.clone());
+    let start = Instant::now();
+    let eager_tables = eager_counted.tabulated(space);
+    let t_build = start.elapsed();
+    let start = Instant::now();
+    let eager = sa.run_delta(space, &eager_tables);
+    let t_eager_walk = start.elapsed();
+    assert_eq!(
+        eager_tables.fallback_queries(),
+        0,
+        "the walk stays in-space"
+    );
+
+    let (lazy_counted, lazy_calls) = counting_prediction_evaluator(models, workload);
+    let lazy_tables = lazy_counted.lazy_tabulated();
+    let start = Instant::now();
+    let lazy = sa.run_delta(space, &lazy_tables);
+    let t_lazy = start.elapsed();
+
+    let identical = |outcome: &wd_opt::Outcome<hetero_autotune::SystemConfiguration>| {
+        outcome.best_config == reference.best_config
+            && outcome.best_energy.to_bits() == reference.best_energy.to_bits()
+            && outcome.trace.records() == reference.trace.records()
+    };
+    AnnealingMeasurement {
+        space_configs: space.space_len().expect("bench spaces are indexed"),
+        iterations,
+        evaluations: reference.evaluations,
+        accepted_moves: reference
+            .trace
+            .records()
+            .iter()
+            .filter(|record| record.accepted)
+            .count(),
+        direct: t_direct,
+        eager_build: t_build,
+        eager_walk: t_eager_walk,
+        lazy: t_lazy,
+        model_queries_direct: direct_calls.load(Ordering::Relaxed),
+        model_queries_eager: eager_calls.load(Ordering::Relaxed),
+        model_queries_lazy: lazy_calls.load(Ordering::Relaxed),
+        identical_trajectories: identical(&eager) && identical(&lazy),
+    }
+}
+
 /// Render a `(label, values-per-budget)` table with one column per iteration budget,
 /// as used by Tables VI and VII.
 pub fn render_budget_table(

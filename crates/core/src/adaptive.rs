@@ -9,7 +9,7 @@
 //! execution, the refinement also corrects residual errors of the prediction model.
 
 use crate::config::SystemConfiguration;
-use crate::evaluator::MeasurementEvaluator;
+use crate::evaluator::{LazyTabulatedPredictionEvaluator, MeasurementEvaluator};
 
 /// One refinement step.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +80,20 @@ impl AdaptiveRefinement {
     pub fn refine(
         &self,
         evaluator: &MeasurementEvaluator,
+        start: SystemConfiguration,
+    ) -> RefinementOutcome {
+        self.refine_with(|config| evaluator.evaluate_times(config), start)
+    }
+
+    /// Refine `start` against the prediction models through the lazy factorized
+    /// tables: every step's `(T_host, T_device)` comes from memoized per-device
+    /// entries, so repeated refinements (e.g. one per SAML suggestion, or a sweep of
+    /// starting points) share the walk's table fills instead of re-walking the
+    /// boosted trees — bit-identical to refining over
+    /// [`crate::PredictionEvaluator::evaluate_times`] directly.
+    pub fn refine_predicted(
+        &self,
+        evaluator: &LazyTabulatedPredictionEvaluator<'_>,
         start: SystemConfiguration,
     ) -> RefinementOutcome {
         self.refine_with(|config| evaluator.evaluate_times(config), start)
@@ -241,6 +255,40 @@ mod tests {
         };
         let outcome = refinement.refine(&evaluator, start_config(90));
         assert!(outcome.executions() <= 3);
+    }
+
+    #[test]
+    fn refine_predicted_matches_the_direct_models_and_shares_tables() {
+        use crate::training::TrainingCampaign;
+        use wd_ml::BoostingParams;
+
+        let platform = HeterogeneousPlatform::emil();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+        let prediction = models.prediction_evaluator(Genome::Human.workload());
+        let lazy = prediction.lazy_tabulated();
+        let refinement = AdaptiveRefinement::default();
+
+        let fast = refinement.refine_predicted(&lazy, start_config(95));
+        let direct =
+            refinement.refine_with(|config| prediction.evaluate_times(config), start_config(95));
+        assert_eq!(fast.best_config, direct.best_config);
+        assert_eq!(fast.best_time.to_bits(), direct.best_time.to_bits());
+        assert_eq!(fast.steps, direct.steps);
+
+        // a second refinement re-walks mostly warm table entries
+        let warm_queries = lazy.model_queries();
+        let again = refinement.refine_predicted(&lazy, start_config(95));
+        assert_eq!(again.steps, fast.steps);
+        assert_eq!(
+            lazy.model_queries(),
+            warm_queries,
+            "an identical refinement must be answered from the tables"
+        );
+
+        // refinements only move the split, so other starts reuse the same
+        // thread/affinity axis and still fill few fresh entries
+        let other = refinement.refine_predicted(&lazy, start_config(20));
+        assert!(other.executions() >= 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::fmt;
 use hetero_platform::{Affinity, ExecutionConfig, Partition};
 use rand::rngs::StdRng;
 use rand::Rng;
-use wd_opt::SearchSpace;
+use wd_opt::{SearchSpace, Touched};
 
 /// Tuning knobs of one accelerator: thread count, affinity and its workload share in
 /// permille.
@@ -457,14 +457,40 @@ impl ConfigurationSpace {
     }
 
     /// A multi-accelerator space: the paper's host axis, one [`DeviceAxis`] per
-    /// accelerator and all workload splits on the `step_permille` simplex.
+    /// accelerator and all workload splits on the uniform `step_permille` simplex.
     pub fn multi_accelerator(
         host_threads: Vec<u32>,
         host_affinities: Vec<Affinity>,
         device_axes: Vec<DeviceAxis>,
         step_permille: u32,
     ) -> Self {
-        let splits = Self::simplex_splits(device_axes.len(), step_permille);
+        let steps = vec![step_permille; device_axes.len() + 1];
+        Self::multi_accelerator_heterogeneous(host_threads, host_affinities, device_axes, &steps)
+    }
+
+    /// A multi-accelerator space with **per-device split granularity**: one
+    /// `step_permille` per simplex position (`steps_permille[0]` is the host,
+    /// `steps_permille[i]` accelerator `i − 1`, so
+    /// `steps_permille.len() == device_axes.len() + 1`).
+    ///
+    /// Coarse steps for slow devices shrink the N-way split simplex multiplicatively —
+    /// a host + 2-accelerator space at a uniform 2.5 % step has 861 splits, while
+    /// 2.5 % host / 10 % fast device / 25 % slow device keeps 55 — which shortens both
+    /// enumeration grids and the annealer's warm-up over the split axis.
+    pub fn multi_accelerator_heterogeneous(
+        host_threads: Vec<u32>,
+        host_affinities: Vec<Affinity>,
+        device_axes: Vec<DeviceAxis>,
+        steps_permille: &[u32],
+    ) -> Self {
+        assert_eq!(
+            steps_permille.len(),
+            device_axes.len() + 1,
+            "one step per simplex position: host + {} accelerators, got {} steps",
+            device_axes.len(),
+            steps_permille.len()
+        );
+        let splits = Self::simplex_splits_heterogeneous(steps_permille);
         ConfigurationSpace {
             host_threads,
             host_affinities,
@@ -480,40 +506,52 @@ impl ConfigurationSpace {
     /// accelerator the order matches the paper's ascending workload-fraction list.
     pub fn simplex_splits(accelerators: usize, step_permille: u32) -> Vec<Vec<u32>> {
         assert!(accelerators >= 1, "at least one accelerator is required");
+        Self::simplex_splits_heterogeneous(&vec![step_permille; accelerators + 1])
+    }
+
+    /// [`ConfigurationSpace::simplex_splits`] with one step per simplex position:
+    /// all share vectors `[host, device1, ..., deviceN]` summing to 1000 in which
+    /// every position is a multiple of *its own* `steps_permille` entry (host first).
+    ///
+    /// Every step must divide 1000 (so the simplex is never empty — the
+    /// all-on-the-last-device vector always qualifies).  Positions before the last
+    /// iterate their own step grid and the last device takes the remainder, which is
+    /// kept only when it lands on that device's grid; with uniform steps this prunes
+    /// nothing and reproduces `simplex_splits` exactly, element for element.  The
+    /// lexicographic (host-ascending) order is preserved.
+    pub fn simplex_splits_heterogeneous(steps_permille: &[u32]) -> Vec<Vec<u32>> {
         assert!(
-            step_permille >= 1 && 1000 % step_permille == 0,
-            "step must divide 1000 permille, got {step_permille}"
+            steps_permille.len() >= 2,
+            "a split needs the host plus at least one accelerator, got {} positions",
+            steps_permille.len()
         );
+        for &step in steps_permille {
+            assert!(
+                step >= 1 && 1000 % step == 0,
+                "every step must divide 1000 permille, got {step}"
+            );
+        }
         let mut splits = Vec::new();
-        let mut current = Vec::with_capacity(accelerators + 1);
-        fn recurse(
-            positions_left: usize,
-            remaining: u32,
-            step: u32,
-            current: &mut Vec<u32>,
-            out: &mut Vec<Vec<u32>>,
-        ) {
-            if positions_left == 1 {
-                current.push(remaining);
-                out.push(current.clone());
-                current.pop();
+        let mut current = Vec::with_capacity(steps_permille.len());
+        fn recurse(steps: &[u32], remaining: u32, current: &mut Vec<u32>, out: &mut Vec<Vec<u32>>) {
+            if steps.len() == 1 {
+                // the last device absorbs the remainder — but only onto its own grid
+                if remaining.is_multiple_of(steps[0]) {
+                    current.push(remaining);
+                    out.push(current.clone());
+                    current.pop();
+                }
                 return;
             }
             let mut share = 0;
             while share <= remaining {
                 current.push(share);
-                recurse(positions_left - 1, remaining - share, step, current, out);
+                recurse(&steps[1..], remaining - share, current, out);
                 current.pop();
-                share += step;
+                share += steps[0];
             }
         }
-        recurse(
-            accelerators + 1,
-            1000,
-            step_permille,
-            &mut current,
-            &mut splits,
-        );
+        recurse(steps_permille, 1000, &mut current, &mut splits);
         splits
     }
 
@@ -693,6 +731,21 @@ impl SearchSpace for ConfigurationSpace {
     }
 
     fn neighbor(&self, config: &SystemConfiguration, rng: &mut StdRng) -> SystemConfiguration {
+        self.neighbor_move(config, rng).0
+    }
+
+    /// The neighbour move plus its exact footprint in the delta-evaluation component
+    /// convention (component 0 = host, component `i + 1` = accelerator `i`):
+    /// the move is generated once and the touched set is the per-component diff
+    /// against `config`, so `neighbor` (which discards the footprint) consumes
+    /// exactly the same RNG draws and the set never under-approximates.  A split
+    /// move touches every component whose share actually moved — for one accelerator
+    /// that is host + device, for N accelerators usually a small subset.
+    fn neighbor_move(
+        &self,
+        config: &SystemConfiguration,
+        rng: &mut StdRng,
+    ) -> (SystemConfiguration, Touched) {
         let mut host_threads = config.host_threads;
         let mut host_affinity = config.host_affinity;
         let mut device_values: Vec<(u32, Affinity)> = config
@@ -735,12 +788,25 @@ impl SearchSpace for ConfigurationSpace {
                 }
             }
         }
-        self.build(
+        let next = self.build(
             host_threads,
             host_affinity,
             &device_values,
             &self.splits[split_index],
-        )
+        );
+        let mut touched = Vec::new();
+        if next.host_threads != config.host_threads
+            || next.host_affinity != config.host_affinity
+            || next.host_permille() != config.host_permille()
+        {
+            touched.push(0);
+        }
+        for (index, (new, old)) in next.devices().iter().zip(config.devices()).enumerate() {
+            if new != old {
+                touched.push(index + 1);
+            }
+        }
+        (next, Touched::Components(touched))
     }
 
     fn cardinality(&self) -> Option<u128> {
@@ -1049,6 +1115,119 @@ mod tests {
 
         // three accelerators with 25 % steps: C(4 + 3, 3) = 35 compositions
         assert_eq!(ConfigurationSpace::simplex_splits(3, 250).len(), 35);
+    }
+
+    #[test]
+    fn heterogeneous_steps_reproduce_the_uniform_simplex_exactly() {
+        // the uniform constructors are wrappers: same vectors, same order
+        for (accelerators, step) in [(1usize, 25u32), (1, 100), (2, 100), (2, 250), (3, 250)] {
+            assert_eq!(
+                ConfigurationSpace::simplex_splits(accelerators, step),
+                ConfigurationSpace::simplex_splits_heterogeneous(&vec![step; accelerators + 1]),
+                "{accelerators} accelerators, step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_steps_prune_to_each_devices_grid() {
+        // host at 25 %, one device at 10 %: only remainders on the 10 % grid survive
+        // (750 and 250 are not multiples of 100, so those host shares are pruned)
+        let splits = ConfigurationSpace::simplex_splits_heterogeneous(&[250, 100]);
+        assert_eq!(splits, vec![vec![0, 1000], vec![500, 500], vec![1000, 0]]);
+
+        // host 25 %, device at 100 %: only the two corners and the 0-remainder rows
+        let coarse = ConfigurationSpace::simplex_splits_heterogeneous(&[250, 1000]);
+        assert_eq!(coarse, vec![vec![0, 1000], vec![1000, 0]]);
+
+        // three positions, mixed granularity: every entry is on its own grid, the sum
+        // invariant holds, the order is host-ascending lexicographic, no duplicates
+        let steps = [100u32, 250, 500];
+        let mixed = ConfigurationSpace::simplex_splits_heterogeneous(&steps);
+        assert!(!mixed.is_empty());
+        for split in &mixed {
+            assert_eq!(split.len(), 3);
+            assert_eq!(split.iter().sum::<u32>(), 1000);
+            for (share, step) in split.iter().zip(steps) {
+                assert_eq!(share % step, 0, "{split:?}");
+            }
+        }
+        let mut sorted = mixed.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, mixed, "lexicographic order, no duplicates");
+        // and the coarse slow device shrinks the simplex well below the uniform grid
+        assert!(mixed.len() < ConfigurationSpace::simplex_splits(2, 100).len());
+    }
+
+    #[test]
+    fn heterogeneous_space_enumerates_and_anneals() {
+        use rand::SeedableRng as _;
+        let space = ConfigurationSpace::multi_accelerator_heterogeneous(
+            vec![12, 48],
+            vec![Affinity::Scatter],
+            vec![
+                DeviceAxis::new(vec![60, 240], vec![Affinity::Balanced]),
+                DeviceAxis::new(vec![112, 448], vec![Affinity::Balanced]),
+            ],
+            &[100, 200, 500],
+        );
+        let all = space.enumerate().unwrap();
+        assert_eq!(all.len() as u128, space.total_configurations());
+        for (index, config) in all.iter().enumerate() {
+            assert_eq!(space.config_at(index).as_ref(), Some(config));
+            assert_eq!(config.split().iter().sum::<u32>(), 1000);
+        }
+        // the walk stays inside the pruned simplex
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut config = space.random(&mut rng);
+        for _ in 0..300 {
+            config = space.neighbor(&config, &mut rng);
+            assert!(space.splits.contains(&config.split()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one step per simplex position")]
+    fn heterogeneous_steps_must_match_the_device_count() {
+        let _ = ConfigurationSpace::multi_accelerator_heterogeneous(
+            vec![48],
+            vec![Affinity::Scatter],
+            vec![DeviceAxis::new(vec![240], vec![Affinity::Balanced])],
+            &[100, 100, 100],
+        );
+    }
+
+    #[test]
+    fn neighbor_move_footprints_are_sound() {
+        use wd_opt::Touched;
+        for space in [
+            ConfigurationSpace::paper(),
+            ConfigurationSpace::tiny_multi(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(17);
+            let mut config = space.random(&mut rng);
+            for _ in 0..500 {
+                // the footprinted move and `neighbor` consume the same RNG draws
+                let mut probe = rng.clone();
+                let (next, touched) = space.neighbor_move(&config, &mut rng);
+                assert_eq!(next, space.neighbor(&config, &mut probe));
+
+                let components = match &touched {
+                    Touched::Components(components) => components.clone(),
+                    Touched::Unknown => panic!("ConfigurationSpace reports exact footprints"),
+                };
+                // every changed component is listed (never under-approximates)
+                let host_changed = next.host_threads != config.host_threads
+                    || next.host_affinity != config.host_affinity
+                    || next.host_permille() != config.host_permille();
+                assert_eq!(components.contains(&0), host_changed);
+                for (index, (new, old)) in next.devices().iter().zip(config.devices()).enumerate() {
+                    assert_eq!(components.contains(&(index + 1)), *new != *old);
+                }
+                config = next;
+            }
+        }
     }
 
     #[test]

@@ -22,14 +22,60 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
 use hetero_platform::{Affinity, ExecutionRequest, HeterogeneousPlatform, WorkloadProfile};
 use rayon::prelude::*;
 use wd_ml::Regressor;
-use wd_opt::Objective;
+use wd_opt::{CacheStats, DeltaObjective, Objective, Touched};
 
-use crate::config::{ConfigurationSpace, SystemConfiguration};
+use crate::config::{ConfigurationSpace, DeviceSetting, SystemConfiguration};
 use crate::features::{device_features, host_features, share_bytes};
+
+/// Per-configuration evaluation state of the delta-evaluable prediction evaluators:
+/// the predicted host time plus one predicted time per accelerator — exactly what
+/// [`PredictionEvaluator::evaluate_all_times`] returns, retained between neighbour
+/// moves so untouched devices are never re-scored.
+pub type PredictedTimes = (f64, Vec<f64>);
+
+/// Re-score `config` against `base`'s retained per-device times: recompute the
+/// components `touched` may cover (component 0 is the host, component `i + 1` is
+/// accelerator `i`; [`Touched::Unknown`] falls back to diffing the two
+/// configurations), copy every other component's time from `state`, and re-compose
+/// the energy with the same max-fold, in the same order, as the full evaluation path
+/// — so the result is bit-identical to evaluating `config` from scratch.
+fn recompose_move(
+    base: &SystemConfiguration,
+    state: &PredictedTimes,
+    config: &SystemConfiguration,
+    touched: &Touched,
+    host_time: impl FnOnce() -> f64,
+    device_time: impl Fn(usize, DeviceSetting) -> f64,
+) -> (f64, PredictedTimes) {
+    // a state from a differently-shaped configuration cannot be reused
+    let comparable = base.accelerator_count() == config.accelerator_count()
+        && state.1.len() == config.accelerator_count();
+    let host_changed = !comparable
+        || (touched.may_touch(0)
+            && (config.host_threads != base.host_threads
+                || config.host_affinity != base.host_affinity
+                || config.host_permille() != base.host_permille()));
+    let host = if host_changed { host_time() } else { state.0 };
+    let devices: Vec<f64> = config
+        .devices()
+        .iter()
+        .enumerate()
+        .map(|(index, &device)| {
+            if comparable && !(touched.may_touch(index + 1) && device != base.devices()[index]) {
+                state.1[index]
+            } else {
+                device_time(index, device)
+            }
+        })
+        .collect();
+    let device = devices.iter().copied().fold(0.0, f64::max);
+    (host.max(device), (host, devices))
+}
 
 /// Evaluation by "measurement": one simulated execution per query, bound to one
 /// workload.
@@ -214,24 +260,12 @@ impl PredictionEvaluator {
             config.accelerator_count(),
             self.device_models.len()
         );
-        let host_bytes = share_bytes(self.workload.bytes, config.host_permille());
-        let host = if host_bytes == 0 {
-            0.0
-        } else {
-            self.predict_host(config.host_threads, config.host_affinity, host_bytes)
-        };
+        let host = self.config_host_time(config);
         let devices = config
             .devices()
             .iter()
             .enumerate()
-            .map(|(index, device)| {
-                let bytes = share_bytes(self.workload.bytes, device.permille);
-                if bytes == 0 {
-                    0.0
-                } else {
-                    self.predict_device_on(index, device.threads, device.affinity, bytes)
-                }
-            })
+            .map(|(index, &device)| self.config_device_time(index, device))
             .collect();
         (host, devices)
     }
@@ -257,6 +291,37 @@ impl PredictionEvaluator {
     pub fn tabulated(&self, space: &ConfigurationSpace) -> TabulatedPredictionEvaluator<'_> {
         TabulatedPredictionEvaluator::new(self, space)
     }
+
+    /// Build the factorized fast path for *local-search* walks: a
+    /// [`LazyTabulatedPredictionEvaluator`] whose per-device time tables start empty
+    /// and are filled on first touch, so a SAM/SAML walk (or the adaptive refinement
+    /// controller) pays one model query per *distinct* `(threads, affinity, share)`
+    /// triple it ever visits instead of one per device per move.
+    pub fn lazy_tabulated(&self) -> LazyTabulatedPredictionEvaluator<'_> {
+        LazyTabulatedPredictionEvaluator::new(self)
+    }
+
+    /// The host time of `config` exactly as [`PredictionEvaluator::evaluate_all_times`]
+    /// computes it (zero share short-circuits to 0 without a model query).
+    fn config_host_time(&self, config: &SystemConfiguration) -> f64 {
+        let bytes = share_bytes(self.workload.bytes, config.host_permille());
+        if bytes == 0 {
+            0.0
+        } else {
+            self.predict_host(config.host_threads, config.host_affinity, bytes)
+        }
+    }
+
+    /// The time of accelerator `index` under setting `device`, exactly as
+    /// [`PredictionEvaluator::evaluate_all_times`] computes it.
+    fn config_device_time(&self, index: usize, device: DeviceSetting) -> f64 {
+        let bytes = share_bytes(self.workload.bytes, device.permille);
+        if bytes == 0 {
+            0.0
+        } else {
+            self.predict_device_on(index, device.threads, device.affinity, bytes)
+        }
+    }
 }
 
 impl Objective<SystemConfiguration> for PredictionEvaluator {
@@ -270,6 +335,43 @@ impl Objective<SystemConfiguration> for PredictionEvaluator {
             .par_iter()
             .map(|config| self.energy(config))
             .collect()
+    }
+}
+
+/// Direct-model incremental evaluation: a neighbour move that touched only one
+/// device re-queries only that device's model — O(1) model walks per move instead of
+/// N + 1 — and re-composes the energy from the retained [`PredictedTimes`],
+/// bit-identically to [`PredictionEvaluator::energy`].
+impl DeltaObjective<SystemConfiguration> for PredictionEvaluator {
+    type State = PredictedTimes;
+
+    fn evaluate_with_state(&self, config: &SystemConfiguration) -> (f64, PredictedTimes) {
+        let (host, devices) = self.evaluate_all_times(config);
+        let device = devices.iter().copied().fold(0.0, f64::max);
+        (host.max(device), (host, devices))
+    }
+
+    fn evaluate_move(
+        &self,
+        base: &SystemConfiguration,
+        state: &PredictedTimes,
+        config: &SystemConfiguration,
+        touched: &Touched,
+    ) -> (f64, PredictedTimes) {
+        assert!(
+            config.accelerator_count() <= self.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.device_models.len()
+        );
+        recompose_move(
+            base,
+            state,
+            config,
+            touched,
+            || self.config_host_time(config),
+            |index, device| self.config_device_time(index, device),
+        )
     }
 }
 
@@ -527,6 +629,284 @@ impl Objective<SystemConfiguration> for TabulatedPredictionEvaluator<'_> {
     }
 }
 
+/// Incremental evaluation over the precomputed tables: a move re-probes only the
+/// touched devices' tables (out-of-space values still fall back to the direct model
+/// path, counted by [`TabulatedPredictionEvaluator::fallback_queries`]).
+impl DeltaObjective<SystemConfiguration> for TabulatedPredictionEvaluator<'_> {
+    type State = PredictedTimes;
+
+    fn evaluate_with_state(&self, config: &SystemConfiguration) -> (f64, PredictedTimes) {
+        assert!(
+            config.accelerator_count() <= self.inner.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.inner.device_models.len()
+        );
+        let host = self.host_time(config);
+        let devices: Vec<f64> = config
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(index, &device)| self.device_time(index, device))
+            .collect();
+        let device = devices.iter().copied().fold(0.0, f64::max);
+        (host.max(device), (host, devices))
+    }
+
+    fn evaluate_move(
+        &self,
+        base: &SystemConfiguration,
+        state: &PredictedTimes,
+        config: &SystemConfiguration,
+        touched: &Touched,
+    ) -> (f64, PredictedTimes) {
+        assert!(
+            config.accelerator_count() <= self.inner.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.inner.device_models.len()
+        );
+        recompose_move(
+            base,
+            state,
+            config,
+            touched,
+            || self.host_time(config),
+            |index, device| self.device_time(index, device),
+        )
+    }
+}
+
+/// The factorized prediction fast path for **local-search** walks (SAM/SAML, tabu,
+/// hill climbing, the adaptive refinement controller).
+///
+/// Like [`TabulatedPredictionEvaluator`] it exploits the separability of the energy
+/// `E = max(T_host, max_d T_d)` — each device's predicted time depends only on that
+/// device's own `(threads, affinity, share)` triple — but where the eager variant
+/// pays `Σ_d |axis_d|` model queries *up front* (which only enumeration amortises),
+/// the lazy variant starts with **empty** tables and fills each entry the first time
+/// a walk touches it.  A 2 000-iteration SAML walk revisits the same few dozen axis
+/// values constantly, so after a short warm-up every move is answered from the tables
+/// and the total model cost is bounded by the number of *distinct* triples visited —
+/// not by the walk length, and not by the space size.
+///
+/// Memoization is keyed by value, so the evaluator is total: a configuration outside
+/// any particular space simply fills its own entries through the same direct model
+/// path, making every energy **bit-identical** to [`PredictionEvaluator`] on every
+/// configuration (the tables store exactly what `predict_host` / `predict_device_on`
+/// would return, zero shares short-circuit to 0 without a model query, and the
+/// max-composition replicates [`PredictionEvaluator::energy`] operation for
+/// operation).
+///
+/// The tables live behind [`RwLock`]s, so one evaluator can be shared across rayon
+/// workers (e.g. the convergence study's parallel annealing repeats); under a race
+/// two workers may redundantly query the model for the same fresh entry — the values
+/// are identical, one wins the insert, and [`LazyTabulatedPredictionEvaluator::model_queries`]
+/// counts both walks (it reports real model cost, not distinct entries).
+///
+/// Implements [`DeltaObjective`], so the incremental drivers
+/// ([`wd_opt::SimulatedAnnealing::run_delta`] and friends) re-probe only the devices
+/// a neighbour move touched: an accepted move costs O(1) table probes and — once the
+/// tables are warm — zero model queries.
+pub struct LazyTabulatedPredictionEvaluator<'a> {
+    inner: &'a PredictionEvaluator,
+    host: RwLock<TimeTable>,
+    devices: Vec<RwLock<TimeTable>>,
+    probes: AtomicUsize,
+    model_queries: AtomicUsize,
+}
+
+impl<'a> LazyTabulatedPredictionEvaluator<'a> {
+    /// Wrap `inner` with empty tables (one per trained device model).
+    pub fn new(inner: &'a PredictionEvaluator) -> Self {
+        LazyTabulatedPredictionEvaluator {
+            inner,
+            host: RwLock::new(TimeTable::new()),
+            devices: (0..inner.device_models.len())
+                .map(|_| RwLock::new(TimeTable::new()))
+                .collect(),
+            probes: AtomicUsize::new(0),
+            model_queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped direct evaluator.
+    pub fn inner(&self) -> &PredictionEvaluator {
+        self.inner
+    }
+
+    /// Total number of per-device table probes served so far (every energy evaluation
+    /// performs one probe for the host plus one per accelerator; a delta re-evaluation
+    /// probes only the touched components).
+    pub fn probes(&self) -> usize {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Number of boosted-tree model walks performed so far — the *entire* model cost
+    /// of the walk, bounded by the number of distinct `(threads, affinity, share)`
+    /// triples visited (plus any racing duplicate fills under concurrent use).
+    pub fn model_queries(&self) -> usize {
+        self.model_queries.load(Ordering::Relaxed)
+    }
+
+    /// Total number of table entries memoized so far across the host and all devices.
+    pub fn table_len(&self) -> usize {
+        self.host.read().expect("table lock poisoned").len()
+            + self
+                .devices
+                .iter()
+                .map(|table| table.read().expect("table lock poisoned").len())
+                .sum::<usize>()
+    }
+
+    /// Hit/miss counters at the *per-device probe* granularity: `misses` is the number
+    /// of model walks performed (the real evaluation cost), `hits` every probe
+    /// answered without one (warm table entries and zero-share short-circuits).
+    pub fn stats(&self) -> CacheStats {
+        let misses = self.model_queries();
+        CacheStats {
+            hits: self.probes().saturating_sub(misses),
+            misses,
+        }
+    }
+
+    /// Probe one table, filling the entry through `compute` on first touch.
+    /// `compute` returns the time plus whether it walked a model (zero-share entries
+    /// are filled for free).
+    fn probe(
+        &self,
+        table: &RwLock<TimeTable>,
+        key: (u32, Affinity, u32),
+        compute: impl FnOnce() -> (f64, bool),
+    ) -> f64 {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        if let Some(&time) = table.read().expect("table lock poisoned").get(&key) {
+            return time;
+        }
+        let (time, walked_model) = compute();
+        if walked_model {
+            self.model_queries.fetch_add(1, Ordering::Relaxed);
+        }
+        // a racing worker may have filled the entry while we computed; the values are
+        // identical (models are deterministic), so first insert wins
+        table
+            .write()
+            .expect("table lock poisoned")
+            .entry(key)
+            .or_insert(time);
+        time
+    }
+
+    fn host_time(&self, config: &SystemConfiguration) -> f64 {
+        let key = (
+            config.host_threads,
+            config.host_affinity,
+            config.host_permille(),
+        );
+        self.probe(&self.host, key, || {
+            let bytes = share_bytes(self.inner.workload.bytes, key.2);
+            if bytes == 0 {
+                (0.0, false)
+            } else {
+                (self.inner.predict_host(key.0, key.1, bytes), true)
+            }
+        })
+    }
+
+    fn device_time(&self, index: usize, device: DeviceSetting) -> f64 {
+        let key = (device.threads, device.affinity, device.permille);
+        self.probe(&self.devices[index], key, || {
+            let bytes = share_bytes(self.inner.workload.bytes, device.permille);
+            if bytes == 0 {
+                (0.0, false)
+            } else {
+                (
+                    self.inner
+                        .predict_device_on(index, device.threads, device.affinity, bytes),
+                    true,
+                )
+            }
+        })
+    }
+
+    fn assert_arity(&self, config: &SystemConfiguration) {
+        assert!(
+            config.accelerator_count() <= self.inner.device_models.len(),
+            "configuration describes {} accelerators but only {} device models are trained",
+            config.accelerator_count(),
+            self.inner.device_models.len()
+        );
+    }
+
+    /// Predicted host time plus one predicted time per accelerator, served from (and
+    /// memoized into) the tables — bit-identical to
+    /// [`PredictionEvaluator::evaluate_all_times`].
+    pub fn evaluate_all_times(&self, config: &SystemConfiguration) -> (f64, Vec<f64>) {
+        self.assert_arity(config);
+        let host = self.host_time(config);
+        let devices = config
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(index, &device)| self.device_time(index, device))
+            .collect();
+        (host, devices)
+    }
+
+    /// Predicted `(T_host, T_device)` where `T_device` is the slowest accelerator —
+    /// the oracle shape [`crate::AdaptiveRefinement::refine_with`] consumes.
+    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
+        let (host, devices) = self.evaluate_all_times(config);
+        (host, devices.into_iter().fold(0.0, f64::max))
+    }
+
+    /// The optimization energy `E = max(T_host, max_d T_d)` by memoized table probe +
+    /// max-composition — the same fold, in the same order, as
+    /// [`PredictionEvaluator::energy`].
+    pub fn energy(&self, config: &SystemConfiguration) -> f64 {
+        let (host, devices) = self.evaluate_all_times(config);
+        let device = devices.into_iter().fold(0.0, f64::max);
+        host.max(device)
+    }
+}
+
+impl Objective<SystemConfiguration> for LazyTabulatedPredictionEvaluator<'_> {
+    fn evaluate(&self, config: &SystemConfiguration) -> f64 {
+        self.energy(config)
+    }
+}
+
+/// Incremental evaluation over the memoized tables: an accepted move re-probes only
+/// the touched components, so long walks cost O(1) probes per move and amortized
+/// zero model queries.
+impl DeltaObjective<SystemConfiguration> for LazyTabulatedPredictionEvaluator<'_> {
+    type State = PredictedTimes;
+
+    fn evaluate_with_state(&self, config: &SystemConfiguration) -> (f64, PredictedTimes) {
+        let (host, devices) = self.evaluate_all_times(config);
+        let device = devices.iter().copied().fold(0.0, f64::max);
+        (host.max(device), (host, devices))
+    }
+
+    fn evaluate_move(
+        &self,
+        base: &SystemConfiguration,
+        state: &PredictedTimes,
+        config: &SystemConfiguration,
+        touched: &Touched,
+    ) -> (f64, PredictedTimes) {
+        self.assert_arity(config);
+        recompose_move(
+            base,
+            state,
+            config,
+            touched,
+            || self.host_time(config),
+            |index, device| self.device_time(index, device),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -742,6 +1122,177 @@ mod tests {
         for (a, b) in batched.iter().zip(&direct) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// A deterministic nonlinear dummy model counting invocations (shared by the lazy
+    /// tests below).
+    struct CountingWavy(&'static AtomicUsize);
+    impl Regressor for CountingWavy {
+        fn fit(&mut self, _data: &wd_ml::Dataset) -> Result<(), wd_ml::MlError> {
+            Ok(())
+        }
+        fn predict_one(&self, features: &[f64]) -> f64 {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            (features[0] * 0.29).sin().abs() * 0.75 + features[4] * (1.0 + features[1] * 0.125)
+        }
+        fn is_fitted(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &'static str {
+            "counting-wavy"
+        }
+    }
+
+    fn counting_wavy_evaluator(
+        host_calls: &'static AtomicUsize,
+        device_calls: &'static AtomicUsize,
+    ) -> PredictionEvaluator {
+        PredictionEvaluator::new(
+            Box::new(CountingWavy(host_calls)),
+            vec![Box::new(CountingWavy(device_calls))],
+            WorkloadProfile::dna_scan("x", 2_500_000_000),
+        )
+        .with_device_overhead(0.0625)
+    }
+
+    #[test]
+    fn lazy_tabulation_is_bit_identical_and_memoizes_model_queries() {
+        use wd_opt::SearchSpace as _;
+        static HOST_CALLS: AtomicUsize = AtomicUsize::new(0);
+        static DEVICE_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+        let space = crate::config::ConfigurationSpace::tiny();
+        let evaluator = counting_wavy_evaluator(&HOST_CALLS, &DEVICE_CALLS);
+        let configs = space.enumerate().unwrap();
+        let direct: Vec<f64> = configs.iter().map(|c| evaluator.energy(c)).collect();
+        let direct_queries =
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed);
+
+        HOST_CALLS.store(0, Ordering::Relaxed);
+        DEVICE_CALLS.store(0, Ordering::Relaxed);
+        let lazy = evaluator.lazy_tabulated();
+        assert_eq!(lazy.table_len(), 0, "lazy tables start empty");
+
+        // first pass fills the tables, bit-identically to the direct path
+        for (config, &reference) in configs.iter().zip(&direct) {
+            assert_eq!(lazy.energy(config).to_bits(), reference.to_bits());
+        }
+        let fill_queries =
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed);
+        assert_eq!(lazy.model_queries(), fill_queries);
+        // the factorization collapses |grid| × 2 queries to the distinct axis triples
+        assert!(
+            fill_queries * 5 <= direct_queries,
+            "lazy filled {fill_queries} entries, direct used {direct_queries} queries"
+        );
+
+        // second pass is answered entirely from the tables
+        for (config, &reference) in configs.iter().zip(&direct) {
+            assert_eq!(lazy.energy(config).to_bits(), reference.to_bits());
+        }
+        assert_eq!(
+            HOST_CALLS.load(Ordering::Relaxed) + DEVICE_CALLS.load(Ordering::Relaxed),
+            fill_queries,
+            "a warm table must not walk the models again"
+        );
+
+        // probe-level stats: every evaluation probes host + 1 device
+        assert_eq!(lazy.probes(), configs.len() * 4);
+        assert_eq!(lazy.stats().misses, fill_queries);
+        assert_eq!(lazy.stats().hits, lazy.probes() - fill_queries);
+
+        // a configuration outside the tiny space is memoized by value, identically
+        let outside =
+            SystemConfiguration::with_host_percent(48, Affinity::None, 240, Affinity::Balanced, 55);
+        assert_eq!(
+            lazy.energy(&outside).to_bits(),
+            evaluator.energy(&outside).to_bits()
+        );
+    }
+
+    #[test]
+    fn delta_moves_recompute_only_touched_devices() {
+        use wd_opt::Touched;
+        static HOST_CALLS: AtomicUsize = AtomicUsize::new(0);
+        static DEVICE_CALLS: AtomicUsize = AtomicUsize::new(0);
+        let evaluator = counting_wavy_evaluator(&HOST_CALLS, &DEVICE_CALLS);
+
+        let base = SystemConfiguration::with_host_percent(
+            24,
+            Affinity::Scatter,
+            120,
+            Affinity::Balanced,
+            60,
+        );
+        let device_move = SystemConfiguration::with_host_percent(
+            24,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            60,
+        );
+        let host_move = SystemConfiguration::with_host_percent(
+            48,
+            Affinity::Scatter,
+            240,
+            Affinity::Balanced,
+            60,
+        );
+        // reference energies first, so the counters below see only the delta path
+        let expected_base = evaluator.energy(&base);
+        let expected_device_move = evaluator.energy(&device_move);
+        let expected_host_move = evaluator.energy(&host_move);
+
+        let (energy, state) = evaluator.evaluate_with_state(&base);
+        assert_eq!(energy.to_bits(), expected_base.to_bits());
+
+        // a device-only move re-queries only the device model...
+        HOST_CALLS.store(0, Ordering::Relaxed);
+        DEVICE_CALLS.store(0, Ordering::Relaxed);
+        let (moved, moved_state) =
+            evaluator.evaluate_move(&base, &state, &device_move, &Touched::Components(vec![1]));
+        assert_eq!(HOST_CALLS.load(Ordering::Relaxed), 0);
+        assert_eq!(DEVICE_CALLS.load(Ordering::Relaxed), 1);
+        assert_eq!(moved.to_bits(), expected_device_move.to_bits());
+
+        // ...and Unknown footprints diff the configurations, same result & cost
+        let (diffed, _) = evaluator.evaluate_move(&base, &state, &device_move, &Touched::Unknown);
+        assert_eq!(diffed.to_bits(), moved.to_bits());
+        assert_eq!(HOST_CALLS.load(Ordering::Relaxed), 0);
+
+        // chaining from the moved state works too (host-only move)
+        DEVICE_CALLS.store(0, Ordering::Relaxed);
+        let (chained, _) = evaluator.evaluate_move(
+            &device_move,
+            &moved_state,
+            &host_move,
+            &Touched::Components(vec![0]),
+        );
+        assert_eq!(DEVICE_CALLS.load(Ordering::Relaxed), 0);
+        assert_eq!(chained.to_bits(), expected_host_move.to_bits());
+    }
+
+    #[test]
+    fn eager_tabulated_delta_matches_the_direct_delta() {
+        use wd_opt::SearchSpace as _;
+        use wd_opt::Touched;
+        static HOST_CALLS: AtomicUsize = AtomicUsize::new(0);
+        static DEVICE_CALLS: AtomicUsize = AtomicUsize::new(0);
+        let evaluator = counting_wavy_evaluator(&HOST_CALLS, &DEVICE_CALLS);
+        let space = crate::config::ConfigurationSpace::tiny();
+        let tabulated = evaluator.tabulated(&space);
+
+        let configs = space.enumerate().unwrap();
+        let (_, mut state) = tabulated.evaluate_with_state(&configs[0]);
+        let mut previous = configs[0].clone();
+        for config in configs.iter().skip(1).take(40) {
+            let (energy, next) =
+                tabulated.evaluate_move(&previous, &state, config, &Touched::Unknown);
+            assert_eq!(energy.to_bits(), evaluator.energy(config).to_bits());
+            state = next;
+            previous = config.clone();
+        }
+        assert_eq!(tabulated.fallback_queries(), 0);
     }
 
     #[test]

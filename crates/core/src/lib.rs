@@ -62,7 +62,10 @@ pub use adaptive::{AdaptiveRefinement, RefinementOutcome};
 pub use autotuner::Autotuner;
 pub use config::{ConfigurationSpace, DeviceAxis, DeviceSetting, SystemConfiguration};
 pub use dist::{campaign_context, run_enumeration_sharded};
-pub use evaluator::{MeasurementEvaluator, PredictionEvaluator, TabulatedPredictionEvaluator};
+pub use evaluator::{
+    LazyTabulatedPredictionEvaluator, MeasurementEvaluator, PredictedTimes, PredictionEvaluator,
+    TabulatedPredictionEvaluator,
+};
 pub use experiments::{workload_mix, CaseConvergence, ConvergenceStudy};
 pub use methods::{MethodKind, MethodOutcome, MethodProperties, MethodRunner};
 pub use model_selection::{ModelComparison, ModelFamily};

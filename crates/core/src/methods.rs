@@ -124,17 +124,26 @@ pub struct MethodOutcome {
     pub measured_energy: f64,
     /// Number of configuration evaluations *requested* during the search.
     pub evaluations: usize,
-    /// Hit/miss counters of the evaluation cache every method runs behind.
-    /// `cache.misses` is the number of distinct configurations actually evaluated —
-    /// with memoization this, not `evaluations`, is the paper's "number of
-    /// experiments" cost.
+    /// Hit/miss counters of the evaluation cache the method ran behind.  `misses` is
+    /// the real evaluation cost (not `evaluations`, the request count); the
+    /// granularity depends on the method's fast path:
+    ///
+    /// * EM/EML/SAM memoize whole configurations ([`wd_opt::CachedObjective`]):
+    ///   `misses` is the number of distinct configurations evaluated — the paper's
+    ///   "number of experiments";
+    /// * SAML memoizes per-device table entries
+    ///   ([`crate::LazyTabulatedPredictionEvaluator::stats`]): `misses` is the number
+    ///   of boosted-tree model walks, `hits` every per-device probe answered without
+    ///   one.
     pub cache: CacheStats,
     /// Per-iteration trace (empty for enumeration).
     pub trace: wd_opt::OptimizationTrace,
 }
 
 impl MethodOutcome {
-    /// Number of distinct configurations the evaluator actually scored (cache misses).
+    /// The method's real evaluation cost (cache misses): distinct configurations
+    /// scored for EM/EML/SAM, boosted-tree model walks for SAML (see
+    /// [`MethodOutcome::cache`]).
     pub fn experiments(&self) -> usize {
         self.cache.misses
     }
@@ -190,10 +199,21 @@ impl<'a> MethodRunner<'a> {
     /// Run `method`.  `iterations` is the simulated-annealing budget and is ignored by
     /// the enumeration-based methods.
     ///
-    /// Every method evaluates through the unified layer: the evaluator (measurement or
-    /// prediction) is wrapped in a [`CachedObjective`], enumeration goes through the
-    /// batched [`ParallelEnumeration`] path, and the resulting hit/miss counters are
-    /// surfaced on the [`MethodOutcome`].
+    /// Every method evaluates through the unified layer, each on its fast path:
+    ///
+    /// * EM/SAM (measurement) run behind a [`CachedObjective`]; enumeration goes
+    ///   through the batched [`ParallelEnumeration`] path;
+    /// * EML scores the grid from *eagerly* precomputed per-device time tables
+    ///   ([`crate::TabulatedPredictionEvaluator`]), behind the same cache;
+    /// * SAML runs the annealer's incremental path
+    ///   ([`wd_opt::SimulatedAnnealing::run_delta`]) over *lazily* filled tables
+    ///   ([`crate::LazyTabulatedPredictionEvaluator`]): each move re-scores only the
+    ///   device it touched, and each distinct `(threads, affinity, share)` triple
+    ///   queries the boosted-tree model exactly once — bit-identical to annealing over
+    ///   the direct prediction evaluator.
+    ///
+    /// The resulting hit/miss counters are surfaced on the [`MethodOutcome`]; note
+    /// their granularity differs per path (see [`MethodOutcome::cache`]).
     ///
     /// Returns an error message if a prediction-based method is requested without
     /// trained models.
@@ -207,11 +227,15 @@ impl<'a> MethodRunner<'a> {
                 // grid is scored from precomputed per-device time tables
                 // (Σ axis sizes model queries instead of |grid| × (N + 1)) —
                 // bit-identical to enumerating through `prediction` directly.
-                // Annealing walks skip this: they visit too few configurations to
-                // amortise building the tables.
                 self.search(method, iterations, &prediction.tabulated(&self.grid))
             } else {
-                self.search(method, iterations, &prediction)
+                // SAML fast path: lazy per-device tables + incremental (delta)
+                // re-scoring of each neighbour move.  Bit-identical to the classic
+                // cached-direct walk: same RNG stream, same accepted moves, same
+                // energies — only the model cost drops.
+                let lazy = prediction.lazy_tabulated();
+                let outcome = self.annealer(iterations).run_delta(&self.space, &lazy);
+                (outcome, lazy.stats())
             }
         } else {
             self.search(method, iterations, &measurement)
@@ -347,6 +371,45 @@ mod tests {
         );
         // EM's search energy is also its measured energy (same evaluator)
         assert!((em.search_energy - em.measured_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saml_fast_path_is_bit_identical_to_direct_annealing() {
+        use wd_opt::SimulatedAnnealing;
+
+        let platform = platform();
+        let workload = Genome::Human.workload();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+        let space = ConfigurationSpace::tiny();
+        let runner = MethodRunner::new(&platform, &workload, Some(&models), 13)
+            .with_grid(ConfigurationSpace::tiny())
+            .with_space(space.clone());
+        let iterations = 200;
+        let saml = runner.run(MethodKind::Saml, iterations).unwrap();
+
+        // hand-rolled classic walk: same annealer parameters, full re-evaluation of
+        // the direct prediction evaluator on every proposal
+        let seed = 13u64 ^ (iterations as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let sa = SimulatedAnnealing::with_budget_and_range(iterations, 2.0, 0.02, seed);
+        let prediction = models.prediction_evaluator(workload.clone());
+        let reference = sa.run(&space, &prediction);
+
+        assert_eq!(saml.best_config, reference.best_config);
+        assert_eq!(
+            saml.search_energy.to_bits(),
+            reference.best_energy.to_bits()
+        );
+        assert_eq!(saml.evaluations, reference.evaluations);
+        assert_eq!(saml.trace.records(), reference.trace.records());
+        // the lazy tables bound the model cost by the distinct axis triples visited
+        // (≤ 66 host + 66 device on the tiny space), well below the 2 × evaluations
+        // walks of the direct path
+        assert!(
+            saml.cache.misses < reference.evaluations,
+            "lazy SAML walked the models {} times over {} evaluations",
+            saml.cache.misses,
+            reference.evaluations
+        );
     }
 
     #[test]

@@ -59,4 +59,4 @@ pub use coordinator::{
     merge_shard_bests, CampaignOutcome, ShardReport, ShardedCampaign, StoreBackedObjective,
 };
 pub use key::ConfigKey;
-pub use store::{JsonlStore, MemoryStore, ResultStore};
+pub use store::{CompactionReport, JsonlStore, MemoryStore, ResultStore, STORE_SCHEMA_VERSION};

@@ -183,13 +183,38 @@ pub struct JsonlStore<C> {
     write_error: Mutex<Option<io::Error>>,
     skipped_lines: usize,
     context: Option<String>,
+    schema: Option<String>,
     _config: PhantomData<fn(&C) -> C>,
+}
+
+/// The schema version stamped into the header line of freshly created (and
+/// compacted) stores, e.g. `{"schema":"wd-dist-store/v2"}`.  Stores written before
+/// the header existed load fine (their version reads as `None`); future migrations
+/// key off this stamp to detect old layouts.
+pub const STORE_SCHEMA_VERSION: &str = "wd-dist-store/v2";
+
+/// What one [`JsonlStore::compact`] pass did: how many result records the rewritten
+/// log kept versus dropped as duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Result records in the log before compaction (including duplicates).
+    pub records_before: usize,
+    /// Distinct keys kept (one record each) after compaction.
+    pub records_after: usize,
+}
+
+impl CompactionReport {
+    /// Number of duplicate records the rewrite dropped.
+    pub fn dropped(&self) -> usize {
+        self.records_before - self.records_after
+    }
 }
 
 enum Record {
     Result(String, f64),
     Stats(CacheStats),
     Context(String),
+    Schema(String),
 }
 
 /// Extract the value of a `"name":"<value>"` string field.
@@ -212,6 +237,9 @@ fn json_uint_field(line: &str, name: &str) -> Option<u64> {
 }
 
 fn parse_line(line: &str) -> Option<Record> {
+    if let Some(schema) = json_str_field(line, "schema") {
+        return Some(Record::Schema(schema.to_string()));
+    }
     if let Some(context) = json_str_field(line, "context") {
         return Some(Record::Context(context.to_string()));
     }
@@ -250,24 +278,28 @@ impl<C: ConfigKey> JsonlStore<C> {
         let mut stats = CacheStats::default();
         let mut skipped = 0usize;
         let mut context = None;
+        let mut schema = None;
+        let mut saw_lines = false;
         if path.exists() {
             for line in BufReader::new(File::open(&path)?).split(b'\n') {
                 let line = String::from_utf8(line?).unwrap_or_default();
                 if line.trim().is_empty() {
                     continue;
                 }
+                saw_lines = true;
                 match parse_line(&line) {
                     Some(Record::Result(key, energy)) => {
                         map.insert(key, energy);
                     }
                     Some(Record::Stats(loaded)) => stats += loaded,
                     Some(Record::Context(loaded)) => context = Some(loaded),
+                    Some(Record::Schema(loaded)) => schema = Some(loaded),
                     None => skipped += 1,
                 }
             }
         }
         let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
-        Ok(JsonlStore {
+        let store = JsonlStore {
             path,
             map: RwLock::new(map),
             writer: Mutex::new(writer),
@@ -275,8 +307,20 @@ impl<C: ConfigKey> JsonlStore<C> {
             write_error: Mutex::new(None),
             skipped_lines: skipped,
             context,
+            schema,
             _config: PhantomData,
-        })
+        };
+        if !saw_lines {
+            // stamp fresh stores with the current schema version so future readers
+            // can detect (and migrate) old layouts; pre-header stores keep `None`
+            store.append(&format!("{{\"schema\":\"{STORE_SCHEMA_VERSION}\"}}"));
+            store.flush()?;
+            return Ok(JsonlStore {
+                schema: Some(STORE_SCHEMA_VERSION.to_string()),
+                ..store
+            });
+        }
+        Ok(store)
     }
 
     /// Open (or create) the store at `path` for one evaluation context.
@@ -337,6 +381,100 @@ impl<C: ConfigKey> JsonlStore<C> {
     /// Number of malformed/truncated lines skipped while loading.
     pub fn skipped_lines(&self) -> usize {
         self.skipped_lines
+    }
+
+    /// The schema version this store's file was stamped with *when it was loaded*
+    /// ([`STORE_SCHEMA_VERSION`] for stores created by this code; `None` for stores
+    /// written before the header existed).  [`JsonlStore::compact`] stamps the
+    /// current version into the file; reopen to observe it on an old store.
+    pub fn schema_version(&self) -> Option<&str> {
+        self.schema.as_deref()
+    }
+
+    /// Rewrite the append-only log keeping **one record per key** — the lowest energy
+    /// wins, ties keep the earliest record — plus a fresh [`STORE_SCHEMA_VERSION`]
+    /// header, the context stamp (when present) and a single merged stats line.
+    ///
+    /// Overlapping campaigns against one store append duplicate records without
+    /// bound (the coordinator records every evaluated batch); compaction bounds the
+    /// file again.  Keys keep their first-occurrence order, so compacting is
+    /// deterministic.  The rewrite goes through a temporary sibling file that is
+    /// atomically renamed over the log, and the in-memory map is reloaded from the
+    /// kept records, so concurrent appends block (the writer is locked for the
+    /// duration) but are never lost.
+    ///
+    /// Note the merge rule: the in-memory map of a *live* store is last-write-wins,
+    /// which for the deterministic objectives the coordinator runs is
+    /// indistinguishable (duplicate records carry identical energies).  Compaction
+    /// applies the coordinator's lowest-energy/earliest rule, so hand-written logs
+    /// with conflicting duplicates resolve to the merged best.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        writer.flush()?;
+
+        // re-read the log: the in-memory map holds only the last write per key, the
+        // merge rule needs every duplicate in file order
+        let mut order: Vec<String> = Vec::new();
+        let mut merged: HashMap<String, f64> = HashMap::new();
+        let mut stats = CacheStats::default();
+        let mut records_before = 0usize;
+        for line in BufReader::new(File::open(&self.path)?).split(b'\n') {
+            let line = String::from_utf8(line?).unwrap_or_default();
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_line(&line) {
+                Some(Record::Result(key, energy)) => {
+                    records_before += 1;
+                    match merged.get_mut(&key) {
+                        None => {
+                            order.push(key.clone());
+                            merged.insert(key, energy);
+                        }
+                        // strictly lower replaces; an equal energy keeps the earliest
+                        Some(best) => {
+                            if energy.total_cmp(best).is_lt() {
+                                *best = energy;
+                            }
+                        }
+                    }
+                }
+                Some(Record::Stats(loaded)) => stats += loaded,
+                // context/schema are re-stamped below; foreign lines are dropped
+                Some(Record::Context(_)) | Some(Record::Schema(_)) | None => {}
+            }
+        }
+
+        // write the compacted log next to the original, then rename over it
+        let tmp_path = self.path.with_extension("compact-tmp");
+        {
+            let mut tmp = BufWriter::new(File::create(&tmp_path)?);
+            writeln!(tmp, "{{\"schema\":\"{STORE_SCHEMA_VERSION}\"}}")?;
+            if let Some(context) = &self.context {
+                writeln!(tmp, "{{\"context\":\"{context}\"}}")?;
+            }
+            for key in &order {
+                writeln!(tmp, "{}", Self::result_line(key, merged[key]))?;
+            }
+            writeln!(
+                tmp,
+                "{{\"stats\":{{\"hits\":{},\"misses\":{}}}}}",
+                stats.hits, stats.misses
+            )?;
+            tmp.flush()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+
+        // swap in a fresh append handle (the old one points at the replaced inode)
+        *writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+
+        let report = CompactionReport {
+            records_before,
+            records_after: order.len(),
+        };
+        *self.map.write().expect("store lock poisoned") = merged;
+        *self.stats.lock().expect("stats lock poisoned") = stats;
+        Ok(report)
     }
 
     /// Decode every stored record back into configurations (records whose key no
@@ -579,8 +717,9 @@ mod tests {
         store.record(&1, 1.0);
         store.record_batch(&[2, 3], &[2.0, 3.0]);
         // read the file out-of-band while the store (and its buffer) is still alive
+        // (3 records + the schema header of a fresh store)
         let contents = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(contents.lines().count(), 3);
+        assert_eq!(contents.lines().count(), 4);
         drop(store);
         std::fs::remove_file(&path).unwrap();
     }
@@ -600,6 +739,109 @@ mod tests {
         let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.lookup(&9), Some(5.0));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fresh_stores_are_stamped_with_the_schema_version() {
+        let path = temp_path("schema");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            assert_eq!(store.schema_version(), Some(STORE_SCHEMA_VERSION));
+            store.record(&1, 1.0);
+            store.flush().unwrap();
+        }
+        // the header is a recognised record kind, not a skipped foreign line
+        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
+        assert_eq!(reopened.skipped_lines(), 0);
+        assert_eq!(reopened.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+
+        // pre-header stores load fine and report no version
+        let old = temp_path("schema-old");
+        std::fs::write(&old, "{\"config\":\"7\",\"energy\":1.5}\n").unwrap();
+        let store: JsonlStore<u32> = JsonlStore::open(&old).unwrap();
+        assert_eq!(store.schema_version(), None);
+        assert_eq!(store.lookup(&7), Some(1.5));
+        std::fs::remove_file(&old).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_one_record_per_key_lowest_energy_wins() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> =
+            JsonlStore::open_with_context(&path, "em|human|compact-test").unwrap();
+        // overlapping campaigns: key 1 improves, key 2 worsens, key 3 ties, key 4 once
+        store.record(&1, 5.0);
+        store.record(&2, 1.0);
+        store.record(&1, 3.0);
+        store.record(&2, 2.0);
+        store.record(&3, 7.0);
+        store.record(&3, 7.0);
+        store.record(&4, 4.0);
+        store.record_stats(CacheStats { hits: 5, misses: 7 });
+        store.record_stats(CacheStats { hits: 1, misses: 0 });
+        store.flush().unwrap();
+
+        let report = store.compact().unwrap();
+        assert_eq!(
+            report,
+            CompactionReport {
+                records_before: 7,
+                records_after: 4
+            }
+        );
+        assert_eq!(report.dropped(), 3);
+
+        // the live map now follows the merge rule (lowest wins)
+        assert_eq!(store.lookup(&1), Some(3.0));
+        assert_eq!(store.lookup(&2), Some(1.0));
+        assert_eq!(store.lookup(&3), Some(7.0));
+        assert_eq!(store.lookup(&4), Some(4.0));
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.recorded_stats(), CacheStats { hits: 6, misses: 7 });
+
+        // appends after compaction land in the rewritten file
+        store.record(&5, 9.0);
+        store.flush().unwrap();
+
+        // a reopened store sees the compacted log: header + context + 5 records +
+        // stats, nothing skipped, context intact
+        let reopened: JsonlStore<u32> =
+            JsonlStore::open_with_context(&path, "em|human|compact-test").unwrap();
+        assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
+        assert_eq!(reopened.skipped_lines(), 0);
+        assert_eq!(reopened.len(), 5);
+        assert_eq!(reopened.lookup(&1), Some(3.0));
+        assert_eq!(reopened.lookup(&5), Some(9.0));
+        assert_eq!(reopened.recorded_stats(), CacheStats { hits: 6, misses: 7 });
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents.lines().count(), 1 + 1 + 4 + 1 + 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_exact_bits_and_is_idempotent() {
+        let path = temp_path("compact-bits");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        let awkward = 0.1 + 0.2;
+        store.record(&11, awkward);
+        store.record(&11, awkward + 1.0);
+        store.record(&12, 1e-300);
+        store.compact().unwrap();
+        assert_eq!(store.lookup(&11).unwrap().to_bits(), awkward.to_bits());
+
+        let again = store.compact().unwrap();
+        assert_eq!(again.records_before, again.records_after);
+        assert_eq!(again.dropped(), 0);
+
+        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(reopened.lookup(&11).unwrap().to_bits(), awkward.to_bits());
+        assert_eq!(reopened.lookup(&12).unwrap().to_bits(), 1e-300f64.to_bits());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -3,7 +3,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::objective::{CountingObjective, Objective};
+use crate::delta::{DeltaObjective, FullDelta};
+use crate::objective::Objective;
 use crate::outcome::Outcome;
 use crate::space::SearchSpace;
 use crate::trace::{IterationRecord, OptimizationTrace};
@@ -30,30 +31,49 @@ impl HillClimbing {
         }
     }
 
-    /// Run the optimizer.
+    /// Run the optimizer, re-scoring every proposal from scratch.
+    ///
+    /// This is [`HillClimbing::run_delta`] behind the full-evaluation adapter
+    /// ([`FullDelta`]); the two entry points share one loop.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace,
         O: Objective<S::Config> + ?Sized,
     {
-        let counting = CountingObjective::new(objective);
+        self.run_delta(space, &FullDelta::new(objective))
+    }
+
+    /// Run the optimizer with an incrementally evaluable objective: neighbour
+    /// proposals are scored through [`DeltaObjective::evaluate_move`] against the
+    /// current configuration's state (random restarts pay a full evaluation) —
+    /// bit-identical to [`HillClimbing::run`] for a correct [`DeltaObjective`].
+    pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trace = OptimizationTrace::new();
+        let mut evaluations = 0usize;
 
         let mut current = space.random(&mut rng);
-        let mut current_energy = counting.evaluate(&current);
+        evaluations += 1;
+        let (mut current_energy, mut current_state) = objective.evaluate_with_state(&current);
         let mut best = current.clone();
         let mut best_energy = current_energy;
         let mut stale = 0usize;
         let mut iteration = 0usize;
 
-        while counting.evaluations() < self.max_evaluations {
-            let proposal = space.neighbor(&current, &mut rng);
-            let proposal_energy = counting.evaluate(&proposal);
+        while evaluations < self.max_evaluations {
+            let (proposal, touched) = space.neighbor_move(&current, &mut rng);
+            evaluations += 1;
+            let (proposal_energy, proposal_state) =
+                objective.evaluate_move(&current, &current_state, &proposal, &touched);
             let accepted = proposal_energy < current_energy;
             if accepted {
                 current = proposal;
                 current_energy = proposal_energy;
+                current_state = proposal_state;
                 stale = 0;
                 if current_energy < best_energy {
                     best = current.clone();
@@ -73,9 +93,12 @@ impl HillClimbing {
             });
             iteration += 1;
 
-            if stale >= self.patience && counting.evaluations() < self.max_evaluations {
+            if stale >= self.patience && evaluations < self.max_evaluations {
                 current = space.random(&mut rng);
-                current_energy = counting.evaluate(&current);
+                evaluations += 1;
+                let (energy, state) = objective.evaluate_with_state(&current);
+                current_energy = energy;
+                current_state = state;
                 stale = 0;
                 if current_energy < best_energy {
                     best = current.clone();
@@ -87,7 +110,7 @@ impl HillClimbing {
         Outcome {
             best_config: best,
             best_energy,
-            evaluations: counting.evaluations(),
+            evaluations,
             trace,
         }
     }

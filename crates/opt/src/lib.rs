@@ -19,7 +19,12 @@
 //! batch-capable backends override to run many configurations in one parallel pass.
 //! [`CachedObjective`] adds config-keyed memoization (with [`CacheStats`] hit/miss
 //! counters) on top of any objective, and [`ParallelEnumeration`] drives an exhaustive
-//! search through the batched path.
+//! search through the batched path.  Separable objectives additionally implement
+//! [`DeltaObjective`], the incremental-evaluation contract: the local-search drivers
+//! ([`SimulatedAnnealing::run_delta`], [`HillClimbing::run_delta`],
+//! [`TabuSearch::run_delta`]) then re-score each neighbour move by recomputing only
+//! the components the move touched ([`SearchSpace::neighbor_move`]), bit-identically
+//! to full re-evaluation.
 //!
 //! ## Example
 //!
@@ -53,6 +58,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod delta;
 pub mod enumeration;
 pub mod genetic;
 pub mod hill_climbing;
@@ -66,6 +72,7 @@ pub mod space;
 pub mod tabu;
 pub mod trace;
 
+pub use delta::{DeltaObjective, FullDelta, Touched};
 pub use enumeration::{Enumeration, ParallelEnumeration};
 pub use genetic::{GeneticAlgorithm, GeneticParams};
 pub use hill_climbing::HillClimbing;

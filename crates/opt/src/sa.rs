@@ -12,7 +12,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::objective::{CountingObjective, Objective};
+use crate::delta::{DeltaObjective, FullDelta};
+use crate::objective::Objective;
 use crate::outcome::Outcome;
 use crate::schedule::CoolingSchedule;
 use crate::space::SearchSpace;
@@ -81,18 +82,38 @@ impl SimulatedAnnealing {
         self
     }
 
-    /// Run the optimizer on `space` with objective `objective`.
+    /// Run the optimizer on `space` with objective `objective`, re-scoring every
+    /// proposal from scratch.
+    ///
+    /// This is [`SimulatedAnnealing::run_delta`] behind the full-evaluation adapter
+    /// ([`FullDelta`]), so the two entry points share one loop and — for a correct
+    /// [`DeltaObjective`] — produce bit-identical trajectories.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace,
         O: Objective<S::Config> + ?Sized,
     {
-        let counting = CountingObjective::new(objective);
+        self.run_delta(space, &FullDelta::new(objective))
+    }
+
+    /// Run the optimizer with an incrementally evaluable objective: each proposal is
+    /// scored through [`DeltaObjective::evaluate_move`], which recomputes only the
+    /// components the neighbour move touched (reported by
+    /// [`SearchSpace::neighbor_move`]) — for a separable objective like the
+    /// work-distribution energy this makes the per-move cost O(1) component
+    /// evaluations instead of one per component.
+    pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trace = OptimizationTrace::new();
+        let mut evaluations = 0usize;
 
         let mut current = space.random(&mut rng);
-        let mut current_energy = counting.evaluate(&current);
+        evaluations += 1;
+        let (mut current_energy, mut current_state) = objective.evaluate_with_state(&current);
         let mut best = current.clone();
         let mut best_energy = current_energy;
 
@@ -100,8 +121,10 @@ impl SimulatedAnnealing {
         let mut iteration = 0usize;
 
         while temperature >= self.stop_temperature && iteration < self.max_iterations {
-            let proposal = space.neighbor(&current, &mut rng);
-            let proposal_energy = counting.evaluate(&proposal);
+            let (proposal, touched) = space.neighbor_move(&current, &mut rng);
+            evaluations += 1;
+            let (proposal_energy, proposal_state) =
+                objective.evaluate_move(&current, &current_state, &proposal, &touched);
 
             let accepted = if proposal_energy < current_energy {
                 true
@@ -115,6 +138,7 @@ impl SimulatedAnnealing {
             if accepted {
                 current = proposal;
                 current_energy = proposal_energy;
+                current_state = proposal_state;
                 if current_energy < best_energy {
                     best = current.clone();
                     best_energy = current_energy;
@@ -139,7 +163,7 @@ impl SimulatedAnnealing {
         Outcome {
             best_config: best,
             best_energy,
-            evaluations: counting.evaluations(),
+            evaluations,
             trace,
         }
     }

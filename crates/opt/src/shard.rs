@@ -182,6 +182,14 @@ impl<S: SearchSpace> SearchSpace for ShardView<'_, S> {
         self.parent.neighbor(config, rng)
     }
 
+    fn neighbor_move(
+        &self,
+        config: &S::Config,
+        rng: &mut StdRng,
+    ) -> (S::Config, crate::delta::Touched) {
+        self.parent.neighbor_move(config, rng)
+    }
+
     fn cardinality(&self) -> Option<u128> {
         Some(self.len as u128)
     }

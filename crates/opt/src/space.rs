@@ -3,6 +3,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
+use crate::delta::Touched;
+
 /// A discrete configuration space that heuristics can sample and perturb.
 ///
 /// Implementations describe *how the space looks* (random configurations, neighbour
@@ -16,6 +18,20 @@ pub trait SearchSpace {
 
     /// Produce a configuration "close to" `config` (one or a few parameters changed).
     fn neighbor(&self, config: &Self::Config, rng: &mut StdRng) -> Self::Config;
+
+    /// Like [`SearchSpace::neighbor`], but also describe which configuration
+    /// *components* the move touched (see [`Touched`] for the indexing convention),
+    /// which lets [`crate::DeltaObjective`]s re-score the move incrementally.
+    ///
+    /// The default implementation delegates to `neighbor` and reports
+    /// [`Touched::Unknown`].  Overrides **must consume exactly the same RNG draws as
+    /// `neighbor`** (the easiest way is to implement the move once, in
+    /// `neighbor_move`, and have `neighbor` discard the `Touched` half), so that the
+    /// incremental drivers replay the classic trajectories bit for bit; the reported
+    /// set may over-approximate but must cover every component that changed.
+    fn neighbor_move(&self, config: &Self::Config, rng: &mut StdRng) -> (Self::Config, Touched) {
+        (self.neighbor(config, rng), Touched::Unknown)
+    }
 
     /// Number of distinct configurations, when known and finite.
     fn cardinality(&self) -> Option<u128> {
@@ -89,13 +105,27 @@ impl SearchSpace for GridSpace {
     }
 
     fn neighbor(&self, config: &Self::Config, rng: &mut StdRng) -> Self::Config {
+        self.neighbor_move(config, rng).0
+    }
+
+    /// The ±1 move plus its exact footprint (component 0 = x, component 1 = y),
+    /// generated once so `neighbor` consumes the same RNG draws.
+    fn neighbor_move(&self, config: &Self::Config, rng: &mut StdRng) -> (Self::Config, Touched) {
         let (x, y) = *config;
         let dx: i64 = rng.gen_range(-1..=1);
         let dy: i64 = rng.gen_range(-1..=1);
-        (
+        let next = (
             (x as i64 + dx).clamp(0, self.width as i64 - 1) as u32,
             (y as i64 + dy).clamp(0, self.height as i64 - 1) as u32,
-        )
+        );
+        let mut touched = Vec::new();
+        if next.0 != x {
+            touched.push(0);
+        }
+        if next.1 != y {
+            touched.push(1);
+        }
+        (next, Touched::Components(touched))
     }
 
     fn cardinality(&self) -> Option<u128> {
@@ -196,6 +226,10 @@ impl<S: SearchSpace> SearchSpace for InstrumentedSpace<'_, S> {
         self.inner.neighbor(config, rng)
     }
 
+    fn neighbor_move(&self, config: &S::Config, rng: &mut StdRng) -> (S::Config, Touched) {
+        self.inner.neighbor_move(config, rng)
+    }
+
     fn cardinality(&self) -> Option<u128> {
         self.inner.cardinality()
     }
@@ -246,6 +280,10 @@ impl<S: SearchSpace> SearchSpace for MaterializedOnly<'_, S> {
 
     fn neighbor(&self, config: &S::Config, rng: &mut StdRng) -> S::Config {
         self.0.neighbor(config, rng)
+    }
+
+    fn neighbor_move(&self, config: &S::Config, rng: &mut StdRng) -> (S::Config, Touched) {
+        self.0.neighbor_move(config, rng)
     }
 
     fn cardinality(&self) -> Option<u128> {

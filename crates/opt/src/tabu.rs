@@ -6,7 +6,8 @@ use std::hash::Hash;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::objective::{CountingObjective, Objective};
+use crate::delta::{DeltaObjective, FullDelta};
+use crate::objective::Objective;
 use crate::outcome::Outcome;
 use crate::space::SearchSpace;
 use crate::trace::{IterationRecord, OptimizationTrace};
@@ -36,19 +37,37 @@ impl TabuSearch {
         }
     }
 
-    /// Run the search.  Configurations must be hashable so the tabu list can store them.
+    /// Run the search, re-scoring every candidate from scratch.  Configurations must
+    /// be hashable so the tabu list can store them.
+    ///
+    /// This is [`TabuSearch::run_delta`] behind the full-evaluation adapter
+    /// ([`FullDelta`]); the two entry points share one loop.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace,
         S::Config: Hash + Eq,
         O: Objective<S::Config> + ?Sized,
     {
-        let counting = CountingObjective::new(objective);
+        self.run_delta(space, &FullDelta::new(objective))
+    }
+
+    /// Run the search with an incrementally evaluable objective: every neighbourhood
+    /// candidate is scored through [`DeltaObjective::evaluate_move`] against the
+    /// current configuration's state (tabu restarts pay a full evaluation) —
+    /// bit-identical to [`TabuSearch::run`] for a correct [`DeltaObjective`].
+    pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        S::Config: Hash + Eq,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trace = OptimizationTrace::new();
+        let mut evaluations = 0usize;
 
         let mut current = space.random(&mut rng);
-        let mut current_energy = counting.evaluate(&current);
+        evaluations += 1;
+        let (mut current_energy, mut current_state) = objective.evaluate_with_state(&current);
         let mut best = current.clone();
         let mut best_energy = current_energy;
 
@@ -60,32 +79,36 @@ impl TabuSearch {
         for iteration in 0..self.iterations {
             // sample the neighbourhood and pick the best non-tabu candidate
             // (aspiration: a tabu candidate is allowed if it improves the global best)
-            let mut chosen: Option<(S::Config, f64)> = None;
+            let mut chosen: Option<(S::Config, f64, O::State)> = None;
             for _ in 0..self.neighbourhood {
-                let candidate = space.neighbor(&current, &mut rng);
-                let energy = counting.evaluate(&candidate);
+                let (candidate, touched) = space.neighbor_move(&current, &mut rng);
+                evaluations += 1;
+                let (energy, state) =
+                    objective.evaluate_move(&current, &current_state, &candidate, &touched);
                 let is_tabu = tabu_set.contains(&candidate);
                 let aspirated = energy < best_energy;
                 if is_tabu && !aspirated {
                     continue;
                 }
-                if chosen.as_ref().is_none_or(|(_, e)| energy < *e) {
-                    chosen = Some((candidate, energy));
+                if chosen.as_ref().is_none_or(|(_, e, _)| energy < *e) {
+                    chosen = Some((candidate, energy, state));
                 }
             }
 
-            let (next, next_energy) = match chosen {
-                Some(pair) => pair,
+            let (next, next_energy, next_state) = match chosen {
+                Some(triple) => triple,
                 // the whole neighbourhood was tabu: restart from a random configuration
                 None => {
                     let fresh = space.random(&mut rng);
-                    let energy = counting.evaluate(&fresh);
-                    (fresh, energy)
+                    evaluations += 1;
+                    let (energy, state) = objective.evaluate_with_state(&fresh);
+                    (fresh, energy, state)
                 }
             };
 
             current = next;
             current_energy = next_energy;
+            current_state = next_state;
             if current_energy < best_energy {
                 best = current.clone();
                 best_energy = current_energy;
@@ -113,7 +136,7 @@ impl TabuSearch {
         Outcome {
             best_config: best,
             best_energy,
-            evaluations: counting.evaluations(),
+            evaluations,
             trace,
         }
     }

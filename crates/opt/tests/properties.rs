@@ -1,11 +1,80 @@
 //! Property-based tests for the optimization crate.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use proptest::prelude::*;
 use wd_opt::space::GridSpace;
 use wd_opt::{
-    CoolingSchedule, Enumeration, GeneticAlgorithm, HillClimbing, RandomSearch, SearchSpace,
-    SimulatedAnnealing, TabuSearch,
+    CoolingSchedule, DeltaObjective, Enumeration, GeneticAlgorithm, HillClimbing, Objective,
+    RandomSearch, SearchSpace, SimulatedAnnealing, TabuSearch, Touched,
 };
+
+/// A separable objective over grid configurations — `max(f(x), g(y))`, the same
+/// composition shape as the work-distribution energy — implementing the incremental
+/// contract: component 0 is `x`, component 1 is `y` (matching
+/// `GridSpace::neighbor_move`), and a move re-evaluates only the touched component.
+/// Counts per-component evaluations so tests can verify moves really got cheaper.
+struct SeparableGrid {
+    target: (u32, u32),
+    component_evals: AtomicUsize,
+}
+
+impl SeparableGrid {
+    fn new(target: (u32, u32)) -> Self {
+        SeparableGrid {
+            target,
+            component_evals: AtomicUsize::new(0),
+        }
+    }
+
+    fn fx(&self, x: u32) -> f64 {
+        self.component_evals.fetch_add(1, Ordering::Relaxed);
+        let dx = x as f64 - self.target.0 as f64;
+        dx * dx + 5.0 * (dx * 0.31).sin().abs()
+    }
+
+    fn gy(&self, y: u32) -> f64 {
+        self.component_evals.fetch_add(1, Ordering::Relaxed);
+        let dy = y as f64 - self.target.1 as f64;
+        dy * dy + 5.0 * (dy * 0.47).sin().abs()
+    }
+}
+
+impl Objective<(u32, u32)> for SeparableGrid {
+    fn evaluate(&self, config: &(u32, u32)) -> f64 {
+        self.fx(config.0).max(self.gy(config.1))
+    }
+}
+
+impl DeltaObjective<(u32, u32)> for SeparableGrid {
+    type State = (f64, f64);
+
+    fn evaluate_with_state(&self, config: &(u32, u32)) -> (f64, (f64, f64)) {
+        let fx = self.fx(config.0);
+        let gy = self.gy(config.1);
+        (fx.max(gy), (fx, gy))
+    }
+
+    fn evaluate_move(
+        &self,
+        base: &(u32, u32),
+        state: &(f64, f64),
+        config: &(u32, u32),
+        touched: &Touched,
+    ) -> (f64, (f64, f64)) {
+        let fx = if touched.may_touch(0) && config.0 != base.0 {
+            self.fx(config.0)
+        } else {
+            state.0
+        };
+        let gy = if touched.may_touch(1) && config.1 != base.1 {
+            self.gy(config.1)
+        } else {
+            state.1
+        };
+        (fx.max(gy), (fx, gy))
+    }
+}
 
 /// A deterministic but seed-parameterised objective with its global optimum at
 /// `(target_x, target_y)`.
@@ -81,6 +150,60 @@ proptest! {
         for pair in series.windows(2) {
             prop_assert!(pair[1] <= pair[0] + 1e-12);
         }
+    }
+
+    /// Incremental (delta) trajectories are bit-identical to full re-evaluation for
+    /// every local-search driver: same accepted moves, same energies, same
+    /// evaluation counts — while evaluating strictly fewer objective components.
+    #[test]
+    fn delta_trajectories_are_bit_identical_to_full_reevaluation(
+        seed in 0u64..500,
+        budget in 50usize..250,
+        tx in 0u32..64,
+        ty in 0u32..64,
+    ) {
+        let space = GridSpace { width: 64, height: 64 };
+        let full = SeparableGrid::new((tx, ty));
+        let delta = SeparableGrid::new((tx, ty));
+
+        let sa = SimulatedAnnealing::with_budget_and_range(budget, 50.0, 0.5, seed);
+        let a = sa.run(&space, &full);
+        let b = sa.run_delta(&space, &delta);
+        prop_assert_eq!(&a.best_config, &b.best_config);
+        prop_assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        // the full path pays 2 components per evaluation; the delta path at most
+        // that, and strictly less whenever any move left a component untouched
+        let full_components = full.component_evals.swap(0, Ordering::Relaxed);
+        let delta_components = delta.component_evals.swap(0, Ordering::Relaxed);
+        prop_assert_eq!(full_components, 2 * a.evaluations);
+        prop_assert!(delta_components < full_components,
+            "delta path evaluated {delta_components} components, full {full_components}");
+
+        let hill = HillClimbing::with_budget(budget, seed);
+        let a = hill.run(&space, &full);
+        let b = hill.run_delta(&space, &delta);
+        prop_assert_eq!(&a.best_config, &b.best_config);
+        prop_assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert!(
+            delta.component_evals.swap(0, Ordering::Relaxed)
+                <= full.component_evals.swap(0, Ordering::Relaxed)
+        );
+
+        let tabu = TabuSearch::with_budget(budget / 8 + 1, seed);
+        let a = tabu.run(&space, &full);
+        let b = tabu.run_delta(&space, &delta);
+        prop_assert_eq!(&a.best_config, &b.best_config);
+        prop_assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+        prop_assert!(
+            delta.component_evals.load(Ordering::Relaxed)
+                <= full.component_evals.load(Ordering::Relaxed)
+        );
     }
 
     /// The geometric budget helper produces a schedule that reaches the stop
