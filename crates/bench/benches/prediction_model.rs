@@ -4,12 +4,20 @@
 //! the boosted-tree models and (c) predicting one configuration — the quantity that
 //! makes EML/SAML cheap compared to measurement-based evaluation.  Also prints the
 //! regenerated Table IV/V accuracy summary once per run.
+//!
+//! The `flat_kernel` group times the batch-prediction kernels against each other on
+//! one EML-tabulation-sized batch (256 rows × 5 features, the chunks the table
+//! builders feed [`wd_ml::Regressor::predict_batch`]): the seed kernel (checked,
+//! branchy), the cache-blocked branch-free kernel, and — under `--features simd` —
+//! the explicit-SIMD lane.  Bit-identity and the ≥ 2× blocked-over-seed speedup are
+//! asserted via the shared `repro bench-prediction` measurement, so the criterion
+//! trajectory and the CI JSON describe the same experiment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hetero_autotune::features::host_features;
 use hetero_autotune::{MeasurementEvaluator, SystemConfiguration, TrainingCampaign};
 use hetero_platform::{Affinity, HeterogeneousPlatform};
-use wd_bench::{PaperStudy, Scale};
+use wd_bench::{kernel_bench_forest, measure_prediction_kernel, PaperStudy, Scale};
 use wd_ml::{BoostingParams, Regressor};
 
 fn print_accuracy_once() {
@@ -58,5 +66,44 @@ fn bench_prediction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_prediction);
+fn bench_flat_kernel(c: &mut Criterion) {
+    let (model, batch, width) = kernel_bench_forest();
+
+    // acceptance evidence first: bit-identity across every kernel plus the ≥ 2×
+    // blocked-over-seed speedup, measured best-of-200 on the same batch
+    let m = measure_prediction_kernel(&model, &batch, width, 200);
+    println!(
+        "flat_kernel ({} rows x {} features, {} trees): reference {:?}, blocked {:?} ({:.2}x), simd {}",
+        m.rows,
+        m.width,
+        m.trees,
+        m.reference,
+        m.blocked,
+        m.blocked_speedup(),
+        match (m.simd, m.simd_speedup()) {
+            (Some(t), Some(s)) => format!("{t:?} ({s:.2}x)"),
+            _ => "not built (enable --features simd)".to_string(),
+        },
+    );
+    m.assert_fast_path_won();
+
+    let mut group = c.benchmark_group("flat_kernel");
+    group.bench_function("reference_256x5", |b| {
+        b.iter(|| model.predict_batch_reference(&batch, width));
+    });
+    group.bench_function("blocked_256x5", |b| {
+        b.iter(|| model.predict_batch_blocked(&batch, width));
+    });
+    #[cfg(feature = "simd")]
+    group.bench_function("simd_256x5", |b| {
+        b.iter(|| model.predict_batch_simd(&batch, width));
+    });
+    // the dispatched entry point (what the tabulation layer actually calls)
+    group.bench_function("dispatched_256x5", |b| {
+        b.iter(|| model.predict_batch(&batch, width));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction, bench_flat_kernel);
 criterion_main!(benches);

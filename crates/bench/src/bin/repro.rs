@@ -18,6 +18,10 @@
 //!   bench-annealing               incremental-annealing fast-path measurements
 //!                                 (direct vs eager vs lazy SAML); also writes the
 //!                                 BENCH_annealing.json perf-trajectory artifact
+//!   bench-prediction              flat-forest kernel measurements (seed vs blocked
+//!                                 vs SIMD batch prediction) plus the GA's
+//!                                 incremental-recombination fast path; also writes
+//!                                 the BENCH_prediction.json perf-trajectory artifact
 //! ```
 //!
 //! `--quick` runs a scaled-down study (reduced training campaign, fewer budgets) so the
@@ -91,6 +95,7 @@ fn main() {
             "fig2" => fig2(seed),
             "bench-enumeration" => bench_enumeration(scale),
             "bench-annealing" => bench_annealing(scale, seed),
+            "bench-prediction" => bench_prediction(scale, seed),
             _ => {}
         }
     }
@@ -177,7 +182,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: repro [--quick] [--seed N] <artifact>...\n\
          artifacts: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 table4 table5 fig9 \
-         table6 table7 table8 table9 all bench-enumeration bench-annealing"
+         table6 table7 table8 table9 all bench-enumeration bench-annealing bench-prediction"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -614,6 +619,95 @@ fn bench_annealing(scale: Scale, seed: u64) {
     std::fs::write("BENCH_annealing.json", &json).expect("failed to write BENCH_annealing.json");
     eprintln!("# wrote BENCH_annealing.json");
     m.assert_fast_path_won();
+}
+
+/// `bench-prediction`: measure the flat-forest batch kernels and the GA's
+/// incremental-recombination fast path, and write the `BENCH_prediction.json`
+/// perf-trajectory artifact (one JSON object per run, suitable for diffing across
+/// commits in CI).
+///
+/// The kernel half is `wd_bench::measure_prediction_kernel` over the shared
+/// [`wd_bench::kernel_bench_forest`] ensemble and EML-tabulation-sized batch — the
+/// same experiment the `prediction_model` criterion bench's `flat_kernel` group
+/// times — asserting bit-identity and the ≥ 2× blocked-over-seed speedup.  The GA
+/// half is `wd_bench::measure_genetic_fast_path` on the 2-accelerator bench space
+/// (`tiny_multi` + a smaller budget for `--quick`): one GA trajectory, run twice
+/// (direct full re-evaluation vs `run_delta` over lazy tables), with bit-identity
+/// and the ≥ 5× per-generation query reduction asserted.
+fn bench_prediction(scale: Scale, seed: u64) {
+    use wd_bench::{
+        kernel_bench_forest, measure_genetic_fast_path, measure_prediction_kernel,
+        two_accel_bench_grid,
+    };
+
+    let (model, batch, width) = kernel_bench_forest();
+    let repeats = match scale {
+        Scale::Quick => 50,
+        Scale::Paper => 200,
+    };
+    let kernel = measure_prediction_kernel(&model, &batch, width, repeats);
+
+    let platform = HeterogeneousPlatform::emil_with_gpu();
+    let models = TrainingCampaign::reduced_for(&platform).run(&platform, scale.boosting());
+    let (space, iterations) = match scale {
+        Scale::Quick => (ConfigurationSpace::tiny_multi(), 300),
+        Scale::Paper => (two_accel_bench_grid(), 2000),
+    };
+    let ga = measure_genetic_fast_path(&models, Genome::Human.workload(), &space, iterations, seed);
+
+    let simd_ms = kernel
+        .simd
+        .map(|t| format!("{:.3}", t.as_secs_f64() * 1e3))
+        .unwrap_or_else(|| "null".to_string());
+    let simd_speedup = kernel
+        .simd_speedup()
+        .map(|s| format!("{s:.2}"))
+        .unwrap_or_else(|| "null".to_string());
+    let json = format!(
+        "{{\n  \"schema\": \"bench-prediction/v1\",\n  \"scale\": \"{}\",\n  \
+         \"kernel\": {{\n    \"rows\": {},\n    \"width\": {},\n    \"trees\": {},\n    \
+         \"repeats\": {},\n    \"reference_ms\": {:.3},\n    \"blocked_ms\": {:.3},\n    \
+         \"simd_ms\": {},\n    \"blocked_speedup\": {:.2},\n    \"simd_speedup\": {},\n    \
+         \"identical\": {}\n  }},\n  \
+         \"ga_delta\": {{\n    \"space_configs\": {},\n    \"iterations\": {},\n    \
+         \"generations\": {},\n    \"evaluations\": {},\n    \"direct_ms\": {:.3},\n    \
+         \"lazy_ms\": {:.3},\n    \"model_queries_direct\": {},\n    \
+         \"model_queries_lazy\": {},\n    \"queries_per_generation_direct\": {:.3},\n    \
+         \"queries_per_generation_lazy\": {:.3},\n    \"query_reduction\": {:.2},\n    \
+         \"identical_trajectories\": {}\n  }}\n}}\n",
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        },
+        kernel.rows,
+        kernel.width,
+        kernel.trees,
+        kernel.repeats,
+        kernel.reference.as_secs_f64() * 1e3,
+        kernel.blocked.as_secs_f64() * 1e3,
+        simd_ms,
+        kernel.blocked_speedup(),
+        simd_speedup,
+        kernel.identical,
+        ga.space_configs,
+        ga.iterations,
+        ga.generations,
+        ga.evaluations,
+        ga.direct.as_secs_f64() * 1e3,
+        ga.lazy.as_secs_f64() * 1e3,
+        ga.model_queries_direct,
+        ga.model_queries_lazy,
+        ga.queries_per_generation_direct(),
+        ga.queries_per_generation_lazy(),
+        ga.query_reduction(),
+        ga.identical_trajectories,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_prediction.json", &json).expect("failed to write BENCH_prediction.json");
+    eprintln!("# wrote BENCH_prediction.json");
+    kernel.assert_fast_path_won();
+    ga.assert_fast_path_won();
 }
 
 // ensure the helper crate links even when only static tables are printed

@@ -431,6 +431,261 @@ pub fn measure_annealing_fast_path(
     }
 }
 
+/// One reference-vs-blocked(-vs-SIMD) measurement of the flat-forest batch kernels
+/// (see [`measure_prediction_kernel`]).
+pub struct PredictionKernelMeasurement {
+    /// Rows per predicted batch.
+    pub rows: usize,
+    /// Features per row.
+    pub width: usize,
+    /// Trees in the measured ensemble.
+    pub trees: usize,
+    /// Timed repetitions per kernel (each duration below is the best of these).
+    pub repeats: usize,
+    /// Best wall-clock of the seed kernel (checked, branchy, tree-major).
+    pub reference: std::time::Duration,
+    /// Best wall-clock of the cache-blocked branch-free kernel.
+    pub blocked: std::time::Duration,
+    /// Best wall-clock of the explicit-SIMD lane (`--features simd` builds only).
+    pub simd: Option<std::time::Duration>,
+    /// Whether every kernel reproduced the `predict_one` row loop bit for bit.
+    pub identical: bool,
+}
+
+impl PredictionKernelMeasurement {
+    /// Reference-over-blocked wall-clock ratio.
+    pub fn blocked_speedup(&self) -> f64 {
+        self.reference.as_secs_f64() / self.blocked.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+
+    /// Reference-over-SIMD wall-clock ratio, when the SIMD lane was measured.
+    pub fn simd_speedup(&self) -> Option<f64> {
+        self.simd
+            .map(|simd| self.reference.as_secs_f64() / simd.as_secs_f64().max(f64::MIN_POSITIVE))
+    }
+
+    /// Assert the acceptance criteria: bit-identical predictions and a ≥ 2× blocked
+    /// kernel.  Unlike the query-count artifacts this one *does* gate on wall-clock —
+    /// the kernel rework claims raw speed, and query counts cannot witness that —
+    /// so the ratio is taken between best-of-[`PredictionKernelMeasurement::repeats`]
+    /// times of the same in-process batch, which cancels machine speed and absorbs
+    /// scheduling noise.
+    pub fn assert_fast_path_won(&self) {
+        assert!(
+            self.identical,
+            "a batch kernel diverged from the predict_one row loop"
+        );
+        assert!(
+            self.blocked_speedup() >= 2.0,
+            "the blocked kernel must be >= 2x the seed kernel (got {:.2}x: {:.1} us vs {:.1} us)",
+            self.blocked_speedup(),
+            self.reference.as_secs_f64() * 1e6,
+            self.blocked.as_secs_f64() * 1e6,
+        );
+    }
+}
+
+/// A deterministic boosted ensemble plus one EML-tabulation-sized batch
+/// (`rows × width`, the 256-row chunks the table builders feed
+/// [`wd_ml::Regressor::predict_batch`]) for the flat-kernel measurements — one
+/// definition so the criterion trajectory and the CI JSON describe the same
+/// experiment.  Synthetic (LCG-drawn) features keep the fit off the hot path: the
+/// kernels only care about tree *shape*, not accuracy.
+pub fn kernel_bench_forest() -> (wd_ml::BoostedTreesRegressor, Vec<f64>, usize) {
+    use wd_ml::Regressor as _;
+
+    const WIDTH: usize = 5;
+    const TRAIN_ROWS: usize = 800;
+    const BATCH_ROWS: usize = 256;
+
+    // deterministic pseudo-random features without pulling an RNG into the bench API
+    let mut state = 0x9e37_79b9_97f4_a7c1u64;
+    let mut draw = move || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let mut data = wd_ml::Dataset::new((0..WIDTH).map(|i| format!("f{i}")).collect::<Vec<_>>());
+    for _ in 0..TRAIN_ROWS {
+        let features: Vec<f64> = (0..WIDTH).map(|_| draw() * 10.0).collect();
+        let target = features[0] * features[1].sin() + (features[2] - 5.0).abs()
+            - features[3] * 0.25
+            + (features[4] * 0.7).cos() * 3.0;
+        data.push(features, target).expect("row width is fixed");
+    }
+    let mut model = wd_ml::BoostedTreesRegressor::new(wd_ml::BoostingParams::default());
+    model.fit(&data).expect("synthetic dataset is well-formed");
+
+    let batch: Vec<f64> = (0..BATCH_ROWS * WIDTH).map(|_| draw() * 10.0).collect();
+    (model, batch, WIDTH)
+}
+
+/// Time the flat-forest batch kernels (seed/reference, cache-blocked, and — in
+/// `--features simd` builds — the explicit-SIMD lane) over the same batch,
+/// `repeats` times each keeping the best, and check every kernel against the
+/// `predict_one` row loop bit for bit.
+pub fn measure_prediction_kernel(
+    model: &wd_ml::BoostedTreesRegressor,
+    rows: &[f64],
+    width: usize,
+    repeats: usize,
+) -> PredictionKernelMeasurement {
+    use std::time::{Duration, Instant};
+    use wd_ml::Regressor as _;
+
+    let repeats = repeats.max(1);
+    let best_of = |kernel: &dyn Fn() -> Vec<f64>| -> (Duration, Vec<f64>) {
+        let mut best = Duration::MAX;
+        let mut output = kernel(); // warm-up pass, also the checked output
+        for _ in 0..repeats {
+            let start = Instant::now();
+            let predictions = kernel();
+            let elapsed = start.elapsed();
+            if elapsed < best {
+                best = elapsed;
+            }
+            output = predictions;
+        }
+        (best, output)
+    };
+
+    let (t_reference, reference) = best_of(&|| model.predict_batch_reference(rows, width));
+    let (t_blocked, blocked) = best_of(&|| model.predict_batch_blocked(rows, width));
+    #[cfg(feature = "simd")]
+    let simd = Some(best_of(&|| model.predict_batch_simd(rows, width)));
+    #[cfg(not(feature = "simd"))]
+    let simd: Option<(Duration, Vec<f64>)> = None;
+
+    let row_loop: Vec<f64> = rows
+        .chunks(width.max(1))
+        .map(|row| model.predict_one(row))
+        .collect();
+    let bits = |values: &[f64]| values.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    let mut identical = bits(&reference) == bits(&row_loop) && bits(&blocked) == bits(&row_loop);
+    if let Some((_, ref lanes)) = simd {
+        identical = identical && bits(lanes) == bits(&row_loop);
+    }
+
+    PredictionKernelMeasurement {
+        rows: rows.len() / width.max(1),
+        width,
+        trees: model.tree_count(),
+        repeats,
+        reference: t_reference,
+        blocked: t_blocked,
+        simd: simd.map(|(t, _)| t),
+        identical,
+    }
+}
+
+/// One direct-vs-lazy-delta GA measurement on a search space (see
+/// [`measure_genetic_fast_path`]).
+pub struct GeneticMeasurement {
+    /// Number of configurations in the search space.
+    pub space_configs: usize,
+    /// Evaluation budget handed to [`wd_opt::GeneticAlgorithm::with_budget`].
+    pub iterations: usize,
+    /// Generations the GA actually ran (trace records).
+    pub generations: usize,
+    /// Evaluation requests of the run (initial population + one per child).
+    pub evaluations: usize,
+    /// Wall-clock of the classic run: full re-evaluation of the direct models.
+    pub direct: std::time::Duration,
+    /// Wall-clock of the delta run over the lazy (fill-on-first-touch) tables.
+    pub lazy: std::time::Duration,
+    /// Model invocations of the direct run.
+    pub model_queries_direct: usize,
+    /// Model invocations of the lazy delta run (first-touch fills only).
+    pub model_queries_lazy: usize,
+    /// Whether both runs produced the same trajectory: identical per-generation
+    /// trace, best configuration and best-energy bits.
+    pub identical_trajectories: bool,
+}
+
+impl GeneticMeasurement {
+    /// Model invocations per generation of the direct run.
+    pub fn queries_per_generation_direct(&self) -> f64 {
+        self.model_queries_direct as f64 / self.generations.max(1) as f64
+    }
+
+    /// Model invocations per generation of the lazy delta run.
+    pub fn queries_per_generation_lazy(&self) -> f64 {
+        self.model_queries_lazy as f64 / self.generations.max(1) as f64
+    }
+
+    /// Direct-over-lazy model-invocation ratio.
+    pub fn query_reduction(&self) -> f64 {
+        self.model_queries_direct as f64 / self.model_queries_lazy.max(1) as f64
+    }
+
+    /// Assert the *deterministic* acceptance criteria: bit-identical trajectories and
+    /// ≥ 5× fewer model invocations per generation for the delta run.  Wall-clock is
+    /// reported, never asserted — on a noisy CI runner a scheduling stall must not
+    /// fail the build when the query counts already prove the claim.
+    pub fn assert_fast_path_won(&self) {
+        assert!(
+            self.identical_trajectories,
+            "the GA's incremental recombination path diverged from the direct run"
+        );
+        assert!(
+            self.model_queries_direct >= 5 * self.model_queries_lazy,
+            "the GA delta run must save >= 5x model invocations per generation \
+             ({} direct vs {} lazy over {} generations)",
+            self.model_queries_direct,
+            self.model_queries_lazy,
+            self.generations
+        );
+    }
+}
+
+/// Run one GA (budget `iterations`, fixed `seed`) over `space` two ways — the
+/// classic full re-evaluation of the direct models (`run`) and the incremental
+/// recombination path (`run_delta`) over lazy fill-on-first-touch tables, where
+/// each child is re-scored against its first parent's retained per-device times —
+/// counting boosted-tree invocations via [`CountingRegressor`] and checking both
+/// trajectories agree bit for bit.
+pub fn measure_genetic_fast_path(
+    models: &TrainedModels,
+    workload: hetero_platform::WorkloadProfile,
+    space: &hetero_autotune::ConfigurationSpace,
+    iterations: usize,
+    seed: u64,
+) -> GeneticMeasurement {
+    use std::sync::atomic::Ordering;
+    use std::time::Instant;
+    use wd_opt::{GeneticAlgorithm, SearchSpace as _};
+
+    let ga = GeneticAlgorithm::with_budget(iterations, seed);
+
+    let (direct, direct_calls) = counting_prediction_evaluator(models, workload.clone());
+    let start = Instant::now();
+    let reference = ga.run(space, &direct);
+    let t_direct = start.elapsed();
+
+    let (lazy_counted, lazy_calls) = counting_prediction_evaluator(models, workload);
+    let lazy_tables = lazy_counted.lazy_tabulated();
+    let start = Instant::now();
+    let lazy = ga.run_delta(space, &lazy_tables);
+    let t_lazy = start.elapsed();
+
+    GeneticMeasurement {
+        space_configs: space.space_len().expect("bench spaces are indexed"),
+        iterations,
+        generations: reference.trace.records().len(),
+        evaluations: reference.evaluations,
+        direct: t_direct,
+        lazy: t_lazy,
+        model_queries_direct: direct_calls.load(Ordering::Relaxed),
+        model_queries_lazy: lazy_calls.load(Ordering::Relaxed),
+        identical_trajectories: lazy.best_config == reference.best_config
+            && lazy.best_energy.to_bits() == reference.best_energy.to_bits()
+            && lazy.evaluations == reference.evaluations
+            && lazy.trace.records() == reference.trace.records(),
+    }
+}
+
 /// Render a `(label, values-per-budget)` table with one column per iteration budget,
 /// as used by Tables VI and VII.
 pub fn render_budget_table(
@@ -508,6 +763,38 @@ mod tests {
         assert!(table.contains("EM"));
         assert!(table.contains("1.56"));
         assert!(table.contains("1.69"));
+    }
+
+    #[test]
+    fn prediction_kernel_measurement_is_bit_identical() {
+        let (model, batch, width) = kernel_bench_forest();
+        // wall-clock is not asserted here (unit tests run unoptimised); the ≥ 2×
+        // gate lives in the release-built bench and the repro artifact
+        let m = measure_prediction_kernel(&model, &batch, width, 2);
+        assert!(m.identical, "a batch kernel diverged from predict_one");
+        assert_eq!(m.rows, 256);
+        assert_eq!(m.width, 5);
+        assert!(m.trees > 0);
+        assert!(m.blocked_speedup() > 0.0);
+        #[cfg(feature = "simd")]
+        assert!(m.simd.is_some() && m.simd_speedup().is_some());
+        #[cfg(not(feature = "simd"))]
+        assert!(m.simd.is_none() && m.simd_speedup().is_none());
+    }
+
+    #[test]
+    fn genetic_fast_path_measurement_is_deterministic() {
+        let platform = HeterogeneousPlatform::emil_with_gpu();
+        let models = hetero_autotune::TrainingCampaign::reduced_for(&platform)
+            .run(&platform, BoostingParams::fast());
+        let space = hetero_autotune::ConfigurationSpace::tiny_multi();
+        let m = measure_genetic_fast_path(&models, Genome::Human.workload(), &space, 200, 41);
+        // the query-count criteria are deterministic, so the full acceptance gate
+        // runs even unoptimised
+        m.assert_fast_path_won();
+        assert!(m.generations > 0);
+        assert!(m.evaluations >= 200);
+        assert!(m.query_reduction() >= 5.0);
     }
 
     #[test]

@@ -889,6 +889,23 @@ impl SearchSpace for ConfigurationSpace {
         parent_b: &SystemConfiguration,
         rng: &mut StdRng,
     ) -> SystemConfiguration {
+        self.crossover_move(parent_a, parent_b, rng).0
+    }
+
+    /// Uniform crossover plus the two-parent merge footprint, in the same component
+    /// convention as [`SearchSpace::neighbor_move`] (component 0 = host, `i + 1` =
+    /// accelerator `i`).  The child is generated once and the footprint is the
+    /// per-component diff against the **first** parent, so `crossover` (which
+    /// discards the footprint) consumes exactly the same RNG draws, and a delta
+    /// objective holding `parent_a`'s per-device times recomputes only the
+    /// components inherited from `parent_b` (including every component whose
+    /// work share moved when `parent_b`'s split is inherited wholesale).
+    fn crossover_move(
+        &self,
+        parent_a: &SystemConfiguration,
+        parent_b: &SystemConfiguration,
+        rng: &mut StdRng,
+    ) -> (SystemConfiguration, Touched) {
         debug_assert_eq!(parent_a.accelerator_count(), parent_b.accelerator_count());
         let host_threads = if rng.gen_bool(0.5) {
             parent_a.host_threads
@@ -926,7 +943,20 @@ impl SearchSpace for ConfigurationSpace {
         } else {
             parent_b.split()
         };
-        self.build(host_threads, host_affinity, &device_values, &split)
+        let child = self.build(host_threads, host_affinity, &device_values, &split);
+        let mut touched = Vec::new();
+        if child.host_threads != parent_a.host_threads
+            || child.host_affinity != parent_a.host_affinity
+            || child.host_permille() != parent_a.host_permille()
+        {
+            touched.push(0);
+        }
+        for (index, (new, old)) in child.devices().iter().zip(parent_a.devices()).enumerate() {
+            if new != old {
+                touched.push(index + 1);
+            }
+        }
+        (child, Touched::Components(touched))
     }
 }
 
@@ -1346,6 +1376,41 @@ mod tests {
             assert!(child.device_threads() == 2 || child.device_threads() == 240);
             assert!(child.host_permille() == 0 || child.host_permille() == 1000);
             assert_eq!(child.split().iter().sum::<u32>(), 1000);
+        }
+    }
+
+    #[test]
+    fn crossover_move_footprints_are_sound() {
+        use wd_opt::Touched;
+        for space in [
+            ConfigurationSpace::paper(),
+            ConfigurationSpace::tiny_multi(),
+        ] {
+            let mut rng = StdRng::seed_from_u64(23);
+            for _ in 0..300 {
+                let parent_a = space.random(&mut rng);
+                let parent_b = space.random(&mut rng);
+                // the footprinted recombination and `crossover` consume the same draws
+                let mut probe = rng.clone();
+                let (child, touched) = space.crossover_move(&parent_a, &parent_b, &mut rng);
+                assert_eq!(child, space.crossover(&parent_a, &parent_b, &mut probe));
+
+                let components = match &touched {
+                    Touched::Components(components) => components.clone(),
+                    Touched::Unknown => panic!("ConfigurationSpace reports exact footprints"),
+                };
+                // every component where the child differs from the FIRST parent is
+                // listed (never under-approximates), and nothing else is
+                let host_changed = child.host_threads != parent_a.host_threads
+                    || child.host_affinity != parent_a.host_affinity
+                    || child.host_permille() != parent_a.host_permille();
+                assert_eq!(components.contains(&0), host_changed);
+                for (index, (new, old)) in
+                    child.devices().iter().zip(parent_a.devices()).enumerate()
+                {
+                    assert_eq!(components.contains(&(index + 1)), *new != *old);
+                }
+            }
         }
     }
 

@@ -1273,6 +1273,45 @@ mod tests {
     }
 
     #[test]
+    fn crossover_footprints_rescore_children_from_the_first_parents_state() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use wd_opt::SearchSpace as _;
+
+        static HOST_CALLS: AtomicUsize = AtomicUsize::new(0);
+        static DEVICE_CALLS: AtomicUsize = AtomicUsize::new(0);
+        let evaluator = counting_wavy_evaluator(&HOST_CALLS, &DEVICE_CALLS);
+        let space = crate::config::ConfigurationSpace::paper();
+        let mut rng = StdRng::seed_from_u64(0x6a11);
+
+        // the GA's recombination contract: a child scored against its FIRST parent's
+        // retained state via the crossover footprint must be bit-identical to scoring
+        // it from scratch, for arbitrary parent pairs
+        for _ in 0..120 {
+            let parent_a = space.random(&mut rng);
+            let parent_b = space.random(&mut rng);
+            let (child, touched) = space.crossover_move(&parent_a, &parent_b, &mut rng);
+            let (_, state) = evaluator.evaluate_with_state(&parent_a);
+            let (expected, _) = evaluator.evaluate_with_state(&child);
+            let (delta, delta_state) = evaluator.evaluate_move(&parent_a, &state, &child, &touched);
+            assert_eq!(delta.to_bits(), expected.to_bits());
+            // the re-scored state is itself reusable: a follow-up identity move
+            // (empty footprint) reproduces the energy without any model walk
+            HOST_CALLS.store(0, Ordering::Relaxed);
+            DEVICE_CALLS.store(0, Ordering::Relaxed);
+            let (again, _) = evaluator.evaluate_move(
+                &child,
+                &delta_state,
+                &child,
+                &wd_opt::Touched::Components(vec![]),
+            );
+            assert_eq!(again.to_bits(), expected.to_bits());
+            assert_eq!(HOST_CALLS.load(Ordering::Relaxed), 0);
+            assert_eq!(DEVICE_CALLS.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
     fn eager_tabulated_delta_matches_the_direct_delta() {
         use wd_opt::SearchSpace as _;
         use wd_opt::Touched;

@@ -4,7 +4,8 @@ use std::fmt;
 
 use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
 use wd_opt::{
-    CacheStats, CachedObjective, Objective, Outcome, ParallelEnumeration, SimulatedAnnealing,
+    CacheStats, CachedObjective, GeneticAlgorithm, Objective, Outcome, ParallelEnumeration,
+    SimulatedAnnealing,
 };
 
 use crate::config::{ConfigurationSpace, SystemConfiguration};
@@ -22,10 +23,15 @@ pub enum MethodKind {
     Sam,
     /// Simulated Annealing + Machine Learning: the paper's proposal.
     Saml,
+    /// Genetic Algorithm + Machine Learning: an extension beyond the paper's Table II,
+    /// running the GA's incremental (delta) recombination path over the same lazy
+    /// per-device prediction tables as SAML.
+    Gaml,
 }
 
 impl MethodKind {
-    /// All four methods in the paper's order.
+    /// All four methods in the paper's order.  [`MethodKind::Gaml`] is deliberately
+    /// not listed: it is this crate's extension, not part of Table II.
     pub const ALL: [MethodKind; 4] = [
         MethodKind::Em,
         MethodKind::Eml,
@@ -40,6 +46,7 @@ impl MethodKind {
             MethodKind::Eml => "EML",
             MethodKind::Sam => "SAM",
             MethodKind::Saml => "SAML",
+            MethodKind::Gaml => "GAML",
         }
     }
 
@@ -50,7 +57,7 @@ impl MethodKind {
 
     /// Does this method evaluate configurations with the ML models?
     pub fn uses_prediction(&self) -> bool {
-        matches!(self, MethodKind::Eml | MethodKind::Saml)
+        matches!(self, MethodKind::Eml | MethodKind::Saml | MethodKind::Gaml)
     }
 
     /// The qualitative properties listed in the paper's Table II.
@@ -79,6 +86,13 @@ impl MethodKind {
             },
             MethodKind::Saml => MethodProperties {
                 space_exploration: "Simulated Annealing",
+                evaluation: "Machine Learning",
+                effort: "medium",
+                accuracy: "near-optimal",
+                prediction: true,
+            },
+            MethodKind::Gaml => MethodProperties {
+                space_exploration: "Genetic Algorithm",
                 evaluation: "Machine Learning",
                 effort: "medium",
                 accuracy: "near-optimal",
@@ -229,12 +243,17 @@ impl<'a> MethodRunner<'a> {
                 // bit-identical to enumerating through `prediction` directly.
                 self.search(method, iterations, &prediction.tabulated(&self.grid))
             } else {
-                // SAML fast path: lazy per-device tables + incremental (delta)
-                // re-scoring of each neighbour move.  Bit-identical to the classic
-                // cached-direct walk: same RNG stream, same accepted moves, same
-                // energies — only the model cost drops.
+                // SAML/GAML fast path: lazy per-device tables + incremental (delta)
+                // re-scoring of each neighbour move (SAML) or each recombination's
+                // two-parent merge footprint (GAML).  Bit-identical to the classic
+                // direct walk: same RNG stream, same accepted moves, same energies —
+                // only the model cost drops.
                 let lazy = prediction.lazy_tabulated();
-                let outcome = self.annealer(iterations).run_delta(&self.space, &lazy);
+                let outcome = if method == MethodKind::Gaml {
+                    self.genetic(iterations).run_delta(&self.space, &lazy)
+                } else {
+                    self.annealer(iterations).run_delta(&self.space, &lazy)
+                };
                 (outcome, lazy.stats())
             }
         } else {
@@ -260,6 +279,12 @@ impl<'a> MethodRunner<'a> {
             self.annealer(iterations).run(&self.space, &cached)
         };
         (outcome, cached.stats())
+    }
+
+    fn genetic(&self, iterations: usize) -> GeneticAlgorithm {
+        // same per-budget seed mixing as `annealer`: each budget is an independent run
+        let seed = self.seed ^ (iterations as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        GeneticAlgorithm::with_budget(iterations.max(8), seed)
     }
 
     fn annealer(&self, iterations: usize) -> SimulatedAnnealing {
@@ -324,6 +349,15 @@ mod tests {
         assert!(MethodKind::Saml.uses_prediction() && !MethodKind::Saml.uses_enumeration());
         assert!(MethodKind::Em.uses_enumeration() && !MethodKind::Em.uses_prediction());
         assert_eq!(MethodKind::Saml.to_string(), "SAML");
+        // GAML is this crate's extension: prediction-backed, non-enumerating, and
+        // deliberately absent from the paper's Table II listing
+        assert!(!MethodKind::ALL.contains(&MethodKind::Gaml));
+        assert!(MethodKind::Gaml.uses_prediction() && !MethodKind::Gaml.uses_enumeration());
+        assert_eq!(
+            MethodKind::Gaml.properties().space_exploration,
+            "Genetic Algorithm"
+        );
+        assert_eq!(MethodKind::Gaml.to_string(), "GAML");
     }
 
     #[test]
@@ -408,6 +442,45 @@ mod tests {
             saml.cache.misses < reference.evaluations,
             "lazy SAML walked the models {} times over {} evaluations",
             saml.cache.misses,
+            reference.evaluations
+        );
+    }
+
+    #[test]
+    fn gaml_fast_path_is_bit_identical_to_direct_genetic_search() {
+        use wd_opt::GeneticAlgorithm;
+
+        let platform = platform();
+        let workload = Genome::Human.workload();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+        let space = ConfigurationSpace::tiny();
+        let runner = MethodRunner::new(&platform, &workload, Some(&models), 13)
+            .with_grid(ConfigurationSpace::tiny())
+            .with_space(space.clone());
+        let iterations = 200;
+        let gaml = runner.run(MethodKind::Gaml, iterations).unwrap();
+
+        // hand-rolled classic GA: same parameters, full re-evaluation of the direct
+        // prediction evaluator on every child
+        let seed = 13u64 ^ (iterations as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let ga = GeneticAlgorithm::with_budget(iterations, seed);
+        let prediction = models.prediction_evaluator(workload.clone());
+        let reference = ga.run(&space, &prediction);
+
+        assert_eq!(gaml.best_config, reference.best_config);
+        assert_eq!(
+            gaml.search_energy.to_bits(),
+            reference.best_energy.to_bits()
+        );
+        assert_eq!(gaml.evaluations, reference.evaluations);
+        assert_eq!(gaml.trace.records(), reference.trace.records());
+        // every child re-scored against its first parent's retained per-device times
+        // plus lazy-table memoization keeps the model cost well below the
+        // (N + 1) × evaluations walks of the direct path
+        assert!(
+            gaml.cache.misses < reference.evaluations,
+            "lazy GAML walked the models {} times over {} evaluations",
+            gaml.cache.misses,
             reference.evaluations
         );
     }

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use crate::dataset::Dataset;
 use crate::error::MlError;
 use crate::model::Regressor;
-use crate::tree::{RegressionTree, TreeParams, LEAF};
+use crate::tree::{select_child, RegressionTree, TreeParams, LEAF};
 
 /// Hyper-parameters of the boosted ensemble.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,11 +63,29 @@ impl BoostingParams {
     }
 }
 
+/// Rows per block of the cache-blocked batch kernels: one block's rows plus a
+/// tree's SoA arrays stay L1/L2-resident while the tree loop streams the arena,
+/// so each tree's nodes are touched once per block instead of once per row
+/// stride across the whole batch.
+const ROW_BLOCK: usize = 64;
+
+/// Rows stepped in lockstep per tree by the explicit-SIMD lane
+/// (`--features simd`).  Eight independent walks hide the latency of the
+/// data-dependent node loads that serialise the scalar kernel.
+#[cfg(feature = "simd")]
+const LANES: usize = 8;
+
 /// The whole fitted ensemble flattened into **one contiguous arena**: every tree's
 /// [`crate::FlatTree`] arrays concatenated (child indices rebased), plus one root
-/// offset per tree.  All inference — single rows and batches — walks these four
-/// arrays; the per-tree [`RegressionTree`] arenas are kept only for training-time
-/// diagnostics ([`BoostedTreesRegressor::staged_training_mse`]).
+/// offset per tree.  All inference *and* the training-time diagnostics
+/// ([`BoostedTreesRegressor::staged_training_mse`]) walk these four arrays; the
+/// per-tree [`RegressionTree`] arenas are kept only for structural introspection.
+///
+/// `min_width` is the validation computed once at [`FlatForest::from_trees`]
+/// time: rows at least that wide cannot index out of bounds at any split node,
+/// which lets the batch kernels drop the per-node
+/// `features.get(..).unwrap_or(0.0)` check.  Narrower rows (legal — missing
+/// features read as 0.0) take the checked walk.
 #[derive(Debug, Clone, Default)]
 struct FlatForest {
     feature: Vec<u32>,
@@ -75,10 +93,12 @@ struct FlatForest {
     left: Vec<u32>,
     right: Vec<u32>,
     roots: Vec<u32>,
+    min_width: usize,
 }
 
 impl FlatForest {
-    /// Concatenate the fitted trees into one arena.
+    /// Concatenate the fitted trees into one arena, recording the widest split
+    /// feature index so batch walks can be validated once instead of per node.
     fn from_trees(trees: &[RegressionTree]) -> Self {
         let total: usize = trees.iter().map(RegressionTree::node_count).sum();
         let mut forest = FlatForest {
@@ -87,11 +107,13 @@ impl FlatForest {
             left: Vec::with_capacity(total),
             right: Vec::with_capacity(total),
             roots: Vec::with_capacity(trees.len()),
+            min_width: 0,
         };
         for tree in trees {
             let offset = forest.feature.len() as u32;
             forest.roots.push(offset);
             let flat = tree.flatten();
+            forest.min_width = forest.min_width.max(flat.min_width());
             forest.feature.extend_from_slice(&flat.feature);
             forest.threshold.extend_from_slice(&flat.threshold);
             // rebase the child indices into the shared arena (leaf slots hold 0 and
@@ -108,7 +130,8 @@ impl FlatForest {
     }
 
     /// Leaf value of tree `tree` for `features` — the same walk as
-    /// [`crate::FlatTree::predict_one`], over the shared arrays.
+    /// [`crate::FlatTree::predict_one`], over the shared arrays.  Missing
+    /// features (row narrower than the split feature) read as 0.0.
     #[inline]
     fn leaf(&self, tree: usize, features: &[f64]) -> f64 {
         let mut index = self.roots[tree] as usize;
@@ -123,6 +146,165 @@ impl FlatForest {
             } else {
                 self.right[index] as usize
             };
+        }
+    }
+
+    /// The bounds-check-free, branch-free walk from an explicit root.
+    ///
+    /// # Safety
+    ///
+    /// `row.len() >= self.min_width`, and `root` must be one of `self.roots`
+    /// (child indices then stay in-arena by construction).
+    #[inline]
+    unsafe fn leaf_unchecked(&self, root: usize, row: &[f64]) -> f64 {
+        let mut index = root;
+        loop {
+            let feature = *self.feature.get_unchecked(index);
+            let threshold = *self.threshold.get_unchecked(index);
+            if feature == LEAF {
+                return threshold;
+            }
+            let value = *row.get_unchecked(feature as usize);
+            index = select_child(
+                *self.left.get_unchecked(index),
+                *self.right.get_unchecked(index),
+                value <= threshold,
+            ) as usize;
+        }
+    }
+
+    /// Add `scale * leaf(tree, row)` to `out[i]` for every row — one tree's
+    /// contribution to a whole batch, dispatching to the unchecked branch-free
+    /// walk whenever `width` covers every split feature of the forest.
+    fn accumulate_tree(
+        &self,
+        tree: usize,
+        rows: &[f64],
+        width: usize,
+        scale: f64,
+        out: &mut [f64],
+    ) {
+        let root = self.roots[tree] as usize;
+        if width == 0 {
+            let value = self.leaf(tree, &[]);
+            for slot in out.iter_mut() {
+                *slot += scale * value;
+            }
+        } else if width >= self.min_width {
+            for (slot, row) in out.iter_mut().zip(rows.chunks_exact(width)) {
+                // SAFETY: `width >= min_width` (checked above) and `root` comes
+                // from `self.roots`.
+                *slot += scale * unsafe { self.leaf_unchecked(root, row) };
+            }
+        } else {
+            for (slot, row) in out.iter_mut().zip(rows.chunks_exact(width)) {
+                *slot += scale * self.leaf(tree, row);
+            }
+        }
+    }
+
+    /// Cache-blocked batch kernel: rows in [`ROW_BLOCK`]-sized blocks outer,
+    /// trees inner, unchecked branch-free walks.  Each row still accumulates
+    /// its trees in forest order, so results are bit-identical to
+    /// [`FlatForest::leaf`] accumulation row by row.
+    ///
+    /// Caller must ensure `width > 0`, `width >= self.min_width` and
+    /// `rows.len()` is a multiple of `width`.
+    fn predict_blocked(&self, rows: &[f64], width: usize, base: f64, scale: f64) -> Vec<f64> {
+        debug_assert!(width > 0 && width >= self.min_width);
+        let mut predictions = vec![base; rows.len() / width];
+        for (block_rows, block_out) in rows
+            .chunks(ROW_BLOCK * width)
+            .zip(predictions.chunks_mut(ROW_BLOCK))
+        {
+            for &root in &self.roots {
+                let root = root as usize;
+                for (slot, row) in block_out.iter_mut().zip(block_rows.chunks_exact(width)) {
+                    // SAFETY: width >= min_width, root from self.roots.
+                    *slot += scale * unsafe { self.leaf_unchecked(root, row) };
+                }
+            }
+        }
+        predictions
+    }
+
+    /// Explicit-SIMD batch kernel: like [`FlatForest::predict_blocked`] but
+    /// each tree steps [`LANES`] rows in lockstep (independent walks hide the
+    /// node-load latency), with a scalar tail for the block's remainder.  Same
+    /// per-row accumulation order, hence bit-identical results.
+    #[cfg(feature = "simd")]
+    fn predict_simd(&self, rows: &[f64], width: usize, base: f64, scale: f64) -> Vec<f64> {
+        debug_assert!(width > 0 && width >= self.min_width);
+        let mut predictions = vec![base; rows.len() / width];
+        for (block_rows, block_out) in rows
+            .chunks(ROW_BLOCK * width)
+            .zip(predictions.chunks_mut(ROW_BLOCK))
+        {
+            for &root in &self.roots {
+                let root = root as usize;
+                let mut row_groups = block_rows.chunks_exact(width * LANES);
+                let mut out_groups = block_out.chunks_exact_mut(LANES);
+                for (group_rows, group_out) in (&mut row_groups).zip(&mut out_groups) {
+                    // SAFETY: width >= min_width, root from self.roots.
+                    unsafe { self.accumulate_lanes(root, group_rows, width, scale, group_out) };
+                }
+                for (slot, row) in out_groups
+                    .into_remainder()
+                    .iter_mut()
+                    .zip(row_groups.remainder().chunks_exact(width))
+                {
+                    // SAFETY: as above.
+                    *slot += scale * unsafe { self.leaf_unchecked(root, row) };
+                }
+            }
+        }
+        predictions
+    }
+
+    /// Walk [`LANES`] rows of one tree in lockstep, accumulating
+    /// `scale * leaf` into `out` (one slot per lane).
+    ///
+    /// # Safety
+    ///
+    /// `rows` holds exactly `LANES` rows of `width >= self.min_width` values
+    /// each, `out` has `LANES` slots, `root` comes from `self.roots`.
+    #[cfg(feature = "simd")]
+    unsafe fn accumulate_lanes(
+        &self,
+        root: usize,
+        rows: &[f64],
+        width: usize,
+        scale: f64,
+        out: &mut [f64],
+    ) {
+        let mut index = [root; LANES];
+        let mut leaf = [0.0f64; LANES];
+        let mut done = [false; LANES];
+        let mut live = LANES;
+        while live > 0 {
+            for lane in 0..LANES {
+                if done[lane] {
+                    continue;
+                }
+                let node = index[lane];
+                let feature = *self.feature.get_unchecked(node);
+                let threshold = *self.threshold.get_unchecked(node);
+                if feature == LEAF {
+                    leaf[lane] = threshold;
+                    done[lane] = true;
+                    live -= 1;
+                    continue;
+                }
+                let value = *rows.get_unchecked(lane * width + feature as usize);
+                index[lane] = select_child(
+                    *self.left.get_unchecked(node),
+                    *self.right.get_unchecked(node),
+                    value <= threshold,
+                ) as usize;
+            }
+        }
+        for (slot, value) in out.iter_mut().zip(leaf) {
+            *slot += scale * value;
         }
     }
 }
@@ -166,13 +348,22 @@ impl BoostedTreesRegressor {
 
     /// Training loss (mean squared error on the training set) after every boosting
     /// round; useful for diagnosing over/under-fitting.  Only available after `fit`.
+    ///
+    /// Runs over the flat arena one tree at a time (the batched path), which is
+    /// bit-identical to the historical per-row `tree.predict_one` loop.
     pub fn staged_training_mse(&self, data: &Dataset) -> Vec<f64> {
+        let rows = data.feature_matrix();
+        let width = data.n_features();
         let mut predictions = vec![self.base_prediction; data.len()];
-        let mut losses = Vec::with_capacity(self.trees.len());
-        for tree in &self.trees {
-            for (i, prediction) in predictions.iter_mut().enumerate() {
-                *prediction += self.params.learning_rate * tree.predict_one(data.features(i));
-            }
+        let mut losses = Vec::with_capacity(self.flat.tree_count());
+        for tree in 0..self.flat.tree_count() {
+            self.flat.accumulate_tree(
+                tree,
+                rows,
+                width,
+                self.params.learning_rate,
+                &mut predictions,
+            );
             let mse = predictions
                 .iter()
                 .zip(data.targets())
@@ -182,6 +373,64 @@ impl BoostedTreesRegressor {
             losses.push(mse);
         }
         losses
+    }
+
+    /// The seed batch kernel, kept as the comparison baseline for the
+    /// `flat_kernel` benches and the bit-identity proptests: tree-major over
+    /// the flat arena with the *checked, branchy* walk and no row blocking.
+    pub fn predict_batch_reference(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        Self::check_batch_shape(rows, width);
+        let mut predictions = vec![self.base_prediction; rows.len() / width];
+        for tree in 0..self.flat.tree_count() {
+            for (prediction, row) in predictions.iter_mut().zip(rows.chunks_exact(width)) {
+                *prediction += self.params.learning_rate * self.flat.leaf(tree, row);
+            }
+        }
+        predictions
+    }
+
+    /// The cache-blocked, branch-free batch kernel ([`Regressor::predict_batch`]
+    /// without the SIMD lane); rows narrower than the forest's widest split
+    /// feature fall back to [`BoostedTreesRegressor::predict_batch_reference`]
+    /// so missing features still read as 0.0.
+    pub fn predict_batch_blocked(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        Self::check_batch_shape(rows, width);
+        if width < self.flat.min_width {
+            return self.predict_batch_reference(rows, width);
+        }
+        self.flat
+            .predict_blocked(rows, width, self.base_prediction, self.params.learning_rate)
+    }
+
+    /// The explicit-SIMD batch kernel (only with `--features simd`): the
+    /// blocked kernel with 8 rows per tree stepped in lockstep.  Narrow rows
+    /// fall back to the checked reference walk, like
+    /// [`BoostedTreesRegressor::predict_batch_blocked`].
+    #[cfg(feature = "simd")]
+    pub fn predict_batch_simd(&self, rows: &[f64], width: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        Self::check_batch_shape(rows, width);
+        if width < self.flat.min_width {
+            return self.predict_batch_reference(rows, width);
+        }
+        self.flat
+            .predict_simd(rows, width, self.base_prediction, self.params.learning_rate)
+    }
+
+    fn check_batch_shape(rows: &[f64], width: usize) {
+        assert!(
+            width > 0 && rows.len().is_multiple_of(width),
+            "row-major batch of {} values is not a whole number of width-{width} rows",
+            rows.len()
+        );
     }
 }
 
@@ -217,9 +466,14 @@ impl Regressor for BoostedTreesRegressor {
             let mut tree = RegressionTree::new(self.params.tree);
             tree.fit_on_indices(data, &residuals, &indices)?;
 
-            for (i, prediction) in predictions.iter_mut().enumerate() {
-                *prediction += self.params.learning_rate * tree.predict_one(data.features(i));
-            }
+            // batched residual update over the just-fitted tree's flat arrays
+            // (bit-identical to the per-row `tree.predict_one` loop)
+            tree.flatten().accumulate_into(
+                data.feature_matrix(),
+                data.n_features(),
+                self.params.learning_rate,
+                &mut predictions,
+            );
             self.trees.push(tree);
         }
         self.flat = FlatForest::from_trees(&self.trees);
@@ -231,33 +485,39 @@ impl Regressor for BoostedTreesRegressor {
         // the flat arena holds exactly the fitted trees, in boosting order, so the
         // accumulation is bit-identical to walking the per-tree arenas
         let mut prediction = self.base_prediction;
-        for tree in 0..self.flat.tree_count() {
-            prediction += self.params.learning_rate * self.flat.leaf(tree, features);
+        if features.len() >= self.flat.min_width {
+            for &root in &self.flat.roots {
+                // SAFETY: the row covers every split feature (checked above) and
+                // the root comes from the arena built in `from_trees`.
+                prediction += self.params.learning_rate
+                    * unsafe { self.flat.leaf_unchecked(root as usize, features) };
+            }
+        } else {
+            for tree in 0..self.flat.tree_count() {
+                prediction += self.params.learning_rate * self.flat.leaf(tree, features);
+            }
         }
         prediction
     }
 
-    /// Real batched inference over a row-major feature matrix: tree-major traversal of
-    /// the flat arena, so each tree's nodes stay cache-hot across all rows and no
-    /// per-row buffers are allocated.  Per row the additions happen in the same order
-    /// as [`Regressor::predict_one`], so the results are bit-identical to the default
-    /// row loop.
+    /// Real batched inference over a row-major feature matrix: cache-blocked
+    /// row×tree tiling of the flat arena with branch-free, bounds-check-free
+    /// node stepping (the width was validated against the forest's widest split
+    /// feature at `from_trees` time); with `--features simd` the blocked kernel
+    /// additionally steps 8 rows per tree in lockstep.  Per row the additions
+    /// happen in the same order as [`Regressor::predict_one`], so every lane is
+    /// bit-identical to the default row loop.  Rows narrower than the widest
+    /// split feature take the checked reference walk (missing features read as
+    /// 0.0).
     fn predict_batch(&self, rows: &[f64], width: usize) -> Vec<f64> {
-        if rows.is_empty() {
-            return Vec::new();
+        #[cfg(feature = "simd")]
+        {
+            self.predict_batch_simd(rows, width)
         }
-        assert!(
-            width > 0 && rows.len().is_multiple_of(width),
-            "row-major batch of {} values is not a whole number of width-{width} rows",
-            rows.len()
-        );
-        let mut predictions = vec![self.base_prediction; rows.len() / width];
-        for tree in 0..self.flat.tree_count() {
-            for (prediction, row) in predictions.iter_mut().zip(rows.chunks_exact(width)) {
-                *prediction += self.params.learning_rate * self.flat.leaf(tree, row);
-            }
+        #[cfg(not(feature = "simd"))]
+        {
+            self.predict_batch_blocked(rows, width)
         }
-        predictions
     }
 
     fn is_fitted(&self) -> bool {
@@ -359,6 +619,59 @@ mod tests {
         b.fit(&data).unwrap();
         let probe = vec![3.3, 7.0];
         assert_eq!(a.predict_one(&probe), b.predict_one(&probe));
+    }
+
+    #[test]
+    fn batch_kernels_agree_bit_for_bit_with_the_row_loop() {
+        let data = synthetic(317); // odd count: exercises block and lane tails
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&data).unwrap();
+        let rows = data.feature_matrix();
+        let width = data.n_features();
+
+        let reference = model.predict_batch_reference(rows, width);
+        let blocked = model.predict_batch_blocked(rows, width);
+        let dispatched = model.predict_batch(rows, width);
+        for i in 0..data.len() {
+            let one = model.predict_one(data.features(i));
+            assert_eq!(one.to_bits(), reference[i].to_bits(), "reference row {i}");
+            assert_eq!(one.to_bits(), blocked[i].to_bits(), "blocked row {i}");
+            assert_eq!(one.to_bits(), dispatched[i].to_bits(), "dispatch row {i}");
+        }
+        #[cfg(feature = "simd")]
+        {
+            let simd = model.predict_batch_simd(rows, width);
+            for i in 0..data.len() {
+                assert_eq!(reference[i].to_bits(), simd[i].to_bits(), "simd row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_rows_fall_back_to_the_checked_walk() {
+        let data = synthetic(200); // schema has 2 features
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&data).unwrap();
+        // width-1 rows are narrower than the widest split feature: the batch
+        // kernels must reproduce the missing-features-read-as-0.0 semantics
+        let narrow: Vec<f64> = (0..40).map(|i| (i % 23) as f64).collect();
+        let blocked = model.predict_batch_blocked(&narrow, 1);
+        let dispatched = model.predict_batch(&narrow, 1);
+        for (i, value) in narrow.iter().enumerate() {
+            let one = model.predict_one(&[*value]);
+            assert_eq!(one.to_bits(), blocked[i].to_bits(), "row {i}");
+            assert_eq!(one.to_bits(), dispatched[i].to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_batches_predict_nothing() {
+        let data = synthetic(50);
+        let mut model = BoostedTreesRegressor::new(BoostingParams::fast());
+        model.fit(&data).unwrap();
+        assert!(model.predict_batch(&[], 2).is_empty());
+        assert!(model.predict_batch_reference(&[], 2).is_empty());
+        assert!(model.predict_batch_blocked(&[], 2).is_empty());
     }
 
     #[test]

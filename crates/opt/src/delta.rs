@@ -20,7 +20,8 @@
 //! changed" (diff the configurations, or fall back to a full evaluation).
 //!
 //! The drivers ([`crate::SimulatedAnnealing::run_delta`],
-//! [`crate::HillClimbing::run_delta`], [`crate::TabuSearch::run_delta`]) are built so
+//! [`crate::HillClimbing::run_delta`], [`crate::TabuSearch::run_delta`],
+//! [`crate::GeneticAlgorithm::run_delta`]) are built so
 //! that a correct `DeltaObjective` produces **bit-identical trajectories** to the full
 //! re-evaluation path (`run`): same RNG stream, same accepted moves, same energies.
 //! `run` itself is implemented through [`FullDelta`], the adapter that turns any
@@ -54,6 +55,25 @@ impl Touched {
             Touched::Components(components) => components.contains(&component),
         }
     }
+
+    /// The union of two move footprints — e.g. a crossover's two-parent merge
+    /// footprint combined with a follow-up mutation's.  `Unknown` absorbs
+    /// everything (the union may touch anything); component lists concatenate
+    /// without duplicates.
+    pub fn union(&self, other: &Touched) -> Touched {
+        match (self, other) {
+            (Touched::Unknown, _) | (_, Touched::Unknown) => Touched::Unknown,
+            (Touched::Components(a), Touched::Components(b)) => {
+                let mut components = a.clone();
+                for &component in b {
+                    if !components.contains(&component) {
+                        components.push(component);
+                    }
+                }
+                Touched::Components(components)
+            }
+        }
+    }
 }
 
 /// An [`Objective`] that can re-score a configuration *incrementally* from the
@@ -85,6 +105,34 @@ pub trait DeltaObjective<C>: Objective<C> {
         config: &C,
         touched: &Touched,
     ) -> (f64, Self::State);
+
+    /// Batched [`DeltaObjective::evaluate_with_state`]: score many configurations in
+    /// one call.  Element `i` of the result must be bit-identical to
+    /// `evaluate_with_state(&configs[i])` (which the default loop guarantees);
+    /// overrides exist so adapters can route whole generations through
+    /// [`Objective::evaluate_batch`] (batch dedup, platform parallelism).
+    fn evaluate_with_state_batch(&self, configs: &[C]) -> Vec<(f64, Self::State)> {
+        configs
+            .iter()
+            .map(|config| self.evaluate_with_state(config))
+            .collect()
+    }
+
+    /// Batched [`DeltaObjective::evaluate_move`] over pending moves
+    /// `(base, state, config, touched)` — e.g. one generation of GA offspring, each
+    /// scored against the evaluation state retained for its first parent.  Element
+    /// `i` must be bit-identical to the scalar `evaluate_move` on `moves[i]` (the
+    /// default loop guarantees it).
+    #[allow(clippy::type_complexity)]
+    fn evaluate_move_batch(
+        &self,
+        moves: &[(&C, &Self::State, &C, &Touched)],
+    ) -> Vec<(f64, Self::State)> {
+        moves
+            .iter()
+            .map(|(base, state, config, touched)| self.evaluate_move(base, state, config, touched))
+            .collect()
+    }
 }
 
 /// Adapter that turns any [`Objective`] into a [`DeltaObjective`] that performs a full
@@ -118,6 +166,7 @@ where
 
 impl<C, O> DeltaObjective<C> for FullDelta<'_, O>
 where
+    C: Clone,
     O: Objective<C> + ?Sized,
 {
     type State = ();
@@ -128,6 +177,26 @@ where
 
     fn evaluate_move(&self, _base: &C, _state: &(), config: &C, _touched: &Touched) -> (f64, ()) {
         (self.inner.evaluate(config), ())
+    }
+
+    fn evaluate_with_state_batch(&self, configs: &[C]) -> Vec<(f64, ())> {
+        self.inner
+            .evaluate_batch(configs)
+            .into_iter()
+            .map(|energy| (energy, ()))
+            .collect()
+    }
+
+    fn evaluate_move_batch(&self, moves: &[(&C, &(), &C, &Touched)]) -> Vec<(f64, ())> {
+        let configs: Vec<C> = moves
+            .iter()
+            .map(|&(_, _, config, _)| config.clone())
+            .collect();
+        self.inner
+            .evaluate_batch(&configs)
+            .into_iter()
+            .map(|energy| (energy, ()))
+            .collect()
     }
 }
 
@@ -144,6 +213,37 @@ mod tests {
         assert!(!some.may_touch(1));
         assert!(some.may_touch(2));
         assert_eq!(Touched::Components(vec![]), Touched::Components(vec![]));
+    }
+
+    #[test]
+    fn touched_union_merges_footprints() {
+        let a = Touched::Components(vec![0, 2]);
+        let b = Touched::Components(vec![2, 3]);
+        assert_eq!(a.union(&b), Touched::Components(vec![0, 2, 3]));
+        assert_eq!(a.union(&Touched::Unknown), Touched::Unknown);
+        assert_eq!(Touched::Unknown.union(&b), Touched::Unknown);
+        assert_eq!(
+            Touched::Components(vec![]).union(&Touched::Components(vec![])),
+            Touched::Components(vec![])
+        );
+    }
+
+    #[test]
+    fn batched_delta_evaluation_matches_the_scalar_calls() {
+        let inner = |x: &i64| (*x as f64) * 1.5;
+        let delta = FullDelta::new(&inner);
+        let scored = delta.evaluate_with_state_batch(&[1, 2, 3]);
+        assert_eq!(
+            scored.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![1.5, 3.0, 4.5]
+        );
+        let touched = Touched::Components(vec![0]);
+        let moves = vec![(&1i64, &(), &5i64, &touched), (&2i64, &(), &6i64, &touched)];
+        let moved = delta.evaluate_move_batch(&moves);
+        assert_eq!(
+            moved.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![7.5, 9.0]
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::objective::{CountingObjective, Objective};
+use crate::delta::{DeltaObjective, FullDelta, Touched};
+use crate::objective::Objective;
 use crate::outcome::Outcome;
 use crate::space::SearchSpace;
 use crate::trace::{IterationRecord, OptimizationTrace};
@@ -66,56 +67,117 @@ impl GeneticAlgorithm {
         }
     }
 
-    /// Run the GA.
+    /// Run the GA, re-scoring every child from scratch.
+    ///
+    /// This is [`GeneticAlgorithm::run_delta`] behind the full-evaluation adapter
+    /// ([`FullDelta`]), so the two entry points share one loop and — for a correct
+    /// [`DeltaObjective`] — produce bit-identical trajectories.  Through the
+    /// adapter, whole generations are scored via [`Objective::evaluate_batch`]
+    /// (batch dedup and platform parallelism come for free).
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace,
         O: Objective<S::Config> + ?Sized,
     {
+        self.run_delta(space, &FullDelta::new(objective))
+    }
+
+    /// Run the GA with an incrementally evaluable objective.
+    ///
+    /// Each generation runs in two phases.  Phase one draws all offspring —
+    /// tournament selection, [`SearchSpace::crossover_move`] recombination, and
+    /// the optional [`SearchSpace::neighbor_move`] mutation, whose footprints
+    /// merge via [`Touched::union`] — consuming exactly the RNG draws of the
+    /// classic generate-and-score loop (scoring never consumed RNG).  Phase two
+    /// scores the whole generation through
+    /// [`DeltaObjective::evaluate_move_batch`]: every child is re-scored against
+    /// the evaluation state retained for its **first** parent, so only the
+    /// components inherited from the second parent (plus any mutated ones) are
+    /// recomputed.
+    pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+        O::State: Clone,
+    {
         let p = &self.params;
-        let counting = CountingObjective::new(objective);
         let mut rng = StdRng::seed_from_u64(p.seed);
         let mut trace = OptimizationTrace::new();
+        let mut evaluations = 0usize;
 
         let population_size = p.population.max(2);
-        let mut population: Vec<(S::Config, f64)> = (0..population_size)
-            .map(|_| {
-                let config = space.random(&mut rng);
-                let energy = counting.evaluate(&config);
-                (config, energy)
-            })
+        // draw the whole initial population before scoring it: sampling consumes
+        // RNG, scoring does not, so the stream matches the classic
+        // one-individual-at-a-time loop draw for draw
+        let configs: Vec<S::Config> = (0..population_size)
+            .map(|_| space.random(&mut rng))
+            .collect();
+        evaluations += configs.len();
+        let scored = objective.evaluate_with_state_batch(&configs);
+        let mut population: Vec<(S::Config, f64, O::State)> = configs
+            .into_iter()
+            .zip(scored)
+            .map(|(config, (energy, state))| (config, energy, state))
             .collect();
 
         let mut best = population
             .iter()
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .cloned()
+            .map(|(config, energy, _)| (config.clone(), *energy))
             .expect("population is non-empty");
 
         for generation in 0..p.generations {
             // sort ascending by energy for elitism
             population.sort_by(|a, b| a.1.total_cmp(&b.1));
-            let mut next: Vec<(S::Config, f64)> = population
-                .iter()
-                .take(p.elitism.min(population_size))
-                .cloned()
-                .collect();
+            let elite_count = p.elitism.min(population_size);
 
-            while next.len() < population_size {
-                let parent_a = tournament(&population, p.tournament, &mut rng);
-                let parent_b = tournament(&population, p.tournament, &mut rng);
-                let mut child = space.crossover(&parent_a.0, &parent_b.0, &mut rng);
+            // phase one: generate every child of this generation
+            let offspring_count = population_size - elite_count;
+            let mut children: Vec<(S::Config, usize, Touched)> =
+                Vec::with_capacity(offspring_count);
+            for _ in 0..offspring_count {
+                let parent_a = tournament_index(&population, p.tournament, &mut rng);
+                let parent_b = tournament_index(&population, p.tournament, &mut rng);
+                let (mut child, mut touched) = space.crossover_move(
+                    &population[parent_a].0,
+                    &population[parent_b].0,
+                    &mut rng,
+                );
                 if rng.gen_bool(p.mutation_rate.clamp(0.0, 1.0)) {
-                    child = space.neighbor(&child, &mut rng);
+                    let (mutated, mutation_touched) = space.neighbor_move(&child, &mut rng);
+                    child = mutated;
+                    touched = touched.union(&mutation_touched);
                 }
-                let energy = counting.evaluate(&child);
-                next.push((child, energy));
+                children.push((child, parent_a, touched));
+            }
+
+            // phase two: score the generation in one batched delta call, each
+            // child against its first parent's retained state
+            evaluations += children.len();
+            #[allow(clippy::type_complexity)] // the DeltaObjective::evaluate_move_batch tuple
+            let moves: Vec<(&S::Config, &O::State, &S::Config, &Touched)> = children
+                .iter()
+                .map(|(child, parent_a, touched)| {
+                    (
+                        &population[*parent_a].0,
+                        &population[*parent_a].2,
+                        child,
+                        touched,
+                    )
+                })
+                .collect();
+            let scored = objective.evaluate_move_batch(&moves);
+
+            let mut next: Vec<(S::Config, f64, O::State)> =
+                population.iter().take(elite_count).cloned().collect();
+            for ((child, _, _), (energy, state)) in children.into_iter().zip(scored) {
+                next.push((child, energy, state));
             }
             population = next;
 
             if let Some(generation_best) = population.iter().min_by(|a, b| a.1.total_cmp(&b.1)) {
                 if generation_best.1 < best.1 {
-                    best = generation_best.clone();
+                    best = (generation_best.0.clone(), generation_best.1);
                 }
             }
 
@@ -123,9 +185,9 @@ impl GeneticAlgorithm {
                 iteration: generation,
                 proposed_energy: population
                     .iter()
-                    .map(|(_, e)| *e)
+                    .map(|(_, e, _)| *e)
                     .fold(f64::INFINITY, f64::min),
-                current_energy: population.iter().map(|(_, e)| *e).sum::<f64>()
+                current_energy: population.iter().map(|(_, e, _)| *e).sum::<f64>()
                     / population.len() as f64,
                 best_energy: best.1,
                 temperature: 0.0,
@@ -136,18 +198,18 @@ impl GeneticAlgorithm {
         Outcome {
             best_config: best.0,
             best_energy: best.1,
-            evaluations: counting.evaluations(),
+            evaluations,
             trace,
         }
     }
 }
 
-fn tournament<'a, C>(population: &'a [(C, f64)], size: usize, rng: &mut StdRng) -> &'a (C, f64) {
+fn tournament_index<C, S>(population: &[(C, f64, S)], size: usize, rng: &mut StdRng) -> usize {
     let size = size.max(1);
-    let mut best: Option<&(C, f64)> = None;
+    let mut best: Option<usize> = None;
     for _ in 0..size {
-        let candidate = &population[rng.gen_range(0..population.len())];
-        if best.is_none_or(|b| candidate.1 < b.1) {
+        let candidate = rng.gen_range(0..population.len());
+        if best.is_none_or(|b| population[candidate].1 < population[b].1) {
             best = Some(candidate);
         }
     }

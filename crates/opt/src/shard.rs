@@ -214,6 +214,15 @@ impl<S: SearchSpace> SearchSpace for ShardView<'_, S> {
     fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
         self.parent.crossover(parent_a, parent_b, rng)
     }
+
+    fn crossover_move(
+        &self,
+        parent_a: &S::Config,
+        parent_b: &S::Config,
+        rng: &mut StdRng,
+    ) -> (S::Config, crate::delta::Touched) {
+        self.parent.crossover_move(parent_a, parent_b, rng)
+    }
 }
 
 #[cfg(test)]

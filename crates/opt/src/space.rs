@@ -85,6 +85,29 @@ pub trait SearchSpace {
             parent_b.clone()
         }
     }
+
+    /// Like [`SearchSpace::crossover`], but also describe which configuration
+    /// components of the child may differ from the **first** parent (`parent_a`)
+    /// — the two-parent merge footprint, the recombination analogue of
+    /// [`SearchSpace::neighbor_move`].  A [`crate::DeltaObjective`] holding
+    /// `parent_a`'s evaluation state can then re-score the child by recomputing
+    /// only the components it inherited from `parent_b`.
+    ///
+    /// The default implementation delegates to `crossover` and reports
+    /// [`Touched::Unknown`].  Overrides **must consume exactly the same RNG
+    /// draws as `crossover`** (implement the recombination once, here, and have
+    /// `crossover` discard the footprint) so the incremental GA driver replays
+    /// the classic trajectories bit for bit; the reported set may
+    /// over-approximate but must cover every component where the child differs
+    /// from `parent_a`.
+    fn crossover_move(
+        &self,
+        parent_a: &Self::Config,
+        parent_b: &Self::Config,
+        rng: &mut StdRng,
+    ) -> (Self::Config, Touched) {
+        (self.crossover(parent_a, parent_b, rng), Touched::Unknown)
+    }
 }
 
 /// A small, fully enumerable test space used by the crate's own unit tests: the grid
@@ -163,8 +186,19 @@ impl SearchSpace for GridSpace {
         parent_b: &Self::Config,
         rng: &mut StdRng,
     ) -> Self::Config {
-        // uniform crossover per coordinate
-        (
+        self.crossover_move(parent_a, parent_b, rng).0
+    }
+
+    /// Uniform per-coordinate crossover plus its exact footprint relative to
+    /// `parent_a` (component 0 = x, component 1 = y), generated once so
+    /// `crossover` consumes the same RNG draws.
+    fn crossover_move(
+        &self,
+        parent_a: &Self::Config,
+        parent_b: &Self::Config,
+        rng: &mut StdRng,
+    ) -> (Self::Config, Touched) {
+        let child = (
             if rng.gen_bool(0.5) {
                 parent_a.0
             } else {
@@ -175,7 +209,15 @@ impl SearchSpace for GridSpace {
             } else {
                 parent_b.1
             },
-        )
+        );
+        let mut touched = Vec::new();
+        if child.0 != parent_a.0 {
+            touched.push(0);
+        }
+        if child.1 != parent_a.1 {
+            touched.push(1);
+        }
+        (child, Touched::Components(touched))
     }
 }
 
@@ -253,6 +295,15 @@ impl<S: SearchSpace> SearchSpace for InstrumentedSpace<'_, S> {
     fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
         self.inner.crossover(parent_a, parent_b, rng)
     }
+
+    fn crossover_move(
+        &self,
+        parent_a: &S::Config,
+        parent_b: &S::Config,
+        rng: &mut StdRng,
+    ) -> (S::Config, Touched) {
+        self.inner.crossover_move(parent_a, parent_b, rng)
+    }
 }
 
 /// Adapter that hides a space's indexed access ([`SearchSpace::space_len`] /
@@ -296,6 +347,15 @@ impl<S: SearchSpace> SearchSpace for MaterializedOnly<'_, S> {
 
     fn crossover(&self, parent_a: &S::Config, parent_b: &S::Config, rng: &mut StdRng) -> S::Config {
         self.0.crossover(parent_a, parent_b, rng)
+    }
+
+    fn crossover_move(
+        &self,
+        parent_a: &S::Config,
+        parent_b: &S::Config,
+        rng: &mut StdRng,
+    ) -> (S::Config, Touched) {
+        self.0.crossover_move(parent_a, parent_b, rng)
     }
 }
 
@@ -411,6 +471,35 @@ mod tests {
         assert!(child == 1 || child == 2);
         assert_eq!(Unit.cardinality(), None);
         assert!(Unit.enumerate().is_none());
+    }
+
+    #[test]
+    fn grid_crossover_move_footprint_is_sound() {
+        let space = GridSpace {
+            width: 10,
+            height: 10,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..200u32 {
+            let parent_a = (i % 10, (i * 3) % 10);
+            let parent_b = ((i * 7) % 10, (i * 9 + 1) % 10);
+            let (child, touched) = space.crossover_move(&parent_a, &parent_b, &mut rng);
+            // every component not listed must equal the first parent's
+            if !touched.may_touch(0) {
+                assert_eq!(child.0, parent_a.0);
+            }
+            if !touched.may_touch(1) {
+                assert_eq!(child.1, parent_a.1);
+            }
+        }
+        // crossover and crossover_move consume the same RNG draws
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let child = space.crossover(&(0, 0), &(9, 9), &mut rng_a);
+            let (child_move, _) = space.crossover_move(&(0, 0), &(9, 9), &mut rng_b);
+            assert_eq!(child, child_move);
+        }
     }
 
     #[test]

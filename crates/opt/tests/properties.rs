@@ -206,6 +206,40 @@ proptest! {
         );
     }
 
+    /// The genetic algorithm's incremental path (`run_delta`, scoring each child
+    /// against its first parent's retained state from the crossover/mutation
+    /// footprint) is bit-identical to the full re-evaluation path — same best
+    /// configuration, energies, evaluation counts and trace — while evaluating
+    /// strictly fewer objective components.
+    #[test]
+    fn ga_delta_trajectories_are_bit_identical_to_full_reevaluation(
+        seed in 0u64..500,
+        budget in 100usize..400,
+        tx in 0u32..64,
+        ty in 0u32..64,
+    ) {
+        let space = GridSpace { width: 64, height: 64 };
+        let full = SeparableGrid::new((tx, ty));
+        let delta = SeparableGrid::new((tx, ty));
+
+        let ga = GeneticAlgorithm::with_budget(budget, seed);
+        let a = ga.run(&space, &full);
+        let b = ga.run_delta(&space, &delta);
+        prop_assert_eq!(&a.best_config, &b.best_config);
+        prop_assert_eq!(a.best_energy.to_bits(), b.best_energy.to_bits());
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        prop_assert_eq!(a.trace.records(), b.trace.records());
+
+        // the full path pays 2 components per evaluation; the delta path scores
+        // children from their first parent's retained per-component state, so
+        // every component inherited from the first parent is free
+        let full_components = full.component_evals.load(Ordering::Relaxed);
+        let delta_components = delta.component_evals.load(Ordering::Relaxed);
+        prop_assert_eq!(full_components, 2 * a.evaluations);
+        prop_assert!(delta_components < full_components,
+            "delta path evaluated {delta_components} components, full {full_components}");
+    }
+
     /// The geometric budget helper produces a schedule that reaches the stop
     /// temperature in (approximately) the requested number of iterations.
     #[test]
