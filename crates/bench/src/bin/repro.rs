@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation section.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <artifact>...
+//! repro [--quick] [--seed N] [--metrics PATH] <artifact>...
 //!
 //! artifacts:
 //!   table1 table2 table3          setup tables (parameter space, methods, hardware)
@@ -22,11 +22,21 @@
 //!                                 vs SIMD batch prediction) plus the GA's
 //!                                 incremental-recombination fast path; also writes
 //!                                 the BENCH_prediction.json perf-trajectory artifact
+//!   bench-observability           observability-layer overhead measurements (the
+//!                                 same SAML walk unobserved vs NoopRecorder vs
+//!                                 Registry vs JSONL exporter, with bit-identity and
+//!                                 event-replay checks); also writes the
+//!                                 BENCH_observability.json perf-trajectory artifact
 //! ```
 //!
 //! `--quick` runs a scaled-down study (reduced training campaign, fewer budgets) so the
 //! whole reproduction finishes in a few seconds; the default reproduces the paper-scale
 //! campaign (7 200 training experiments, 19 926-point enumeration per genome).
+//!
+//! `--metrics PATH` writes a `wd_obs` metrics snapshot (schema `wd-obs-metrics/v1`)
+//! to `PATH` when the run finishes: one span per artifact rendered, a span for the
+//! training campaign, and whatever gauges/counters the requested artifacts published
+//! through the shared registry.
 
 use std::collections::BTreeSet;
 
@@ -37,11 +47,13 @@ use hetero_autotune::{ConfigurationSpace, MethodKind, TrainingCampaign};
 use hetero_platform::{Affinity, DeviceSpec, HeterogeneousPlatform};
 use wd_bench::{render_budget_table, render_speedup_table, PaperStudy, Scale};
 use wd_ml::ErrorHistogram;
+use wd_obs::{FieldValue, Recorder, Registry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Paper;
     let mut seed = 0x45_6d_69_6cu64; // "Emil"
+    let mut metrics_path: Option<String> = None;
     let mut artifacts: BTreeSet<String> = BTreeSet::new();
 
     let mut iter = args.iter().peekable();
@@ -53,6 +65,12 @@ fn main() {
                 seed = value
                     .parse()
                     .unwrap_or_else(|_| usage("--seed needs an integer"));
+            }
+            "--metrics" => {
+                let value = iter
+                    .next()
+                    .unwrap_or_else(|| usage("--metrics needs a path"));
+                metrics_path = Some(value.clone());
             }
             "--help" | "-h" => usage(""),
             name => {
@@ -86,8 +104,12 @@ fn main() {
         )
     });
 
+    // the shared metrics registry: artifacts publish into it, `--metrics` serializes it
+    let registry = Registry::new();
+
     // static artifacts first
     for artifact in &artifacts {
+        let started = std::time::Instant::now();
         match artifact.as_str() {
             "table1" => table1(),
             "table2" => table2(),
@@ -96,11 +118,18 @@ fn main() {
             "bench-enumeration" => bench_enumeration(scale),
             "bench-annealing" => bench_annealing(scale, seed),
             "bench-prediction" => bench_prediction(scale, seed),
-            _ => {}
+            "bench-observability" => bench_observability(scale, seed, &registry),
+            _ => continue,
         }
+        registry.span(
+            &format!("repro.{artifact}"),
+            started.elapsed().as_secs_f64(),
+            &[],
+        );
     }
 
     if !(needs_models || needs_convergence) {
+        write_metrics(&registry, metrics_path.as_deref());
         return;
     }
 
@@ -114,6 +143,7 @@ fn main() {
         scale.campaign().total_experiment_count(),
     );
 
+    let started = std::time::Instant::now();
     let study = if needs_convergence {
         PaperStudy::run(scale, seed)
     } else {
@@ -128,8 +158,20 @@ fn main() {
             },
         }
     };
+    registry.span(
+        "repro.campaign",
+        started.elapsed().as_secs_f64(),
+        &[
+            (
+                "experiments",
+                FieldValue::U64(scale.campaign().total_experiment_count() as u64),
+            ),
+            ("convergence", FieldValue::Bool(needs_convergence)),
+        ],
+    );
 
     for artifact in &artifacts {
+        let started = std::time::Instant::now();
         match artifact.as_str() {
             "fig5" => fig5or6(&study, true),
             "fig6" => fig5or6(&study, false),
@@ -170,9 +212,24 @@ fn main() {
                     &study.convergence.speedup_rows(SpeedupBaseline::DeviceOnly),
                 )
             ),
-            _ => {}
+            _ => continue,
         }
+        registry.span(
+            &format!("repro.{artifact}"),
+            started.elapsed().as_secs_f64(),
+            &[],
+        );
     }
+
+    write_metrics(&registry, metrics_path.as_deref());
+}
+
+/// Serialize the shared registry's snapshot to `path` (no-op without `--metrics`).
+fn write_metrics(registry: &Registry, path: Option<&str>) {
+    let Some(path) = path else { return };
+    let json = registry.snapshot().to_json();
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+    eprintln!("# wrote {path}");
 }
 
 fn usage(message: &str) -> ! {
@@ -180,9 +237,10 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}\n");
     }
     eprintln!(
-        "usage: repro [--quick] [--seed N] <artifact>...\n\
+        "usage: repro [--quick] [--seed N] [--metrics PATH] <artifact>...\n\
          artifacts: table1 table2 table3 fig2 fig5 fig6 fig7 fig8 table4 table5 fig9 \
-         table6 table7 table8 table9 all bench-enumeration bench-annealing bench-prediction"
+         table6 table7 table8 table9 all bench-enumeration bench-annealing \
+         bench-prediction bench-observability"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -476,6 +534,7 @@ fn fig9(study: &PaperStudy) {
             "Iterations".to_string(),
             "SAML".to_string(),
             "SAM".to_string(),
+            "GAML".to_string(),
             "EM".to_string(),
             "EML".to_string(),
         ];
@@ -488,6 +547,7 @@ fn fig9(study: &PaperStudy) {
                     b.to_string(),
                     fmt3(series.saml[i]),
                     fmt3(series.sam[i]),
+                    fmt3(series.gaml[i]),
                     fmt3(series.em),
                     fmt3(series.eml),
                 ]
@@ -708,6 +768,88 @@ fn bench_prediction(scale: Scale, seed: u64) {
     eprintln!("# wrote BENCH_prediction.json");
     kernel.assert_fast_path_won();
     ga.assert_fast_path_won();
+}
+
+/// `bench-observability`: measure the observability layer's hot-path cost and write
+/// the `BENCH_observability.json` perf-trajectory artifact (one JSON object per run,
+/// suitable for diffing across commits in CI).
+///
+/// The measurement is `wd_bench::measure_observability_overhead` — the same code the
+/// `observability_overhead` criterion bench runs — on the 2-accelerator bench space
+/// at paper scale (`tiny_multi` for `--quick`): one SAML delta walk timed unobserved
+/// and under three recorders (disabled `NoopRecorder`, in-memory `Registry`, JSONL
+/// exporter to disk), with bit-identity of all four trajectories, a bit-exact replay
+/// of the best-energy series from the exporter's file alone, and the < 2 %
+/// NoopRecorder overhead bound asserted.  The measurement's headline numbers are
+/// also published into the shared `--metrics` registry.
+fn bench_observability(scale: Scale, seed: u64, recorder: &dyn Recorder) {
+    use wd_bench::{measure_observability_overhead, two_accel_bench_grid};
+
+    let platform = HeterogeneousPlatform::emil_with_gpu();
+    let models = TrainingCampaign::reduced_for(&platform).run(&platform, scale.boosting());
+    // the walk stays at the bench's 2000 iterations even for --quick (the budget is
+    // what the < 2 % bound is quoted against); quick only shrinks space + training
+    let (space, repeats) = match scale {
+        Scale::Quick => (ConfigurationSpace::tiny_multi(), 15),
+        Scale::Paper => (two_accel_bench_grid(), 7),
+    };
+    let iterations = 2000;
+    let m = measure_observability_overhead(
+        &models,
+        Genome::Human.workload(),
+        &space,
+        iterations,
+        seed,
+        repeats,
+    );
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-observability/v1\",\n  \"scale\": \"{}\",\n  \
+         \"space_configs\": {},\n  \"iterations\": {},\n  \"repeats\": {},\n  \
+         \"unobserved_ms\": {:.3},\n  \"noop_ms\": {:.3},\n  \"registry_ms\": {:.3},\n  \
+         \"exporter_ms\": {:.3},\n  \"noop_overhead_pct\": {:.3},\n  \
+         \"registry_overhead_pct\": {:.3},\n  \"exporter_overhead_pct\": {:.3},\n  \
+         \"events_written\": {},\n  \"bytes_written\": {},\n  \
+         \"identical_trajectories\": {},\n  \"replay_matches\": {}\n}}\n",
+        if scale == Scale::Paper {
+            "paper"
+        } else {
+            "quick"
+        },
+        m.space_configs,
+        m.iterations,
+        m.repeats,
+        m.unobserved.as_secs_f64() * 1e3,
+        m.noop.as_secs_f64() * 1e3,
+        m.registry.as_secs_f64() * 1e3,
+        m.exporter.as_secs_f64() * 1e3,
+        m.noop_overhead() * 100.0,
+        m.registry_overhead() * 100.0,
+        m.exporter_overhead() * 100.0,
+        m.events_written,
+        m.bytes_written,
+        m.identical_trajectories,
+        m.replay_matches,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_observability.json", &json)
+        .expect("failed to write BENCH_observability.json");
+    eprintln!("# wrote BENCH_observability.json");
+
+    if recorder.enabled() {
+        recorder.gauge("bench.observability.noop_overhead", m.noop_overhead());
+        recorder.gauge(
+            "bench.observability.registry_overhead",
+            m.registry_overhead(),
+        );
+        recorder.gauge(
+            "bench.observability.exporter_overhead",
+            m.exporter_overhead(),
+        );
+        recorder.counter("bench.observability.events_written", m.events_written);
+        recorder.counter("bench.observability.bytes_written", m.bytes_written);
+    }
+    m.assert_noop_is_free();
 }
 
 // ensure the helper crate links even when only static tables are printed

@@ -686,6 +686,253 @@ pub fn measure_genetic_fast_path(
     }
 }
 
+/// One observability-overhead measurement of a SAML walk (see
+/// [`measure_observability_overhead`]): the same delta walk timed unobserved and
+/// under three recorders, plus the fidelity checks that make the timings meaningful.
+#[derive(Debug, Clone)]
+pub struct ObservabilityMeasurement {
+    /// Number of configurations in the search space.
+    pub space_configs: usize,
+    /// Iteration budget of each walk.
+    pub iterations: usize,
+    /// Timed repeats per variant (each timing below is the best of these).
+    pub repeats: usize,
+    /// Back-to-back walks per timed sample, auto-sized from a warmup walk so every
+    /// sample is long enough for the 2 % comparison to be above timer noise.
+    pub rounds: usize,
+    /// Best-of-repeats per-walk duration of the plain `run_delta` walk.
+    pub unobserved: std::time::Duration,
+    /// Best-of-repeats per-walk duration under the disabled [`wd_obs::NoopRecorder`].
+    pub noop: std::time::Duration,
+    /// Best-of-repeats per-walk duration under an in-memory [`wd_obs::Registry`].
+    pub registry: std::time::Duration,
+    /// Best-of-repeats per-walk duration under a [`wd_obs::JsonlExporter`] writing
+    /// every iteration event to disk.
+    pub exporter: std::time::Duration,
+    /// Median over repeats of the per-repeat `noop / unobserved` duration ratio.
+    /// Both samples of a pair run inside the same repeat window, so they share the
+    /// machine's momentary state (frequency, cache pressure) — the paired ratio is
+    /// stable where cross-run minima on a busy host are not.
+    pub noop_ratio: f64,
+    /// Median paired `registry / unobserved` duration ratio (see `noop_ratio`).
+    pub registry_ratio: f64,
+    /// Median paired `exporter / unobserved` duration ratio (see `noop_ratio`).
+    pub exporter_ratio: f64,
+    /// Events the last exporter run wrote to its JSONL file.
+    pub events_written: u64,
+    /// Bytes the last exporter run wrote to its JSONL file.
+    pub bytes_written: u64,
+    /// All four walks produced bit-identical outcomes and traces.
+    pub identical_trajectories: bool,
+    /// Replaying the exporter's JSONL file reconstructed the walk's best-energy
+    /// series bit for bit, using nothing but the file.
+    pub replay_matches: bool,
+}
+
+impl ObservabilityMeasurement {
+    /// Fractional overhead of the disabled [`wd_obs::NoopRecorder`] (0.01 = 1 %),
+    /// from the median paired ratio.
+    pub fn noop_overhead(&self) -> f64 {
+        self.noop_ratio - 1.0
+    }
+
+    /// Fractional overhead of recording every iteration into a [`wd_obs::Registry`].
+    pub fn registry_overhead(&self) -> f64 {
+        self.registry_ratio - 1.0
+    }
+
+    /// Fractional overhead of streaming every iteration event to a JSONL file.
+    pub fn exporter_overhead(&self) -> f64 {
+        self.exporter_ratio - 1.0
+    }
+
+    /// Assert the observability acceptance criteria: every observed walk is
+    /// bit-identical to the unobserved one, the exporter's file alone reconstructs
+    /// the best-energy series, and the disabled [`wd_obs::NoopRecorder`] costs less
+    /// than 2 % wall-clock (compared on the median paired ratio, which is stable
+    /// even on a noisy runner).
+    pub fn assert_noop_is_free(&self) {
+        assert!(
+            self.identical_trajectories,
+            "an observed SAML walk diverged from the unobserved run"
+        );
+        assert!(
+            self.replay_matches,
+            "replaying the exporter's JSONL file did not reconstruct the walk's \
+             best-energy series bit for bit"
+        );
+        assert!(
+            self.noop_ratio <= 1.02,
+            "NoopRecorder overhead {:.2}% exceeds the 2% bound (median paired ratio over {} repeats; best walks {:?} observed vs {:?} unobserved)",
+            self.noop_overhead() * 100.0,
+            self.repeats,
+            self.noop,
+            self.unobserved
+        );
+    }
+}
+
+/// Run one SAML walk (budget `iterations`, fixed `seed`) over `space` four ways —
+/// the plain `run_delta`, and `run_delta_observed` under the disabled
+/// [`wd_obs::NoopRecorder`], an in-memory [`wd_obs::Registry`], and a
+/// [`wd_obs::JsonlExporter`] streaming every iteration event to a temporary JSONL
+/// file — timing each walk as the best of `repeats` interleaved runs over fresh
+/// lazy tables (so every variant pays the same fill-on-first-touch cost), checking
+/// all trajectories agree bit for bit, and replaying the exporter's file to verify
+/// the recorded event stream alone reconstructs the walk's best-energy series.
+pub fn measure_observability_overhead(
+    models: &TrainedModels,
+    workload: hetero_platform::WorkloadProfile,
+    space: &hetero_autotune::ConfigurationSpace,
+    iterations: usize,
+    seed: u64,
+    repeats: usize,
+) -> ObservabilityMeasurement {
+    use std::time::{Duration, Instant};
+    use wd_obs::{EventLog, JsonlExporter, NoopRecorder, Registry};
+    use wd_opt::{SearchSpace as _, SimulatedAnnealing};
+
+    assert!(repeats > 0, "need at least one timed repeat");
+    let sa = SimulatedAnnealing::with_budget_and_range(iterations, 2.0, 0.02, seed);
+    let scope = "saml";
+
+    // Warmup: one untimed-for-scoring walk that doubles as the duration estimate.
+    // Every variant runs the exact same monomorphized loop (the unobserved entry
+    // points delegate to the observed ones), so the measured difference is timer
+    // noise unless each sample is comfortably above it — size the per-sample round
+    // count so a sample spans at least a few milliseconds.
+    let (reference, rounds) = {
+        let (counted, _calls) = counting_prediction_evaluator(models, workload.clone());
+        let tables = counted.lazy_tabulated();
+        let start = Instant::now();
+        let outcome = sa.run_delta(space, &tables);
+        let per_walk = start.elapsed().max(Duration::from_micros(1));
+        let rounds = (Duration::from_millis(10).as_secs_f64() / per_walk.as_secs_f64()).ceil();
+        (outcome, (rounds as usize).clamp(1, 100))
+    };
+
+    let mut identical = true;
+    let mut best = [Duration::MAX; 4];
+    let mut events_written = 0u64;
+    let mut bytes_written = 0u64;
+    let exporter_path =
+        std::env::temp_dir().join(format!("wd_obs_overhead_{}.jsonl", std::process::id()));
+
+    // One timed sample = `rounds` back-to-back walks; evaluators (model clones) are
+    // built outside the timer, the cheap lazy-table construction inside it — the
+    // same split for every variant, so the comparison stays fair.
+    let mut sample =
+        |run: &mut dyn FnMut(
+            &hetero_autotune::PredictionEvaluator,
+        ) -> wd_opt::Outcome<hetero_autotune::SystemConfiguration>|
+         -> Duration {
+            let evaluators: Vec<hetero_autotune::PredictionEvaluator> = (0..rounds)
+                .map(|_| counting_prediction_evaluator(models, workload.clone()).0)
+                .collect();
+            let mut outcomes = Vec::with_capacity(rounds);
+            let start = Instant::now();
+            for evaluator in &evaluators {
+                outcomes.push(run(evaluator));
+            }
+            let elapsed = start.elapsed();
+            for outcome in &outcomes {
+                identical &= outcomes_identical(&reference, outcome);
+            }
+            elapsed / rounds as u32
+        };
+
+    // The variant order rotates per repeat so no variant systematically runs in the
+    // wake of another's work (the exporter's disk I/O in particular) — with a fixed
+    // order that aftermath biases whichever variant follows it.
+    let mut times = vec![[Duration::ZERO; 4]; repeats];
+    for (repeat, repeat_times) in times.iter_mut().enumerate() {
+        for slot in 0..4 {
+            let variant = (slot + repeat) % 4;
+            let t = match variant {
+                // unobserved run_delta
+                0 => sample(&mut |evaluator| sa.run_delta(space, &evaluator.lazy_tabulated())),
+                // observed, disabled NoopRecorder
+                1 => sample(&mut |evaluator| {
+                    sa.run_delta_observed(space, &evaluator.lazy_tabulated(), &NoopRecorder, scope)
+                }),
+                // observed, in-memory registry
+                2 => sample(&mut |evaluator| {
+                    let registry = Registry::new();
+                    sa.run_delta_observed(space, &evaluator.lazy_tabulated(), &registry, scope)
+                }),
+                // observed, JSONL exporter streaming to disk (recreating the scratch
+                // file each round, so the replay below sees exactly one walk)
+                _ => sample(&mut |evaluator| {
+                    let exporter = JsonlExporter::create(&exporter_path)
+                        .expect("create the scratch JSONL file");
+                    let outcome =
+                        sa.run_delta_observed(space, &evaluator.lazy_tabulated(), &exporter, scope);
+                    exporter.flush().expect("flush the scratch JSONL file");
+                    events_written = exporter.events_written();
+                    bytes_written = exporter.bytes_written();
+                    outcome
+                }),
+            };
+            best[variant] = best[variant].min(t);
+            repeat_times[variant] = t;
+        }
+    }
+    let median_ratio = |variant: usize| -> f64 {
+        let mut ratios: Vec<f64> = times
+            .iter()
+            .map(|t| t[variant].as_secs_f64() / t[0].as_secs_f64().max(f64::MIN_POSITIVE))
+            .collect();
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+
+    // Replay the last exporter file: the event stream alone must reconstruct the
+    // best-energy series of the walk, bit for bit.
+    let replayed = EventLog::read(&exporter_path)
+        .expect("read back the exporter's JSONL file")
+        .best_energy_series(scope);
+    let expected: Vec<u64> = reference
+        .trace
+        .records()
+        .iter()
+        .map(|record| record.best_energy.to_bits())
+        .collect();
+    let replay_matches = replayed.len() == expected.len()
+        && replayed
+            .iter()
+            .zip(&expected)
+            .all(|(a, b)| a.to_bits() == *b);
+    let _ = std::fs::remove_file(&exporter_path);
+
+    ObservabilityMeasurement {
+        space_configs: space.space_len().expect("bench spaces are indexed"),
+        iterations,
+        repeats,
+        rounds,
+        unobserved: best[0],
+        noop: best[1],
+        registry: best[2],
+        exporter: best[3],
+        noop_ratio: median_ratio(1),
+        registry_ratio: median_ratio(2),
+        exporter_ratio: median_ratio(3),
+        events_written,
+        bytes_written,
+        identical_trajectories: identical,
+        replay_matches,
+    }
+}
+
+fn outcomes_identical(
+    a: &wd_opt::Outcome<hetero_autotune::SystemConfiguration>,
+    b: &wd_opt::Outcome<hetero_autotune::SystemConfiguration>,
+) -> bool {
+    a.best_config == b.best_config
+        && a.best_energy.to_bits() == b.best_energy.to_bits()
+        && a.evaluations == b.evaluations
+        && a.trace.records() == b.trace.records()
+}
+
 /// Render a `(label, values-per-budget)` table with one column per iteration budget,
 /// as used by Tables VI and VII.
 pub fn render_budget_table(

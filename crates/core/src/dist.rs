@@ -168,14 +168,15 @@ where
     } else {
         campaign.run(grid, &measurement, store)
     };
-    let measured_energy = measurement.energy(&outcome.best_config);
+    let measured = measurement.measure(&outcome.best_config);
     Ok(MethodOutcome {
         method,
         best_config: outcome.best_config,
         search_energy: outcome.best_energy,
-        measured_energy,
+        measured_energy: measured.t_host.max(measured.t_device),
         evaluations: outcome.evaluations,
         cache: outcome.stats,
+        stats: measured.stats,
         trace: OptimizationTrace::new(),
     })
 }

@@ -24,7 +24,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
-use hetero_platform::{Affinity, ExecutionRequest, HeterogeneousPlatform, WorkloadProfile};
+use hetero_platform::{
+    Affinity, ExecutionRequest, HeterogeneousPlatform, Measurement, WorkloadProfile,
+};
 use rayon::prelude::*;
 use wd_ml::Regressor;
 use wd_opt::{CacheStats, DeltaObjective, Objective, Touched};
@@ -115,18 +117,24 @@ impl MeasurementEvaluator {
         }
     }
 
-    /// Measured `(T_host, T_device)` for running the workload under `config`.
-    /// A device that receives no work reports 0.
-    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
-        let measurement = self
-            .platform
+    /// The full simulated [`Measurement`] of running the workload under `config` —
+    /// the exact execution behind [`MeasurementEvaluator::energy`], with the
+    /// [`hetero_platform::ExecutionStats`] breakdown kept instead of discarded.
+    pub fn measure(&self, config: &SystemConfiguration) -> Measurement {
+        self.platform
             .execute(
                 &self.workload,
                 &config.partition(),
                 &config.host_execution(),
                 &config.device_executions(),
             )
-            .unwrap_or_else(|err| panic!("invalid configuration {config}: {err}"));
+            .unwrap_or_else(|err| panic!("invalid configuration {config}: {err}"))
+    }
+
+    /// Measured `(T_host, T_device)` for running the workload under `config`.
+    /// A device that receives no work reports 0.
+    pub fn evaluate_times(&self, config: &SystemConfiguration) -> (f64, f64) {
+        let measurement = self.measure(config);
         (measurement.t_host, measurement.t_device)
     }
 
@@ -768,6 +776,25 @@ impl<'a> LazyTabulatedPredictionEvaluator<'a> {
             hits: self.probes().saturating_sub(misses),
             misses,
         }
+    }
+
+    /// Publish the table counters to `recorder` as `{scope}.lazy.*`: probes served,
+    /// boosted-tree model walks, and entries memoized.  Called post-hoc (counters are
+    /// read once at the end of a run, never on the evaluation path), so observed runs
+    /// stay bit-identical.
+    pub fn publish_stats(&self, recorder: &dyn wd_obs::Recorder, scope: &str) {
+        if !recorder.enabled() {
+            return;
+        }
+        recorder.counter(&format!("{scope}.lazy.probes"), self.probes() as u64);
+        recorder.counter(
+            &format!("{scope}.lazy.model_walks"),
+            self.model_queries() as u64,
+        );
+        recorder.counter(
+            &format!("{scope}.lazy.table_entries"),
+            self.table_len() as u64,
+        );
     }
 
     /// Probe one table, filling the entry through `compute` on first touch.

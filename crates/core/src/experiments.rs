@@ -144,6 +144,10 @@ pub struct CaseConvergence {
     pub sam: Vec<(usize, MethodOutcome)>,
     /// Simulated Annealing + Machine Learning, per iteration budget.
     pub saml: Vec<(usize, MethodOutcome)>,
+    /// Genetic Algorithm + Machine Learning (this crate's extension beyond the
+    /// paper's Table II), per iteration budget — same budgets, seeds and
+    /// median-of-repeats selection as the annealing rows.
+    pub gaml: Vec<(usize, MethodOutcome)>,
     /// Host-only baseline (48 threads) in seconds.
     pub host_only_seconds: f64,
     /// Device-only baseline (240 threads) in seconds.
@@ -344,6 +348,7 @@ impl ConvergenceStudy {
                 let eml = reference(workload, case_seed, MethodKind::Eml);
                 let sam = run_annealer(workload, MethodKind::Sam, case_seed);
                 let saml = run_annealer(workload, MethodKind::Saml, case_seed);
+                let gaml = run_annealer(workload, MethodKind::Gaml, case_seed);
                 let measurement = MeasurementEvaluator::new(platform.clone(), workload.clone());
                 use wd_opt::Objective as _;
                 let accelerators = platform.accelerator_count();
@@ -359,6 +364,7 @@ impl ConvergenceStudy {
                     eml,
                     sam,
                     saml,
+                    gaml,
                     host_only_seconds: baselines[0],
                     device_only_seconds: baselines[1],
                 }
@@ -446,6 +452,7 @@ impl ConvergenceStudy {
                 budgets: self.budgets.clone(),
                 saml: case.saml.iter().map(|(_, o)| o.measured_energy).collect(),
                 sam: case.sam.iter().map(|(_, o)| o.measured_energy).collect(),
+                gaml: case.gaml.iter().map(|(_, o)| o.measured_energy).collect(),
                 em: case.em.measured_energy,
                 eml: case.eml.measured_energy,
             })
@@ -463,6 +470,9 @@ pub struct Figure9Series {
     pub saml: Vec<f64>,
     /// Measured execution time of the SAM-suggested configuration per budget.
     pub sam: Vec<f64>,
+    /// Measured execution time of the GAML-suggested configuration per budget (this
+    /// crate's extension; not part of the paper's Fig. 9).
+    pub gaml: Vec<f64>,
     /// The EM optimum (solid horizontal line).
     pub em: f64,
     /// The EML optimum re-measured (dashed horizontal line).
@@ -605,6 +615,53 @@ mod tests {
             "streaming optimum sent {} permille to the host",
             streaming.em.best_config.host_permille()
         );
+    }
+
+    #[test]
+    fn convergence_study_gaml_row_matches_a_direct_gaml_run_bit_for_bit() {
+        let platform = platform();
+        let models = TrainingCampaign::reduced().run(&platform, BoostingParams::fast());
+        let tiny = ConfigurationSpace::tiny();
+        let (seed, budget) = (11u64, 120usize);
+        let study = ConvergenceStudy::run_cases_scaled(
+            &platform,
+            &models,
+            &[("cat".to_string(), Some(Genome::Cat), Genome::Cat.workload())],
+            &[budget],
+            seed,
+            1,
+            &tiny,
+            &tiny,
+        );
+        let case = &study.cases[0];
+        assert_eq!(case.gaml.len(), 1);
+        let (row_budget, gaml) = &case.gaml[0];
+        assert_eq!(*row_budget, budget);
+        assert_eq!(gaml.method, MethodKind::Gaml);
+
+        // with repeats = 1 the study's run seed is exactly the case seed, so the row
+        // must reproduce a direct MethodRunner GAML run bit for bit
+        let workload = Genome::Cat.workload();
+        let case_seed = seed ^ label_seed("cat");
+        let direct = MethodRunner::new(&platform, &workload, Some(&models), case_seed)
+            .with_grid(tiny.clone())
+            .with_space(tiny.clone())
+            .run(MethodKind::Gaml, budget)
+            .unwrap();
+        assert_eq!(gaml.best_config, direct.best_config);
+        assert_eq!(gaml.search_energy.to_bits(), direct.search_energy.to_bits());
+        assert_eq!(
+            gaml.measured_energy.to_bits(),
+            direct.measured_energy.to_bits()
+        );
+        assert_eq!(gaml.evaluations, direct.evaluations);
+        assert_eq!(gaml.trace.records(), direct.trace.records());
+        assert_eq!(gaml.stats, direct.stats);
+
+        // the Fig.-9-shaped series surfaces the row next to SAM/SAML
+        let series = study.case_series("cat").unwrap();
+        assert_eq!(series.gaml, vec![gaml.measured_energy]);
+        assert_eq!(series.saml.len(), series.gaml.len());
     }
 
     #[test]

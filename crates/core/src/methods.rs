@@ -1,8 +1,10 @@
 //! The four optimization methods of the paper (Table II): EM, EML, SAM and SAML.
 
 use std::fmt;
+use std::time::Instant;
 
-use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
+use hetero_platform::{ExecutionStats, HeterogeneousPlatform, WorkloadProfile};
+use wd_obs::{FieldValue, NoopRecorder, Recorder};
 use wd_opt::{
     CacheStats, CachedObjective, GeneticAlgorithm, Objective, Outcome, ParallelEnumeration,
     SimulatedAnnealing,
@@ -150,6 +152,11 @@ pub struct MethodOutcome {
     ///   of boosted-tree model walks, `hits` every per-device probe answered without
     ///   one.
     pub cache: CacheStats,
+    /// Execution breakdown of the final re-measurement behind
+    /// [`MethodOutcome::measured_energy`] — bytes, threads, rates and the
+    /// transfer/launch/compute split of running the suggested configuration on the
+    /// platform.
+    pub stats: ExecutionStats,
     /// Per-iteration trace (empty for enumeration).
     pub trace: wd_opt::OptimizationTrace,
 }
@@ -232,6 +239,26 @@ impl<'a> MethodRunner<'a> {
     /// Returns an error message if a prediction-based method is requested without
     /// trained models.
     pub fn run(&self, method: MethodKind, iterations: usize) -> Result<MethodOutcome, String> {
+        self.run_observed(method, iterations, &NoopRecorder)
+    }
+
+    /// [`MethodRunner::run`] with the run's telemetry published to `recorder`: per
+    /// iteration events from the annealing/genetic walks (scoped by the lowercase
+    /// method name), the cache/table counters of the evaluation fast path, the
+    /// [`ExecutionStats`] of the final re-measurement, and one `{method}.run` span
+    /// carrying wall-clock seconds, iterations, evaluations and energies.
+    ///
+    /// The recorder only observes: counters are read post-hoc from the same atomics
+    /// the unobserved path maintains, and iteration events are emitted strictly after
+    /// each trace record, so outcomes are bit-identical to [`MethodRunner::run`].
+    pub fn run_observed(
+        &self,
+        method: MethodKind,
+        iterations: usize,
+        recorder: &dyn Recorder,
+    ) -> Result<MethodOutcome, String> {
+        let started = Instant::now();
+        let scope = method.name().to_ascii_lowercase();
         let measurement = MeasurementEvaluator::new(self.platform.clone(), self.workload.clone());
         let (outcome, cache) = if method.uses_prediction() {
             let models = self.require_models(method)?;
@@ -241,7 +268,13 @@ impl<'a> MethodRunner<'a> {
                 // grid is scored from precomputed per-device time tables
                 // (Σ axis sizes model queries instead of |grid| × (N + 1)) —
                 // bit-identical to enumerating through `prediction` directly.
-                self.search(method, iterations, &prediction.tabulated(&self.grid))
+                self.search(
+                    method,
+                    iterations,
+                    &prediction.tabulated(&self.grid),
+                    recorder,
+                    &scope,
+                )
             } else {
                 // SAML/GAML fast path: lazy per-device tables + incremental (delta)
                 // re-scoring of each neighbour move (SAML) or each recombination's
@@ -250,16 +283,35 @@ impl<'a> MethodRunner<'a> {
                 // only the model cost drops.
                 let lazy = prediction.lazy_tabulated();
                 let outcome = if method == MethodKind::Gaml {
-                    self.genetic(iterations).run_delta(&self.space, &lazy)
+                    self.genetic(iterations).run_delta_observed(
+                        &self.space,
+                        &lazy,
+                        recorder,
+                        &scope,
+                    )
                 } else {
-                    self.annealer(iterations).run_delta(&self.space, &lazy)
+                    self.annealer(iterations).run_delta_observed(
+                        &self.space,
+                        &lazy,
+                        recorder,
+                        &scope,
+                    )
                 };
+                lazy.publish_stats(recorder, &scope);
                 (outcome, lazy.stats())
             }
         } else {
-            self.search(method, iterations, &measurement)
+            self.search(method, iterations, &measurement, recorder, &scope)
         };
-        Ok(self.finish(method, outcome, cache, &measurement))
+        Ok(self.finish(
+            method,
+            outcome,
+            cache,
+            &measurement,
+            recorder,
+            &scope,
+            started,
+        ))
     }
 
     /// Drive one space-exploration strategy over `objective` through the cached layer.
@@ -268,6 +320,8 @@ impl<'a> MethodRunner<'a> {
         method: MethodKind,
         iterations: usize,
         objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
     ) -> (Outcome<SystemConfiguration>, CacheStats)
     where
         O: Objective<SystemConfiguration> + Sync,
@@ -276,8 +330,10 @@ impl<'a> MethodRunner<'a> {
         let outcome = if method.uses_enumeration() {
             ParallelEnumeration::new().run(&self.grid, &cached)
         } else {
-            self.annealer(iterations).run(&self.space, &cached)
+            self.annealer(iterations)
+                .run_observed(&self.space, &cached, recorder, scope)
         };
+        cached.publish_stats(recorder, scope);
         (outcome, cached.stats())
     }
 
@@ -303,14 +359,34 @@ impl<'a> MethodRunner<'a> {
         })
     }
 
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by run/run_observed
     fn finish(
         &self,
         method: MethodKind,
         outcome: Outcome<SystemConfiguration>,
         cache: CacheStats,
         measurement: &MeasurementEvaluator,
+        recorder: &dyn Recorder,
+        scope: &str,
+        started: Instant,
     ) -> MethodOutcome {
-        let measured_energy = measurement.energy(&outcome.best_config);
+        let measured = measurement.measure(&outcome.best_config);
+        let measured_energy = measured.t_host.max(measured.t_device);
+        if recorder.enabled() {
+            measured.stats.publish(recorder, scope);
+            recorder.span(
+                &format!("{scope}.run"),
+                started.elapsed().as_secs_f64(),
+                &[
+                    ("iterations", FieldValue::U64(outcome.trace.len() as u64)),
+                    ("evaluations", FieldValue::U64(outcome.evaluations as u64)),
+                    ("cache_hits", FieldValue::U64(cache.hits as u64)),
+                    ("cache_misses", FieldValue::U64(cache.misses as u64)),
+                    ("search_energy", FieldValue::F64(outcome.best_energy)),
+                    ("measured_energy", FieldValue::F64(measured_energy)),
+                ],
+            );
+        }
         MethodOutcome {
             method,
             best_config: outcome.best_config,
@@ -318,6 +394,7 @@ impl<'a> MethodRunner<'a> {
             measured_energy,
             evaluations: outcome.evaluations,
             cache,
+            stats: measured.stats,
             trace: outcome.trace,
         }
     }

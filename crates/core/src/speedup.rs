@@ -1,8 +1,7 @@
 //! Speedup accounting against the CPU-only and accelerator-only baselines
 //! (the paper's Tables VIII and IX).
 
-use hetero_platform::{HeterogeneousPlatform, WorkloadProfile};
-use wd_opt::Objective;
+use hetero_platform::{ExecutionStats, HeterogeneousPlatform, WorkloadProfile};
 
 use crate::config::SystemConfiguration;
 use crate::evaluator::MeasurementEvaluator;
@@ -17,11 +16,18 @@ pub struct SpeedupReport {
     pub device_only_seconds: f64,
     /// Time of the combined configuration being reported.
     pub combined_seconds: f64,
+    /// Execution breakdown of the host-only baseline measurement (`None` for reports
+    /// assembled from times obtained elsewhere).
+    pub host_stats: Option<ExecutionStats>,
+    /// Execution breakdown of the device-only baseline measurement (`None` for
+    /// reports assembled from times obtained elsewhere).
+    pub device_stats: Option<ExecutionStats>,
 }
 
 impl SpeedupReport {
     /// Measure the baselines for `workload` on `platform` and compare them with a
-    /// combined execution time obtained elsewhere.
+    /// combined execution time obtained elsewhere.  The baselines' full
+    /// [`ExecutionStats`] breakdowns are kept on the report.
     pub fn for_combined_time(
         platform: &HeterogeneousPlatform,
         workload: &WorkloadProfile,
@@ -29,14 +35,16 @@ impl SpeedupReport {
     ) -> Self {
         let accelerators = platform.accelerator_count();
         let evaluator = MeasurementEvaluator::new(platform.clone(), workload.clone());
-        let baselines = evaluator.evaluate_batch(&[
-            SystemConfiguration::host_only_baseline_for(accelerators),
-            SystemConfiguration::device_only_baseline_for(accelerators),
-        ]);
+        let host_only =
+            evaluator.measure(&SystemConfiguration::host_only_baseline_for(accelerators));
+        let device_only =
+            evaluator.measure(&SystemConfiguration::device_only_baseline_for(accelerators));
         SpeedupReport {
-            host_only_seconds: baselines[0],
-            device_only_seconds: baselines[1],
+            host_only_seconds: host_only.t_host.max(host_only.t_device),
+            device_only_seconds: device_only.t_host.max(device_only.t_device),
             combined_seconds,
+            host_stats: Some(host_only.stats),
+            device_stats: Some(device_only.stats),
         }
     }
 
@@ -105,6 +113,8 @@ mod tests {
             host_only_seconds: 1.0,
             device_only_seconds: 2.0,
             combined_seconds: 0.0,
+            host_stats: None,
+            device_stats: None,
         };
         assert_eq!(report.speedup_vs_host(), f64::INFINITY);
         assert_eq!(report.speedup_vs_device(), f64::INFINITY);
@@ -112,6 +122,8 @@ mod tests {
             host_only_seconds: 1.0,
             device_only_seconds: 2.0,
             combined_seconds: -1.0,
+            host_stats: None,
+            device_stats: None,
         };
         assert_eq!(negative.speedup_vs_host(), f64::INFINITY);
         // a healthy report is unaffected
@@ -119,6 +131,8 @@ mod tests {
             host_only_seconds: 1.0,
             device_only_seconds: 2.0,
             combined_seconds: 0.5,
+            host_stats: None,
+            device_stats: None,
         };
         assert_eq!(healthy.speedup_vs_host(), 2.0);
         assert_eq!(healthy.speedup_vs_device(), 4.0);

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rayon::prelude::*;
 
+use wd_obs::{FieldValue, NoopRecorder, Recorder};
 use wd_opt::enumeration::DEFAULT_BATCH_SIZE;
 use wd_opt::{
     better_indexed, CacheStats, Objective, OptimizationTrace, Outcome, ParallelEnumeration,
@@ -230,6 +231,29 @@ impl ShardedCampaign {
         O: Objective<S::Config> + Sync,
         R: ResultStore<S::Config> + Sync,
     {
+        self.run_observed(space, objective, store, &NoopRecorder, "campaign")
+    }
+
+    /// [`ShardedCampaign::run`] with the campaign's lifecycle published to `recorder`
+    /// under `scope`: a `shard_started` / `shard_completed` event pair per shard
+    /// (index, range, best, evaluations, store hits/misses) and one final `merged`
+    /// event carrying the campaign result.  The recorder only observes — it sees
+    /// shard completions in whatever order rayon finishes them, while the merge stays
+    /// order-independent — so outcomes are bit-identical to the unobserved run.
+    pub fn run_observed<S, O, R>(
+        &self,
+        space: &S,
+        objective: &O,
+        store: &R,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> CampaignOutcome<S::Config>
+    where
+        S: SearchSpace + Sync,
+        S::Config: Clone + Send + Sync,
+        O: Objective<S::Config> + Sync,
+        R: ResultStore<S::Config> + Sync,
+    {
         let (materialized, total) = match space.space_len() {
             Some(len) => (None, len),
             None => {
@@ -248,6 +272,17 @@ impl ShardedCampaign {
             .into_par_iter()
             .map(|shard| {
                 let range = plan.range(shard);
+                if recorder.enabled() {
+                    recorder.event(
+                        scope,
+                        "shard_started",
+                        &[
+                            ("shard", FieldValue::U64(shard as u64)),
+                            ("start", FieldValue::U64(range.start as u64)),
+                            ("len", FieldValue::U64(range.len() as u64)),
+                        ],
+                    );
+                }
                 let view = match &materialized {
                     Some(configs) => ShardView::new(space, &configs[range.clone()], range.start),
                     None => ShardView::lazy(space, range.clone()),
@@ -255,19 +290,47 @@ impl ShardedCampaign {
                 let backed = StoreBackedObjective::new(objective, store);
                 let indexed = ParallelEnumeration::with_batch_size(self.batch_size)
                     .run_indexed(&view, &backed);
-                ShardReport {
+                let report = ShardReport {
                     shard_index: shard,
                     best_index: view.global_index(indexed.best_index),
                     best_energy: indexed.outcome.best_energy,
                     evaluations: indexed.outcome.evaluations,
                     stats: backed.stats(),
                     range,
+                };
+                if recorder.enabled() {
+                    recorder.event(
+                        scope,
+                        "shard_completed",
+                        &[
+                            ("shard", FieldValue::U64(shard as u64)),
+                            ("best_index", FieldValue::U64(report.best_index as u64)),
+                            ("best_energy", FieldValue::F64(report.best_energy)),
+                            ("evaluations", FieldValue::U64(report.evaluations as u64)),
+                            ("hits", FieldValue::U64(report.stats.hits as u64)),
+                            ("misses", FieldValue::U64(report.stats.misses as u64)),
+                        ],
+                    );
                 }
+                report
             })
             .collect();
 
         let (best_index, best_energy) = merge_shard_bests(reports.iter().map(ShardReport::best));
         let stats: CacheStats = reports.iter().map(|report| report.stats).sum();
+        if recorder.enabled() {
+            recorder.event(
+                scope,
+                "merged",
+                &[
+                    ("shards", FieldValue::U64(reports.len() as u64)),
+                    ("best_index", FieldValue::U64(best_index as u64)),
+                    ("best_energy", FieldValue::F64(best_energy)),
+                    ("hits", FieldValue::U64(stats.hits as u64)),
+                    ("misses", FieldValue::U64(stats.misses as u64)),
+                ],
+            );
+        }
         store.record_stats(stats);
         store
             .flush()
@@ -510,6 +573,36 @@ mod tests {
         );
         let reference = ParallelEnumeration::new().run(&space, &plateau);
         assert_eq!(outcome.best_config, reference.best_config);
+    }
+
+    #[test]
+    fn observed_campaigns_are_bit_identical_and_publish_lifecycle_events() {
+        let space = GridSpace {
+            width: 21,
+            height: 14,
+        };
+        let registry = wd_obs::Registry::new();
+        let unobserved = ShardedCampaign::new(6).run(&space, &bowl, &MemoryStore::new());
+        let observed = ShardedCampaign::new(6).run_observed(
+            &space,
+            &bowl,
+            &MemoryStore::new(),
+            &registry,
+            "campaign",
+        );
+        assert_eq!(observed.best_config, unobserved.best_config);
+        assert_eq!(
+            observed.best_energy.to_bits(),
+            unobserved.best_energy.to_bits()
+        );
+        assert_eq!(observed.best_index, unobserved.best_index);
+        assert_eq!(observed.shards, unobserved.shards);
+
+        // one started/completed pair per shard, one merge
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.events.get("campaign/shard_started"), Some(&6));
+        assert_eq!(snapshot.events.get("campaign/shard_completed"), Some(&6));
+        assert_eq!(snapshot.events.get("campaign/merged"), Some(&1));
     }
 
     #[test]

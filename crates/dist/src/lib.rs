@@ -59,4 +59,6 @@ pub use coordinator::{
     merge_shard_bests, CampaignOutcome, ShardReport, ShardedCampaign, StoreBackedObjective,
 };
 pub use key::ConfigKey;
-pub use store::{CompactionReport, JsonlStore, MemoryStore, ResultStore, STORE_SCHEMA_VERSION};
+pub use store::{
+    CompactionReport, JsonlStore, MemoryStore, ResultStore, StoreIoStats, STORE_SCHEMA_VERSION,
+};

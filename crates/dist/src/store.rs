@@ -22,8 +22,10 @@ use std::hash::Hash;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
+use wd_obs::Recorder;
 use wd_opt::CacheStats;
 
 use crate::key::ConfigKey;
@@ -184,7 +186,38 @@ pub struct JsonlStore<C> {
     skipped_lines: usize,
     context: Option<String>,
     schema: Option<String>,
+    io: IoCounters,
     _config: PhantomData<fn(&C) -> C>,
+}
+
+#[derive(Debug, Default)]
+struct IoCounters {
+    loaded_records: u64,
+    loaded_bytes: u64,
+    appended_records: AtomicU64,
+    appended_bytes: AtomicU64,
+    compactions: AtomicU64,
+    compacted_dropped: AtomicU64,
+}
+
+/// A point-in-time copy of one [`JsonlStore`]'s I/O counters — how much this store
+/// instance read at load time and has written (and compacted away) since.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreIoStats {
+    /// Result records loaded from the file when this instance was opened.
+    pub loaded_records: u64,
+    /// Bytes of the file consumed at load time.
+    pub loaded_bytes: u64,
+    /// Malformed/truncated lines skipped at load time.
+    pub skipped_lines: u64,
+    /// Lines durably appended by this instance (results, stats, stamps).
+    pub appended_records: u64,
+    /// Bytes durably appended by this instance (including newlines).
+    pub appended_bytes: u64,
+    /// Number of [`JsonlStore::compact`] passes this instance ran.
+    pub compactions: u64,
+    /// Duplicate records dropped across those compaction passes.
+    pub compacted_dropped: u64,
 }
 
 /// The schema version stamped into the header line of freshly created (and
@@ -280,15 +313,19 @@ impl<C: ConfigKey> JsonlStore<C> {
         let mut context = None;
         let mut schema = None;
         let mut saw_lines = false;
+        let mut loaded_records = 0u64;
+        let mut loaded_bytes = 0u64;
         if path.exists() {
             for line in BufReader::new(File::open(&path)?).split(b'\n') {
                 let line = String::from_utf8(line?).unwrap_or_default();
+                loaded_bytes += line.len() as u64 + 1;
                 if line.trim().is_empty() {
                     continue;
                 }
                 saw_lines = true;
                 match parse_line(&line) {
                     Some(Record::Result(key, energy)) => {
+                        loaded_records += 1;
                         map.insert(key, energy);
                     }
                     Some(Record::Stats(loaded)) => stats += loaded,
@@ -308,6 +345,11 @@ impl<C: ConfigKey> JsonlStore<C> {
             skipped_lines: skipped,
             context,
             schema,
+            io: IoCounters {
+                loaded_records,
+                loaded_bytes,
+                ..IoCounters::default()
+            },
             _config: PhantomData,
         };
         if !saw_lines {
@@ -472,6 +514,10 @@ impl<C: ConfigKey> JsonlStore<C> {
             records_before,
             records_after: order.len(),
         };
+        self.io.compactions.fetch_add(1, Ordering::Relaxed);
+        self.io
+            .compacted_dropped
+            .fetch_add(report.dropped() as u64, Ordering::Relaxed);
         *self.map.write().expect("store lock poisoned") = merged;
         *self.stats.lock().expect("stats lock poisoned") = stats;
         Ok(report)
@@ -488,6 +534,41 @@ impl<C: ConfigKey> JsonlStore<C> {
             .collect()
     }
 
+    /// This instance's I/O counters: records/bytes read at load time and durably
+    /// appended (or compacted away) since.
+    pub fn io_stats(&self) -> StoreIoStats {
+        StoreIoStats {
+            loaded_records: self.io.loaded_records,
+            loaded_bytes: self.io.loaded_bytes,
+            skipped_lines: self.skipped_lines as u64,
+            appended_records: self.io.appended_records.load(Ordering::Relaxed),
+            appended_bytes: self.io.appended_bytes.load(Ordering::Relaxed),
+            compactions: self.io.compactions.load(Ordering::Relaxed),
+            compacted_dropped: self.io.compacted_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publish [`JsonlStore::io_stats`] to `recorder` as counters named
+    /// `{scope}.store.*` (e.g. `campaign.store.appended_records`).  Call once at the
+    /// end of a run — counters are cumulative, so publishing twice double-counts.
+    pub fn publish_io(&self, recorder: &dyn Recorder, scope: &str) {
+        if !recorder.enabled() {
+            return;
+        }
+        let io = self.io_stats();
+        for (name, value) in [
+            ("loaded_records", io.loaded_records),
+            ("loaded_bytes", io.loaded_bytes),
+            ("skipped_lines", io.skipped_lines),
+            ("appended_records", io.appended_records),
+            ("appended_bytes", io.appended_bytes),
+            ("compactions", io.compactions),
+            ("compacted_dropped", io.compacted_dropped),
+        ] {
+            recorder.counter(&format!("{scope}.store.{name}"), value);
+        }
+    }
+
     /// Append `line`, flush it to the OS so a kill cannot lose it, and remember the
     /// first write error for the next `flush`.
     fn append(&self, line: &str) {
@@ -497,6 +578,11 @@ impl<C: ConfigKey> JsonlStore<C> {
                 .lock()
                 .expect("error lock poisoned")
                 .get_or_insert(error);
+        } else {
+            self.io.appended_records.fetch_add(1, Ordering::Relaxed);
+            self.io
+                .appended_bytes
+                .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
         }
     }
 
@@ -547,10 +633,15 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
             let mut writer = self.writer.lock().expect("writer lock poisoned");
             let mut wrote = Ok(());
             for (key, &energy) in keys.iter().zip(energies) {
-                wrote = writeln!(writer, "{}", Self::result_line(key, energy));
+                let line = Self::result_line(key, energy);
+                wrote = writeln!(writer, "{line}");
                 if wrote.is_err() {
                     break;
                 }
+                self.io.appended_records.fetch_add(1, Ordering::Relaxed);
+                self.io
+                    .appended_bytes
+                    .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
             }
             if let Err(error) = wrote.and_then(|()| writer.flush()) {
                 self.write_error
@@ -842,6 +933,59 @@ mod tests {
         let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
         assert_eq!(reopened.lookup(&11).unwrap().to_bits(), awkward.to_bits());
         assert_eq!(reopened.lookup(&12).unwrap().to_bits(), 1e-300f64.to_bits());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn io_counters_track_loads_appends_and_compactions() {
+        let path = temp_path("io-counters");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            let io = store.io_stats();
+            assert_eq!(io.loaded_records, 0);
+            // the fresh-store schema stamp is already an append
+            assert_eq!(io.appended_records, 1);
+            assert!(io.appended_bytes > 0);
+
+            store.record(&1, 1.0);
+            store.record_batch(&[2, 3], &[2.0, 2.0]);
+            store.record(&2, 5.0); // duplicate key, dropped by compaction
+            store.record_stats(CacheStats { hits: 1, misses: 4 });
+            store.flush().unwrap();
+            let io = store.io_stats();
+            assert_eq!(io.appended_records, 1 + 4 + 1);
+            let on_disk = std::fs::metadata(&path).unwrap().len();
+            assert_eq!(io.appended_bytes, on_disk);
+
+            let report = store.compact().unwrap();
+            assert_eq!(report.dropped(), 1);
+            let io = store.io_stats();
+            assert_eq!(io.compactions, 1);
+            assert_eq!(io.compacted_dropped, 1);
+        }
+        // a reopened store counts what it loaded (3 results) byte for byte
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        let io = store.io_stats();
+        assert_eq!(io.loaded_records, 3);
+        assert_eq!(io.loaded_bytes, std::fs::metadata(&path).unwrap().len());
+        assert_eq!(io.skipped_lines, 0);
+        assert_eq!(io.appended_records, 0);
+
+        // counters publish under the requested scope
+        let registry = wd_obs::Registry::new();
+        store.publish_io(&registry, "campaign");
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counters.get("campaign.store.loaded_records"),
+            Some(&3)
+        );
+        assert_eq!(
+            snapshot.counters.get("campaign.store.appended_records"),
+            Some(&0)
+        );
+        // and a disabled recorder costs nothing and records nothing
+        store.publish_io(&wd_obs::NoopRecorder, "campaign");
         std::fs::remove_file(&path).unwrap();
     }
 

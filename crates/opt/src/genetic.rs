@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wd_obs::{NoopRecorder, Recorder};
 
 use crate::delta::{DeltaObjective, FullDelta, Touched};
 use crate::objective::Objective;
@@ -100,6 +101,25 @@ impl GeneticAlgorithm {
         O: DeltaObjective<S::Config> + ?Sized,
         O::State: Clone,
     {
+        self.run_delta_observed(space, objective, &NoopRecorder, "genetic")
+    }
+
+    /// [`GeneticAlgorithm::run_delta`] with every generation published to `recorder`
+    /// under `scope` (one [`wd_obs::IterationEvent`] per generation, carrying exactly
+    /// the values of the corresponding [`IterationRecord`]).  The recorder only
+    /// observes, so trajectories are bit-identical to the unobserved run.
+    pub fn run_delta_observed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+        O::State: Clone,
+    {
         let p = &self.params;
         let mut rng = StdRng::seed_from_u64(p.seed);
         let mut trace = OptimizationTrace::new();
@@ -181,7 +201,7 @@ impl GeneticAlgorithm {
                 }
             }
 
-            trace.push(IterationRecord {
+            let record = IterationRecord {
                 iteration: generation,
                 proposed_energy: population
                     .iter()
@@ -192,7 +212,11 @@ impl GeneticAlgorithm {
                 best_energy: best.1,
                 temperature: 0.0,
                 accepted: true,
-            });
+            };
+            trace.push(record);
+            if recorder.enabled() {
+                recorder.iteration(scope, record.into());
+            }
         }
 
         Outcome {

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wd_obs::{NoopRecorder, Recorder};
 
 use crate::delta::{DeltaObjective, FullDelta};
 use crate::objective::Objective;
@@ -52,6 +53,23 @@ impl HillClimbing {
         S: SearchSpace,
         O: DeltaObjective<S::Config> + ?Sized,
     {
+        self.run_delta_observed(space, objective, &NoopRecorder, "hill_climbing")
+    }
+
+    /// [`HillClimbing::run_delta`] with every iteration published to `recorder` under
+    /// `scope`.  The recorder only observes (consulted after each trace record, no
+    /// RNG draws), so trajectories are bit-identical to the unobserved run.
+    pub fn run_delta_observed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut trace = OptimizationTrace::new();
         let mut evaluations = 0usize;
@@ -83,14 +101,18 @@ impl HillClimbing {
                 stale += 1;
             }
 
-            trace.push(IterationRecord {
+            let record = IterationRecord {
                 iteration,
                 proposed_energy: proposal_energy,
                 current_energy,
                 best_energy,
                 temperature: 0.0,
                 accepted,
-            });
+            };
+            trace.push(record);
+            if recorder.enabled() {
+                recorder.iteration(scope, record.into());
+            }
             iteration += 1;
 
             if stale >= self.patience && evaluations < self.max_evaluations {

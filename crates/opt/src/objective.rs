@@ -195,6 +195,21 @@ where
         }
     }
 
+    /// Publish the current hit/miss counters to `recorder` as
+    /// `<scope>.cache.hits` / `<scope>.cache.misses`.
+    ///
+    /// The counters are read post-hoc from the cache's own atomics — publication
+    /// never sits on the evaluation path, so observed and unobserved runs stay
+    /// bit-identical.
+    pub fn publish_stats(&self, recorder: &dyn wd_obs::Recorder, scope: &str) {
+        if !recorder.enabled() {
+            return;
+        }
+        let stats = self.stats();
+        recorder.counter(&format!("{scope}.cache.hits"), stats.hits as u64);
+        recorder.counter(&format!("{scope}.cache.misses"), stats.misses as u64);
+    }
+
     /// Number of distinct configurations cached so far.
     pub fn len(&self) -> usize {
         self.cache.read().expect("cache lock poisoned").len()

@@ -11,6 +11,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use wd_obs::{NoopRecorder, Recorder};
 
 use crate::delta::{DeltaObjective, FullDelta};
 use crate::objective::Objective;
@@ -96,6 +97,22 @@ impl SimulatedAnnealing {
         self.run_delta(space, &FullDelta::new(objective))
     }
 
+    /// [`SimulatedAnnealing::run`] with every iteration published to `recorder` under
+    /// `scope` (see [`SimulatedAnnealing::run_delta_observed`]).
+    pub fn run_observed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: Objective<S::Config> + ?Sized,
+    {
+        self.run_delta_observed(space, &FullDelta::new(objective), recorder, scope)
+    }
+
     /// Run the optimizer with an incrementally evaluable objective: each proposal is
     /// scored through [`DeltaObjective::evaluate_move`], which recomputes only the
     /// components the neighbour move touched (reported by
@@ -103,6 +120,29 @@ impl SimulatedAnnealing {
     /// work-distribution energy this makes the per-move cost O(1) component
     /// evaluations instead of one per component.
     pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
+        self.run_delta_observed(space, objective, &NoopRecorder, "sa")
+    }
+
+    /// [`SimulatedAnnealing::run_delta`] with every iteration published to `recorder`
+    /// under `scope` as a [`wd_obs::IterationEvent`] carrying exactly the values of
+    /// the corresponding [`IterationRecord`].
+    ///
+    /// The recorder only observes — it is consulted *after* each trace record is
+    /// produced and never touches the RNG stream — so the trajectory is bit-identical
+    /// to the unobserved run for every recorder.  With the disabled
+    /// [`NoopRecorder`] (which is what [`SimulatedAnnealing::run_delta`] passes), the
+    /// per-iteration cost is one virtual `enabled()` call.
+    pub fn run_delta_observed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> Outcome<S::Config>
     where
         S: SearchSpace,
         O: DeltaObjective<S::Config> + ?Sized,
@@ -145,14 +185,18 @@ impl SimulatedAnnealing {
                 }
             }
 
-            trace.push(IterationRecord {
+            let record = IterationRecord {
                 iteration,
                 proposed_energy: proposal_energy,
                 current_energy,
                 best_energy,
                 temperature,
                 accepted,
-            });
+            };
+            trace.push(record);
+            if recorder.enabled() {
+                recorder.iteration(scope, record.into());
+            }
 
             temperature =
                 self.schedule

@@ -5,6 +5,7 @@ use std::hash::Hash;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wd_obs::{NoopRecorder, Recorder};
 
 use crate::delta::{DeltaObjective, FullDelta};
 use crate::objective::Objective;
@@ -56,6 +57,24 @@ impl TabuSearch {
     /// current configuration's state (tabu restarts pay a full evaluation) —
     /// bit-identical to [`TabuSearch::run`] for a correct [`DeltaObjective`].
     pub fn run_delta<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
+    where
+        S: SearchSpace,
+        S::Config: Hash + Eq,
+        O: DeltaObjective<S::Config> + ?Sized,
+    {
+        self.run_delta_observed(space, objective, &NoopRecorder, "tabu")
+    }
+
+    /// [`TabuSearch::run_delta`] with every iteration published to `recorder` under
+    /// `scope`.  The recorder only observes (consulted after each trace record, no
+    /// RNG draws), so trajectories are bit-identical to the unobserved run.
+    pub fn run_delta_observed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+        recorder: &dyn Recorder,
+        scope: &str,
+    ) -> Outcome<S::Config>
     where
         S: SearchSpace,
         S::Config: Hash + Eq,
@@ -123,14 +142,18 @@ impl TabuSearch {
                 }
             }
 
-            trace.push(IterationRecord {
+            let record = IterationRecord {
                 iteration,
                 proposed_energy: current_energy,
                 current_energy,
                 best_energy,
                 temperature: 0.0,
                 accepted: true,
-            });
+            };
+            trace.push(record);
+            if recorder.enabled() {
+                recorder.iteration(scope, record.into());
+            }
         }
 
         Outcome {

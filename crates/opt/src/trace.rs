@@ -1,5 +1,7 @@
 //! Per-iteration optimization traces.
 
+use wd_obs::IterationEvent;
+
 /// One record per optimizer iteration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationRecord {
@@ -17,6 +19,32 @@ pub struct IterationRecord {
     pub accepted: bool,
 }
 
+impl From<IterationRecord> for IterationEvent {
+    fn from(record: IterationRecord) -> Self {
+        IterationEvent {
+            iteration: record.iteration,
+            proposed_energy: record.proposed_energy,
+            current_energy: record.current_energy,
+            best_energy: record.best_energy,
+            temperature: record.temperature,
+            accepted: record.accepted,
+        }
+    }
+}
+
+impl From<IterationEvent> for IterationRecord {
+    fn from(event: IterationEvent) -> Self {
+        IterationRecord {
+            iteration: event.iteration,
+            proposed_energy: event.proposed_energy,
+            current_energy: event.current_energy,
+            best_energy: event.best_energy,
+            temperature: event.temperature,
+            accepted: event.accepted,
+        }
+    }
+}
+
 /// A sequence of [`IterationRecord`]s.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OptimizationTrace {
@@ -27,6 +55,22 @@ impl OptimizationTrace {
     /// Create an empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build a trace from records — e.g. ones recovered from a recorded run.
+    pub fn from_records(records: Vec<IterationRecord>) -> Self {
+        OptimizationTrace { records }
+    }
+
+    /// Reconstruct a trace from the iteration events published by an observed run
+    /// (`run_delta_observed` and friends).  Because observed runs emit one event per
+    /// trace record with identical values, a trace rebuilt from a recorder's event
+    /// stream — e.g. a replayed [`wd_obs::JsonlExporter`] file, whose `*_bits` fields
+    /// preserve exact IEEE-754 energies — equals the original trace bit for bit.
+    pub fn from_events(events: &[IterationEvent]) -> Self {
+        OptimizationTrace {
+            records: events.iter().map(|&event| event.into()).collect(),
+        }
     }
 
     /// Append one record.
@@ -121,5 +165,47 @@ mod tests {
         let trace = OptimizationTrace::new();
         assert_eq!(trace.acceptance_rate(), 0.0);
         assert!(trace.best_energy_series().is_empty());
+    }
+
+    #[test]
+    fn best_within_edge_cases() {
+        // empty trace: None for every horizon, including 0
+        let empty = OptimizationTrace::new();
+        assert_eq!(empty.best_within(0), None);
+        assert_eq!(empty.best_within(1), None);
+        assert_eq!(empty.best_within(usize::MAX), None);
+
+        // non-empty trace, iterations == 0: still None (no iterations examined)
+        let mut trace = OptimizationTrace::new();
+        trace.push(record(0, 7.0, true));
+        assert_eq!(trace.best_within(0), None);
+
+        // iterations beyond the trace length clamp to the whole trace
+        trace.push(record(1, 3.0, true));
+        assert_eq!(trace.best_within(2), Some(3.0));
+        assert_eq!(trace.best_within(3), Some(3.0));
+        assert_eq!(trace.best_within(usize::MAX), Some(3.0));
+
+        // a single-record trace answers for any positive horizon
+        let mut single = OptimizationTrace::new();
+        single.push(record(0, 5.0, false));
+        assert_eq!(single.best_within(1), Some(5.0));
+        assert_eq!(single.best_within(100), Some(5.0));
+    }
+
+    #[test]
+    fn records_round_trip_through_iteration_events() {
+        let mut trace = OptimizationTrace::new();
+        for i in 0..4 {
+            trace.push(record(i, 9.0 - i as f64, i % 2 == 0));
+        }
+        let events: Vec<IterationEvent> = trace.records().iter().map(|&r| r.into()).collect();
+        let rebuilt = OptimizationTrace::from_events(&events);
+        assert_eq!(rebuilt, trace);
+        assert_eq!(rebuilt.records(), trace.records());
+
+        // and via the plain-record constructor
+        let copied = OptimizationTrace::from_records(trace.records().to_vec());
+        assert_eq!(copied, trace);
     }
 }

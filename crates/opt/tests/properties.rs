@@ -240,6 +240,67 @@ proptest! {
             "delta path evaluated {delta_components} components, full {full_components}");
     }
 
+    /// Observed runs (a live [`wd_obs::Registry`] recorder attached) are bit-identical
+    /// to unobserved runs for every driver: the recorder is consulted strictly after
+    /// each trace record is produced and never draws from the RNG, so attaching one
+    /// cannot perturb the trajectory.  The registry also receives exactly one
+    /// iteration event per trace record with the best-energy series intact.
+    #[test]
+    fn observed_runs_are_bit_identical_to_unobserved_runs(
+        seed in 0u64..200,
+        budget in 50usize..250,
+        tx in 0u32..64,
+        ty in 0u32..64,
+    ) {
+        use wd_obs::Registry;
+
+        let space = GridSpace { width: 64, height: 64 };
+        let plain = SeparableGrid::new((tx, ty));
+        let observed = SeparableGrid::new((tx, ty));
+
+        let sa = SimulatedAnnealing::with_budget_and_range(budget, 50.0, 0.5, seed);
+        let hill = HillClimbing::with_budget(budget, seed);
+        let tabu = TabuSearch::with_budget(budget / 8 + 1, seed);
+        let ga = GeneticAlgorithm::with_budget(budget.max(100), seed);
+
+        let registry = Registry::new();
+        let runs = vec![
+            ("sa", sa.run_delta(&space, &plain),
+             sa.run_delta_observed(&space, &observed, &registry, "sa")),
+            ("hill_climbing", hill.run_delta(&space, &plain),
+             hill.run_delta_observed(&space, &observed, &registry, "hill_climbing")),
+            ("tabu", tabu.run_delta(&space, &plain),
+             tabu.run_delta_observed(&space, &observed, &registry, "tabu")),
+            ("genetic", ga.run_delta(&space, &plain),
+             ga.run_delta_observed(&space, &observed, &registry, "genetic")),
+        ];
+
+        let snapshot = registry.snapshot();
+        for (scope, unobserved, observed) in runs {
+            prop_assert_eq!(&unobserved.best_config, &observed.best_config, "{}", scope);
+            prop_assert_eq!(
+                unobserved.best_energy.to_bits(), observed.best_energy.to_bits(),
+                "{}", scope
+            );
+            prop_assert_eq!(unobserved.evaluations, observed.evaluations, "{}", scope);
+            prop_assert_eq!(unobserved.trace.records(), observed.trace.records(), "{}", scope);
+
+            // one iteration event per trace record, ending at the final best energy
+            let summary = snapshot.iterations.get(scope)
+                .unwrap_or_else(|| panic!("no iteration summary for scope {scope}"));
+            prop_assert_eq!(summary.count, observed.trace.len() as u64, "{}", scope);
+            prop_assert_eq!(
+                summary.last_best_energy.to_bits(), observed.best_energy.to_bits(),
+                "{}", scope
+            );
+        }
+        // the two objective instances saw exactly the same component evaluations
+        prop_assert_eq!(
+            plain.component_evals.load(Ordering::Relaxed),
+            observed.component_evals.load(Ordering::Relaxed)
+        );
+    }
+
     /// The geometric budget helper produces a schedule that reaches the stop
     /// temperature in (approximately) the requested number of iterations.
     #[test]

@@ -53,6 +53,33 @@ impl ExecutionStats {
             overhead / total
         }
     }
+
+    /// Publish this breakdown to `recorder` as gauges named `{scope}.exec.*` — one
+    /// gauge per field plus the derived [`ExecutionStats::host_share`] and
+    /// [`ExecutionStats::offload_overhead_share`] ratios.  Gauges are last-write-wins,
+    /// so publishing the stats of several executions under one scope keeps the most
+    /// recent breakdown (publish under distinct scopes to keep them all).
+    pub fn publish(&self, recorder: &dyn wd_obs::Recorder, scope: &str) {
+        if !recorder.enabled() {
+            return;
+        }
+        for (name, value) in [
+            ("host_bytes", self.host_bytes as f64),
+            ("device_bytes", self.device_bytes as f64),
+            ("host_rate", self.host_rate),
+            ("device_rate", self.device_rate),
+            ("host_threads", f64::from(self.host_threads)),
+            ("device_threads", f64::from(self.device_threads)),
+            ("transfer_seconds", self.transfer_seconds),
+            ("launch_seconds", self.launch_seconds),
+            ("host_compute_seconds", self.host_compute_seconds),
+            ("device_compute_seconds", self.device_compute_seconds),
+            ("host_share", self.host_share()),
+            ("offload_overhead_share", self.offload_overhead_share()),
+        ] {
+            recorder.gauge(&format!("{scope}.exec.{name}"), value);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +102,28 @@ mod tests {
             ..Default::default()
         };
         assert!((s.host_share() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_writes_one_gauge_per_field() {
+        let s = ExecutionStats {
+            host_bytes: 600,
+            device_bytes: 400,
+            host_threads: 24,
+            transfer_seconds: 0.25,
+            ..Default::default()
+        };
+        let registry = wd_obs::Registry::new();
+        s.publish(&registry, "em");
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.gauges.get("em.exec.host_bytes"), Some(&600.0));
+        assert_eq!(snapshot.gauges.get("em.exec.host_threads"), Some(&24.0));
+        assert_eq!(snapshot.gauges.get("em.exec.transfer_seconds"), Some(&0.25));
+        assert_eq!(snapshot.gauges.get("em.exec.host_share"), Some(&0.6));
+        assert_eq!(snapshot.gauges.len(), 12);
+
+        // a disabled recorder short-circuits
+        s.publish(&wd_obs::NoopRecorder, "em");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`ml`] — regression models (boosted decision trees, linear, Poisson)
 //! * [`opt`] — combinatorial optimization (simulated annealing, enumeration, ...)
 //! * [`dist`] — sharded multi-node campaign coordinator with a persistent result store
+//! * [`obs`] — observability: the `Recorder` trait, metrics registry, JSONL event export
 //! * [`autotune`] — the paper's contribution: EM / EML / SAM / SAML autotuning
 //!
 //! ## Quick start
@@ -30,6 +31,7 @@ pub use hetero_autotune as autotune;
 pub use hetero_platform as platform;
 pub use wd_dist as dist;
 pub use wd_ml as ml;
+pub use wd_obs as obs;
 pub use wd_opt as opt;
 
 /// The version of the reproduction library.
