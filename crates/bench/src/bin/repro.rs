@@ -33,7 +33,8 @@
 //! whole reproduction finishes in a few seconds; the default reproduces the paper-scale
 //! campaign (7 200 training experiments, 19 926-point enumeration per genome).
 //!
-//! `--metrics PATH` writes a `wd_obs` metrics snapshot (schema `wd-obs-metrics/v1`)
+//! `--metrics PATH` writes a `wd_obs` metrics snapshot (schema
+//! [`wd_obs::METRICS_SCHEMA_VERSION`])
 //! to `PATH` when the run finishes: one span per artifact rendered, a span for the
 //! training campaign, and whatever gauges/counters the requested artifacts published
 //! through the shared registry.

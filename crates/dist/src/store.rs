@@ -23,12 +23,33 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use wd_obs::Recorder;
 use wd_opt::CacheStats;
 
 use crate::key::ConfigKey;
+
+/// Acquire a read guard, recovering from poisoning instead of panicking.
+///
+/// Poisoning only means another thread panicked while holding the guard; every
+/// critical section in this file leaves its data consistent at every await-free step
+/// (whole-map inserts, whole-batch appends), so the store is still usable — and a
+/// panic cascade here would turn one failed shard into a failed campaign with a
+/// half-written log.
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a write guard, recovering from poisoning (see [`read_lock`]).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a mutex guard, recovering from poisoning (see [`read_lock`]).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A concurrent store of evaluated `(configuration, energy)` pairs.
 ///
@@ -106,15 +127,11 @@ where
     C: Eq + Hash + Clone,
 {
     fn lookup(&self, config: &C) -> Option<f64> {
-        self.map
-            .read()
-            .expect("store lock poisoned")
-            .get(config)
-            .copied()
+        read_lock(&self.map).get(config).copied()
     }
 
     fn lookup_batch(&self, configs: &[C]) -> Vec<Option<f64>> {
-        let map = self.map.read().expect("store lock poisoned");
+        let map = read_lock(&self.map);
         configs
             .iter()
             .map(|config| map.get(config).copied())
@@ -122,30 +139,27 @@ where
     }
 
     fn record(&self, config: &C, energy: f64) {
-        self.map
-            .write()
-            .expect("store lock poisoned")
-            .insert(config.clone(), energy);
+        write_lock(&self.map).insert(config.clone(), energy);
     }
 
     fn record_batch(&self, configs: &[C], energies: &[f64]) {
         assert_eq!(configs.len(), energies.len());
-        let mut map = self.map.write().expect("store lock poisoned");
+        let mut map = write_lock(&self.map);
         for (config, &energy) in configs.iter().zip(energies) {
             map.insert(config.clone(), energy);
         }
     }
 
     fn record_stats(&self, stats: CacheStats) {
-        *self.stats.lock().expect("stats lock poisoned") += stats;
+        *lock(&self.stats) += stats;
     }
 
     fn recorded_stats(&self) -> CacheStats {
-        *self.stats.lock().expect("stats lock poisoned")
+        *lock(&self.stats)
     }
 
     fn len(&self) -> usize {
-        self.map.read().expect("store lock poisoned").len()
+        read_lock(&self.map).len()
     }
 }
 
@@ -451,7 +465,7 @@ impl<C: ConfigKey> JsonlStore<C> {
     /// applies the coordinator's lowest-energy/earliest rule, so hand-written logs
     /// with conflicting duplicates resolve to the merged best.
     pub fn compact(&self) -> io::Result<CompactionReport> {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = lock(&self.writer);
         writer.flush()?;
 
         // re-read the log: the in-memory map holds only the last write per key, the
@@ -518,17 +532,15 @@ impl<C: ConfigKey> JsonlStore<C> {
         self.io
             .compacted_dropped
             .fetch_add(report.dropped() as u64, Ordering::Relaxed);
-        *self.map.write().expect("store lock poisoned") = merged;
-        *self.stats.lock().expect("stats lock poisoned") = stats;
+        *write_lock(&self.map) = merged;
+        *lock(&self.stats) = stats;
         Ok(report)
     }
 
     /// Decode every stored record back into configurations (records whose key no
     /// longer decodes — e.g. written by an older schema — are skipped).
     pub fn entries(&self) -> Vec<(C, f64)> {
-        self.map
-            .read()
-            .expect("store lock poisoned")
+        read_lock(&self.map)
             .iter()
             .filter_map(|(key, &energy)| Some((C::decode_key(key)?, energy)))
             .collect()
@@ -572,12 +584,9 @@ impl<C: ConfigKey> JsonlStore<C> {
     /// Append `line`, flush it to the OS so a kill cannot lose it, and remember the
     /// first write error for the next `flush`.
     fn append(&self, line: &str) {
-        let mut writer = self.writer.lock().expect("writer lock poisoned");
+        let mut writer = lock(&self.writer);
         if let Err(error) = writeln!(writer, "{line}").and_then(|()| writer.flush()) {
-            self.write_error
-                .lock()
-                .expect("error lock poisoned")
-                .get_or_insert(error);
+            lock(&self.write_error).get_or_insert(error);
         } else {
             self.io.appended_records.fetch_add(1, Ordering::Relaxed);
             self.io
@@ -600,15 +609,11 @@ impl<C: ConfigKey> JsonlStore<C> {
 
 impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
     fn lookup(&self, config: &C) -> Option<f64> {
-        self.map
-            .read()
-            .expect("store lock poisoned")
-            .get(&config.encode_key())
-            .copied()
+        read_lock(&self.map).get(&config.encode_key()).copied()
     }
 
     fn lookup_batch(&self, configs: &[C]) -> Vec<Option<f64>> {
-        let map = self.map.read().expect("store lock poisoned");
+        let map = read_lock(&self.map);
         configs
             .iter()
             .map(|config| map.get(&config.encode_key()).copied())
@@ -618,10 +623,7 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
     fn record(&self, config: &C, energy: f64) {
         let key = config.encode_key();
         self.append(&Self::result_line(&key, energy));
-        self.map
-            .write()
-            .expect("store lock poisoned")
-            .insert(key, energy);
+        write_lock(&self.map).insert(key, energy);
     }
 
     fn record_batch(&self, configs: &[C], energies: &[f64]) {
@@ -630,7 +632,7 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
         {
             // one writer lock for the whole batch keeps shard appends contiguous; the
             // trailing flush bounds what a kill can lose to this batch
-            let mut writer = self.writer.lock().expect("writer lock poisoned");
+            let mut writer = lock(&self.writer);
             let mut wrote = Ok(());
             for (key, &energy) in keys.iter().zip(energies) {
                 let line = Self::result_line(key, energy);
@@ -644,13 +646,10 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
                     .fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
             }
             if let Err(error) = wrote.and_then(|()| writer.flush()) {
-                self.write_error
-                    .lock()
-                    .expect("error lock poisoned")
-                    .get_or_insert(error);
+                lock(&self.write_error).get_or_insert(error);
             }
         }
-        let mut map = self.map.write().expect("store lock poisoned");
+        let mut map = write_lock(&self.map);
         for (key, &energy) in keys.into_iter().zip(energies) {
             map.insert(key, energy);
         }
@@ -661,22 +660,22 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
             "{{\"stats\":{{\"hits\":{},\"misses\":{}}}}}",
             stats.hits, stats.misses
         ));
-        *self.stats.lock().expect("stats lock poisoned") += stats;
+        *lock(&self.stats) += stats;
     }
 
     fn recorded_stats(&self) -> CacheStats {
-        *self.stats.lock().expect("stats lock poisoned")
+        *lock(&self.stats)
     }
 
     fn len(&self) -> usize {
-        self.map.read().expect("store lock poisoned").len()
+        read_lock(&self.map).len()
     }
 
     fn flush(&self) -> io::Result<()> {
-        if let Some(error) = self.write_error.lock().expect("error lock poisoned").take() {
+        if let Some(error) = lock(&self.write_error).take() {
             return Err(error);
         }
-        self.writer.lock().expect("writer lock poisoned").flush()
+        lock(&self.writer).flush()
     }
 }
 

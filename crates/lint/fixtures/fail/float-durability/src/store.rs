@@ -1,0 +1,5 @@
+//! Fixture: an f64 persisted as decimal text only — not replayable bit-exactly.
+
+pub fn persist(energy: f64) -> String {
+    format!("best energy {energy}")
+}

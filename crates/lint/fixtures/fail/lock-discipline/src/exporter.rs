@@ -1,0 +1,5 @@
+//! Fixture: the foreign lock module whose `event` entry point takes its own lock.
+
+pub fn event(name: &str) -> usize {
+    name.len()
+}

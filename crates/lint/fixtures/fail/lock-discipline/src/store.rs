@@ -1,0 +1,17 @@
+//! Fixture: the exporter entry point is called while the store guard is live.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    map: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    pub fn record(&self, value: u64) {
+        let mut guard = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        guard.push(value);
+        event("recorded");
+    }
+}
+
+fn event(_name: &str) {}

@@ -1,0 +1,5 @@
+//! Fixture: an unwrap in library code.
+
+pub fn value(input: Option<u32>) -> u32 {
+    input.unwrap()
+}

@@ -1,0 +1,8 @@
+//! Fixture: a schema literal duplicated outside its defining file, plus one that
+//! was never declared anywhere.
+
+pub fn header() -> String {
+    let schema = "wd-obs-events/v1";
+    let rogue = "wd-dist-rogue/v9";
+    format!("{schema} {rogue}")
+}

@@ -1,0 +1,5 @@
+//! Fixture: an unsafe block with no SAFETY comment.
+
+pub fn first(values: &[u64]) -> u64 {
+    unsafe { *values.get_unchecked(0) }
+}

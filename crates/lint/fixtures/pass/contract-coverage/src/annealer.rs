@@ -1,0 +1,13 @@
+//! Fixture: contract symbols with full test coverage.
+
+pub struct Annealer;
+
+impl Annealer {
+    pub fn run_delta(&self) -> u32 {
+        0
+    }
+}
+
+pub fn neighbor_move(config: u32) -> u32 {
+    config + 1
+}

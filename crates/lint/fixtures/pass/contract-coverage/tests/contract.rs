@@ -1,0 +1,8 @@
+//! Fixture test: names both the owner (`Annealer`) and the contract methods.
+
+#[test]
+fn run_delta_is_bit_identical() {
+    let annealer = Annealer;
+    assert_eq!(annealer.run_delta(), 0);
+    assert_eq!(neighbor_move(1), 2);
+}

@@ -1,0 +1,9 @@
+//! Fixture: every persisted f64 carries its IEEE-754 bit pattern.
+
+pub fn persist(energy: f64) -> String {
+    format!("{energy} {energy_bits:016x}", energy_bits = energy.to_bits())
+}
+
+pub fn describe(count: u64) -> String {
+    format!("{count} evaluations")
+}

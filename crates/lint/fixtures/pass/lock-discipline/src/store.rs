@@ -1,0 +1,28 @@
+//! Fixture: guards are released (scope or `drop`) before crossing into the
+//! exporter module.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    map: Mutex<Vec<u64>>,
+}
+
+impl Store {
+    pub fn record(&self, value: u64) {
+        {
+            let mut guard = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            guard.push(value);
+        }
+        event("recorded");
+    }
+
+    pub fn lookup(&self) -> usize {
+        let guard = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let len = guard.len();
+        drop(guard);
+        event("looked up");
+        len
+    }
+}
+
+fn event(_name: &str) {}

@@ -1,0 +1,13 @@
+//! Fixture: library code propagates options; tests may still unwrap.
+
+pub fn checked_div(a: u32, b: u32) -> Option<u32> {
+    a.checked_div(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::checked_div(4, 2).unwrap(), 2);
+    }
+}

@@ -1,0 +1,3 @@
+//! Fixture: the schema string lives only at its declared constant.
+
+pub const EVENT_SCHEMA_VERSION: &str = "wd-obs-events/v1";

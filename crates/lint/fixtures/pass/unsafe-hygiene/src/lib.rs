@@ -1,0 +1,6 @@
+//! Fixture: every unsafe block carries a SAFETY justification.
+
+pub fn first(values: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `values` is non-empty.
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,172 @@
+//! `lint.allow` — the grandfathered-finding budget.
+//!
+//! Each line is `<lint> <path> <max-count>`: the named pass may report at most
+//! `max-count` findings in that file.  The budget is a ratchet, not a waiver:
+//!
+//! * more findings than budgeted → **every** finding in the group is reported (the
+//!   new site and its neighbors, so the author sees the whole burn-down list);
+//! * fewer findings than budgeted → a *stale budget* warning (exit 0) asking for the
+//!   entry to be tightened, so the allowlist tracks reality downward;
+//! * an entry whose file has zero findings → stale as well.
+
+use std::collections::BTreeMap;
+
+use crate::report::Finding;
+
+/// One parsed `lint.allow` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Lint name (`panic-freedom`, ...).
+    pub lint: String,
+    /// File path relative to the check root.
+    pub path: String,
+    /// Maximum findings budgeted for this (lint, path) pair.
+    pub max_count: usize,
+}
+
+/// Parse `lint.allow` text (whitespace-separated columns, `#` comments).
+pub fn parse(text: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let [lint, path, count] = parts.as_slice() else {
+            return Err(format!(
+                "lint.allow:{}: expected `<lint> <path> <max-count>`",
+                lineno + 1
+            ));
+        };
+        let max_count: usize = count
+            .parse()
+            .map_err(|_| format!("lint.allow:{}: `{count}` is not a count", lineno + 1))?;
+        entries.push(AllowEntry {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            max_count,
+        });
+    }
+    Ok(entries)
+}
+
+/// Result of applying the allowlist to raw findings.
+pub struct Applied {
+    /// Findings that must fail the run.
+    pub errors: Vec<Finding>,
+    /// Human-readable stale-budget warnings (exit 0, but should be acted on).
+    pub stale: Vec<String>,
+}
+
+/// Apply the ratchet: suppress exactly-budgeted groups, fail over-budget groups,
+/// warn on under-budget (stale) entries.
+pub fn apply(findings: Vec<Finding>, entries: &[AllowEntry]) -> Applied {
+    let mut budgets: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for entry in entries {
+        budgets.insert((entry.lint.clone(), entry.path.clone()), entry.max_count);
+    }
+
+    let mut groups: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for finding in findings {
+        groups
+            .entry((finding.lint.clone(), finding.path.clone()))
+            .or_default()
+            .push(finding);
+    }
+
+    let mut errors = Vec::new();
+    let mut stale = Vec::new();
+    for (key, group) in groups {
+        let budget = budgets.remove(&key).unwrap_or(0);
+        if group.len() > budget {
+            if budget > 0 {
+                stale.push(format!(
+                    "{}: {} findings in {} exceed the budget of {budget}; all are listed",
+                    key.0,
+                    group.len(),
+                    key.1
+                ));
+            }
+            errors.extend(group);
+        } else if group.len() < budget {
+            stale.push(format!(
+                "stale budget: `{} {} {budget}` but only {} findings remain — tighten lint.allow to {}",
+                key.0,
+                key.1,
+                group.len(),
+                group.len()
+            ));
+        }
+    }
+    // entries whose file produced no findings at all
+    for ((lint, path), budget) in budgets {
+        stale.push(format!(
+            "stale budget: `{lint} {path} {budget}` but the file has no findings — remove the entry"
+        ));
+    }
+    Applied { errors, stale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    fn finding(lint: &str, path: &str, line: usize) -> Finding {
+        Finding {
+            lint: lint.to_string(),
+            path: path.to_string(),
+            line,
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn exact_budget_suppresses() {
+        let entries = parse("panic-freedom a.rs 2\n").unwrap();
+        let applied = apply(
+            vec![
+                finding("panic-freedom", "a.rs", 1),
+                finding("panic-freedom", "a.rs", 2),
+            ],
+            &entries,
+        );
+        assert!(applied.errors.is_empty());
+        assert!(applied.stale.is_empty());
+    }
+
+    #[test]
+    fn over_budget_reports_the_whole_group() {
+        let entries = parse("panic-freedom a.rs 1\n").unwrap();
+        let applied = apply(
+            vec![
+                finding("panic-freedom", "a.rs", 1),
+                finding("panic-freedom", "a.rs", 2),
+            ],
+            &entries,
+        );
+        assert_eq!(applied.errors.len(), 2);
+    }
+
+    #[test]
+    fn under_budget_and_orphan_entries_are_stale() {
+        let entries = parse("panic-freedom a.rs 3\nfloat-durability b.rs 1\n").unwrap();
+        let applied = apply(vec![finding("panic-freedom", "a.rs", 1)], &entries);
+        assert!(applied.errors.is_empty());
+        assert_eq!(applied.stale.len(), 2);
+    }
+
+    #[test]
+    fn unbudgeted_findings_fail() {
+        let applied = apply(vec![finding("panic-freedom", "a.rs", 1)], &[]);
+        assert_eq!(applied.errors.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("panic-freedom a.rs\n").is_err());
+        assert!(parse("panic-freedom a.rs many\n").is_err());
+        assert!(parse("# comment\n\npanic-freedom a.rs 1\n").is_ok());
+    }
+}

@@ -1,0 +1,199 @@
+//! `lint.conf` — the checked-in manifest that scopes each pass — and the workspace
+//! walker that loads every `.rs` file under the check root.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// One entry of the lock-order manifest: a module that takes a lock, and the
+/// identifiers other modules call into it through.
+#[derive(Debug, Clone)]
+pub struct LockModule {
+    /// Short name used in findings (`store`, `registry`, ...).
+    pub name: String,
+    /// Path of the module's file, relative to the check root.
+    pub rel_path: String,
+    /// Identifiers that acquire this module's lock when called from outside.
+    pub entry_points: Vec<String>,
+}
+
+/// Parsed `lint.conf`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Path prefixes excluded from every pass (fixtures, vendored code).
+    pub skip: Vec<String>,
+    /// Directories whose `run_delta*`-style symbols need test coverage.
+    pub contract_src: Vec<String>,
+    /// Glob patterns (only `*` is special) selecting contract symbols.
+    pub contract_patterns: Vec<String>,
+    /// Files held to the floats-need-`_bits` durability rule.
+    pub float_files: Vec<String>,
+    /// Directories held to the panic-freedom rule.
+    pub panic_src: Vec<String>,
+    /// Declared lock-order manifest.
+    pub lock_modules: Vec<LockModule>,
+}
+
+impl Config {
+    /// Parse the `key: value` line format.  Unknown keys are an error: a typo in the
+    /// manifest must not silently disable a pass.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut config = Config::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                return Err(format!("lint.conf:{}: expected `key: value`", lineno + 1));
+            };
+            let value = value.trim();
+            if value.is_empty() {
+                return Err(format!("lint.conf:{}: empty value", lineno + 1));
+            }
+            match key.trim() {
+                "skip" => config.skip.push(value.to_string()),
+                "contract-src" => config.contract_src.push(value.to_string()),
+                "contract-pattern" => config.contract_patterns.push(value.to_string()),
+                "float-file" => config.float_files.push(value.to_string()),
+                "panic-src" => config.panic_src.push(value.to_string()),
+                "lock-module" => {
+                    let mut parts = value.split_whitespace();
+                    let (Some(name), Some(rel_path)) = (parts.next(), parts.next()) else {
+                        return Err(format!(
+                            "lint.conf:{}: lock-module needs `<name> <path> <entry>...`",
+                            lineno + 1
+                        ));
+                    };
+                    let entry_points: Vec<String> = parts.map(str::to_string).collect();
+                    if entry_points.is_empty() {
+                        return Err(format!(
+                            "lint.conf:{}: lock-module `{name}` declares no entry points",
+                            lineno + 1
+                        ));
+                    }
+                    config.lock_modules.push(LockModule {
+                        name: name.to_string(),
+                        rel_path: rel_path.to_string(),
+                        entry_points,
+                    });
+                }
+                other => {
+                    return Err(format!("lint.conf:{}: unknown key `{other}`", lineno + 1));
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Should `rel_path` be excluded from all passes?
+    pub fn is_skipped(&self, rel_path: &str) -> bool {
+        self.skip
+            .iter()
+            .any(|prefix| rel_path == prefix || rel_path.starts_with(&format!("{prefix}/")))
+    }
+}
+
+/// Match `name` against a pattern where `*` matches any (possibly empty) substring.
+pub fn glob_match(pattern: &str, name: &str) -> bool {
+    fn inner(pattern: &[u8], name: &[u8]) -> bool {
+        match pattern.split_first() {
+            None => name.is_empty(),
+            Some((b'*', rest)) => (0..=name.len()).any(|skip| inner(rest, &name[skip..])),
+            Some((ch, rest)) => name
+                .split_first()
+                .is_some_and(|(first, tail)| first == ch && inner(rest, tail)),
+        }
+    }
+    inner(pattern.as_bytes(), name.as_bytes())
+}
+
+/// All `.rs` files under `root`, lexed, sorted by path, excluding build output,
+/// VCS internals, and the config's `skip:` prefixes.
+pub fn load_workspace(root: &Path, config: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect_rust_files(root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for path in paths {
+        let rel_path = relative_path(root, &path);
+        if config.is_skipped(&rel_path) {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        files.push(SourceFile::new(rel_path, text));
+    }
+    Ok(files)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == ".git" || name == "target" {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with `/` separators.
+pub fn relative_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_key() {
+        let conf = "\
+# comment
+skip: crates/lint/fixtures
+contract-src: crates/opt/src
+contract-pattern: run_delta*
+contract-pattern: *_observed
+float-file: crates/dist/src/store.rs
+panic-src: crates/core/src
+lock-module: store crates/dist/src/store.rs append claim
+";
+        let config = Config::parse(conf).unwrap();
+        assert_eq!(config.skip, vec!["crates/lint/fixtures"]);
+        assert_eq!(config.contract_patterns.len(), 2);
+        assert_eq!(config.lock_modules.len(), 1);
+        assert_eq!(config.lock_modules[0].entry_points, vec!["append", "claim"]);
+        assert!(config.is_skipped("crates/lint/fixtures/fail/x.rs"));
+        assert!(!config.is_skipped("crates/lint/src/lib.rs"));
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(Config::parse("contract-sources: x").is_err());
+        assert!(Config::parse("no separator line").is_err());
+        assert!(Config::parse("lock-module: store crates/dist/src/store.rs").is_err());
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("run_delta*", "run_delta"));
+        assert!(glob_match("run_delta*", "run_delta_observed"));
+        assert!(glob_match("*_observed", "run_observed"));
+        assert!(!glob_match("*_observed", "observe"));
+        assert!(glob_match("neighbor_move", "neighbor_move"));
+        assert!(!glob_match("neighbor_move", "neighbor"));
+    }
+}

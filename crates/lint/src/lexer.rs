@@ -1,0 +1,437 @@
+//! A hand-rolled, total Rust lexer.
+//!
+//! The analyzer needs token-level accuracy — `unwrap` inside a string literal or a
+//! comment must not count as a call — but nothing like a full parser.  This lexer
+//! therefore recognises exactly the token classes the lint passes care about
+//! (identifiers, string/char literals, comments, numbers, punctuation) and is
+//! **total**: every input, including invalid Rust, lexes into a token stream whose
+//! spans cover the input with no gaps and no overlaps (property-tested over every
+//! source file in the workspace and over random byte soups).  Unterminated literals
+//! and comments extend to end of input instead of failing.
+
+/// The token classes the lint passes distinguish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Runs of whitespace (including newlines).
+    Whitespace,
+    /// `// ...` to end of line (doc comments `///`/`//!` included).
+    LineComment,
+    /// `/* ... */`, nested, possibly unterminated.
+    BlockComment,
+    /// String literals: `"..."`, `b"..."`, raw `r"..."` / `r#"..."#` and byte-raw
+    /// variants.
+    Str,
+    /// Character and byte-character literals: `'a'`, `b'\n'`.
+    Char,
+    /// Lifetimes and loop labels: `'ident`.
+    Lifetime,
+    /// Identifiers and keywords.
+    Ident,
+    /// Numeric literals (integers and floats, any radix, with suffixes).
+    Number,
+    /// A single punctuation or unrecognised byte.
+    Punct,
+}
+
+/// One lexed token: a classification plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's slice of `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, nth: usize) -> Option<char> {
+        self.src[self.pos..].chars().nth(nth)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat_while(&mut self, predicate: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !predicate(c) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Lex `src` into a covering token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cursor = Cursor { src, pos: 0 };
+    let mut tokens = Vec::new();
+    while cursor.pos < src.len() {
+        let start = cursor.pos;
+        let kind = next_kind(&mut cursor);
+        debug_assert!(cursor.pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cursor.pos,
+        });
+    }
+    tokens
+}
+
+fn next_kind(cursor: &mut Cursor<'_>) -> TokenKind {
+    let first = match cursor.peek() {
+        Some(c) => c,
+        None => return TokenKind::Punct,
+    };
+
+    if first.is_whitespace() {
+        cursor.eat_while(char::is_whitespace);
+        return TokenKind::Whitespace;
+    }
+
+    if first == '/' {
+        match cursor.peek_at(1) {
+            Some('/') => {
+                cursor.eat_while(|c| c != '\n');
+                return TokenKind::LineComment;
+            }
+            Some('*') => {
+                cursor.bump();
+                cursor.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cursor.peek(), cursor.peek_at(1)) {
+                        (Some('/'), Some('*')) => {
+                            cursor.bump();
+                            cursor.bump();
+                            depth += 1;
+                        }
+                        (Some('*'), Some('/')) => {
+                            cursor.bump();
+                            cursor.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            cursor.bump();
+                        }
+                        (None, _) => break, // unterminated: extend to EOF
+                    }
+                }
+                return TokenKind::BlockComment;
+            }
+            _ => {
+                cursor.bump();
+                return TokenKind::Punct;
+            }
+        }
+    }
+
+    // raw / byte string prefixes take precedence over plain identifiers
+    if first == 'r' || first == 'b' {
+        if let Some(kind) = try_prefixed_literal(cursor) {
+            return kind;
+        }
+    }
+
+    if first == '"' {
+        cursor.bump();
+        eat_string_body(cursor, '"');
+        return TokenKind::Str;
+    }
+
+    if first == '\'' {
+        return lex_quote(cursor);
+    }
+
+    if first.is_ascii_digit() {
+        lex_number(cursor);
+        return TokenKind::Number;
+    }
+
+    if is_ident_start(first) {
+        cursor.eat_while(is_ident_continue);
+        return TokenKind::Ident;
+    }
+
+    cursor.bump();
+    TokenKind::Punct
+}
+
+/// Recognise `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'` at the cursor, or return
+/// `None` leaving the cursor untouched (plain identifier starting with `r`/`b`).
+fn try_prefixed_literal(cursor: &mut Cursor<'_>) -> Option<TokenKind> {
+    let first = cursor.peek()?;
+    let mut nth = 1usize;
+    if first == 'b' {
+        match cursor.peek_at(nth) {
+            Some('\'') => {
+                cursor.bump(); // b
+                cursor.bump(); // '
+                eat_char_body(cursor);
+                return Some(TokenKind::Char);
+            }
+            Some('"') => {
+                cursor.bump();
+                cursor.bump();
+                eat_string_body(cursor, '"');
+                return Some(TokenKind::Str);
+            }
+            Some('r') => nth = 2,
+            _ => return None,
+        }
+    }
+    // raw string: at `nth` expect zero or more '#' then '"'
+    let mut hashes = 0usize;
+    while cursor.peek_at(nth + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cursor.peek_at(nth + hashes) != Some('"') {
+        return None;
+    }
+    for _ in 0..nth + hashes + 1 {
+        cursor.bump();
+    }
+    // body runs until `"` followed by `hashes` '#'s (or EOF)
+    loop {
+        match cursor.bump() {
+            None => break,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < hashes && cursor.peek() == Some('#') {
+                    cursor.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    Some(TokenKind::Str)
+}
+
+/// Consume a (possibly escaped) string body after the opening quote, including the
+/// closing `quote` (or to EOF when unterminated).
+fn eat_string_body(cursor: &mut Cursor<'_>, quote: char) {
+    loop {
+        match cursor.bump() {
+            None => break,
+            Some('\\') => {
+                cursor.bump();
+            }
+            Some(c) if c == quote => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consume a char-literal body after the opening `'`, including the closing `'`.
+fn eat_char_body(cursor: &mut Cursor<'_>) {
+    if let Some('\\') = cursor.bump() {
+        cursor.bump(); // the escaped character (or `u`)
+        if cursor.peek() == Some('{') {
+            cursor.eat_while(|c| c != '}' && c != '\'' && c != '\n');
+            if cursor.peek() == Some('}') {
+                cursor.bump();
+            }
+        }
+    }
+    if cursor.peek() == Some('\'') {
+        cursor.bump();
+    }
+}
+
+/// Disambiguate `'a'` (char) from `'a` (lifetime) after seeing a `'`.
+fn lex_quote(cursor: &mut Cursor<'_>) -> TokenKind {
+    match (cursor.peek_at(1), cursor.peek_at(2)) {
+        // escaped char: '\n', '\'', '\u{..}'
+        (Some('\\'), _) => {
+            cursor.bump();
+            eat_char_body(cursor);
+            TokenKind::Char
+        }
+        // one ident-class char then a closing quote: a char literal like 'a'
+        (Some(c), Some('\'')) if is_ident_start(c) || c.is_ascii_digit() => {
+            cursor.bump();
+            cursor.bump();
+            cursor.bump();
+            TokenKind::Char
+        }
+        // ident-class run without a closing quote: a lifetime or loop label
+        (Some(c), _) if is_ident_start(c) => {
+            cursor.bump();
+            cursor.eat_while(is_ident_continue);
+            TokenKind::Lifetime
+        }
+        // anything else (punctuation char literal, or a lone quote at EOF)
+        (Some(_), _) => {
+            cursor.bump();
+            eat_char_body(cursor);
+            TokenKind::Char
+        }
+        (None, _) => {
+            cursor.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+fn lex_number(cursor: &mut Cursor<'_>) {
+    if cursor.peek() == Some('0')
+        && matches!(cursor.peek_at(1), Some('x' | 'X' | 'o' | 'O' | 'b' | 'B'))
+    {
+        cursor.bump();
+        cursor.bump();
+        cursor.eat_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return;
+    }
+    cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+    // fractional part: `.` followed by a digit, or a trailing `.` that is not a
+    // range operator / method call (`1..2`, `1.max(2)`)
+    if cursor.peek() == Some('.') {
+        match cursor.peek_at(1) {
+            Some(c) if c.is_ascii_digit() => {
+                cursor.bump();
+                cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+            }
+            Some(c) if c == '.' || is_ident_start(c) => {}
+            _ => {
+                cursor.bump();
+            }
+        }
+    }
+    // exponent: e/E with optional sign, only when digits follow
+    if matches!(cursor.peek(), Some('e' | 'E')) {
+        let (sign, digit) = (cursor.peek_at(1), cursor.peek_at(2));
+        let direct = sign.is_some_and(|c| c.is_ascii_digit());
+        let signed = matches!(sign, Some('+' | '-')) && digit.is_some_and(|c| c.is_ascii_digit());
+        if direct || signed {
+            cursor.bump();
+            if signed {
+                cursor.bump();
+            }
+            cursor.eat_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // type suffix (`f64`, `u32`, `usize`, ...)
+    cursor.eat_while(is_ident_continue);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|token| (token.kind, token.text(src)))
+            .collect()
+    }
+
+    fn assert_covers(src: &str) {
+        let tokens = lex(src);
+        let mut pos = 0usize;
+        for token in &tokens {
+            assert_eq!(token.start, pos, "gap/overlap at {pos} in {src:?}");
+            assert!(token.end > token.start);
+            pos = token.end;
+        }
+        assert_eq!(pos, src.len(), "tokens must cover {src:?}");
+    }
+
+    #[test]
+    fn classifies_the_token_classes_the_passes_rely_on() {
+        let src = "let x = a.unwrap(); // SAFETY: ok\n\"bits are authoritative\"";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(toks.contains(&(TokenKind::LineComment, "// SAFETY: ok")));
+        assert!(toks.contains(&(TokenKind::Str, "\"bits are authoritative\"")));
+        assert_covers(src);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; let u = '\\u{41}'; }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Char, "'x'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\n'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\u{41}'")));
+        assert_covers(src);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_lex_as_one_token() {
+        for src in [
+            "r\"plain raw\"",
+            "r#\"with \" quote\"#",
+            "br##\"bytes \"# deep\"##",
+            "b\"bytes\"",
+            "b'x'",
+        ] {
+            let toks = kinds(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            assert_covers(src);
+        }
+    }
+
+    #[test]
+    fn nested_and_unterminated_comments_extend_correctly() {
+        let src = "/* a /* nested */ still */ x";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (TokenKind::BlockComment, "/* a /* nested */ still */")
+        );
+        assert_covers(src);
+        assert_covers("/* unterminated");
+        assert_covers("\"unterminated");
+        assert_covers("r#\"unterminated");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_method_calls() {
+        let toks = kinds("1..2 + 1.max(2) + 1.5e-3 + 0xff_u32 + 2.");
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3")));
+        assert!(toks.contains(&(TokenKind::Number, "0xff_u32")));
+        assert!(toks.contains(&(TokenKind::Number, "2.")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+    }
+
+    #[test]
+    fn strings_hide_code_like_content() {
+        let toks = kinds("let s = \"x.unwrap() // not a comment\";");
+        assert!(!toks.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(toks.iter().all(|(kind, _)| *kind != TokenKind::LineComment));
+    }
+}

@@ -1,0 +1,109 @@
+//! `wd_lint` — the workspace invariant analyzer.
+//!
+//! The compiler cannot check the contracts this workspace runs on: delta/observed
+//! annealing paths must stay bit-identical to their classic counterparts, persisted
+//! floats are only authoritative as IEEE-754 `_bits`, `neighbor_move` /
+//! `crossover_move` must replay the exact RNG draw order, and the lock-holding
+//! modules must not call into each other with guards live.  `wd_lint` lexes every
+//! source file with a hand-rolled total lexer ([`lexer`]) and enforces those
+//! contracts as six deny-by-default passes ([`lints`]), budgeted by a checked-in
+//! ratchet file ([`allowlist`]).
+//!
+//! In the house style of `wd_obs`'s hand-rolled JSON, the crate has **zero
+//! dependencies** — it must keep building when any other crate in the workspace is
+//! broken, because that is exactly when CI needs it.
+//!
+//! Run as `cargo run -p wd-lint -- check .`.
+
+pub mod allowlist;
+pub mod config;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use config::Config;
+use report::Finding;
+
+/// Everything `check` produced: what failed, what is stale, what was scanned.
+pub struct CheckOutcome {
+    /// Findings that must fail the run (not covered by the allowlist budget).
+    pub errors: Vec<Finding>,
+    /// Stale-budget warnings (exit 0; the allowlist should be tightened).
+    pub stale: Vec<String>,
+    /// Raw findings before the allowlist was applied (for `baseline`).
+    pub raw: Vec<Finding>,
+    /// Number of source files scanned.
+    pub files_checked: usize,
+}
+
+/// A check that could not run at all (I/O or manifest problems).
+#[derive(Debug)]
+pub struct CheckError(pub String);
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Load `lint.conf` + `lint.allow` under `root`, scan every `.rs` file, run all
+/// passes, and apply the allowlist ratchet.
+pub fn check(root: &Path) -> Result<CheckOutcome, CheckError> {
+    let conf_path = root.join("lint.conf");
+    let conf_text = fs::read_to_string(&conf_path)
+        .map_err(|e| CheckError(format!("cannot read {}: {e}", conf_path.display())))?;
+    let config = Config::parse(&conf_text).map_err(CheckError)?;
+
+    let allow_path = root.join("lint.allow");
+    let allow_entries = match fs::read_to_string(&allow_path) {
+        Ok(text) => allowlist::parse(&text).map_err(CheckError)?,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(err) => {
+            return Err(CheckError(format!(
+                "cannot read {}: {e}",
+                allow_path.display(),
+                e = err
+            )))
+        }
+    };
+
+    let files = config::load_workspace(root, &config)
+        .map_err(|e| CheckError(format!("walking {}: {e}", root.display())))?;
+    let raw = lints::run_all(&config, &files);
+    let applied = allowlist::apply(raw.clone(), &allow_entries);
+    Ok(CheckOutcome {
+        errors: applied.errors,
+        stale: applied.stale,
+        raw,
+        files_checked: files.len(),
+    })
+}
+
+/// Render the current raw findings as a fresh `lint.allow` (the burn-down
+/// baseline): one `<lint> <path> <count>` line per (lint, file) group.
+pub fn render_baseline(raw: &[Finding]) -> String {
+    let mut groups: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    for finding in raw {
+        *groups
+            .entry((finding.lint.clone(), finding.path.clone()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::from(
+        "# Grandfathered finding budgets: `<lint> <path> <max-count>`.\n\
+         # This is a ratchet, not a waiver — counts may only go down.  Regenerate\n\
+         # with `cargo run -p wd-lint -- baseline .` ONLY to tighten after a\n\
+         # burn-down; raising a budget needs review.\n",
+    );
+    for ((lint, path), count) in groups {
+        out.push_str(&format!("{lint} {path} {count}\n"));
+    }
+    out
+}

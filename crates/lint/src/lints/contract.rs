@@ -1,0 +1,219 @@
+//! contract-coverage: every `fn` in the configured source dirs whose name matches a
+//! contract pattern (`run_delta*`, `*_observed`, `neighbor_move`, `crossover_move`)
+//! must be referenced by at least one test file (any file under a `tests/`
+//! directory).  A reference means the test mentions both the method name and its
+//! owning type/trait (just the name for free functions) — so a new fast path cannot
+//! merge without a bit-identity test naming it.
+
+use std::collections::BTreeSet;
+
+use crate::config::{glob_match, Config};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const NAME: &str = "contract-coverage";
+
+/// A contract symbol: the owning `impl`/`trait` type (empty for free functions) and
+/// the method name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Symbol {
+    pub owner: String,
+    pub method: String,
+    pub path: String,
+    pub line: usize,
+}
+
+fn in_scope(config: &Config, rel_path: &str) -> bool {
+    config
+        .contract_src
+        .iter()
+        .any(|dir| rel_path.starts_with(&format!("{dir}/")) || rel_path == dir.as_str())
+}
+
+/// Collect contract symbols declared in `file`.
+pub fn symbols_in(config: &Config, file: &SourceFile) -> Vec<Symbol> {
+    let mut symbols = Vec::new();
+    // stack of brace contexts: Some(owner) for impl/trait bodies, None otherwise
+    let mut contexts: Vec<Option<String>> = Vec::new();
+    // owner parsed from an `impl`/`trait` header, waiting for its `{`
+    let mut pending: Option<String> = None;
+    let mut idx = 0usize;
+    while idx < file.tokens.len() {
+        let token = &file.tokens[idx];
+        let text = token.text(&file.text);
+        match token.kind {
+            TokenKind::Punct if text == "{" => {
+                contexts.push(pending.take());
+            }
+            TokenKind::Punct if text == "}" => {
+                contexts.pop();
+            }
+            TokenKind::Ident if (text == "impl" || text == "trait") && !file.is_test_token(idx) => {
+                pending = parse_owner(file, idx, text == "trait");
+            }
+            TokenKind::Ident if text == "fn" && !file.is_test_token(idx) => {
+                if let Some(name_idx) = file.next_code_token(idx) {
+                    let name = file.token_text(name_idx);
+                    if file.tokens[name_idx].kind == TokenKind::Ident
+                        && config.contract_patterns.iter().any(|p| glob_match(p, name))
+                    {
+                        let owner = contexts
+                            .iter()
+                            .rev()
+                            .find_map(|c| c.clone())
+                            .unwrap_or_default();
+                        symbols.push(Symbol {
+                            owner,
+                            method: name.to_string(),
+                            path: file.rel_path.clone(),
+                            line: file.line_of(token.start),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+    symbols
+}
+
+/// Parse the owner name out of an `impl`/`trait` header starting at `kw_idx`.
+///
+/// * `trait Name ...` → `Name`
+/// * `impl Type ...` / `impl<G> Type<G> ...` → last ident of the type path
+/// * `impl Trait for Type ...` → last ident of the path after `for`
+fn parse_owner(file: &SourceFile, kw_idx: usize, is_trait: bool) -> Option<String> {
+    if is_trait {
+        let name = file.next_code_token(kw_idx)?;
+        return (file.tokens[name].kind == TokenKind::Ident)
+            .then(|| file.token_text(name).to_string());
+    }
+    // walk the header up to `{` or `where`, tracking angle depth, remembering the
+    // last path ident seen at angle depth 0 — after `for` if present
+    let mut cursor = kw_idx;
+    let mut angle = 0usize;
+    let mut owner: Option<String> = None;
+    loop {
+        cursor = file.next_code_token(cursor)?;
+        let text = file.token_text(cursor);
+        match text {
+            "<" => angle += 1,
+            ">" => angle = angle.saturating_sub(1),
+            "{" | "where" if angle == 0 => break,
+            ";" => return None, // bail on malformed input
+            // the implementing type follows `for`; discard the trait path
+            "for" if angle == 0 => owner = None,
+            // skip modifiers and sigil-adjacent keywords
+            "mut" | "dyn" | "unsafe" | "const" => {}
+            _ if angle == 0 && file.tokens[cursor].kind == TokenKind::Ident => {
+                owner = Some(text.to_string());
+            }
+            _ => {}
+        }
+    }
+    owner
+}
+
+pub fn check(config: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    if config.contract_src.is_empty() || config.contract_patterns.is_empty() {
+        return;
+    }
+    // identifier sets of every test file in the workspace
+    let test_idents: Vec<BTreeSet<&str>> = files
+        .iter()
+        .filter(|f| f.is_test_file)
+        .map(|f| {
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text(&f.text))
+                .collect()
+        })
+        .collect();
+
+    for file in files {
+        if file.is_test_file || !in_scope(config, &file.rel_path) {
+            continue;
+        }
+        for symbol in symbols_in(config, file) {
+            let covered = test_idents.iter().any(|idents| {
+                idents.contains(symbol.method.as_str())
+                    && (symbol.owner.is_empty() || idents.contains(symbol.owner.as_str()))
+            });
+            if !covered {
+                let shown = if symbol.owner.is_empty() {
+                    symbol.method.clone()
+                } else {
+                    format!("{}::{}", symbol.owner, symbol.method)
+                };
+                findings.push(Finding {
+                    lint: NAME.to_string(),
+                    path: symbol.path,
+                    line: symbol.line,
+                    message: format!(
+                        "contract symbol `{shown}` has no test reference: add a bit-identity test under tests/ naming both the type and the method"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> Config {
+        Config::parse(
+            "contract-src: crates/opt/src\ncontract-pattern: run_delta*\ncontract-pattern: neighbor_move\n",
+        )
+        .unwrap()
+    }
+
+    fn symbols(src: &str) -> Vec<(String, String)> {
+        let file = SourceFile::new("crates/opt/src/sa.rs".to_string(), src.to_string());
+        symbols_in(&config(), &file)
+            .into_iter()
+            .map(|s| (s.owner, s.method))
+            .collect()
+    }
+
+    #[test]
+    fn owners_resolve_through_impl_shapes() {
+        let src = "\
+impl SimulatedAnnealing {
+    pub fn run_delta(&self) {}
+}
+impl<S: Space> SearchSpace for ShardView<S> {
+    fn neighbor_move(&self) {}
+}
+trait SearchSpace {
+    fn neighbor_move(&self) {}
+}
+pub fn run_delta_free() {}
+";
+        assert_eq!(
+            symbols(src),
+            vec![
+                ("SimulatedAnnealing".to_string(), "run_delta".to_string()),
+                ("ShardView".to_string(), "neighbor_move".to_string()),
+                ("SearchSpace".to_string(), "neighbor_move".to_string()),
+                (String::new(), "run_delta_free".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn test_code_and_non_matching_fns_are_ignored() {
+        let src = "\
+impl X { fn helper(&self) {} }
+#[cfg(test)]
+mod tests {
+    impl Y { fn run_delta(&self) {} }
+}
+";
+        assert!(symbols(src).is_empty());
+    }
+}

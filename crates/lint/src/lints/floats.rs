@@ -1,0 +1,166 @@
+//! float-durability: in persistence/export files, an `f64` formatted as decimal text
+//! without an IEEE-754 `_bits` hex sibling is a durability bug — decimal round-trips
+//! are not bit-exact, and the workspace's replay contract says bits are
+//! authoritative (the events/v1 and store/v2 schemas).
+//!
+//! Detection is intentionally local: an identifier is *float-suspect* when the same
+//! file declares it with type `f64` (binding, field, or parameter).  A format-macro
+//! call that mentions a float-suspect identifier must be *paired*: carry a hex hole
+//! (`{...:016x}`), a `to_bits` argument, or a `_bits`-suffixed hole.
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const NAME: &str = "float-durability";
+
+const FORMAT_MACROS: [&str; 7] = [
+    "format", "write", "writeln", "print", "println", "eprint", "eprintln",
+];
+
+/// Inline hole names in a format literal: `{name}` / `{name:spec}` (skips `{{`).
+fn hole_names(literal: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let bytes = literal.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] != b'{' {
+            pos += 1;
+            continue;
+        }
+        if bytes.get(pos + 1) == Some(&b'{') {
+            pos += 2; // escaped `{{`
+            continue;
+        }
+        let start = pos + 1;
+        let mut end = start;
+        while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if end > start {
+            names.push(literal[start..end].to_string());
+        }
+        pos = end + 1;
+    }
+    names
+}
+
+pub fn check(config: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        if file.is_test_file || !config.float_files.contains(&file.rel_path) {
+            continue;
+        }
+        let float_idents = file.float_idents();
+        if float_idents.is_empty() {
+            continue;
+        }
+        let mut idx = 0usize;
+        while idx < file.tokens.len() {
+            let Some(span) = format_call_span(file, idx) else {
+                idx += 1;
+                continue;
+            };
+            let (open, close) = span;
+            if !file.is_test_token(idx) {
+                inspect_call(file, &float_idents, idx, open, close, findings);
+            }
+            idx = close + 1;
+        }
+    }
+}
+
+/// If token `idx` starts a `format!(...)`-family call, return the span of its
+/// parenthesised arguments `(open, close)`.
+fn format_call_span(file: &SourceFile, idx: usize) -> Option<(usize, usize)> {
+    let token = &file.tokens[idx];
+    if token.kind != TokenKind::Ident || !FORMAT_MACROS.contains(&token.text(&file.text)) {
+        return None;
+    }
+    let bang = file.next_code_token(idx)?;
+    if file.token_text(bang) != "!" {
+        return None;
+    }
+    let open = file.next_code_token(bang)?;
+    if file.token_text(open) != "(" {
+        return None;
+    }
+    let mut depth = 0usize;
+    for cursor in open..file.tokens.len() {
+        match file.token_text(cursor) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((open, cursor));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open, file.tokens.len() - 1)) // unterminated at EOF
+}
+
+fn inspect_call(
+    file: &SourceFile,
+    float_idents: &[String],
+    macro_idx: usize,
+    open: usize,
+    close: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let mut suspects = Vec::new();
+    let mut paired = false;
+    for cursor in open..=close {
+        let token = &file.tokens[cursor];
+        let text = token.text(&file.text);
+        match token.kind {
+            TokenKind::Str => {
+                if text.contains("016x") {
+                    paired = true;
+                }
+                for hole in hole_names(text) {
+                    if hole.ends_with("_bits") {
+                        paired = true;
+                    } else if float_idents.contains(&hole) {
+                        suspects.push(hole);
+                    }
+                }
+            }
+            TokenKind::Ident => {
+                if text == "to_bits" {
+                    paired = true;
+                } else if float_idents.iter().any(|f| f == text) {
+                    suspects.push(text.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    if paired || suspects.is_empty() {
+        return;
+    }
+    suspects.dedup();
+    findings.push(Finding {
+        lint: NAME.to_string(),
+        path: file.rel_path.clone(),
+        line: file.line_of(file.tokens[macro_idx].start),
+        message: format!(
+            "f64 value(s) `{}` formatted as decimal text without a sibling `_bits` hex field (bits are authoritative on replay)",
+            suspects.join("`, `")
+        ),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hole_names_skip_escapes_and_specs() {
+        assert_eq!(
+            hole_names("{{literal}} {energy} {bits:016x} {e_bits}"),
+            vec!["energy", "bits", "e_bits"]
+        );
+    }
+}

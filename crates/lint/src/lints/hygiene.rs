@@ -1,0 +1,256 @@
+//! Two token-level hygiene passes:
+//!
+//! * **unsafe-hygiene** — every `unsafe` *block* in non-test code needs a
+//!   `// SAFETY:` comment on the preceding line(s) (`unsafe fn`/`impl`/`trait`
+//!   declarations are covered by `# Safety` doc sections instead and are exempt);
+//! * **schema-registry** — a literal matching `wd-(obs|dist)-<name>/v<digits>` may
+//!   appear only in the file that declares it as a `pub const`, so schema strings
+//!   cannot drift from their single source of truth.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const UNSAFE_NAME: &str = "unsafe-hygiene";
+pub const SCHEMA_NAME: &str = "schema-registry";
+
+pub fn check_unsafe(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        if file.is_test_file {
+            continue;
+        }
+        // line → contains a comment mentioning SAFETY:
+        let mut safety_lines = Vec::new();
+        // line → contains a code token (so an upward scan stops at real code)
+        let mut code_lines = Vec::new();
+        for token in &file.tokens {
+            let line = file.line_of(token.start);
+            match token.kind {
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    if token.text(&file.text).contains("SAFETY:") {
+                        let end_line = file.line_of(token.end.saturating_sub(1));
+                        for l in line..=end_line {
+                            safety_lines.push(l);
+                        }
+                    }
+                }
+                TokenKind::Whitespace => {}
+                _ => code_lines.push(line),
+            }
+        }
+        for (idx, token) in file.tokens.iter().enumerate() {
+            if token.kind != TokenKind::Ident
+                || token.text(&file.text) != "unsafe"
+                || file.is_test_token(idx)
+            {
+                continue;
+            }
+            // only `unsafe {` blocks; `unsafe fn` / `unsafe impl` / `unsafe trait`
+            // carry `# Safety` docs instead
+            let is_block = file
+                .next_code_token(idx)
+                .is_some_and(|n| file.token_text(n) == "{");
+            if !is_block {
+                continue;
+            }
+            let line = file.line_of(token.start);
+            // the comment may sit above the *statement* containing the block (the
+            // statement can span lines), so anchor at the statement's first token:
+            // walk back to the nearest `;` / `{` / `}` boundary
+            let mut stmt_line = line;
+            let mut back = idx;
+            while let Some(prev) = file.prev_code_token(back) {
+                if matches!(file.token_text(prev), ";" | "{" | "}") {
+                    break;
+                }
+                stmt_line = file.line_of(file.tokens[prev].start);
+                back = prev;
+            }
+            // accept a SAFETY comment anywhere on the statement's lines, or on the
+            // contiguous run of comment-only/blank lines immediately above it
+            let mut ok = (stmt_line..=line).any(|l| safety_lines.contains(&l));
+            let mut above = stmt_line;
+            while !ok && above > 1 {
+                above -= 1;
+                if code_lines.contains(&above) {
+                    break;
+                }
+                ok = safety_lines.contains(&above);
+            }
+            if !ok {
+                findings.push(Finding {
+                    lint: UNSAFE_NAME.to_string(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: "`unsafe` block without a `// SAFETY:` comment on the preceding line"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Find every `wd-(obs|dist)-<name>/v<digits>` span in `text`.
+fn schema_literals(text: &str) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let mut found = Vec::new();
+    let mut pos = 0usize;
+    while let Some(hit) = text[pos..].find("wd-") {
+        let start = pos + hit;
+        pos = start + 3;
+        let rest = &text[start + 3..];
+        let after_kind = if let Some(r) = rest.strip_prefix("obs-") {
+            r
+        } else if let Some(r) = rest.strip_prefix("dist-") {
+            r
+        } else {
+            continue;
+        };
+        let name_len = after_kind
+            .bytes()
+            .take_while(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || *b == b'-')
+            .count();
+        let after_name = &after_kind[name_len..];
+        let Some(after_v) = after_name.strip_prefix("/v") else {
+            continue;
+        };
+        let digits = after_v.bytes().take_while(|b| b.is_ascii_digit()).count();
+        if digits == 0 {
+            continue;
+        }
+        let end = text.len() - after_v.len() + digits;
+        found.push((start, text[start..end].to_string()));
+        pos = end;
+        debug_assert!(pos <= bytes.len());
+    }
+    found
+}
+
+/// Is the `Str` token at `idx` the initializer of a `pub const NAME: &str = "...";`?
+fn is_const_definition(file: &SourceFile, idx: usize) -> bool {
+    fn step(file: &SourceFile, cursor: usize, want: &str) -> Option<usize> {
+        let prev = file.prev_code_token(cursor)?;
+        (file.token_text(prev) == want).then_some(prev)
+    }
+    // walk back: `=`, `str`, (`'static`), `&`, `:`, NAME, `const`, `pub`
+    let Some(mut cursor) = step(file, idx, "=").and_then(|c| step(file, c, "str")) else {
+        return false;
+    };
+    if let Some(prev) = file.prev_code_token(cursor) {
+        if file.tokens[prev].kind == TokenKind::Lifetime {
+            cursor = prev;
+        }
+    }
+    let Some(cursor) = step(file, cursor, "&").and_then(|c| step(file, c, ":")) else {
+        return false;
+    };
+    let Some(name) = file.prev_code_token(cursor) else {
+        return false;
+    };
+    file.tokens[name].kind == TokenKind::Ident
+        && step(file, name, "const")
+            .and_then(|c| step(file, c, "pub"))
+            .is_some()
+}
+
+pub fn check_schemas(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    // schema string → files that define it as a pub const
+    let mut definitions: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for file in files {
+        for (idx, token) in file.tokens.iter().enumerate() {
+            if token.kind != TokenKind::Str {
+                continue;
+            }
+            for (_, schema) in schema_literals(token.text(&file.text)) {
+                if is_const_definition(file, idx) {
+                    let defs = definitions.entry(schema).or_default();
+                    if !defs.contains(&file.rel_path) {
+                        defs.push(file.rel_path.clone());
+                    }
+                }
+            }
+        }
+    }
+    for file in files {
+        for token in &file.tokens {
+            let relevant = matches!(
+                token.kind,
+                TokenKind::Str | TokenKind::LineComment | TokenKind::BlockComment
+            );
+            if !relevant {
+                continue;
+            }
+            for (offset, schema) in schema_literals(token.text(&file.text)) {
+                let line = file.line_of(token.start + offset);
+                match definitions.get(&schema) {
+                    Some(defs) if defs.contains(&file.rel_path) => {}
+                    Some(defs) => findings.push(Finding {
+                        lint: SCHEMA_NAME.to_string(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "schema literal `{schema}` re-typed outside its definition site ({}): reference the pub const instead",
+                            defs.join(", ")
+                        ),
+                    }),
+                    None => findings.push(Finding {
+                        lint: SCHEMA_NAME.to_string(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "schema literal `{schema}` has no `pub const ...: &str` definition site"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a schema string at runtime so this file itself stays clean under the
+    /// schema-registry pass.
+    fn wd(suffix: &str) -> String {
+        format!("wd-{suffix}")
+    }
+
+    #[test]
+    fn schema_matcher_finds_exact_spans() {
+        let haystack = format!(
+            "x {} y {} z {} wd-other/v1",
+            wd("obs-events/v1"),
+            wd("dist-store/v12"),
+            wd("obs-")
+        );
+        let found = schema_literals(&haystack);
+        let names: Vec<&str> = found.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(names, vec![wd("obs-events/v1"), wd("dist-store/v12")]);
+    }
+
+    fn str_token_is_definition(src: &str) -> bool {
+        let file = SourceFile::new("a.rs".to_string(), src.to_string());
+        let idx = file
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Str)
+            .expect("source has a string literal");
+        is_const_definition(&file, idx)
+    }
+
+    #[test]
+    fn const_definition_shapes_are_recognised() {
+        let schema = wd("obs-events/v1");
+        assert!(str_token_is_definition(&format!(
+            "pub const EVENT_SCHEMA_VERSION: &str = \"{schema}\";"
+        )));
+        assert!(str_token_is_definition(&format!(
+            "pub const V: &'static str = \"{schema}\";"
+        )));
+        assert!(!str_token_is_definition(&format!("let v = \"{schema}\";")));
+    }
+}

@@ -1,0 +1,158 @@
+//! lock-discipline: inside a declared lock-holding module, a `Mutex`/`RwLock` guard
+//! binding that is still live at a call into *another* declared lock-holding module
+//! risks lock-order inversion (the recorder seams make these cross-module calls
+//! easy to add by accident).  The manifest in `lint.conf` names each lock module
+//! and the identifiers that acquire its lock from outside.
+
+use crate::config::{Config, LockModule};
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const NAME: &str = "lock-discipline";
+
+struct Guard {
+    name: String,
+    depth: usize,
+}
+
+pub fn check(config: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        let Some(own) = config
+            .lock_modules
+            .iter()
+            .find(|m| m.rel_path == file.rel_path)
+        else {
+            continue;
+        };
+        let foreign: Vec<&LockModule> = config
+            .lock_modules
+            .iter()
+            .filter(|m| m.rel_path != own.rel_path)
+            .collect();
+        scan_file(file, own, &foreign, findings);
+    }
+}
+
+fn scan_file(
+    file: &SourceFile,
+    own: &LockModule,
+    foreign: &[&LockModule],
+    findings: &mut Vec<Finding>,
+) {
+    let mut depth = 0usize;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut idx = 0usize;
+    while idx < file.tokens.len() {
+        let token = &file.tokens[idx];
+        if token.kind != TokenKind::Ident && token.kind != TokenKind::Punct {
+            idx += 1;
+            continue;
+        }
+        let text = token.text(&file.text);
+        match text {
+            "{" | "(" | "[" => depth += 1,
+            "}" | ")" | "]" => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            "let" if !file.is_test_token(idx) => {
+                if let Some((name, end)) = guard_binding(file, idx) {
+                    guards.push(Guard { name, depth });
+                    idx = end;
+                    continue;
+                }
+            }
+            "drop" => {
+                // `drop(NAME)` releases the guard early
+                if let Some(open) = file.next_code_token(idx) {
+                    if file.token_text(open) == "(" {
+                        if let Some(arg) = file.next_code_token(open) {
+                            let name = file.token_text(arg).to_string();
+                            guards.retain(|g| g.name != name);
+                        }
+                    }
+                }
+            }
+            _ if token.kind == TokenKind::Ident && !guards.is_empty() => {
+                if let Some(module) = foreign
+                    .iter()
+                    .find(|m| m.entry_points.iter().any(|e| e == text))
+                {
+                    let is_call = file
+                        .next_code_token(idx)
+                        .is_some_and(|n| file.token_text(n) == "(");
+                    if is_call && !file.is_test_token(idx) {
+                        let held: Vec<&str> = guards.iter().map(|g| g.name.as_str()).collect();
+                        findings.push(Finding {
+                            lint: NAME.to_string(),
+                            path: file.rel_path.clone(),
+                            line: file.line_of(token.start),
+                            message: format!(
+                                "call to `{text}` (lock module `{}`) while guard(s) `{}` from `{}` are live: release before crossing modules",
+                                module.name,
+                                held.join("`, `"),
+                                own.name
+                            ),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        idx += 1;
+    }
+}
+
+/// If token `idx` (`let`) begins `let [mut] NAME = <rhs containing .lock()/.read()/.write()>;`,
+/// return `(NAME, index of the terminating token)`.
+fn guard_binding(file: &SourceFile, let_idx: usize) -> Option<(String, usize)> {
+    let mut cursor = file.next_code_token(let_idx)?;
+    if file.token_text(cursor) == "mut" {
+        cursor = file.next_code_token(cursor)?;
+    }
+    if file.tokens[cursor].kind != TokenKind::Ident {
+        return None; // destructuring patterns are not guard bindings we track
+    }
+    let name = file.token_text(cursor).to_string();
+    let eq = file.next_code_token(cursor)?;
+    if file.token_text(eq) != "=" {
+        return None; // `let x: T = ...` with annotations: scan from the `=` below
+    }
+    // scan the rhs to the `;` at depth 0, looking for .lock( / .read( / .write(
+    let mut depth = 0usize;
+    let mut acquires = false;
+    let mut cursor = eq;
+    loop {
+        cursor = file.next_code_token(cursor)?;
+        let text = file.token_text(cursor);
+        match text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    break; // end of an expression without `;` (tail expr)
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => break,
+            // `.lock()` / `.read()` / `.write()` methods, or the poison-recovering
+            // free helpers `lock(...)` / `read_lock(...)` / `write_lock(...)`
+            "lock" | "read" | "write" | "read_lock" | "write_lock"
+                if file.tokens[cursor].kind == TokenKind::Ident =>
+            {
+                let dotted = file
+                    .prev_code_token(cursor)
+                    .is_some_and(|p| file.token_text(p) == ".");
+                let called = file
+                    .next_code_token(cursor)
+                    .is_some_and(|n| file.token_text(n) == "(");
+                let is_helper = matches!(text, "lock" | "read_lock" | "write_lock");
+                if called && (dotted || is_helper) {
+                    acquires = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    acquires.then_some((name, cursor))
+}

@@ -1,0 +1,35 @@
+//! The lint passes.  Each pass appends [`crate::report::Finding`]s; deny/allow
+//! policy lives in [`crate::allowlist`], not here.
+
+pub mod contract;
+pub mod floats;
+pub mod hygiene;
+pub mod locks;
+pub mod panics;
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Names of every lint, in report order.
+pub const ALL: [&str; 6] = [
+    contract::NAME,
+    floats::NAME,
+    panics::NAME,
+    locks::NAME,
+    hygiene::UNSAFE_NAME,
+    hygiene::SCHEMA_NAME,
+];
+
+/// Run every pass over the loaded workspace.
+pub fn run_all(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    contract::check(config, files, &mut findings);
+    floats::check(config, files, &mut findings);
+    panics::check(config, files, &mut findings);
+    locks::check(config, files, &mut findings);
+    hygiene::check_unsafe(files, &mut findings);
+    hygiene::check_schemas(files, &mut findings);
+    findings.sort_by(|a, b| (&a.path, a.line, &a.lint).cmp(&(&b.path, b.line, &b.lint)));
+    findings
+}

@@ -1,0 +1,67 @@
+//! panic-freedom: no `unwrap()` / `expect(...)` / `panic!` in non-test library code
+//! of the configured crates.  Existing sites live in `lint.allow` as a burn-down
+//! list; the ratchet stops new ones from landing.
+
+use crate::config::Config;
+use crate::lexer::TokenKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+pub const NAME: &str = "panic-freedom";
+
+fn in_scope(config: &Config, rel_path: &str) -> bool {
+    config
+        .panic_src
+        .iter()
+        .any(|dir| rel_path.starts_with(&format!("{dir}/")) || rel_path == dir.as_str())
+}
+
+pub fn check(config: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in files {
+        if file.is_test_file || !in_scope(config, &file.rel_path) {
+            continue;
+        }
+        for (idx, token) in file.tokens.iter().enumerate() {
+            if token.kind != TokenKind::Ident || file.is_test_token(idx) {
+                continue;
+            }
+            let text = token.text(&file.text);
+            let described = match text {
+                "unwrap" | "expect" => {
+                    // a method call: `.unwrap(` / `.expect(`
+                    let preceded = file
+                        .prev_code_token(idx)
+                        .is_some_and(|p| file.token_text(p) == ".");
+                    let followed = file
+                        .next_code_token(idx)
+                        .is_some_and(|n| file.token_text(n) == "(");
+                    if preceded && followed {
+                        format!("`.{text}()` in library code")
+                    } else {
+                        continue;
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => {
+                    // a macro invocation: `panic!(` etc.
+                    let followed = file
+                        .next_code_token(idx)
+                        .is_some_and(|n| file.token_text(n) == "!");
+                    if followed {
+                        format!("`{text}!` in library code")
+                    } else {
+                        continue;
+                    }
+                }
+                _ => continue,
+            };
+            findings.push(Finding {
+                lint: NAME.to_string(),
+                path: file.rel_path.clone(),
+                line: file.line_of(token.start),
+                message: format!(
+                    "{described}: return a `Result`, recover (e.g. `unwrap_or_else(PoisonError::into_inner)`), or budget it in lint.allow"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Thin CLI over [`wd_lint`]:
+//!
+//! * `wd-lint check <root> [--report PATH]` — exit 0 when clean (stale budgets are
+//!   warnings), 1 on findings, 2 on usage/manifest errors;
+//! * `wd-lint baseline <root>` — rewrite `lint.allow` from current findings (only
+//!   for tightening after a burn-down; see the file header it emits).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wd-lint check <root> [--report PATH] | wd-lint baseline <root>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut parts = args.iter().map(String::as_str);
+    match (parts.next(), parts.next()) {
+        (Some("check"), Some(root)) => {
+            let report_path = match (parts.next(), parts.next()) {
+                (Some("--report"), Some(path)) => Some(path.to_string()),
+                (None, _) => None,
+                _ => return usage(),
+            };
+            run_check(Path::new(root), report_path.as_deref())
+        }
+        (Some("baseline"), Some(root)) => run_baseline(Path::new(root)),
+        _ => usage(),
+    }
+}
+
+fn run_check(root: &Path, report_path: Option<&str>) -> ExitCode {
+    let outcome = match wd_lint::check(root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("wd-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = report_path {
+        let json =
+            wd_lint::report::render_json(&outcome.errors, &outcome.stale, outcome.files_checked);
+        if let Err(err) = std::fs::write(path, json) {
+            eprintln!("wd-lint: cannot write report {path}: {err}");
+            return ExitCode::from(2);
+        }
+    }
+    for warning in &outcome.stale {
+        eprintln!("warning: {warning}");
+    }
+    if outcome.errors.is_empty() {
+        println!(
+            "wd-lint: {} files checked, clean ({} grandfathered finding(s) within budget)",
+            outcome.files_checked,
+            outcome.raw.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for finding in &outcome.errors {
+            println!("{}", finding.render());
+        }
+        println!(
+            "wd-lint: {} error(s) across {} files checked",
+            outcome.errors.len(),
+            outcome.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn run_baseline(root: &Path) -> ExitCode {
+    let outcome = match wd_lint::check(root) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("wd-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = wd_lint::render_baseline(&outcome.raw);
+    let path = root.join("lint.allow");
+    if let Err(err) = std::fs::write(&path, &baseline) {
+        eprintln!("wd-lint: cannot write {}: {err}", path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "wd-lint: wrote {} with budgets for {} finding(s)",
+        path.display(),
+        outcome.raw.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,115 @@
+//! Findings and the machine-readable report (hand-rolled JSON, house style).
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint name (`contract-coverage`, `float-durability`, ...).
+    pub lint: String,
+    /// File path relative to the check root.
+    pub path: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [lint] message` — the terminal format.
+    pub fn render(&self) -> String {
+        if self.line == 0 {
+            format!("{}: [{}] {}", self.path, self.lint, self.message)
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.lint, self.message
+            )
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the findings report as JSON (schema `wd-lint-report/v1` — deliberately
+/// outside the `wd-obs-`/`wd-dist-` namespace the schema-registry lint polices).
+pub fn render_json(errors: &[Finding], stale: &[String], files_checked: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"wd-lint-report/v1\"");
+    out.push_str(&format!(",\"files_checked\":{files_checked}"));
+    out.push_str(&format!(",\"error_count\":{}", errors.len()));
+    out.push_str(",\"errors\":[");
+    for (i, finding) in errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"lint\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape(&finding.lint),
+            escape(&finding.path),
+            finding.line,
+            escape(&finding.message)
+        ));
+    }
+    out.push_str("],\"stale\":[");
+    for (i, warning) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", escape(warning)));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_formats_are_stable() {
+        let finding = Finding {
+            lint: "panic-freedom".to_string(),
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "`unwrap()` in library code".to_string(),
+        };
+        assert_eq!(
+            finding.render(),
+            "crates/x/src/lib.rs:7: [panic-freedom] `unwrap()` in library code"
+        );
+        let json = render_json(&[finding], &["stale".to_string()], 3);
+        assert!(json.starts_with("{\"schema\":\"wd-lint-report/v1\""));
+        assert!(json.contains("\"error_count\":1"));
+        assert!(json.contains("\"files_checked\":3"));
+        assert!(json.contains("\"stale\":[\"stale\"]"));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        let json = render_json(
+            &[Finding {
+                lint: "x".to_string(),
+                path: "a\"b".to_string(),
+                line: 0,
+                message: "line\nbreak".to_string(),
+            }],
+            &[],
+            1,
+        );
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("line\\nbreak"));
+    }
+}

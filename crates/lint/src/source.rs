@@ -1,0 +1,330 @@
+//! Per-file source model shared by all lint passes: the lexed token stream plus the
+//! derived facts most passes need (line table, test-region mask, declared-`f64`
+//! identifiers).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed source file plus derived lookup tables.
+pub struct SourceFile {
+    /// Path relative to the check root, with `/` separators (stable across OSes for
+    /// allowlist keys and reports).
+    pub rel_path: String,
+    /// Full file contents.
+    pub text: String,
+    /// Covering token stream (see [`crate::lexer::lex`]).
+    pub tokens: Vec<Token>,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+    /// `true` when any path component is `tests` — the whole file is test code.
+    pub is_test_file: bool,
+    /// `test_mask[i]` is `true` when token `i` lies inside a `#[cfg(test)]` or
+    /// `#[test]` item (always all-`true` for test files).
+    test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lex `text` and derive the lookup tables.
+    pub fn new(rel_path: String, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let mut line_starts = vec![0usize];
+        for (pos, byte) in text.bytes().enumerate() {
+            if byte == b'\n' {
+                line_starts.push(pos + 1);
+            }
+        }
+        let is_test_file = rel_path.split('/').any(|part| part == "tests");
+        let test_mask = if is_test_file {
+            vec![true; tokens.len()]
+        } else {
+            compute_test_mask(&text, &tokens)
+        };
+        SourceFile {
+            rel_path,
+            text,
+            tokens,
+            line_starts,
+            is_test_file,
+            test_mask,
+        }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(line) => line + 1,
+            Err(line) => line,
+        }
+    }
+
+    /// Is token `idx` inside test code (`tests/` file, `#[cfg(test)]` module, or a
+    /// `#[test]` function)?
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        self.test_mask.get(idx).copied().unwrap_or(false)
+    }
+
+    /// The token's source text.
+    pub fn token_text(&self, idx: usize) -> &str {
+        self.tokens[idx].text(&self.text)
+    }
+
+    /// Index of the next token after `idx` that is not whitespace or a comment.
+    pub fn next_code_token(&self, idx: usize) -> Option<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .skip(idx + 1)
+            .find(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the previous code token before `idx`.
+    pub fn prev_code_token(&self, idx: usize) -> Option<usize> {
+        self.tokens[..idx]
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Identifiers this file declares with type `f64` (or `&f64`): patterns
+    /// `name : f64`, `name : &f64` across bindings, fields, and parameters.  Used by
+    /// the float-durability pass to decide which format arguments carry floats.
+    pub fn float_idents(&self) -> Vec<String> {
+        let mut found = Vec::new();
+        for idx in 0..self.tokens.len() {
+            if self.tokens[idx].kind != TokenKind::Ident {
+                continue;
+            }
+            let Some(colon) = self.next_code_token(idx) else {
+                continue;
+            };
+            if self.token_text(colon) != ":" {
+                continue;
+            }
+            let Some(mut ty) = self.next_code_token(colon) else {
+                continue;
+            };
+            // skip reference sigils and lifetimes: `&'a f64`, `&mut f64`
+            loop {
+                let text = self.token_text(ty);
+                if text == "&" || text == "mut" || self.tokens[ty].kind == TokenKind::Lifetime {
+                    match self.next_code_token(ty) {
+                        Some(next) => ty = next,
+                        None => break,
+                    }
+                } else {
+                    break;
+                }
+            }
+            if self.token_text(ty) == "f64" {
+                let name = self.token_text(idx).to_string();
+                if !found.contains(&name) {
+                    found.push(name);
+                }
+            }
+        }
+        found
+    }
+}
+
+/// Mark every token inside a `#[cfg(test)]` or `#[test]` item.
+///
+/// Token-level heuristic, not a parse: on seeing `#[cfg(test)]` or `#[test]` (or
+/// `#[cfg(all(test, ...))]` — any attribute whose argument tokens contain the bare
+/// ident `test`), skip any further attributes and doc comments, then mask to the end
+/// of the next item: the matching `}` of its first brace, or a `;` at depth zero.
+fn compute_test_mask(text: &str, tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code = |i: usize| tokens[i].text(text);
+    let is_code = |i: usize| {
+        !matches!(
+            tokens[i].kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    };
+    let next_code = |from: usize| (from + 1..tokens.len()).find(|&i| is_code(i));
+
+    let mut idx = 0usize;
+    while idx < tokens.len() {
+        if !(is_code(idx) && code(idx) == "#") {
+            idx += 1;
+            continue;
+        }
+        let Some(open) = next_code(idx) else { break };
+        if code(open) != "[" {
+            idx += 1;
+            continue;
+        }
+        // collect the attribute's tokens up to the matching `]`
+        let mut depth = 0usize;
+        let mut cursor = open;
+        let mut is_test_attr = false;
+        let attr_end;
+        loop {
+            match code(cursor) {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        attr_end = cursor;
+                        break;
+                    }
+                }
+                "test" if tokens[cursor].kind == TokenKind::Ident => is_test_attr = true,
+                _ => {}
+            }
+            match next_code(cursor) {
+                Some(next) => cursor = next,
+                None => return mask, // unterminated attribute at EOF
+            }
+        }
+        if !is_test_attr {
+            idx = attr_end + 1;
+            continue;
+        }
+        // skip any further attributes stacked on the same item (`#[ignore]`, docs)
+        let mut cursor = attr_end;
+        while let Some(hash) = next_code(cursor) {
+            if code(hash) != "#" {
+                break;
+            }
+            let Some(bracket) = next_code(hash) else {
+                break;
+            };
+            if code(bracket) != "[" {
+                break;
+            }
+            let mut depth = 0usize;
+            let mut inner = bracket;
+            loop {
+                match code(inner) {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                match next_code(inner) {
+                    Some(next) => inner = next,
+                    None => return mask,
+                }
+            }
+            cursor = inner;
+        }
+        // mask from the `#` through the item that follows: it ends at a `;` at
+        // depth zero, or at the `}` that closes its body back to depth zero
+        let mut item_depth = 0usize;
+        let mut saw_brace = false;
+        let end = loop {
+            let Some(next) = next_code(cursor) else {
+                break tokens.len() - 1;
+            };
+            cursor = next;
+            match code(cursor) {
+                "{" => {
+                    item_depth += 1;
+                    saw_brace = true;
+                }
+                "(" | "[" => item_depth += 1,
+                "}" | ")" | "]" => {
+                    if item_depth == 0 {
+                        break cursor; // stray close: the enclosing item ended
+                    }
+                    item_depth -= 1;
+                    if item_depth == 0 && saw_brace && code(cursor) == "}" {
+                        break cursor;
+                    }
+                }
+                ";" if item_depth == 0 => break cursor,
+                _ => {}
+            }
+        };
+        for slot in mask.iter_mut().take(end + 1).skip(idx) {
+            *slot = true;
+        }
+        idx = end + 1;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn line_lookup_is_one_based() {
+        let f = file("a\nbb\nccc\n");
+        assert_eq!(f.line_of(0), 1);
+        assert_eq!(f.line_of(2), 2);
+        assert_eq!(f.line_of(5), 3);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = file(src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text(src) == "unwrap")
+            .map(|(i, _)| f.is_test_token(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // code after the masked module is library code again
+        let lib2 = f.tokens.iter().position(|t| t.text(src) == "lib2").unwrap();
+        assert!(!f.is_test_token(lib2));
+    }
+
+    #[test]
+    fn test_functions_and_stacked_attributes_are_masked() {
+        let src = "#[test]\n#[ignore]\nfn t() { z.unwrap(); }\nfn lib() { w.unwrap(); }\n";
+        let f = file(src);
+        let unwraps: Vec<bool> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text(src) == "unwrap")
+            .map(|(i, _)| f.is_test_token(i))
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn files_under_tests_are_fully_masked() {
+        let f = SourceFile::new(
+            "crates/x/tests/it.rs".to_string(),
+            "fn t() { a.unwrap(); }".to_string(),
+        );
+        assert!(f.is_test_file);
+        assert!((0..f.tokens.len()).all(|i| f.is_test_token(i)));
+    }
+
+    #[test]
+    fn float_idents_cover_params_fields_and_bindings() {
+        let src = "struct S { energy: f64 }\nfn f(temp: &f64, n: u64) { let best: f64 = 0.0; }";
+        let idents = file(src).float_idents();
+        assert!(idents.contains(&"energy".to_string()));
+        assert!(idents.contains(&"temp".to_string()));
+        assert!(idents.contains(&"best".to_string()));
+        assert!(!idents.contains(&"n".to_string()));
+    }
+}

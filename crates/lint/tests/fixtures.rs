@@ -1,0 +1,129 @@
+//! Self-test harness over the checked-in fixture corpus: every lint must stay
+//! silent on its `pass/` fixture and fire on its `fail/` fixture, and the CLI exit
+//! codes must follow the contract (0 clean, 1 findings, 2 manifest errors).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const LINTS: [&str; 6] = [
+    "contract-coverage",
+    "float-durability",
+    "panic-freedom",
+    "lock-discipline",
+    "unsafe-hygiene",
+    "schema-registry",
+];
+
+fn fixture_root(kind: &str, lint: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+        .join(lint)
+}
+
+#[test]
+fn the_fixture_corpus_names_every_lint() {
+    let mut ours = LINTS.to_vec();
+    let mut all = wd_lint::lints::ALL.to_vec();
+    ours.sort_unstable();
+    all.sort_unstable();
+    assert_eq!(ours, all, "fixture corpus out of sync with the lint set");
+}
+
+#[test]
+fn every_pass_fixture_is_clean() {
+    for lint in LINTS {
+        let outcome = wd_lint::check(&fixture_root("pass", lint)).unwrap();
+        assert!(
+            outcome.raw.is_empty(),
+            "{lint} pass fixture should be clean, got: {:?}",
+            outcome.raw.iter().map(|f| f.render()).collect::<Vec<_>>()
+        );
+        assert!(outcome.files_checked > 0, "{lint} pass fixture is empty");
+    }
+}
+
+#[test]
+fn every_fail_fixture_fires_exactly_its_lint() {
+    for lint in LINTS {
+        let outcome = wd_lint::check(&fixture_root("fail", lint)).unwrap();
+        assert!(
+            !outcome.errors.is_empty(),
+            "{lint} fail fixture produced no findings"
+        );
+        assert!(
+            outcome.errors.iter().all(|f| f.lint == lint),
+            "{lint} fail fixture leaked other lints: {:?}",
+            outcome
+                .errors
+                .iter()
+                .map(|f| f.render())
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+/// The acceptance property behind contract-coverage: a test that stops naming the
+/// owning type (here `Annealer`) un-covers the method even if the method name still
+/// appears somewhere, while free functions stay covered by name alone.
+#[test]
+fn contract_fail_fixture_pinpoints_the_uncovered_owner_method() {
+    let outcome = wd_lint::check(&fixture_root("fail", "contract-coverage")).unwrap();
+    assert_eq!(outcome.errors.len(), 1);
+    assert!(outcome.errors[0].message.contains("Annealer::run_delta"));
+    assert!(!outcome
+        .errors
+        .iter()
+        .any(|f| f.message.contains("`neighbor_move`")));
+}
+
+#[test]
+fn cli_exit_codes_follow_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_wd-lint");
+
+    let clean = Command::new(bin)
+        .arg("check")
+        .arg(fixture_root("pass", "panic-freedom"))
+        .output()
+        .unwrap();
+    assert_eq!(clean.status.code(), Some(0));
+
+    for lint in LINTS {
+        let dirty = Command::new(bin)
+            .arg("check")
+            .arg(fixture_root("fail", lint))
+            .output()
+            .unwrap();
+        assert_eq!(dirty.status.code(), Some(1), "{lint} fail fixture");
+        let stdout = String::from_utf8(dirty.stdout).unwrap();
+        assert!(stdout.contains(&format!("[{lint}]")), "{lint}: {stdout}");
+    }
+
+    // a root without lint.conf is a usage/manifest error, not a clean run
+    let bogus = Command::new(bin)
+        .arg("check")
+        .arg(fixture_root("fail", "no-such-fixture"))
+        .output()
+        .unwrap();
+    assert_eq!(bogus.status.code(), Some(2));
+}
+
+#[test]
+fn check_writes_the_findings_report() {
+    let bin = env!("CARGO_BIN_EXE_wd-lint");
+    let report = std::env::temp_dir().join(format!("wd-lint-report-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&report);
+
+    let run = Command::new(bin)
+        .arg("check")
+        .arg(fixture_root("fail", "float-durability"))
+        .arg("--report")
+        .arg(&report)
+        .output()
+        .unwrap();
+    assert_eq!(run.status.code(), Some(1));
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.starts_with("{\"schema\":\"wd-lint-report/v1\""));
+    assert!(json.contains("\"lint\":\"float-durability\""));
+    let _ = std::fs::remove_file(&report);
+}

@@ -1,0 +1,76 @@
+//! Round-trip property for the hand-rolled lexer: over every source file in the
+//! workspace — and over random byte soup — the token spans must tile the input
+//! exactly: start at 0, no gaps, no overlaps, end at EOF.  A lexer that drops or
+//! double-counts bytes silently corrupts every downstream pass.
+
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wd_lint::config::{load_workspace, Config};
+use wd_lint::lexer::lex;
+
+fn assert_covers(src: &str, context: &str) {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for token in &tokens {
+        assert_eq!(
+            token.start, pos,
+            "{context}: gap or overlap at byte {pos} (token {:?})",
+            token.kind
+        );
+        assert!(
+            token.end > token.start,
+            "{context}: empty token at byte {pos}"
+        );
+        pos = token.end;
+    }
+    assert_eq!(pos, src.len(), "{context}: trailing bytes not tokenized");
+}
+
+#[test]
+fn every_workspace_source_file_lexes_to_a_covering_stream() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let files = load_workspace(&root, &Config::default()).unwrap();
+    assert!(files.len() > 50, "workspace walk found too few files");
+    for file in &files {
+        assert_covers(&file.text, &file.rel_path);
+    }
+}
+
+/// Random soup drawn from the characters most likely to confuse a Rust lexer:
+/// quote/lifetime ambiguity, raw-string hashes, nested comments, numeric suffixes.
+#[test]
+fn random_soup_always_lexes_to_a_covering_stream() {
+    const POOL: &[char] = &[
+        '"', '\'', 'r', 'b', '#', '\\', '/', '*', '{', '}', '(', ')', '.', '0', '1', '9', 'e', '_',
+        'x', 'a', 'Z', ' ', '\n', '\t', '!', '<', '>', ';', ':', '&', 'é', '∆', '🦀',
+    ];
+    let mut rng = StdRng::seed_from_u64(0x1E4E5);
+    for case in 0..512 {
+        let len = rng.gen_range(0..200);
+        let soup: String = (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())])
+            .collect();
+        assert_covers(&soup, &format!("soup case {case}: {soup:?}"));
+    }
+}
+
+/// The disambiguation corners the passes depend on, pinned explicitly.
+#[test]
+fn lexer_corner_cases_tile_exactly() {
+    for src in [
+        "let s = r#\"raw \" string\"#;",
+        "let b = br##\"bytes\"##;",
+        "let c = 'a'; let lt: &'static str = \"x\";",
+        "let n = 1.max(2); let f = 2.; let r = 0..10;",
+        "/* nested /* block */ comment */ fn f() {}",
+        "let u = '\\u{1F980}'; // 🦀",
+        "let unterminated = \"runs to eof",
+        "m!{ \"wd-like/v0\" }",
+    ] {
+        assert_covers(src, src);
+    }
+}

@@ -159,11 +159,16 @@ impl FlatForest {
     unsafe fn leaf_unchecked(&self, root: usize, row: &[f64]) -> f64 {
         let mut index = root;
         loop {
+            // SAFETY: `index` starts at a caller-validated root and every
+            // subsequent value comes from `left`/`right`, which `from_trees`
+            // builds strictly in-arena; the four parallel arrays share one length.
             let feature = *self.feature.get_unchecked(index);
             let threshold = *self.threshold.get_unchecked(index);
             if feature == LEAF {
                 return threshold;
             }
+            // SAFETY: `feature < min_width <= row.len()` — `from_trees` folds every
+            // split feature into `min_width` and the caller checked the row width.
             let value = *row.get_unchecked(feature as usize);
             index = select_child(
                 *self.left.get_unchecked(index),
@@ -287,6 +292,9 @@ impl FlatForest {
                     continue;
                 }
                 let node = index[lane];
+                // SAFETY: `node` starts at a caller-validated root and is only ever
+                // replaced by `left`/`right` values, which `from_trees` builds
+                // strictly in-arena; the four parallel arrays share one length.
                 let feature = *self.feature.get_unchecked(node);
                 let threshold = *self.threshold.get_unchecked(node);
                 if feature == LEAF {
@@ -295,6 +303,9 @@ impl FlatForest {
                     live -= 1;
                     continue;
                 }
+                // SAFETY: the caller hands `LANES` contiguous rows of `width >=
+                // min_width` elements and `feature < min_width` by construction, so
+                // `lane * width + feature` stays inside `rows`.
                 let value = *rows.get_unchecked(lane * width + feature as usize);
                 index[lane] = select_child(
                     *self.left.get_unchecked(node),

@@ -149,11 +149,17 @@ impl FlatTree {
     unsafe fn leaf_unchecked(&self, row: &[f64]) -> f64 {
         let mut index = 0usize;
         loop {
+            // SAFETY: `index` starts at the root (node 0 exists: the tree is
+            // non-empty per the contract) and is only ever replaced by
+            // `left`/`right` values, which `flatten` builds strictly in-arena;
+            // the four parallel arrays share one length.
             let feature = *self.feature.get_unchecked(index);
             let threshold = *self.threshold.get_unchecked(index);
             if feature == LEAF {
                 return threshold;
             }
+            // SAFETY: `feature < min_width <= row.len()` — `flatten` folds every
+            // split feature into `min_width` and the caller checked the row width.
             let value = *row.get_unchecked(feature as usize);
             index = select_child(
                 *self.left.get_unchecked(index),

@@ -231,7 +231,7 @@ mod tests {
         assert!(exporter.bytes_written() > 0);
 
         let contents = std::fs::read_to_string(&path).unwrap();
-        assert!(contents.starts_with("{\"schema\":\"wd-obs-events/v1\"}"));
+        assert!(contents.starts_with(&format!("{{\"schema\":\"{EVENT_SCHEMA_VERSION}\"}}")));
 
         let log = EventLog::read(&path).unwrap();
         assert_eq!(log.skipped_lines, 0);

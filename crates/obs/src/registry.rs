@@ -402,7 +402,7 @@ mod tests {
         let a = registry.snapshot().to_json();
         let b = registry.snapshot().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"wd-obs-metrics/v1\""));
+        assert!(a.contains(&format!("\"schema\": \"{METRICS_SCHEMA_VERSION}\"")));
         // sorted keys: "a" before "b"
         let pos_a = a.find("\"a\": 2").unwrap();
         let pos_b = a.find("\"b\": 1").unwrap();
