@@ -36,7 +36,9 @@ fn print_grid_summary() {
     for shards in [2usize, 4, 8] {
         let store = MemoryStore::new();
         let start = Instant::now();
-        let outcome = ShardedCampaign::new(shards).run(&grid, &evaluator, &store);
+        let outcome = ShardedCampaign::new(shards)
+            .run(&grid, &evaluator, &store)
+            .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(outcome.best_config, single.best_config);
         assert_eq!(outcome.best_energy.to_bits(), single.best_energy.to_bits());
@@ -55,7 +57,9 @@ fn print_grid_summary() {
     {
         let store: JsonlStore<SystemConfiguration> = JsonlStore::open(&path).unwrap();
         let start = Instant::now();
-        let outcome = ShardedCampaign::new(4).run(&grid, &evaluator, &store);
+        let outcome = ShardedCampaign::new(4)
+            .run(&grid, &evaluator, &store)
+            .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(outcome.best_config, single.best_config);
         println!("  4-shard campaign (jsonl, cold)   {elapsed:>12.2?}");
@@ -64,7 +68,9 @@ fn print_grid_summary() {
         let store: JsonlStore<SystemConfiguration> = JsonlStore::open(&path).unwrap();
         let counting = CountingObjective::new(&evaluator);
         let start = Instant::now();
-        let outcome = ShardedCampaign::new(4).run(&grid, &counting, &store);
+        let outcome = ShardedCampaign::new(4)
+            .run(&grid, &counting, &store)
+            .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(outcome.best_config, single.best_config);
         assert_eq!(

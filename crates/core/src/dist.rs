@@ -167,7 +167,8 @@ where
         }
     } else {
         campaign.run(grid, &measurement, store)
-    };
+    }
+    .map_err(|error| format!("sharded campaign failed: {error}"))?;
     let measured = measurement.measure(&outcome.best_config);
     Ok(MethodOutcome {
         method,

@@ -25,6 +25,7 @@ use wd_opt::{
     SearchSpace, ShardPlan, ShardView,
 };
 
+use crate::error::CampaignError;
 use crate::store::ResultStore;
 
 /// An [`Objective`] adapter that answers from a [`ResultStore`] when possible and
@@ -169,14 +170,10 @@ impl<C> CampaignOutcome<C> {
 /// commutative, so *any* arrival order of shard results produces the same winner —
 /// the coordinator does not need to wait for shards in order.
 ///
-/// # Panics
-///
-/// Panics when `bests` is empty (a campaign always has at least one shard).
-pub fn merge_shard_bests(bests: impl IntoIterator<Item = (usize, f64)>) -> (usize, f64) {
-    bests
-        .into_iter()
-        .reduce(better_indexed)
-        .expect("a campaign has at least one shard")
+/// Returns `None` when `bests` is empty (no shard reported — the campaign-level
+/// callers turn this into [`CampaignError::EmptySpace`]).
+pub fn merge_shard_bests(bests: impl IntoIterator<Item = (usize, f64)>) -> Option<(usize, f64)> {
+    bests.into_iter().reduce(better_indexed)
 }
 
 /// A sharded, store-backed exhaustive campaign over an enumerable search space.
@@ -219,12 +216,19 @@ impl ShardedCampaign {
     /// [`ParallelEnumeration::run`] on the whole space, for every shard count,
     /// batch size and shard completion order.  The store is flushed before returning.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the space is neither indexed nor enumerable, or if it is empty, or if
-    /// flushing the store fails (a persistent campaign that cannot persist is not
-    /// resumable — failing loudly beats silently re-evaluating everything next run).
-    pub fn run<S, O, R>(&self, space: &S, objective: &O, store: &R) -> CampaignOutcome<S::Config>
+    /// Returns [`CampaignError::NotEnumerable`] if the space is neither indexed nor
+    /// enumerable, [`CampaignError::EmptySpace`] if it holds no configurations, and
+    /// [`CampaignError::Store`] if flushing the store fails (a persistent campaign
+    /// that cannot persist is not resumable — surfacing the error beats silently
+    /// re-evaluating everything next run).
+    pub fn run<S, O, R>(
+        &self,
+        space: &S,
+        objective: &O,
+        store: &R,
+    ) -> Result<CampaignOutcome<S::Config>, CampaignError>
     where
         S: SearchSpace + Sync,
         S::Config: Clone + Send + Sync,
@@ -247,7 +251,7 @@ impl ShardedCampaign {
         store: &R,
         recorder: &dyn Recorder,
         scope: &str,
-    ) -> CampaignOutcome<S::Config>
+    ) -> Result<CampaignOutcome<S::Config>, CampaignError>
     where
         S: SearchSpace + Sync,
         S::Config: Clone + Send + Sync,
@@ -257,14 +261,14 @@ impl ShardedCampaign {
         let (materialized, total) = match space.space_len() {
             Some(len) => (None, len),
             None => {
-                let configs = space
-                    .enumerate()
-                    .expect("sharded campaigns require an enumerable search space");
+                let configs = space.enumerate().ok_or(CampaignError::NotEnumerable)?;
                 let len = configs.len();
                 (Some(configs), len)
             }
         };
-        assert!(total > 0, "cannot run a campaign over an empty space");
+        if total == 0 {
+            return Err(CampaignError::EmptySpace);
+        }
         let plan = ShardPlan::new(total, self.shard_count);
 
         let reports: Vec<ShardReport> = (0..plan.shard_count())
@@ -316,7 +320,8 @@ impl ShardedCampaign {
             })
             .collect();
 
-        let (best_index, best_energy) = merge_shard_bests(reports.iter().map(ShardReport::best));
+        let (best_index, best_energy) = merge_shard_bests(reports.iter().map(ShardReport::best))
+            .ok_or(CampaignError::EmptySpace)?;
         let stats: CacheStats = reports.iter().map(|report| report.stats).sum();
         if recorder.enabled() {
             recorder.event(
@@ -332,24 +337,22 @@ impl ShardedCampaign {
             );
         }
         store.record_stats(stats);
-        store
-            .flush()
-            .expect("failed to flush the campaign result store");
+        store.flush()?;
 
         let best_config = match materialized {
             Some(mut configs) => configs.swap_remove(best_index),
             None => space
                 .config_at(best_index)
-                .expect("space_len() implies config_at() coverage"),
+                .ok_or(CampaignError::MissingConfig { index: best_index })?,
         };
-        CampaignOutcome {
+        Ok(CampaignOutcome {
             best_config,
             best_energy,
             best_index,
             evaluations: reports.iter().map(|report| report.evaluations).sum(),
             stats,
             shards: reports,
-        }
+        })
     }
 }
 
@@ -377,7 +380,8 @@ mod tests {
             let store = MemoryStore::new();
             let outcome = ShardedCampaign::new(shards)
                 .with_batch_size(19)
-                .run(&space, &bowl, &store);
+                .run(&space, &bowl, &store)
+                .unwrap();
             assert_eq!(
                 outcome.best_config, reference.best_config,
                 "{shards} shards"
@@ -419,11 +423,10 @@ mod tests {
         let store = MemoryStore::new();
         let objective = MaxBatch(&bowl, AtomicUsize::new(0));
         let batch_size = 32;
-        let outcome = ShardedCampaign::new(4).with_batch_size(batch_size).run(
-            &instrumented,
-            &objective,
-            &store,
-        );
+        let outcome = ShardedCampaign::new(4)
+            .with_batch_size(batch_size)
+            .run(&instrumented, &objective, &store)
+            .unwrap();
 
         assert_eq!(
             instrumented.enumerate_calls(),
@@ -437,11 +440,10 @@ mod tests {
 
         // and the result is bit-identical to the forced-materialization fallback
         let hidden = MaterializedOnly::new(&space);
-        let reference = ShardedCampaign::new(4).with_batch_size(batch_size).run(
-            &hidden,
-            &bowl,
-            &MemoryStore::new(),
-        );
+        let reference = ShardedCampaign::new(4)
+            .with_batch_size(batch_size)
+            .run(&hidden, &bowl, &MemoryStore::new())
+            .unwrap();
         assert_eq!(outcome.best_config, reference.best_config);
         assert_eq!(outcome.best_index, reference.best_index);
         assert_eq!(
@@ -457,7 +459,7 @@ mod tests {
             height: 9,
         };
         let store = MemoryStore::new();
-        let outcome = ShardedCampaign::new(5).run(&space, &bowl, &store);
+        let outcome = ShardedCampaign::new(5).run(&space, &bowl, &store).unwrap();
         assert_eq!(outcome.shards.len(), 5);
         let mut next = 0usize;
         for (index, report) in outcome.shards.iter().enumerate() {
@@ -480,7 +482,7 @@ mod tests {
         let campaign = ShardedCampaign::new(4);
 
         let counting = CountingObjective::new(&bowl);
-        let cold = campaign.run(&space, &counting, &store);
+        let cold = campaign.run(&space, &counting, &store).unwrap();
         assert_eq!(counting.evaluations(), 144);
         assert_eq!(
             cold.stats,
@@ -492,7 +494,7 @@ mod tests {
 
         // a fresh objective wrapper proves the store, not the wrapper, remembers
         let counting = CountingObjective::new(&bowl);
-        let warm = campaign.run(&space, &counting, &store);
+        let warm = campaign.run(&space, &counting, &store).unwrap();
         assert_eq!(
             counting.evaluations(),
             0,
@@ -532,7 +534,9 @@ mod tests {
             store.record(config, bowl(config));
         }
         let counting = CountingObjective::new(&bowl);
-        let outcome = ShardedCampaign::new(3).run(&space, &counting, &store);
+        let outcome = ShardedCampaign::new(3)
+            .run(&space, &counting, &store)
+            .unwrap();
         assert_eq!(counting.evaluations(), 50);
         assert_eq!(
             outcome.stats,
@@ -554,7 +558,9 @@ mod tests {
         // a plateau with many global ties exercises the earliest-index rule
         let plateau = |config: &(u32, u32)| f64::from((config.0 + config.1).is_multiple_of(3));
         let store = MemoryStore::new();
-        let outcome = ShardedCampaign::new(6).run(&space, &plateau, &store);
+        let outcome = ShardedCampaign::new(6)
+            .run(&space, &plateau, &store)
+            .unwrap();
 
         let mut bests: Vec<(usize, f64)> = outcome.shards.iter().map(ShardReport::best).collect();
         // try every rotation and the reverse — all must merge to the same winner
@@ -562,14 +568,14 @@ mod tests {
             bests.rotate_left(1);
             assert_eq!(
                 merge_shard_bests(bests.iter().copied()),
-                (outcome.best_index, outcome.best_energy),
+                Some((outcome.best_index, outcome.best_energy)),
                 "rotation {rotation}"
             );
         }
         bests.reverse();
         assert_eq!(
             merge_shard_bests(bests.iter().copied()),
-            (outcome.best_index, outcome.best_energy)
+            Some((outcome.best_index, outcome.best_energy))
         );
         let reference = ParallelEnumeration::new().run(&space, &plateau);
         assert_eq!(outcome.best_config, reference.best_config);
@@ -582,14 +588,12 @@ mod tests {
             height: 14,
         };
         let registry = wd_obs::Registry::new();
-        let unobserved = ShardedCampaign::new(6).run(&space, &bowl, &MemoryStore::new());
-        let observed = ShardedCampaign::new(6).run_observed(
-            &space,
-            &bowl,
-            &MemoryStore::new(),
-            &registry,
-            "campaign",
-        );
+        let unobserved = ShardedCampaign::new(6)
+            .run(&space, &bowl, &MemoryStore::new())
+            .unwrap();
+        let observed = ShardedCampaign::new(6)
+            .run_observed(&space, &bowl, &MemoryStore::new(), &registry, "campaign")
+            .unwrap();
         assert_eq!(observed.best_config, unobserved.best_config);
         assert_eq!(
             observed.best_energy.to_bits(),
@@ -606,7 +610,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sharded campaigns require an enumerable search space")]
     fn non_enumerable_spaces_are_rejected() {
         use rand::rngs::StdRng;
         struct Opaque;
@@ -620,6 +623,23 @@ mod tests {
             }
         }
         let store: MemoryStore<u8> = MemoryStore::new();
-        let _ = ShardedCampaign::new(2).run(&Opaque, &|c: &u8| *c as f64, &store);
+        let error = ShardedCampaign::new(2)
+            .run(&Opaque, &|c: &u8| *c as f64, &store)
+            .unwrap_err();
+        assert!(matches!(error, CampaignError::NotEnumerable));
+    }
+
+    #[test]
+    fn empty_merges_and_empty_spaces_surface_as_errors() {
+        assert_eq!(merge_shard_bests(std::iter::empty()), None);
+        let space = GridSpace {
+            width: 0,
+            height: 5,
+        };
+        let store = MemoryStore::new();
+        let error = ShardedCampaign::new(2)
+            .run(&space, &bowl, &store)
+            .unwrap_err();
+        assert!(matches!(error, CampaignError::EmptySpace));
     }
 }

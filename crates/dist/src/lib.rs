@@ -19,6 +19,13 @@
 //!   on-disk implementation (append-only JSON lines, exact IEEE-754 round trip,
 //!   tolerant of truncated tails), [`MemoryStore`] the in-process one.  A killed or
 //!   repeated campaign resumes against a warm store with **zero** re-evaluations.
+//! * [`ShardedCampaign::run_supervised`] adds fault tolerance on top: per-shard
+//!   leases on a logical clock, capped-exponential-backoff retries, work-stealing
+//!   of dead shards and idempotent store-first recovery, with deterministic fault
+//!   injection ([`FaultPlan`]) to prove the whole stack converges to the
+//!   bit-identical fault-free answer.  [`JsonlStore::open_recovering`] quarantines
+//!   corrupt lines instead of dropping them, and [`JsonlStore::rollback`] restores
+//!   any retained compaction generation.
 //!
 //! ## Example
 //!
@@ -34,7 +41,7 @@
 //! let store = MemoryStore::new();
 //! let counting = CountingObjective::new(&objective);
 //! let campaign = ShardedCampaign::new(4);
-//! let outcome = campaign.run(&space, &counting, &store);
+//! let outcome = campaign.run(&space, &counting, &store).unwrap();
 //!
 //! // bit-identical to the single-node scan
 //! let reference = ParallelEnumeration::new().run(&space, &objective);
@@ -43,7 +50,7 @@
 //!
 //! // a repeated campaign is answered entirely from the store
 //! let counting = CountingObjective::new(&objective);
-//! let resumed = campaign.run(&space, &counting, &store);
+//! let resumed = campaign.run(&space, &counting, &store).unwrap();
 //! assert_eq!(counting.evaluations(), 0);
 //! assert_eq!(resumed.best_config, reference.best_config);
 //! ```
@@ -52,13 +59,23 @@
 #![warn(rust_2018_idioms)]
 
 pub mod coordinator;
+pub mod error;
+pub mod fault;
 pub mod key;
 pub mod store;
+pub mod supervisor;
+mod sync;
 
 pub use coordinator::{
     merge_shard_bests, CampaignOutcome, ShardReport, ShardedCampaign, StoreBackedObjective,
 };
+pub use error::CampaignError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyObjective, FaultyStore};
 pub use key::ConfigKey;
 pub use store::{
-    CompactionReport, JsonlStore, MemoryStore, ResultStore, StoreIoStats, STORE_SCHEMA_VERSION,
+    CompactionReport, JsonlStore, MemoryStore, RecoveryReport, ResultStore, StoreIoStats,
+    STORE_SCHEMA_VERSION,
+};
+pub use supervisor::{
+    AttemptRecord, FailureReason, RetryPolicy, SupervisedOutcome, SupervisionReport,
 };

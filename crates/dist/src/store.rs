@@ -23,33 +23,13 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::marker::PhantomData;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock};
 
 use wd_obs::Recorder;
 use wd_opt::CacheStats;
 
 use crate::key::ConfigKey;
-
-/// Acquire a read guard, recovering from poisoning instead of panicking.
-///
-/// Poisoning only means another thread panicked while holding the guard; every
-/// critical section in this file leaves its data consistent at every await-free step
-/// (whole-map inserts, whole-batch appends), so the store is still usable — and a
-/// panic cascade here would turn one failed shard into a failed campaign with a
-/// half-written log.
-fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Acquire a write guard, recovering from poisoning (see [`read_lock`]).
-fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Acquire a mutex guard, recovering from poisoning (see [`read_lock`]).
-fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(PoisonError::into_inner)
-}
+use crate::sync::{lock, read_lock, write_lock};
 
 /// A concurrent store of evaluated `(configuration, energy)` pairs.
 ///
@@ -101,6 +81,15 @@ pub trait ResultStore<C> {
     /// occurred since the last flush.  A no-op for purely in-memory stores.
     fn flush(&self) -> io::Result<()> {
         Ok(())
+    }
+
+    /// Fault-injection seam used by the chaos harness ([`crate::fault::FaultyStore`]):
+    /// durably append a torn (truncated, unparseable) record line — the footprint a
+    /// crash in the middle of a batch append leaves behind.  Recovery passes must
+    /// quarantine such lines instead of dropping them silently.  Purely in-memory
+    /// stores have nothing durable to tear; the default is a no-op.
+    fn inject_torn_write(&self, hint: &str) {
+        let _ = hint;
     }
 }
 
@@ -198,8 +187,10 @@ pub struct JsonlStore<C> {
     stats: Mutex<CacheStats>,
     write_error: Mutex<Option<io::Error>>,
     skipped_lines: usize,
+    corrupt_lines: Vec<String>,
     context: Option<String>,
     schema: Option<String>,
+    generation: AtomicU64,
     io: IoCounters,
     _config: PhantomData<fn(&C) -> C>,
 }
@@ -257,11 +248,52 @@ impl CompactionReport {
     }
 }
 
+/// What [`JsonlStore::open_recovering`] found and did: how many corrupt lines were
+/// quarantined (never silently dropped), where they went, and whether the log was
+/// rewritten clean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Corrupt (torn, truncated, foreign) lines moved to the quarantine sidecar.
+    pub quarantined: usize,
+    /// Intact result records the recovered store holds.
+    pub records: usize,
+    /// The `<log>.quarantine` sidecar file corrupt lines are appended to.
+    pub sidecar: PathBuf,
+    /// The store's generation after recovery (recovery compacts, so a rewrite
+    /// bumps the generation and retains the pre-recovery log as `.gen-N`).
+    pub generation: u64,
+    /// Whether a recovery rewrite actually ran (`false` for an already-clean log).
+    pub rewritten: bool,
+}
+
+impl RecoveryReport {
+    /// Publish this report to `recorder` as a `store.recovered` event under
+    /// `scope`.  Clean opens (nothing quarantined, no rewrite) emit nothing.
+    pub fn publish(&self, recorder: &dyn Recorder, scope: &str) {
+        if !self.rewritten || !recorder.enabled() {
+            return;
+        }
+        recorder.event(
+            scope,
+            "store.recovered",
+            &[
+                (
+                    "quarantined",
+                    wd_obs::FieldValue::U64(self.quarantined as u64),
+                ),
+                ("records", wd_obs::FieldValue::U64(self.records as u64)),
+                ("generation", wd_obs::FieldValue::U64(self.generation)),
+            ],
+        );
+    }
+}
+
 enum Record {
     Result(String, f64),
     Stats(CacheStats),
     Context(String),
     Schema(String),
+    Generation(u64),
 }
 
 /// Extract the value of a `"name":"<value>"` string field.
@@ -283,6 +315,19 @@ fn json_uint_field(line: &str, name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Whether the file's last byte is a newline (empty files count as terminated).
+fn ends_with_newline(path: &Path) -> io::Result<bool> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = File::open(path)?;
+    if file.metadata()?.len() == 0 {
+        return Ok(true);
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    Ok(byte[0] == b'\n')
+}
+
 fn parse_line(line: &str) -> Option<Record> {
     if let Some(schema) = json_str_field(line, "schema") {
         return Some(Record::Schema(schema.to_string()));
@@ -299,11 +344,17 @@ fn parse_line(line: &str) -> Option<Record> {
                 let pattern = "\"energy\":";
                 let start = line.find(pattern)? + pattern.len();
                 let rest = &line[start..];
-                let end = rest.find([',', '}']).unwrap_or(rest.len());
+                // a number not terminated by ',' or '}' is a torn tail: its
+                // decimal may itself be truncated, and a truncated decimal parses
+                // to a plausible but wrong energy — reject the line instead
+                let end = rest.find([',', '}'])?;
                 rest[..end].trim().parse().ok()?
             }
         };
         return Some(Record::Result(key.to_string(), energy));
+    }
+    if let Some(generation) = json_uint_field(line, "gen") {
+        return Some(Record::Generation(generation));
     }
     if line.contains("\"stats\"") {
         return Some(Record::Stats(CacheStats {
@@ -324,11 +375,14 @@ impl<C: ConfigKey> JsonlStore<C> {
         let mut map = HashMap::new();
         let mut stats = CacheStats::default();
         let mut skipped = 0usize;
+        let mut corrupt = Vec::new();
         let mut context = None;
         let mut schema = None;
+        let mut generation = 0u64;
         let mut saw_lines = false;
         let mut loaded_records = 0u64;
         let mut loaded_bytes = 0u64;
+        let mut needs_seal = false;
         if path.exists() {
             for line in BufReader::new(File::open(&path)?).split(b'\n') {
                 let line = String::from_utf8(line?).unwrap_or_default();
@@ -345,11 +399,26 @@ impl<C: ConfigKey> JsonlStore<C> {
                     Some(Record::Stats(loaded)) => stats += loaded,
                     Some(Record::Context(loaded)) => context = Some(loaded),
                     Some(Record::Schema(loaded)) => schema = Some(loaded),
-                    None => skipped += 1,
+                    Some(Record::Generation(loaded)) => generation = loaded,
+                    None => {
+                        skipped += 1;
+                        corrupt.push(line);
+                    }
                 }
             }
+            // a log killed mid-append can end in a partial line with no newline;
+            // seal it so the next append starts a fresh line instead of gluing onto
+            // the fragment (which could corrupt — or worse, mis-associate — the
+            // next record)
+            needs_seal = !ends_with_newline(&path)?;
         }
-        let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
+        if needs_seal {
+            // `loaded_bytes` already counted the phantom newline of the partial
+            // tail, so it matches the sealed file size without adjustment
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
         let store = JsonlStore {
             path,
             map: RwLock::new(map),
@@ -357,8 +426,10 @@ impl<C: ConfigKey> JsonlStore<C> {
             stats: Mutex::new(stats),
             write_error: Mutex::new(None),
             skipped_lines: skipped,
+            corrupt_lines: corrupt,
             context,
             schema,
+            generation: AtomicU64::new(generation),
             io: IoCounters {
                 loaded_records,
                 loaded_bytes,
@@ -447,6 +518,111 @@ impl<C: ConfigKey> JsonlStore<C> {
         self.schema.as_deref()
     }
 
+    /// The store's current generation: 0 for a log that was never compacted,
+    /// incremented by every [`JsonlStore::compact`] pass.  Each compaction retains
+    /// the pre-compaction log verbatim as `<path>.gen-<N>` (N = the generation it
+    /// snapshots), giving point-in-time rollback via [`JsonlStore::rollback`].
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    fn generation_path(path: &Path, generation: u64) -> PathBuf {
+        PathBuf::from(format!("{}.gen-{generation}", path.display()))
+    }
+
+    /// Path of the retained snapshot for `generation` (which may or may not exist;
+    /// see [`JsonlStore::retained_generations`]).
+    pub fn generation_file(&self, generation: u64) -> PathBuf {
+        Self::generation_path(&self.path, generation)
+    }
+
+    /// Generations with a retained `.gen-N` snapshot on disk, ascending.
+    pub fn retained_generations(&self) -> Vec<u64> {
+        (0..self.generation())
+            .filter(|&generation| Self::generation_path(&self.path, generation).exists())
+            .collect()
+    }
+
+    /// Roll the log at `path` back to the retained snapshot of `generation` and
+    /// reopen it.
+    ///
+    /// The snapshot is copied over the live log through a temporary sibling file
+    /// and an atomic rename, so a crash mid-rollback leaves the live log intact.
+    /// The rolled-back store reports `generation()` == `generation` again, and the
+    /// snapshot file itself is kept (rolling forward again stays possible).
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotFound`] when no `.gen-<generation>` snapshot is
+    /// retained, plus any I/O error of the copy/rename/reopen.
+    pub fn rollback(path: impl AsRef<Path>, generation: u64) -> io::Result<Self> {
+        let path = path.as_ref();
+        let snapshot = Self::generation_path(path, generation);
+        if !snapshot.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "no retained generation-{generation} snapshot at {}",
+                    snapshot.display()
+                ),
+            ));
+        }
+        let tmp = PathBuf::from(format!("{}.rollback-tmp", path.display()));
+        std::fs::copy(&snapshot, &tmp)?;
+        std::fs::rename(&tmp, path)?;
+        Self::open(path)
+    }
+
+    /// Open the store at `path`, quarantining corrupt lines instead of only
+    /// skipping them.
+    ///
+    /// A clean log opens exactly like [`JsonlStore::open`] and reports
+    /// `rewritten: false`.  When the log holds corrupt lines (torn batch appends,
+    /// truncated tails, foreign text), each one is appended verbatim to the
+    /// `<path>.quarantine` sidecar — evidence is preserved, never silently
+    /// dropped — and the log is then compacted, which rewrites it clean and
+    /// retains the pre-recovery log as a `.gen-N` snapshot.  Forward the returned
+    /// [`RecoveryReport`] to observability with [`RecoveryReport::publish`].
+    pub fn open_recovering(path: impl AsRef<Path>) -> io::Result<(Self, RecoveryReport)> {
+        let mut store = Self::open(path)?;
+        let sidecar = PathBuf::from(format!("{}.quarantine", store.path.display()));
+        if store.corrupt_lines.is_empty() {
+            let report = RecoveryReport {
+                quarantined: 0,
+                records: store.len(),
+                sidecar,
+                generation: store.generation(),
+                rewritten: false,
+            };
+            return Ok((store, report));
+        }
+        {
+            let mut side = BufWriter::new(
+                OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&sidecar)?,
+            );
+            for line in &store.corrupt_lines {
+                writeln!(side, "{line}")?;
+            }
+            side.flush()?;
+        }
+        store.compact()?;
+        let quarantined = store.corrupt_lines.len();
+        // the log is clean now; the evidence lives in the sidecar
+        store.corrupt_lines.clear();
+        store.skipped_lines = 0;
+        let report = RecoveryReport {
+            quarantined,
+            records: store.len(),
+            sidecar,
+            generation: store.generation(),
+            rewritten: true,
+        };
+        Ok((store, report))
+    }
+
     /// Rewrite the append-only log keeping **one record per key** — the lowest energy
     /// wins, ties keep the earliest record — plus a fresh [`STORE_SCHEMA_VERSION`]
     /// header, the context stamp (when present) and a single merged stats line.
@@ -464,9 +640,20 @@ impl<C: ConfigKey> JsonlStore<C> {
     /// indistinguishable (duplicate records carry identical energies).  Compaction
     /// applies the coordinator's lowest-energy/earliest rule, so hand-written logs
     /// with conflicting duplicates resolve to the merged best.
+    ///
+    /// Every pass first retains the pre-compaction log verbatim as
+    /// `<path>.gen-<N>` (N = the current [`JsonlStore::generation`]) and stamps
+    /// `{"gen":N+1}` into the rewritten log, so any earlier state can be restored
+    /// with [`JsonlStore::rollback`].  The copy happens *before* the atomic
+    /// rename: a crash between the two leaves the live log untouched and at worst
+    /// a redundant snapshot behind.
     pub fn compact(&self) -> io::Result<CompactionReport> {
         let mut writer = lock(&self.writer);
         writer.flush()?;
+
+        // retain the current log for point-in-time rollback before rewriting it
+        let generation = self.generation.load(Ordering::Relaxed);
+        std::fs::copy(&self.path, Self::generation_path(&self.path, generation))?;
 
         // re-read the log: the in-memory map holds only the last write per key, the
         // merge rule needs every duplicate in file order
@@ -496,8 +683,12 @@ impl<C: ConfigKey> JsonlStore<C> {
                     }
                 }
                 Some(Record::Stats(loaded)) => stats += loaded,
-                // context/schema are re-stamped below; foreign lines are dropped
-                Some(Record::Context(_)) | Some(Record::Schema(_)) | None => {}
+                // context/schema/generation are re-stamped below; foreign lines
+                // are dropped (use open_recovering to quarantine them first)
+                Some(Record::Context(_))
+                | Some(Record::Schema(_))
+                | Some(Record::Generation(_))
+                | None => {}
             }
         }
 
@@ -506,6 +697,7 @@ impl<C: ConfigKey> JsonlStore<C> {
         {
             let mut tmp = BufWriter::new(File::create(&tmp_path)?);
             writeln!(tmp, "{{\"schema\":\"{STORE_SCHEMA_VERSION}\"}}")?;
+            writeln!(tmp, "{{\"gen\":{}}}", generation + 1)?;
             if let Some(context) = &self.context {
                 writeln!(tmp, "{{\"context\":\"{context}\"}}")?;
             }
@@ -532,6 +724,7 @@ impl<C: ConfigKey> JsonlStore<C> {
         self.io
             .compacted_dropped
             .fetch_add(report.dropped() as u64, Ordering::Relaxed);
+        self.generation.store(generation + 1, Ordering::Relaxed);
         *write_lock(&self.map) = merged;
         *lock(&self.stats) = stats;
         Ok(report)
@@ -676,6 +869,14 @@ impl<C: ConfigKey> ResultStore<C> for JsonlStore<C> {
             return Err(error);
         }
         lock(&self.writer).flush()
+    }
+
+    fn inject_torn_write(&self, hint: &str) {
+        // the front half of a result record with no closing quote or brace — what a
+        // crash in the middle of `write(2)` leaves behind (written as its own line,
+        // i.e. as the fragment looks once the tail is sealed, so the injection
+        // stays local to one record)
+        self.append(&format!("{{\"config\":\"{hint}\",\"ener"));
     }
 }
 
@@ -898,19 +1099,21 @@ mod tests {
         store.record(&5, 9.0);
         store.flush().unwrap();
 
-        // a reopened store sees the compacted log: header + context + 5 records +
-        // stats, nothing skipped, context intact
+        // a reopened store sees the compacted log: header + generation + context +
+        // 5 records + stats, nothing skipped, context intact
         let reopened: JsonlStore<u32> =
             JsonlStore::open_with_context(&path, "em|human|compact-test").unwrap();
         assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
         assert_eq!(reopened.skipped_lines(), 0);
         assert_eq!(reopened.len(), 5);
+        assert_eq!(reopened.generation(), 1);
         assert_eq!(reopened.lookup(&1), Some(3.0));
         assert_eq!(reopened.lookup(&5), Some(9.0));
         assert_eq!(reopened.recorded_stats(), CacheStats { hits: 6, misses: 7 });
         let contents = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(contents.lines().count(), 1 + 1 + 4 + 1 + 1);
+        assert_eq!(contents.lines().count(), 1 + 1 + 1 + 4 + 1 + 1);
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(store.generation_file(0)).unwrap();
     }
 
     #[test]
@@ -932,7 +1135,10 @@ mod tests {
         let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
         assert_eq!(reopened.lookup(&11).unwrap().to_bits(), awkward.to_bits());
         assert_eq!(reopened.lookup(&12).unwrap().to_bits(), 1e-300f64.to_bits());
+        assert_eq!(reopened.generation(), 2);
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(store.generation_file(0)).unwrap();
+        std::fs::remove_file(store.generation_file(1)).unwrap();
     }
 
     #[test]
@@ -986,6 +1192,139 @@ mod tests {
         // and a disabled recorder costs nothing and records nothing
         store.publish_io(&wd_obs::NoopRecorder, "campaign");
         std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(store.generation_file(0)).unwrap();
+    }
+
+    #[test]
+    fn unterminated_tails_are_sealed_on_open() {
+        let path = temp_path("seal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record(&1, 1.0);
+            store.flush().unwrap();
+        }
+        // a crash mid-write leaves a partial record with no trailing newline
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("{\"config\":\"2\",\"ener");
+        std::fs::write(&path, &contents).unwrap();
+
+        // without sealing, the next append would glue onto the fragment and corrupt
+        // (or mis-associate) an otherwise intact record
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.skipped_lines(), 1);
+        store.record(&3, 3.0);
+        store.flush().unwrap();
+        drop(store);
+
+        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(reopened.lookup(&1), Some(1.0));
+        assert_eq!(reopened.lookup(&3), Some(3.0), "post-crash appends survive");
+        assert_eq!(reopened.skipped_lines(), 1, "only the fragment is lost");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn recovery_quarantines_corrupt_lines_and_rewrites_the_log_clean() {
+        let path = temp_path("recover");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record_batch(&[1, 2, 3], &[1.0, 2.0, 3.0]);
+            store.flush().unwrap();
+        }
+        // two corrupt lines: foreign text and a torn record
+        let mut contents = std::fs::read_to_string(&path).unwrap();
+        contents.push_str("not json at all\n");
+        contents.push_str("{\"config\":\"4\",\"ener");
+        std::fs::write(&path, &contents).unwrap();
+
+        let (store, report) = JsonlStore::<u32>::open_recovering(&path).unwrap();
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.records, 3);
+        assert!(report.rewritten);
+        assert_eq!(report.generation, 1);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.lookup(&2), Some(2.0));
+
+        // the corrupt lines are preserved verbatim in the sidecar, not dropped
+        let quarantine = std::fs::read_to_string(&report.sidecar).unwrap();
+        assert!(quarantine.contains("not json at all"));
+        assert!(quarantine.contains("{\"config\":\"4\",\"ener"));
+
+        // the rewritten log is clean: reopening skips nothing
+        drop(store);
+        let (clean, clean_report) = JsonlStore::<u32>::open_recovering(&path).unwrap();
+        assert_eq!(clean.skipped_lines(), 0);
+        assert!(!clean_report.rewritten);
+        assert_eq!(clean_report.quarantined, 0);
+
+        // recovery publishes a store.recovered event; clean opens stay silent
+        let registry = wd_obs::Registry::new();
+        report.publish(&registry, "campaign");
+        clean_report.publish(&registry, "campaign");
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.events.get("campaign/store.recovered"), Some(&1));
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&report.sidecar).unwrap();
+        std::fs::remove_file(clean.generation_file(0)).unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_a_retained_generation() {
+        let path = temp_path("rollback");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        store.record(&1, 1.0);
+        store.flush().unwrap();
+        assert_eq!(store.generation(), 0);
+        assert!(store.retained_generations().is_empty());
+
+        // generation 0 -> 1: snapshot retained, then diverge
+        store.compact().unwrap();
+        assert_eq!(store.generation(), 1);
+        store.record(&2, 2.0);
+        store.flush().unwrap();
+        assert_eq!(store.retained_generations(), vec![0]);
+        drop(store);
+
+        // rolling back to generation 0 restores the pre-compaction state
+        let rolled: JsonlStore<u32> = JsonlStore::rollback(&path, 0).unwrap();
+        assert_eq!(rolled.generation(), 0);
+        assert_eq!(rolled.lookup(&1), Some(1.0));
+        assert_eq!(rolled.lookup(&2), None, "post-snapshot writes are gone");
+
+        // rolling back to a generation that was never retained is refused
+        let missing = JsonlStore::<u32>::rollback(&path, 9).unwrap_err();
+        assert_eq!(missing.kind(), io::ErrorKind::NotFound);
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(rolled.generation_file(0)).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_writes_are_unparseable_and_recoverable() {
+        let path = temp_path("inject-torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+            store.record(&1, 1.0);
+            ResultStore::<u32>::inject_torn_write(&store, "torn-hint");
+            store.flush().unwrap();
+        }
+        // the torn line is skipped on reload, never half-parsed into a bogus record
+        let reloaded: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(reloaded.len(), 1);
+        assert_eq!(reloaded.skipped_lines(), 1);
+        drop(reloaded);
+        // ... and recovery quarantines it
+        let (recovered, report) = JsonlStore::<u32>::open_recovering(&path).unwrap();
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(recovered.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&report.sidecar).unwrap();
+        std::fs::remove_file(recovered.generation_file(0)).unwrap();
     }
 
     #[test]

@@ -45,7 +45,7 @@ proptest! {
 
         let store = MemoryStore::new();
         let campaign = ShardedCampaign::new(shards).with_batch_size(batch);
-        let outcome = campaign.run(&space, &objective, &store);
+        let outcome = campaign.run(&space, &objective, &store).unwrap();
 
         prop_assert_eq!(&outcome.best_config, &reference.outcome.best_config);
         prop_assert_eq!(
@@ -69,14 +69,14 @@ proptest! {
         let space = GridSpace { width, height };
         let objective = quantized(salt);
         let store = MemoryStore::new();
-        let outcome = ShardedCampaign::new(shards).run(&space, &objective, &store);
+        let outcome = ShardedCampaign::new(shards).run(&space, &objective, &store).unwrap();
 
         let mut bests: Vec<(usize, f64)> =
             outcome.shards.iter().map(ShardReport::best).collect();
         let mut rng = StdRng::seed_from_u64(shuffle_seed);
         for _ in 0..4 {
             bests.shuffle(&mut rng);
-            let (index, energy) = merge_shard_bests(bests.iter().copied());
+            let (index, energy) = merge_shard_bests(bests.iter().copied()).unwrap();
             prop_assert_eq!(index, outcome.best_index);
             prop_assert_eq!(energy.to_bits(), outcome.best_energy.to_bits());
         }
@@ -97,11 +97,11 @@ proptest! {
         let objective = quantized(salt);
         let store = MemoryStore::new();
 
-        let cold = ShardedCampaign::new(cold_shards).run(&space, &objective, &store);
+        let cold = ShardedCampaign::new(cold_shards).run(&space, &objective, &store).unwrap();
         prop_assert_eq!(cold.stats.misses, (width * height) as usize);
 
         let counting = CountingObjective::new(&objective);
-        let warm = ShardedCampaign::new(warm_shards).run(&space, &counting, &store);
+        let warm = ShardedCampaign::new(warm_shards).run(&space, &counting, &store).unwrap();
         prop_assert_eq!(counting.evaluations(), 0);
         prop_assert_eq!(&warm.best_config, &cold.best_config);
         prop_assert_eq!(warm.best_energy.to_bits(), cold.best_energy.to_bits());
@@ -168,6 +168,9 @@ proptest! {
         prop_assert_eq!(again.lookup(&99), Some(0.5));
         prop_assert_eq!(again.len(), expected.len() + 1);
 
+        for generation in store.retained_generations() {
+            let _ = std::fs::remove_file(store.generation_file(generation));
+        }
         std::fs::remove_file(&path).unwrap();
     }
 }

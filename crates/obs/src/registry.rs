@@ -227,64 +227,68 @@ pub struct MetricsSnapshot {
     pub events: BTreeMap<String, u64>,
 }
 
-/// Schema identifier stamped into serialized metrics snapshots.
-pub const METRICS_SCHEMA_VERSION: &str = "wd-obs-metrics/v1";
+/// Schema identifier stamped into serialized metrics snapshots.  `v2` pairs every
+/// decimal `f64` with a `<name>_bits` sibling holding the exact IEEE-754 bit
+/// pattern (the decimal is for human eyes; the bits are authoritative on replay).
+pub const METRICS_SCHEMA_VERSION: &str = "wd-obs-metrics/v2";
 
 impl MetricsSnapshot {
     /// Serialize the snapshot as a pretty-printed JSON report (hand-rolled — the
     /// workspace has no serde).  Keys are emitted in sorted order, so two snapshots
-    /// of the same run serialize identically.
+    /// of the same run serialize identically, and every `f64` carries a `_bits`
+    /// hex sibling for exact round-trips.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         out.push_str(&format!("  \"schema\": \"{METRICS_SCHEMA_VERSION}\",\n"));
 
         out.push_str("  \"counters\": {");
-        push_entries(&mut out, self.counters.iter(), |v| format!("{v}"));
+        push_entries(&mut out, self.counters.iter(), |count| format!("{count}"));
         out.push_str("  },\n");
 
         out.push_str("  \"gauges\": {");
-        push_entries(&mut out, self.gauges.iter(), |v| json_f64(*v));
+        push_entries(&mut out, self.gauges.iter(), |gauge| {
+            let pair = json_f64_pair("value", *gauge);
+            format!("{{{pair}}}")
+        });
         out.push_str("  },\n");
 
         out.push_str("  \"histograms\": {");
         push_entries(&mut out, self.histograms.iter(), |h| {
-            format!(
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}}}",
-                h.count,
-                json_f64(h.sum),
-                json_f64(h.min),
-                json_f64(h.max),
-                json_f64(h.mean())
-            )
+            let count = h.count;
+            let fields = [
+                json_f64_pair("sum", h.sum),
+                json_f64_pair("min", h.min),
+                json_f64_pair("max", h.max),
+                json_f64_pair("mean", h.mean()),
+            ];
+            format!("{{\"count\": {count}, {}}}", fields.join(", "))
         });
         out.push_str("  },\n");
 
         out.push_str("  \"spans\": {");
         push_entries(&mut out, self.spans.iter(), |s| {
-            format!(
-                "{{\"count\": {}, \"total_seconds\": {}, \"min_seconds\": {}, \"max_seconds\": {}}}",
-                s.count,
-                json_f64(s.total_seconds),
-                json_f64(s.min_seconds),
-                json_f64(s.max_seconds)
-            )
+            let count = s.count;
+            let fields = [
+                json_f64_pair("total_seconds", s.total_seconds),
+                json_f64_pair("min_seconds", s.min_seconds),
+                json_f64_pair("max_seconds", s.max_seconds),
+            ];
+            format!("{{\"count\": {count}, {}}}", fields.join(", "))
         });
         out.push_str("  },\n");
 
         out.push_str("  \"iterations\": {");
         push_entries(&mut out, self.iterations.iter(), |i| {
-            format!(
-                "{{\"count\": {}, \"accepted\": {}, \"last_best_energy\": {}}}",
-                i.count,
-                i.accepted,
-                json_f64(i.last_best_energy)
-            )
+            let count = i.count;
+            let accepted = i.accepted;
+            let energy = json_f64_pair("last_best_energy", i.last_best_energy);
+            format!("{{\"count\": {count}, \"accepted\": {accepted}, {energy}}}")
         });
         out.push_str("  },\n");
 
         out.push_str("  \"events\": {");
-        push_entries(&mut out, self.events.iter(), |v| format!("{v}"));
+        push_entries(&mut out, self.events.iter(), |count| format!("{count}"));
         out.push_str("  }\n");
 
         out.push_str("}\n");
@@ -293,13 +297,25 @@ impl MetricsSnapshot {
 }
 
 /// Format an `f64` as a JSON-safe token: Rust's shortest round-trip decimal, with
-/// non-finite values quoted (JSON has no literal for them).
+/// non-finite values quoted (JSON has no literal for them).  Callers pair it with
+/// a `_bits` hex sibling via [`json_f64_pair`].
 fn json_f64(value: f64) -> String {
+    let decimal = value.to_string();
     if value.is_finite() {
-        format!("{value}")
+        decimal
     } else {
-        format!("\"{value}\"")
+        format!("\"{decimal}\"")
     }
+}
+
+/// Render `"name": <decimal>, "name_bits": "<hex>"` — the decimal for humans, the
+/// exact bit pattern for replay.
+fn json_f64_pair(name: &str, value: f64) -> String {
+    format!(
+        "\"{name}\": {decimal}, \"{name}_bits\": \"{value_bits:016x}\"",
+        decimal = json_f64(value),
+        value_bits = value.to_bits()
+    )
 }
 
 fn push_entries<'a, V: 'a>(
@@ -308,7 +324,7 @@ fn push_entries<'a, V: 'a>(
     render: impl Fn(&V) -> String,
 ) {
     let mut first = true;
-    for (key, value) in entries {
+    for (key, entry) in entries {
         if first {
             out.push('\n');
             first = false;
@@ -318,7 +334,7 @@ fn push_entries<'a, V: 'a>(
         out.push_str(&format!(
             "    \"{}\": {}",
             crate::escape_json(key),
-            render(value)
+            render(entry)
         ));
     }
     if !first {
@@ -407,8 +423,9 @@ mod tests {
         let pos_a = a.find("\"a\": 2").unwrap();
         let pos_b = a.find("\"b\": 1").unwrap();
         assert!(pos_a < pos_b);
-        assert!(a.contains("\"g\": 0.25"));
-        assert!(a.contains("\"min_seconds\": 0.125"));
+        // every decimal f64 carries its exact bit pattern as a sibling field
+        assert!(a.contains("\"g\": {\"value\": 0.25, \"value_bits\": \"3fd0000000000000\"}"));
+        assert!(a.contains("\"min_seconds\": 0.125, \"min_seconds_bits\": \"3fc0000000000000\""));
     }
 
     #[test]
@@ -416,7 +433,9 @@ mod tests {
         let registry = Registry::new();
         registry.gauge("inf", f64::INFINITY);
         let json = registry.snapshot().to_json();
-        assert!(json.contains("\"inf\": \"inf\""));
+        assert!(
+            json.contains("\"inf\": {\"value\": \"inf\", \"value_bits\": \"7ff0000000000000\"}")
+        );
     }
 
     #[test]

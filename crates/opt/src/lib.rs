@@ -77,7 +77,7 @@ pub use enumeration::{Enumeration, ParallelEnumeration};
 pub use genetic::{GeneticAlgorithm, GeneticParams};
 pub use hill_climbing::HillClimbing;
 pub use objective::{CacheStats, CachedObjective, CountingObjective, Objective};
-pub use outcome::{better_indexed, IndexedOutcome, Outcome};
+pub use outcome::{better_indexed, IndexedOutcome, Outcome, ResilienceStats};
 pub use random_search::RandomSearch;
 pub use sa::SimulatedAnnealing;
 pub use schedule::CoolingSchedule;

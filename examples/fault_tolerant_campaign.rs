@@ -1,0 +1,135 @@
+//! Fault-tolerant sharded campaign: deterministic fault injection, supervised
+//! recovery, and crash-consistent store maintenance.
+//!
+//! Runs the paper's EM campaign under a hostile fault schedule — an evaluation
+//! error, a shard death, a stalled worker and a torn store append — and shows the
+//! supervised runner converging to the **bit-identical** result of a fault-free
+//! run, with every supervision decision exported as JSONL telemetry.  Afterwards
+//! the store is recovered (the torn half-record is quarantined, never silently
+//! dropped) and rolled back to a retained compaction generation.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerant_campaign
+//! WD_CHAOS_SEED=7 cargo run --release --example fault_tolerant_campaign
+//! ```
+
+use workdist::autotune::{
+    campaign_context, ConfigurationSpace, MeasurementEvaluator, MethodKind, SystemConfiguration,
+};
+use workdist::dist::{
+    FaultPlan, JsonlStore, MemoryStore, ResultStore, RetryPolicy, ShardedCampaign,
+};
+use workdist::dna::Genome;
+use workdist::obs::JsonlExporter;
+use workdist::platform::HeterogeneousPlatform;
+
+fn main() {
+    let platform = HeterogeneousPlatform::emil();
+    let workload = Genome::Human.workload();
+    let context = campaign_context(MethodKind::Em, &workload);
+    let evaluator = MeasurementEvaluator::new(platform, workload);
+    let grid = ConfigurationSpace::enumeration_grid();
+    let shards = 4;
+
+    // the chaos schedule is deterministic: same seed, same faults, same recovery
+    let seed = std::env::var("WD_CHAOS_SEED")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(7u64); // the default plan covers all four fault kinds
+    let faults = FaultPlan::random(seed, shards, 2, 3);
+    println!("fault plan (seed {seed}, slot:attempt:after_batches:kind):");
+    for event in faults.events() {
+        println!("    {event}");
+    }
+
+    // the reference: the same campaign with no faults injected
+    let reference = ShardedCampaign::new(shards)
+        .run(&grid, &evaluator, &MemoryStore::new())
+        .expect("fault-free reference campaign");
+
+    let store_path = std::env::temp_dir().join("workdist-fault-tolerant-campaign.jsonl");
+    let _ = std::fs::remove_file(&store_path);
+    let telemetry_path = std::env::temp_dir().join("workdist-fault-tolerant-telemetry.jsonl");
+    let exporter = JsonlExporter::create(&telemetry_path).expect("create telemetry exporter");
+
+    let store: JsonlStore<SystemConfiguration> =
+        JsonlStore::open_with_context(&store_path, &context).expect("open the result store");
+    let supervised = ShardedCampaign::new(shards)
+        .run_supervised_observed(
+            &grid,
+            &evaluator,
+            &store,
+            &faults,
+            &RetryPolicy::default(),
+            &exporter,
+            "chaos",
+        )
+        .expect("supervised campaign");
+    exporter.flush().expect("flush telemetry");
+
+    let resilience = supervised.supervision.resilience;
+    println!(
+        "supervised campaign over {} configurations, {shards} shards:",
+        supervised.outcome.evaluations
+    );
+    println!(
+        "    {} attempts, {} retries, {} lease expiries, {} steals, {} dead slot(s)",
+        resilience.attempts,
+        resilience.retries,
+        resilience.lease_expiries,
+        resilience.steals,
+        supervised.supervision.dead_slots.len()
+    );
+    println!(
+        "    logical clock at {} ticks; {} failed-attempt evaluations were reused from the store",
+        supervised.supervision.final_clock, supervised.supervision.failed_stats.misses
+    );
+    println!(
+        "    best {} -> {:.4} s (index {})",
+        supervised.outcome.best_config,
+        supervised.outcome.best_energy,
+        supervised.outcome.best_index
+    );
+    assert_eq!(supervised.outcome.best_config, reference.best_config);
+    assert_eq!(
+        supervised.outcome.best_energy.to_bits(),
+        reference.best_energy.to_bits(),
+        "the supervised result must be bit-identical to the fault-free run"
+    );
+    println!("    bit-identical to the fault-free reference ✓");
+    println!(
+        "    telemetry: {} events -> {}",
+        exporter.events_written(),
+        telemetry_path.display()
+    );
+    drop(store);
+
+    // recover the store: torn half-records are quarantined, the log is rewritten
+    // clean, and the pre-recovery log is retained as a .gen-N snapshot
+    let (recovered, report) =
+        JsonlStore::<SystemConfiguration>::open_recovering(&store_path).expect("recover the store");
+    println!(
+        "store recovery: {} corrupt line(s) quarantined to {}, {} records kept, generation {}",
+        report.quarantined,
+        report.sidecar.display(),
+        report.records,
+        report.generation
+    );
+    let generations = recovered.retained_generations();
+    if let Some(&generation) = generations.last() {
+        let restored = JsonlStore::<SystemConfiguration>::rollback(&store_path, generation)
+            .expect("roll the store back");
+        println!(
+            "rollback to generation {generation}: {} records (pre-recovery state restored)",
+            restored.len()
+        );
+        // roll forward again so the example leaves a clean store behind
+        let (_, report) = JsonlStore::<SystemConfiguration>::open_recovering(&store_path)
+            .expect("re-recover after rollback");
+        println!(
+            "re-recovered: rewritten={}, now generation {}",
+            report.rewritten, report.generation
+        );
+    }
+    println!("store: {}", store_path.display());
+}

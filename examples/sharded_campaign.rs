@@ -37,7 +37,9 @@ fn main() {
     let counting = CountingObjective::new(&evaluator);
     let campaign = ShardedCampaign::new(4);
     let start = Instant::now();
-    let outcome = campaign.run(&grid, &counting, &store);
+    let outcome = campaign
+        .run(&grid, &counting, &store)
+        .expect("run the sharded campaign");
     let elapsed = start.elapsed();
 
     println!(

@@ -128,17 +128,19 @@ fn sharded_campaign_run_observed_is_bit_identical_to_run() {
     let campaign = ShardedCampaign::new(3);
 
     let plain_store: MemoryStore<SystemConfiguration> = MemoryStore::new();
-    let plain = campaign.run(&space, &objective, &plain_store);
+    let plain = campaign.run(&space, &objective, &plain_store).unwrap();
 
     let observed_store: MemoryStore<SystemConfiguration> = MemoryStore::new();
     let registry = Registry::new();
-    let observed = campaign.run_observed(
-        &space,
-        &objective,
-        &observed_store,
-        &registry,
-        "campaign-contract",
-    );
+    let observed = campaign
+        .run_observed(
+            &space,
+            &objective,
+            &observed_store,
+            &registry,
+            "campaign-contract",
+        )
+        .unwrap();
 
     assert_eq!(observed.best_config, plain.best_config);
     assert_eq!(observed.best_energy.to_bits(), plain.best_energy.to_bits());

@@ -202,7 +202,8 @@ fn sharded_three_accelerator_campaign_never_materializes_the_grid() {
     let shards = 4;
     let outcome = ShardedCampaign::new(shards)
         .with_batch_size(batch_size)
-        .run(&instrumented, &objective, &store);
+        .run(&instrumented, &objective, &store)
+        .unwrap();
 
     // the full configuration Vec was never built: the space only ever served single
     // configurations by index, in chunk-sized batches
@@ -229,7 +230,8 @@ fn sharded_three_accelerator_campaign_never_materializes_the_grid() {
             &MaterializedOnly::new(&space),
             &tabulated,
             &MemoryStore::new(),
-        );
+        )
+        .unwrap();
     assert_eq!(outcome.best_config, reference.best_config);
     assert_eq!(outcome.best_index, reference.best_index);
     assert_eq!(

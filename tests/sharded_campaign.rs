@@ -37,7 +37,9 @@ fn four_shard_campaign_over_the_table_i_grid_is_bit_identical_and_resumes_free()
         let store: JsonlStore<SystemConfiguration> =
             JsonlStore::open_with_context(&path, &context).unwrap();
         let counting = CountingObjective::new(&evaluator);
-        let cold = ShardedCampaign::new(4).run(&grid, &counting, &store);
+        let cold = ShardedCampaign::new(4)
+            .run(&grid, &counting, &store)
+            .unwrap();
         assert_eq!(counting.evaluations(), 19_926);
         assert_eq!(
             cold.stats,
@@ -66,7 +68,9 @@ fn four_shard_campaign_over_the_table_i_grid_is_bit_identical_and_resumes_free()
         assert_eq!(store.len(), 19_926);
         assert_eq!(store.skipped_lines(), 0);
         let counting = CountingObjective::new(&evaluator);
-        let warm = ShardedCampaign::new(4).run(&grid, &counting, &store);
+        let warm = ShardedCampaign::new(4)
+            .run(&grid, &counting, &store)
+            .unwrap();
         assert_eq!(
             counting.evaluations(),
             0,
@@ -100,7 +104,9 @@ fn sharding_is_invisible_for_every_shard_count() {
     let single = ParallelEnumeration::new().run(&grid, &evaluator);
     for shards in [1usize, 2, 3, 5, 8, 64] {
         let store = MemoryStore::new();
-        let outcome = ShardedCampaign::new(shards).run(&grid, &evaluator, &store);
+        let outcome = ShardedCampaign::new(shards)
+            .run(&grid, &evaluator, &store)
+            .unwrap();
         assert_eq!(outcome.best_config, single.best_config, "{shards} shards");
         assert_eq!(outcome.best_energy.to_bits(), single.best_energy.to_bits());
         assert_eq!(outcome.evaluations, single.evaluations);
