@@ -21,8 +21,8 @@ use rayon::prelude::*;
 use wd_obs::{FieldValue, NoopRecorder, Recorder};
 use wd_opt::enumeration::DEFAULT_BATCH_SIZE;
 use wd_opt::{
-    better_indexed, CacheStats, Objective, OptimizationTrace, Outcome, ParallelEnumeration,
-    SearchSpace, ShardPlan, ShardView,
+    better_indexed, CacheStats, EnumerationError, Objective, OptimizationTrace, Outcome,
+    ParallelEnumeration, SearchSpace, ShardPlan, ShardView,
 };
 
 use crate::error::CampaignError;
@@ -274,7 +274,7 @@ impl ShardedCampaign {
         let reports: Vec<ShardReport> = (0..plan.shard_count())
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|shard| {
+            .map(|shard| -> Result<ShardReport, CampaignError> {
                 let range = plan.range(shard);
                 if recorder.enabled() {
                     recorder.event(
@@ -293,7 +293,15 @@ impl ShardedCampaign {
                 };
                 let backed = StoreBackedObjective::new(objective, store);
                 let indexed = ParallelEnumeration::with_batch_size(self.batch_size)
-                    .run_indexed(&view, &backed);
+                    .try_run_indexed(&view, &backed)
+                    .map_err(|error| match error {
+                        // shard-local indices translate back to global ones
+                        EnumerationError::MissingConfig { index } => CampaignError::MissingConfig {
+                            index: view.global_index(index),
+                        },
+                        EnumerationError::NotEnumerable => CampaignError::NotEnumerable,
+                        EnumerationError::Empty => CampaignError::EmptySpace,
+                    })?;
                 let report = ShardReport {
                     shard_index: shard,
                     best_index: view.global_index(indexed.best_index),
@@ -316,9 +324,9 @@ impl ShardedCampaign {
                         ],
                     );
                 }
-                report
+                Ok(report)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
 
         let (best_index, best_energy) = merge_shard_bests(reports.iter().map(ShardReport::best))
             .ok_or(CampaignError::EmptySpace)?;

@@ -36,6 +36,10 @@ pub enum CampaignError {
         /// The global enumeration-index range left uncovered.
         range: Range<usize>,
     },
+    /// The multi-process transport failed outside the store itself: spawning a
+    /// worker process, writing a lease or manifest file, or the campaign not
+    /// settling within its wall-clock budget.
+    Transport(io::Error),
 }
 
 impl fmt::Display for CampaignError {
@@ -59,6 +63,9 @@ impl fmt::Display for CampaignError {
                  work-stealing path",
                 range.start, range.end
             ),
+            CampaignError::Transport(error) => {
+                write!(f, "campaign process transport failed: {error}")
+            }
         }
     }
 }
@@ -66,7 +73,7 @@ impl fmt::Display for CampaignError {
 impl std::error::Error for CampaignError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CampaignError::Store(error) => Some(error),
+            CampaignError::Store(error) | CampaignError::Transport(error) => Some(error),
             _ => None,
         }
     }
@@ -97,5 +104,9 @@ mod tests {
         assert!(CampaignError::RangeAbandoned { range: 3..9 }
             .to_string()
             .contains("3..9"));
+        let transport = CampaignError::Transport(io::Error::other("spawn refused"));
+        assert!(transport.to_string().contains("transport"));
+        assert!(transport.to_string().contains("spawn refused"));
+        assert!(std::error::Error::source(&transport).is_some());
     }
 }

@@ -61,7 +61,7 @@ impl FaultKind {
         }
     }
 
-    fn from_code(code: &str) -> Option<FaultKind> {
+    pub(crate) fn from_code(code: &str) -> Option<FaultKind> {
         FaultKind::ALL.into_iter().find(|kind| kind.code() == code)
     }
 }

@@ -62,6 +62,7 @@ pub mod coordinator;
 pub mod error;
 pub mod fault;
 pub mod key;
+pub mod proc;
 pub mod store;
 pub mod supervisor;
 mod sync;
@@ -72,9 +73,13 @@ pub use coordinator::{
 pub use error::CampaignError;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultyObjective, FaultyStore};
 pub use key::ConfigKey;
+pub use proc::{
+    ProcCampaign, ProcManifest, ProcOutcome, ProcReport, WorkDir, WorkloadSpec,
+    PROC_MANIFEST_VERSION,
+};
 pub use store::{
-    CompactionReport, JsonlStore, MemoryStore, RecoveryReport, ResultStore, StoreIoStats,
-    STORE_SCHEMA_VERSION,
+    read_result_records, CompactionReport, JsonlStore, MemoryStore, RecoveryReport, ResultStore,
+    StoreIoStats, DEFAULT_RETAINED_GENERATIONS, STORE_SCHEMA_VERSION,
 };
 pub use supervisor::{
     AttemptRecord, FailureReason, RetryPolicy, SupervisedOutcome, SupervisionReport,

@@ -179,6 +179,16 @@ where
 /// [`ResultStore::record_batch`]), so a killed campaign loses at most the batch being
 /// written; [`ResultStore::flush`] (called by the campaign coordinator at the end of
 /// every run) surfaces the first write error encountered since the previous flush.
+///
+/// **Single-writer guard.**  A JSONL log has exactly one append stream: interleaved
+/// appends from two processes would tear each other's batch boundaries.  Opening a
+/// store therefore acquires an advisory `<path>.lock` sentinel (created with
+/// `create_new`, carrying the holder's PID and the store generation); a second open
+/// of the same live log — from this or any other process — fails loudly with
+/// [`io::ErrorKind::WouldBlock`] instead of silently interleaving records.  A lock
+/// whose holder process is gone (a `kill -9`'d worker) is stale and is taken over
+/// after the staleness check.  The lock is released when the store is dropped;
+/// read-only access never needs it (see [`read_result_records`]).
 #[derive(Debug)]
 pub struct JsonlStore<C> {
     path: PathBuf,
@@ -191,8 +201,131 @@ pub struct JsonlStore<C> {
     context: Option<String>,
     schema: Option<String>,
     generation: AtomicU64,
+    retain_generations: usize,
     io: IoCounters,
+    // held for RAII only: dropping the store removes the `<path>.lock` sentinel
+    _lock: StoreLock,
     _config: PhantomData<fn(&C) -> C>,
+}
+
+/// The held advisory append lock of one open [`JsonlStore`]: the `<path>.lock`
+/// sentinel file, removed when the store is dropped.
+#[derive(Debug)]
+struct StoreLock {
+    path: PathBuf,
+}
+
+impl Drop for StoreLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether the process `pid` is still alive, for the stale-lock takeover check.
+///
+/// Probes `/proc/<pid>`; on systems without a procfs the holder is conservatively
+/// treated as alive (the lock must then be removed by hand), so a takeover can
+/// never race a live writer.
+fn process_alive(pid: u64) -> bool {
+    if pid == u64::from(std::process::id()) {
+        return true;
+    }
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return true;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+impl StoreLock {
+    fn lock_path(store_path: &Path) -> PathBuf {
+        PathBuf::from(format!("{}.lock", store_path.display()))
+    }
+
+    /// Acquire the advisory single-writer lock for the log at `store_path`.
+    ///
+    /// The sentinel is created with `create_new` (atomic on every platform), so
+    /// exactly one opener wins.  An existing sentinel whose holder PID is dead is
+    /// stale — the footprint of a killed writer — and is removed and re-acquired;
+    /// an existing sentinel with a live holder fails the open with
+    /// [`io::ErrorKind::WouldBlock`].
+    fn acquire(store_path: &Path, generation: u64) -> io::Result<StoreLock> {
+        let path = Self::lock_path(store_path);
+        // two rounds: the first may find (and clear) a stale holder, the second
+        // re-attempts the atomic create; losing both means a live contender
+        for _ in 0..2 {
+            match OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut sentinel) => {
+                    sentinel.write_all(
+                        format!("{{\"pid\":{},\"gen\":{generation}}}\n", std::process::id())
+                            .as_bytes(),
+                    )?;
+                    sentinel.flush()?;
+                    return Ok(StoreLock { path });
+                }
+                Err(error) if error.kind() == io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path).unwrap_or_default();
+                    match json_uint_field(&holder, "pid") {
+                        Some(pid) if process_alive(pid) => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WouldBlock,
+                                format!(
+                                    "result store {} is already open for append by live \
+                                     process {pid} (lock {}); a JSONL log has exactly one \
+                                     writer — a second appender would interleave and tear \
+                                     batch boundaries",
+                                    store_path.display(),
+                                    path.display()
+                                ),
+                            ));
+                        }
+                        // dead holder or unreadable sentinel: stale, take it over
+                        Some(_) | None => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                    }
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::WouldBlock,
+            format!(
+                "result store {} lock contended while clearing a stale sentinel",
+                store_path.display()
+            ),
+        ))
+    }
+}
+
+/// Load the result records of the log at `path` **read-only**: no append handle, no
+/// tail sealing, and no single-writer lock is taken or required.
+///
+/// This is the view a worker process uses to warm-load a merged store that the
+/// coordinator holds open (and locked) for append, and the view the coordinator
+/// uses to salvage the segment of a dead worker.  Keys are the raw [`ConfigKey`]
+/// encodings; the second element counts malformed/torn lines skipped (a flushed,
+/// quiescent log reads back with zero).
+pub fn read_result_records(path: &Path) -> io::Result<(HashMap<String, f64>, usize)> {
+    let mut map = HashMap::new();
+    let mut skipped = 0usize;
+    if !path.exists() {
+        return Ok((map, skipped));
+    }
+    for line in BufReader::new(File::open(path)?).split(b'\n') {
+        let line = String::from_utf8(line?).unwrap_or_default();
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Some(Record::Result(key, energy)) => {
+                map.insert(key, energy);
+            }
+            Some(_) => {}
+            None => skipped += 1,
+        }
+    }
+    Ok((map, skipped))
 }
 
 #[derive(Debug, Default)]
@@ -230,6 +363,14 @@ pub struct StoreIoStats {
 /// the header existed load fine (their version reads as `None`); future migrations
 /// key off this stamp to detect old layouts.
 pub const STORE_SCHEMA_VERSION: &str = "wd-dist-store/v2";
+
+/// Default number of `.gen-N` rollback snapshots a store retains (the most recent
+/// K generations; older snapshots are pruned after each [`JsonlStore::compact`]
+/// pass).  Long-lived stores compact on every recovery and periodically under
+/// overlapping campaigns, so without a cap snapshots accumulate one full log copy
+/// per compaction without bound.  Override per store with
+/// [`JsonlStore::with_generation_retention`].
+pub const DEFAULT_RETAINED_GENERATIONS: usize = 4;
 
 /// What one [`JsonlStore::compact`] pass did: how many result records the rewritten
 /// log kept versus dropped as duplicates.
@@ -412,6 +553,9 @@ impl<C: ConfigKey> JsonlStore<C> {
             // next record)
             needs_seal = !ends_with_newline(&path)?;
         }
+        // the single-writer lock is taken before the append handle (and before the
+        // seal write), so a second opener can never interleave with this one
+        let lock = StoreLock::acquire(&path, generation)?;
         let mut writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(&path)?);
         if needs_seal {
             // `loaded_bytes` already counted the phantom newline of the partial
@@ -430,11 +574,13 @@ impl<C: ConfigKey> JsonlStore<C> {
             context,
             schema,
             generation: AtomicU64::new(generation),
+            retain_generations: DEFAULT_RETAINED_GENERATIONS,
             io: IoCounters {
                 loaded_records,
                 loaded_bytes,
                 ..IoCounters::default()
             },
+            _lock: lock,
             _config: PhantomData,
         };
         if !saw_lines {
@@ -543,6 +689,26 @@ impl<C: ConfigKey> JsonlStore<C> {
             .collect()
     }
 
+    /// Cap the number of `.gen-N` rollback snapshots this store keeps (default
+    /// [`DEFAULT_RETAINED_GENERATIONS`]).  After every [`JsonlStore::compact`]
+    /// pass, only the most recent `keep` snapshots survive; older ones are pruned.
+    /// `keep == 0` retains nothing (every compaction immediately deletes the
+    /// snapshot it just wrote, trading rollback for minimum disk).
+    pub fn with_generation_retention(mut self, keep: usize) -> Self {
+        self.retain_generations = keep;
+        self
+    }
+
+    /// Remove `.gen-N` snapshots older than the retention window ending at the
+    /// current generation.  Missing files are fine (never retained, pruned
+    /// earlier, or removed by hand).
+    fn prune_generations(&self) {
+        let next = self.generation();
+        for old in 0..next.saturating_sub(self.retain_generations as u64) {
+            let _ = std::fs::remove_file(Self::generation_path(&self.path, old));
+        }
+    }
+
     /// Roll the log at `path` back to the retained snapshot of `generation` and
     /// reopen it.
     ///
@@ -646,7 +812,11 @@ impl<C: ConfigKey> JsonlStore<C> {
     /// `{"gen":N+1}` into the rewritten log, so any earlier state can be restored
     /// with [`JsonlStore::rollback`].  The copy happens *before* the atomic
     /// rename: a crash between the two leaves the live log untouched and at worst
-    /// a redundant snapshot behind.
+    /// a redundant snapshot behind.  Snapshots older than the retention cap
+    /// ([`DEFAULT_RETAINED_GENERATIONS`], tunable via
+    /// [`JsonlStore::with_generation_retention`]) are pruned after each pass, so
+    /// long-lived stores keep a bounded rollback window instead of one full log
+    /// copy per compaction forever.
     pub fn compact(&self) -> io::Result<CompactionReport> {
         let mut writer = lock(&self.writer);
         writer.flush()?;
@@ -725,6 +895,7 @@ impl<C: ConfigKey> JsonlStore<C> {
             .compacted_dropped
             .fetch_add(report.dropped() as u64, Ordering::Relaxed);
         self.generation.store(generation + 1, Ordering::Relaxed);
+        self.prune_generations();
         *write_lock(&self.map) = merged;
         *lock(&self.stats) = stats;
         Ok(report)
@@ -1101,6 +1272,8 @@ mod tests {
 
         // a reopened store sees the compacted log: header + generation + context +
         // 5 records + stats, nothing skipped, context intact
+        let snapshot = store.generation_file(0);
+        drop(store); // release the single-writer lock before reopening
         let reopened: JsonlStore<u32> =
             JsonlStore::open_with_context(&path, "em|human|compact-test").unwrap();
         assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
@@ -1113,7 +1286,7 @@ mod tests {
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents.lines().count(), 1 + 1 + 1 + 4 + 1 + 1);
         std::fs::remove_file(&path).unwrap();
-        std::fs::remove_file(store.generation_file(0)).unwrap();
+        std::fs::remove_file(snapshot).unwrap();
     }
 
     #[test]
@@ -1132,13 +1305,118 @@ mod tests {
         assert_eq!(again.records_before, again.records_after);
         assert_eq!(again.dropped(), 0);
 
+        let snapshots = [store.generation_file(0), store.generation_file(1)];
+        drop(store); // release the single-writer lock before reopening
         let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
         assert_eq!(reopened.lookup(&11).unwrap().to_bits(), awkward.to_bits());
         assert_eq!(reopened.lookup(&12).unwrap().to_bits(), 1e-300f64.to_bits());
         assert_eq!(reopened.generation(), 2);
         std::fs::remove_file(&path).unwrap();
-        std::fs::remove_file(store.generation_file(0)).unwrap();
-        std::fs::remove_file(store.generation_file(1)).unwrap();
+        for snapshot in snapshots {
+            std::fs::remove_file(snapshot).unwrap();
+        }
+    }
+
+    #[test]
+    fn second_append_handle_on_a_live_log_fails_loudly() {
+        let path = temp_path("single-writer");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        store.record(&1, 1.0);
+
+        // a second handle on the same live log would interleave appends; the
+        // advisory lock refuses it with an error naming the holder
+        let contended = JsonlStore::<u32>::open(&path).unwrap_err();
+        assert_eq!(contended.kind(), io::ErrorKind::WouldBlock);
+        let message = contended.to_string();
+        assert!(message.contains(&std::process::id().to_string()));
+        assert!(message.contains(".lock"));
+
+        // read-only access needs no lock and sees the flushed records
+        store.flush().unwrap();
+        let (records, skipped) = read_result_records(&path).unwrap();
+        assert_eq!(records.get("1"), Some(&1.0));
+        assert_eq!(skipped, 0);
+
+        // dropping the store releases the lock; the next open succeeds
+        drop(store);
+        assert!(!StoreLock::lock_path(&path).exists());
+        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(reopened.lookup(&1), Some(1.0));
+        drop(reopened);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_locks_of_dead_processes_are_taken_over() {
+        let path = temp_path("stale-lock");
+        let _ = std::fs::remove_file(&path);
+        // the footprint of a kill -9'd writer: a lock whose holder PID is gone
+        // (pid 0 is the kernel's — never a valid lock holder, never in /proc)
+        std::fs::write(StoreLock::lock_path(&path), "{\"pid\":0,\"gen\":0}\n").unwrap();
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        store.record(&7, 7.0);
+        store.flush().unwrap();
+        drop(store);
+
+        // an unreadable sentinel is equally stale
+        std::fs::write(StoreLock::lock_path(&path), "garbage").unwrap();
+        let store: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        assert_eq!(store.lookup(&7), Some(7.0));
+        drop(store);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_retention_prunes_generations_beyond_the_cap() {
+        let path = temp_path("retention");
+        let _ = std::fs::remove_file(&path);
+        let store: JsonlStore<u32> = JsonlStore::open(&path)
+            .unwrap()
+            .with_generation_retention(2);
+        for round in 0..5u32 {
+            store.record(&round, f64::from(round));
+            store.compact().unwrap();
+        }
+        assert_eq!(store.generation(), 5);
+        // only the most recent 2 of the 5 snapshots survive
+        assert_eq!(store.retained_generations(), vec![3, 4]);
+        for pruned in 0..3 {
+            assert!(!store.generation_file(pruned).exists());
+        }
+        // the retained window still rolls back
+        let snapshots = [store.generation_file(3), store.generation_file(4)];
+        drop(store);
+        let rolled: JsonlStore<u32> = JsonlStore::rollback(&path, 3).unwrap();
+        assert_eq!(rolled.generation(), 3);
+        assert_eq!(rolled.lookup(&4), None, "post-snapshot writes are gone");
+        drop(rolled);
+        std::fs::remove_file(&path).unwrap();
+        for snapshot in snapshots {
+            std::fs::remove_file(snapshot).unwrap();
+        }
+    }
+
+    #[test]
+    fn read_result_records_tolerates_torn_tails_and_missing_files() {
+        let path = temp_path("raw-read");
+        let _ = std::fs::remove_file(&path);
+        let (records, skipped) = read_result_records(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(skipped, 0);
+
+        std::fs::write(
+            &path,
+            "{\"schema\":\"wd-dist-store/v2\"}\n\
+             {\"config\":\"3,4\",\"energy\":2.5,\"bits\":\"4004000000000000\"}\n\
+             {\"config\":\"5,6\",\"ener",
+        )
+        .unwrap();
+        let (records, skipped) = read_result_records(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records.get("3,4").copied(), Some(2.5));
+        assert_eq!(skipped, 1, "the torn tail is counted, not half-parsed");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -148,29 +148,78 @@ proptest! {
         prop_assert_eq!(report.records_before, records.len());
         prop_assert_eq!(report.records_after, expected.len());
 
-        // the live store and a reopened one agree with the merge rule, bit for bit
-        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
-        prop_assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
-        prop_assert_eq!(reopened.skipped_lines(), 0);
+        // the live store follows the merge rule, bit for bit
         prop_assert_eq!(store.len(), expected.len());
-        prop_assert_eq!(reopened.len(), expected.len());
         for (&key, &energy) in &expected {
             prop_assert_eq!(store.lookup(&key).unwrap().to_bits(), energy.to_bits());
-            prop_assert_eq!(reopened.lookup(&key).unwrap().to_bits(), energy.to_bits());
         }
         prop_assert_eq!(store.recorded_stats(), stats);
-        prop_assert_eq!(reopened.recorded_stats(), stats);
 
         // appends after compaction persist
         store.record(&99, 0.5);
         store.flush().unwrap();
-        let again: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
-        prop_assert_eq!(again.lookup(&99), Some(0.5));
-        prop_assert_eq!(again.len(), expected.len() + 1);
 
-        for generation in store.retained_generations() {
-            let _ = std::fs::remove_file(store.generation_file(generation));
+        // release the single-writer lock, then a reopened store agrees exactly
+        let snapshots: Vec<_> = store
+            .retained_generations()
+            .iter()
+            .map(|&generation| store.generation_file(generation))
+            .collect();
+        drop(store);
+        let reopened: JsonlStore<u32> = JsonlStore::open(&path).unwrap();
+        prop_assert_eq!(reopened.schema_version(), Some(STORE_SCHEMA_VERSION));
+        prop_assert_eq!(reopened.skipped_lines(), 0);
+        prop_assert_eq!(reopened.len(), expected.len() + 1);
+        for (&key, &energy) in &expected {
+            prop_assert_eq!(reopened.lookup(&key).unwrap().to_bits(), energy.to_bits());
+        }
+        prop_assert_eq!(reopened.recorded_stats(), stats);
+        prop_assert_eq!(reopened.lookup(&99), Some(0.5));
+        drop(reopened);
+
+        for snapshot in snapshots {
+            let _ = std::fs::remove_file(snapshot);
         }
         std::fs::remove_file(&path).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `RetryPolicy::backoff_ticks` over the full `base`/`cap`/`retry_index`
+    /// range: capped, monotone non-decreasing, exact doubling below the cap,
+    /// and saturating (never panicking) for shift counts past 63.
+    #[test]
+    fn backoff_ticks_is_capped_monotone_and_saturating(
+        base in 0u64..=u64::MAX,
+        cap in 0u64..=u64::MAX,
+        retry_index in 0usize..200,
+    ) {
+        let policy = wd_dist::RetryPolicy {
+            max_attempts: 4,
+            backoff_base: base,
+            backoff_cap: cap,
+            lease_ticks: 3,
+        };
+        let ticks = policy.backoff_ticks(retry_index);
+        prop_assert!(ticks <= cap, "backoff {ticks} exceeds cap {cap}");
+        prop_assert_eq!(policy.backoff_ticks(0), base.min(cap));
+        if retry_index > 0 {
+            let previous = policy.backoff_ticks(retry_index - 1);
+            prop_assert!(previous <= ticks, "backoff shrank: {previous} -> {ticks}");
+            // Below the cap nothing clamps or saturates, so the schedule is
+            // exactly exponential.
+            if ticks < cap {
+                prop_assert_eq!(ticks, previous.saturating_mul(2));
+            }
+        }
+        if base > 0 && retry_index >= 63 {
+            // The shift would overflow; saturation must pin the result at the cap.
+            prop_assert_eq!(ticks, cap);
+        }
+        if base == 0 {
+            prop_assert_eq!(ticks, 0);
+        }
     }
 }

@@ -140,3 +140,40 @@ proptest! {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+#[test]
+fn open_recovering_an_empty_file_is_a_clean_noop() {
+    let path = unique_path("empty");
+    std::fs::write(&path, "").unwrap();
+    let (store, report) = JsonlStore::<u32>::open_recovering(&path).unwrap();
+    assert_eq!(report.records, 0);
+    assert_eq!(report.quarantined, 0);
+    assert!(!report.rewritten);
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.skipped_lines(), 0);
+    // the recovered handle is a fully working store
+    store.record(&1, 0.5);
+    store.flush().unwrap();
+    assert_eq!(store.lookup(&1), Some(0.5));
+    cleanup(&store, &path);
+}
+
+#[test]
+fn open_recovering_a_lone_half_record_quarantines_it() {
+    let path = unique_path("half");
+    // a crash mid-write of the very first record: no newline, unparseable
+    std::fs::write(&path, "{\"config\":\"7\",\"ener").unwrap();
+    let (store, report) = JsonlStore::<u32>::open_recovering(&path).unwrap();
+    assert_eq!(report.records, 0);
+    assert_eq!(report.quarantined, 1);
+    assert!(report.rewritten);
+    assert_eq!(store.len(), 0);
+    assert_eq!(store.skipped_lines(), 0);
+    assert_eq!(store.lookup(&7), None);
+    // the torn bytes are preserved in the quarantine sidecar, not dropped
+    let mut quarantine = path.as_os_str().to_owned();
+    quarantine.push(".quarantine");
+    let sidecar = std::fs::read_to_string(std::path::PathBuf::from(quarantine)).unwrap();
+    assert!(sidecar.contains("ener"));
+    cleanup(&store, &path);
+}

@@ -30,9 +30,48 @@ use crate::outcome::{better_indexed as better, IndexedOutcome, Outcome};
 use crate::space::SearchSpace;
 use crate::trace::OptimizationTrace;
 
-/// Message of the panic raised when a space claims `space_len()` coverage but
-/// `config_at` fails inside it — an indexed-contract violation of the space.
+/// The indexed-contract clause quoted by [`EnumerationError::MissingConfig`]: a space
+/// claims `space_len()` coverage, so `config_at` must succeed inside it.
 const COVERAGE: &str = "space_len() implies config_at() coverage for every index below it";
+
+/// Why an enumeration run could not produce an outcome.
+///
+/// These are contract violations of the *space*, not evaluation failures: the
+/// panicking drivers ([`Enumeration::run`], [`ParallelEnumeration::run`]) raise them
+/// as panics for exploratory code, the `try_` variants surface them as values so
+/// long-lived callers (the campaign coordinator) can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumerationError {
+    /// The space supports neither indexed access ([`SearchSpace::space_len`] /
+    /// [`SearchSpace::config_at`]) nor materialisation ([`SearchSpace::enumerate`]).
+    NotEnumerable,
+    /// The space reported zero configurations.
+    Empty,
+    /// The space promised `space_len()` coverage but `config_at(index)` returned
+    /// `None` inside that range.
+    MissingConfig {
+        /// The enumeration index that failed to materialise.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for EnumerationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnumerationError::NotEnumerable => {
+                write!(f, "enumeration requires an enumerable search space")
+            }
+            EnumerationError::Empty => write!(f, "cannot enumerate an empty space"),
+            EnumerationError::MissingConfig { index } => write!(
+                f,
+                "search space broke its indexing contract ({COVERAGE}): \
+                 config_at({index}) returned None"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnumerationError {}
 
 /// The enumeration source of one run: either the space serves indices lazily, or its
 /// enumeration was materialised once up front (the fallback).
@@ -42,29 +81,33 @@ enum Source<C> {
 }
 
 /// Resolve the enumeration source and length of `space`, preferring indexed access.
-///
-/// # Panics
-///
-/// Panics if the space is neither indexed nor enumerable, or if it is empty.
-fn source_of<S: SearchSpace>(space: &S) -> (Source<S::Config>, usize) {
+fn source_of<S: SearchSpace>(space: &S) -> Result<(Source<S::Config>, usize), EnumerationError> {
     if let Some(len) = space.space_len() {
-        assert!(len > 0, "cannot enumerate an empty space");
-        return (Source::Lazy, len);
+        if len == 0 {
+            return Err(EnumerationError::Empty);
+        }
+        return Ok((Source::Lazy, len));
     }
-    let configs = space
-        .enumerate()
-        .expect("enumeration requires an enumerable search space");
-    assert!(!configs.is_empty(), "cannot enumerate an empty space");
+    let configs = space.enumerate().ok_or(EnumerationError::NotEnumerable)?;
+    if configs.is_empty() {
+        return Err(EnumerationError::Empty);
+    }
     let len = configs.len();
-    (Source::Materialized(configs), len)
+    Ok((Source::Materialized(configs), len))
 }
 
 impl<C> Source<C> {
     /// The winning configuration, re-materialised by index for the lazy source.
-    fn into_best<S: SearchSpace<Config = C>>(self, space: &S, best_index: usize) -> C {
+    fn into_best<S: SearchSpace<Config = C>>(
+        self,
+        space: &S,
+        best_index: usize,
+    ) -> Result<C, EnumerationError> {
         match self {
-            Source::Lazy => space.config_at(best_index).expect(COVERAGE),
-            Source::Materialized(mut configs) => configs.swap_remove(best_index),
+            Source::Lazy => space
+                .config_at(best_index)
+                .ok_or(EnumerationError::MissingConfig { index: best_index }),
+            Source::Materialized(mut configs) => Ok(configs.swap_remove(best_index)),
         }
     }
 }
@@ -92,43 +135,79 @@ impl Enumeration {
     ///
     /// # Panics
     ///
-    /// Panics if the space supports neither indexed access
-    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
-    /// if it holds zero configurations.
+    /// Panics on any [`EnumerationError`] (non-enumerable space, empty space, broken
+    /// indexing contract); [`Enumeration::try_run`] surfaces the same conditions as
+    /// values.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace + Sync,
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
-        let (source, len) = source_of(space);
+        self.try_run(space, objective)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Run the exhaustive search, surfacing space-contract violations as values.
+    ///
+    /// # Errors
+    ///
+    /// [`EnumerationError::NotEnumerable`] when the space supports neither indexed
+    /// access nor enumeration, [`EnumerationError::Empty`] for zero configurations,
+    /// and [`EnumerationError::MissingConfig`] when `config_at` breaks the
+    /// `space_len()` coverage contract.
+    pub fn try_run<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+    ) -> Result<Outcome<S::Config>, EnumerationError>
+    where
+        S: SearchSpace + Sync,
+        S::Config: Send + Sync,
+        O: Objective<S::Config> + Sync + ?Sized,
+    {
+        let (source, len) = source_of(space)?;
         let counting = CountingObjective::new(objective);
-        let evaluate_at = |index: usize| match &source {
-            Source::Lazy => counting.evaluate(&space.config_at(index).expect(COVERAGE)),
-            Source::Materialized(configs) => counting.evaluate(&configs[index]),
+        let evaluate_at = |index: usize| -> Result<(usize, f64), EnumerationError> {
+            let energy = match &source {
+                Source::Lazy => counting.evaluate(
+                    &space
+                        .config_at(index)
+                        .ok_or(EnumerationError::MissingConfig { index })?,
+                ),
+                Source::Materialized(configs) => counting.evaluate(&configs[index]),
+            };
+            Ok((index, energy))
         };
 
         let best = if self.parallel {
             (0..len)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|index| (index, evaluate_at(index)))
-                .collect::<Vec<_>>()
+                .map(evaluate_at)
+                .collect::<Result<Vec<_>, _>>()?
                 .into_iter()
                 .reduce(better)
         } else {
-            (0..len)
-                .map(|index| (index, evaluate_at(index)))
-                .reduce(better)
+            // streaming fold: the sequential path never holds all scores at once
+            let mut best = None;
+            for index in 0..len {
+                let scored = evaluate_at(index)?;
+                best = Some(match best {
+                    None => scored,
+                    Some(incumbent) => better(incumbent, scored),
+                });
+            }
+            best
         }
-        .expect("non-empty space");
+        .ok_or(EnumerationError::Empty)?;
 
-        Outcome {
-            best_config: source.into_best(space, best.0),
+        Ok(Outcome {
+            best_config: source.into_best(space, best.0)?,
             best_energy: best.1,
             evaluations: counting.evaluations(),
             trace: OptimizationTrace::new(),
-        }
+        })
     }
 }
 
@@ -178,9 +257,8 @@ impl ParallelEnumeration {
     ///
     /// # Panics
     ///
-    /// Panics if the space supports neither indexed access
-    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
-    /// if it holds zero configurations.
+    /// Panics on any [`EnumerationError`]; [`ParallelEnumeration::try_run`] surfaces
+    /// the same conditions as values.
     pub fn run<S, O>(&self, space: &S, objective: &O) -> Outcome<S::Config>
     where
         S: SearchSpace + Sync,
@@ -188,6 +266,25 @@ impl ParallelEnumeration {
         O: Objective<S::Config> + Sync + ?Sized,
     {
         self.run_indexed(space, objective).outcome
+    }
+
+    /// Run the exhaustive batched search, surfacing space-contract violations as
+    /// values ([`ParallelEnumeration::try_run_indexed`] without the index).
+    ///
+    /// # Errors
+    ///
+    /// See [`ParallelEnumeration::try_run_indexed`].
+    pub fn try_run<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+    ) -> Result<Outcome<S::Config>, EnumerationError>
+    where
+        S: SearchSpace + Sync,
+        S::Config: Send + Sync,
+        O: Objective<S::Config> + Sync + ?Sized,
+    {
+        Ok(self.try_run_indexed(space, objective)?.outcome)
     }
 
     /// Run the exhaustive batched search and also report the enumeration-order index of
@@ -199,16 +296,39 @@ impl ParallelEnumeration {
     ///
     /// # Panics
     ///
-    /// Panics if the space supports neither indexed access
-    /// ([`SearchSpace::space_len`]) nor enumeration ([`SearchSpace::enumerate`]), or
-    /// if it holds zero configurations.
+    /// Panics on any [`EnumerationError`];
+    /// [`ParallelEnumeration::try_run_indexed`] surfaces the same conditions as
+    /// values.
     pub fn run_indexed<S, O>(&self, space: &S, objective: &O) -> IndexedOutcome<S::Config>
     where
         S: SearchSpace + Sync,
         S::Config: Send + Sync,
         O: Objective<S::Config> + Sync + ?Sized,
     {
-        let (source, len) = source_of(space);
+        self.try_run_indexed(space, objective)
+            .unwrap_or_else(|error| panic!("{error}"))
+    }
+
+    /// Run the exhaustive batched search, reporting the enumeration-order index of
+    /// the best configuration and surfacing space-contract violations as values.
+    ///
+    /// # Errors
+    ///
+    /// [`EnumerationError::NotEnumerable`] when the space supports neither indexed
+    /// access nor enumeration, [`EnumerationError::Empty`] for zero configurations,
+    /// and [`EnumerationError::MissingConfig`] when `config_at` breaks the
+    /// `space_len()` coverage contract.
+    pub fn try_run_indexed<S, O>(
+        &self,
+        space: &S,
+        objective: &O,
+    ) -> Result<IndexedOutcome<S::Config>, EnumerationError>
+    where
+        S: SearchSpace + Sync,
+        S::Config: Send + Sync,
+        O: Objective<S::Config> + Sync + ?Sized,
+    {
+        let (source, len) = source_of(space)?;
         let counting = CountingObjective::new(objective);
         let batch_size = self.batch_size.max(1);
 
@@ -220,15 +340,19 @@ impl ParallelEnumeration {
         let best = (0..chunk_count)
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|chunk| {
+            .map(|chunk| -> Result<(usize, f64), EnumerationError> {
                 let start = chunk * batch_size;
                 let end = (start + batch_size).min(len);
                 let streamed: Vec<S::Config>;
                 let batch: &[S::Config] = match &source {
                     Source::Lazy => {
                         streamed = (start..end)
-                            .map(|index| space.config_at(index).expect(COVERAGE))
-                            .collect();
+                            .map(|index| {
+                                space
+                                    .config_at(index)
+                                    .ok_or(EnumerationError::MissingConfig { index })
+                            })
+                            .collect::<Result<_, _>>()?;
                         &streamed
                     }
                     Source::Materialized(configs) => &configs[start..end],
@@ -239,22 +363,23 @@ impl ParallelEnumeration {
                     .enumerate()
                     .map(|(local, energy)| (start + local, energy))
                     .reduce(better)
-                    .expect("chunks are non-empty")
+                    // chunk ranges are non-empty by construction (start < end <= len)
+                    .ok_or(EnumerationError::Empty)
             })
-            .collect::<Vec<_>>()
+            .collect::<Result<Vec<_>, _>>()?
             .into_iter()
             .reduce(better)
-            .expect("non-empty space");
+            .ok_or(EnumerationError::Empty)?;
 
-        IndexedOutcome {
+        Ok(IndexedOutcome {
             best_index: best.0,
             outcome: Outcome {
-                best_config: source.into_best(space, best.0),
+                best_config: source.into_best(space, best.0)?,
                 best_energy: best.1,
                 evaluations: counting.evaluations(),
                 trace: OptimizationTrace::new(),
             },
-        }
+        })
     }
 }
 
@@ -458,5 +583,76 @@ mod tests {
             }
         }
         let _ = ParallelEnumeration::new().run(&Opaque, &|c: &u8| *c as f64);
+    }
+
+    #[test]
+    fn try_runs_surface_contract_violations_as_values() {
+        use rand::rngs::StdRng;
+        struct Opaque;
+        impl SearchSpace for Opaque {
+            type Config = u8;
+            fn random(&self, _rng: &mut StdRng) -> u8 {
+                0
+            }
+            fn neighbor(&self, c: &u8, _rng: &mut StdRng) -> u8 {
+                *c
+            }
+        }
+        let objective = |c: &u8| f64::from(*c);
+        assert_eq!(
+            Enumeration::sequential()
+                .try_run(&Opaque, &objective)
+                .unwrap_err(),
+            EnumerationError::NotEnumerable
+        );
+        assert_eq!(
+            ParallelEnumeration::new()
+                .try_run(&Opaque, &objective)
+                .unwrap_err(),
+            EnumerationError::NotEnumerable
+        );
+
+        let empty = GridSpace {
+            width: 0,
+            height: 5,
+        };
+        let grid_objective = |_: &(u32, u32)| 0.0;
+        assert_eq!(
+            Enumeration::parallel()
+                .try_run(&empty, &grid_objective)
+                .unwrap_err(),
+            EnumerationError::Empty
+        );
+        assert_eq!(
+            ParallelEnumeration::new()
+                .try_run_indexed(&empty, &grid_objective)
+                .unwrap_err(),
+            EnumerationError::Empty
+        );
+
+        // the Ok path agrees with the panicking drivers bit for bit
+        let space = GridSpace {
+            width: 19,
+            height: 7,
+        };
+        let indexed = ParallelEnumeration::with_batch_size(11)
+            .try_run_indexed(&space, &bowl)
+            .unwrap();
+        let reference = ParallelEnumeration::with_batch_size(11).run_indexed(&space, &bowl);
+        assert_eq!(indexed.best_index, reference.best_index);
+        assert_eq!(indexed.outcome.best_config, reference.outcome.best_config);
+        assert_eq!(
+            indexed.outcome.best_energy.to_bits(),
+            reference.outcome.best_energy.to_bits()
+        );
+
+        // errors display the condition (the panic wrappers re-raise these strings)
+        assert!(EnumerationError::NotEnumerable
+            .to_string()
+            .contains("enumerable"));
+        assert!(EnumerationError::Empty.to_string().contains("empty"));
+        assert!(EnumerationError::MissingConfig { index: 3 }
+            .to_string()
+            .contains("config_at(3)"));
     }
 }

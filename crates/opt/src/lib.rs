@@ -69,11 +69,12 @@ pub mod sa;
 pub mod schedule;
 pub mod shard;
 pub mod space;
+mod sync;
 pub mod tabu;
 pub mod trace;
 
 pub use delta::{DeltaObjective, FullDelta, Touched};
-pub use enumeration::{Enumeration, ParallelEnumeration};
+pub use enumeration::{Enumeration, EnumerationError, ParallelEnumeration};
 pub use genetic::{GeneticAlgorithm, GeneticParams};
 pub use hill_climbing::HillClimbing;
 pub use objective::{CacheStats, CachedObjective, CountingObjective, Objective};

@@ -21,6 +21,8 @@ use std::hash::Hash;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::RwLock;
 
+use crate::sync::{read_lock, write_lock};
+
 /// An objective function over configurations of type `C`.  Lower values are better
 /// ("energy" in the simulated-annealing terminology of the paper, execution time in the
 /// work-distribution instantiation).
@@ -212,7 +214,7 @@ where
 
     /// Number of distinct configurations cached so far.
     pub fn len(&self) -> usize {
-        self.cache.read().expect("cache lock poisoned").len()
+        read_lock(&self.cache).len()
     }
 
     /// Whether the cache is still empty.
@@ -222,7 +224,7 @@ where
 
     /// Forget all cached energies and reset the counters.
     pub fn clear(&self) {
-        self.cache.write().expect("cache lock poisoned").clear();
+        write_lock(&self.cache).clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
@@ -236,12 +238,12 @@ where
     fn evaluate(&self, config: &C) -> f64 {
         // Read-then-write fast path: hits (the common case under annealing) probe the
         // shared lock with the borrowed key and allocate nothing.
-        if let Some(&energy) = self.cache.read().expect("cache lock poisoned").get(config) {
+        if let Some(&energy) = read_lock(&self.cache).get(config) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return energy;
         }
         let energy = self.inner.evaluate(config);
-        let mut cache = self.cache.write().expect("cache lock poisoned");
+        let mut cache = write_lock(&self.cache);
         // another thread may have filled this configuration while we evaluated; its
         // value is identical (objectives are deterministic) — count us as a hit so
         // `misses` keeps counting distinct configurations, and skip the key clone
@@ -258,7 +260,7 @@ where
         let mut energies = vec![0.0f64; configs.len()];
         let mut pending: Vec<usize> = Vec::new();
         {
-            let cache = self.cache.read().expect("cache lock poisoned");
+            let cache = read_lock(&self.cache);
             for (index, config) in configs.iter().enumerate() {
                 match cache.get(config) {
                     Some(&energy) => energies[index] = energy,
@@ -295,7 +297,7 @@ where
             energies[index] = fresh[position[&configs[index]]];
         }
         {
-            let mut cache = self.cache.write().expect("cache lock poisoned");
+            let mut cache = write_lock(&self.cache);
             let mut new_misses = 0;
             let mut race_hits = 0;
             for (config, &energy) in unique.into_iter().zip(&fresh) {

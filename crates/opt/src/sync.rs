@@ -1,0 +1,19 @@
+//! Poison-recovering lock helpers for the shared evaluation caches.
+//!
+//! Poisoning only means another thread panicked while holding the guard; the
+//! cache's critical sections leave their data consistent at every step
+//! (whole-entry inserts, counter bumps), so the protected state is still
+//! usable — and a panic cascade here would turn one failed evaluation into a
+//! failed search.
+
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Acquire a read guard, recovering from poisoning instead of panicking.
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a write guard, recovering from poisoning (see [`read_lock`]).
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}

@@ -116,6 +116,7 @@ fn main() {
         report.generation
     );
     let generations = recovered.retained_generations();
+    drop(recovered); // release the single-writer lock before rollback reopens the log
     if let Some(&generation) = generations.last() {
         let restored = JsonlStore::<SystemConfiguration>::rollback(&store_path, generation)
             .expect("roll the store back");
@@ -123,6 +124,7 @@ fn main() {
             "rollback to generation {generation}: {} records (pre-recovery state restored)",
             restored.len()
         );
+        drop(restored);
         // roll forward again so the example leaves a clean store behind
         let (_, report) = JsonlStore::<SystemConfiguration>::open_recovering(&store_path)
             .expect("re-recover after rollback");

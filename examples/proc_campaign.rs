@@ -1,0 +1,167 @@
+//! Multi-process distributed campaign under real process chaos.
+//!
+//! A coordinator spawns a fleet of `wd-worker` **processes** over a seeded
+//! fault plan (stalls, deaths, torn writes, eval errors), while a killer
+//! thread delivers a genuine `kill -9` to a pinned, stalled worker.  The
+//! campaign must still converge to the **bit-identical** outcome of a
+//! fault-free single-process run, re-evaluating nothing that was already
+//! durable — the crash-proof store reconciliation story, end to end.
+//!
+//! ```sh
+//! cargo build --release -p wd_dist --bin wd-worker
+//! cargo run --release --example proc_campaign
+//! WD_CHAOS_SEED=42 cargo run --release --example proc_campaign
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use workdist::dist::proc::WorkDir;
+use workdist::dist::{
+    read_result_records, FaultEvent, FaultKind, FaultPlan, MemoryStore, ProcCampaign,
+    ShardedCampaign, WorkloadSpec,
+};
+use workdist::obs::JsonlExporter;
+use workdist::opt::Objective;
+
+fn main() {
+    let slots = 4;
+    let batch = 16;
+    let spec = WorkloadSpec::GridBowl {
+        width: 60,
+        height: 40,
+        center_x: 20,
+        center_y: 20,
+    };
+
+    // the chaos schedule is deterministic: same seed, same faults, same recovery
+    let seed = std::env::var("WD_CHAOS_SEED")
+        .ok()
+        .and_then(|raw| raw.parse().ok())
+        .unwrap_or(7u64);
+    let pinned_slot = (seed as usize) % slots;
+    let mut events = FaultPlan::random(seed, slots, 1, 3).events().to_vec();
+    // pin one guaranteed stall so the killer thread has a sitting target
+    events.insert(
+        0,
+        FaultEvent {
+            slot: pinned_slot,
+            attempt: 0,
+            after_batches: 1,
+            kind: FaultKind::Stall,
+        },
+    );
+    let faults = FaultPlan::from_events(events);
+    println!("fault plan (seed {seed}, slot:attempt:after_batches:kind):");
+    for event in faults.events() {
+        println!("    {event}");
+    }
+
+    // the reference: the same campaign, one process, no faults
+    let reference = ShardedCampaign::new(slots)
+        .with_batch_size(batch)
+        .run(&spec.space(), &spec, &MemoryStore::new())
+        .expect("fault-free reference campaign");
+
+    let work_root = std::env::temp_dir().join("workdist-proc-campaign");
+    let _ = std::fs::remove_dir_all(&work_root);
+    let telemetry_path = std::env::temp_dir().join("workdist-proc-campaign-telemetry.jsonl");
+    let exporter = JsonlExporter::create(&telemetry_path).expect("create telemetry exporter");
+
+    // killer thread: wait for the pinned slot's first worker to appear in the
+    // spawn ledger, give it time to reach its stall, then kill -9 it for real
+    let pids_path = WorkDir::new(&work_root).pids();
+    let killer = std::thread::spawn(move || -> Option<String> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while Instant::now() < deadline {
+            if let Ok(text) = std::fs::read_to_string(&pids_path) {
+                for line in text.lines() {
+                    let mut parts = line.split(' ');
+                    let (Some(slot), Some(generation), Some(pid)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        continue;
+                    };
+                    if slot != pinned_slot.to_string() || generation != "1" {
+                        continue;
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                    if Path::new(&format!("/proc/{pid}")).exists()
+                        && Command::new("kill")
+                            .args(["-9", pid])
+                            .status()
+                            .map(|status| status.success())
+                            .unwrap_or(false)
+                    {
+                        return Some(pid.to_string());
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        None
+    });
+
+    let campaign = ProcCampaign::new(slots)
+        .with_batch_size(batch)
+        .with_faults(faults)
+        .with_stall_ms(3_000)
+        .with_timing(
+            Duration::from_millis(25),
+            Duration::from_millis(800),
+            Duration::from_millis(10),
+        );
+    let got = campaign
+        .run_observed(&spec, &work_root, &exporter, "proc")
+        .expect("multi-process campaign");
+    match killer.join().expect("killer thread") {
+        Some(pid) => println!("\nkill -9 delivered to worker pid {pid}"),
+        None => println!("\nkill -9 found no live target; lease fencing covered the stall"),
+    }
+
+    println!("transport report: {:?}", got.report);
+    println!(
+        "fleet: {} spawned / {} completed / {} respawned / {} fenced ({} self-fenced exits)",
+        got.report.spawned,
+        got.report.completed,
+        got.report.respawned,
+        got.report.fenced,
+        got.report.fenced_exits
+    );
+
+    // the recovered outcome must be bit-identical to the fault-free reference
+    assert_eq!(got.outcome.best_config, reference.best_config);
+    assert_eq!(got.outcome.best_index, reference.best_index);
+    assert_eq!(
+        got.outcome.best_energy.to_bits(),
+        reference.best_energy.to_bits()
+    );
+    assert_eq!(got.outcome.evaluations, reference.evaluations);
+    assert_eq!(
+        got.report.verification_evaluations, 0,
+        "persisted keys must never be re-evaluated"
+    );
+
+    // and every durable record carries the exact bits the objective computes
+    let (records, torn) =
+        read_result_records(&WorkDir::new(&work_root).merged()).expect("read merged log");
+    assert_eq!(torn, 0, "the coordinator-owned merged log is never torn");
+    assert_eq!(records.len(), reference.evaluations);
+    for (key, energy) in &records {
+        let config = key
+            .split_once(',')
+            .and_then(|(x, y)| Some((x.parse().ok()?, y.parse().ok()?)))
+            .expect("stored keys decode");
+        assert_eq!(energy.to_bits(), spec.evaluate(&config).to_bits());
+    }
+
+    println!(
+        "recovered outcome: best {:?} energy {} over {} evaluations — bit-identical to the \
+         fault-free single-process run",
+        got.outcome.best_config, got.outcome.best_energy, got.outcome.evaluations
+    );
+    println!("merged log: {} records, 0 torn", records.len());
+    println!("telemetry: {}", telemetry_path.display());
+    println!("work dir (leases, segments, logs): {}", work_root.display());
+}
